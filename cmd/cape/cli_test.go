@@ -1,0 +1,352 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cape/internal/dataset"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	runErr := fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// writeExampleCSV materializes the running example for CLI tests.
+func writeExampleCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pub.csv")
+	if err := dataset.RunningExample().WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdGenerate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dblp.csv")
+	msg, err := captureStdout(t, func() error {
+		return cmdGenerate([]string{"-dataset", "dblp", "-rows", "500", "-o", out})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "500 rows") {
+		t.Errorf("output = %q", msg)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("output file missing: %v", err)
+	}
+
+	if _, err := captureStdout(t, func() error {
+		return cmdGenerate([]string{"-dataset", "bogus"})
+	}); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestCmdGenerateCrimeToStdout(t *testing.T) {
+	msg, err := captureStdout(t, func() error {
+		return cmdGenerate([]string{"-dataset", "crime", "-rows", "50", "-attrs", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(msg, "type,community,year,month,district") {
+		t.Errorf("CSV header = %q", strings.SplitN(msg, "\n", 2)[0])
+	}
+}
+
+func TestCmdMineAndExplainWithSavedPatterns(t *testing.T) {
+	csv := writeExampleCSV(t)
+	patterns := filepath.Join(t.TempDir(), "patterns.json")
+
+	mineOut, err := captureStdout(t, func() error {
+		return cmdMine([]string{
+			"-data", csv, "-o", patterns,
+			"-theta", "0.5", "-localsupp", "3", "-lambda", "0.3", "-globalsupp", "2",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mineOut, "mined") || !strings.Contains(mineOut, "patterns") {
+		t.Errorf("mine output = %q", mineOut)
+	}
+	if _, err := os.Stat(patterns); err != nil {
+		t.Fatalf("patterns file missing: %v", err)
+	}
+
+	explainOut, err := captureStdout(t, func() error {
+		return cmdExplain([]string{
+			"-data", csv, "-patterns", patterns,
+			"-groupby", "author,venue,year", "-tuple", "AX,SIGKDD,2007",
+			"-dir", "low", "-k", "5", "-numeric", "year=4",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explainOut, "ICDE") {
+		t.Errorf("explain output missing the counterbalance:\n%s", explainOut)
+	}
+}
+
+func TestCmdExplainOnTheFlyWithSQLQuestion(t *testing.T) {
+	csv := writeExampleCSV(t)
+	out, err := captureStdout(t, func() error {
+		return cmdExplain([]string{
+			"-data", csv,
+			"-query", "SELECT author, venue, year, count(*) FROM pub GROUP BY author, venue, year",
+			"-tuple", "AX,SIGKDD,2007", "-dir", "low", "-k", "3",
+			"-theta", "0.5", "-localsupp", "3", "-lambda", "0.3", "-globalsupp", "2",
+			"-numeric", "year=4",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mined") || !strings.Contains(out, "ICDE") {
+		t.Errorf("explain -query output:\n%s", out)
+	}
+}
+
+func TestCmdExplainErrors(t *testing.T) {
+	csv := writeExampleCSV(t)
+	cases := [][]string{
+		{},             // no data
+		{"-data", csv}, // no question
+		{"-data", csv, "-groupby", "author", "-tuple", "AX,extra"},                 // arity
+		{"-data", csv, "-groupby", "author,venue,year", "-tuple", "NOBODY,X,1900"}, // not a result
+		{"-data", csv, "-groupby", "author", "-tuple", "AX", "-dir", "sideways"},
+		{"-data", csv, "-query", "SELECT broken", "-tuple", "AX"},
+		{"-data", "/nonexistent.csv", "-groupby", "a", "-tuple", "x"},
+		{"-data", csv, "-groupby", "author", "-tuple", "AX", "-numeric", "year"},
+		{"-data", csv, "-groupby", "author", "-tuple", "AX", "-numeric", "year=zero"},
+		{"-data", csv, "-patterns", "/nonexistent.json", "-groupby", "author", "-tuple", "AX"},
+	}
+	for i, args := range cases {
+		if _, err := captureStdout(t, func() error { return cmdExplain(args) }); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestCmdBaseline(t *testing.T) {
+	csv := writeExampleCSV(t)
+	out, err := captureStdout(t, func() error {
+		return cmdBaseline([]string{
+			"-data", csv, "-groupby", "author,venue,year",
+			"-tuple", "AX,SIGKDD,2007", "-dir", "low", "-k", "5",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "question:") {
+		t.Errorf("baseline output:\n%s", out)
+	}
+}
+
+func TestCmdQuery(t *testing.T) {
+	csv := writeExampleCSV(t)
+	out, err := captureStdout(t, func() error {
+		return cmdQuery([]string{
+			"-data", csv,
+			"-q", "SELECT venue, count(*) AS n FROM pub GROUP BY venue ORDER BY venue",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"venue", "n", "ICDE", "SIGKDD", "VLDB", "(3 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdQueryCSVOutput(t *testing.T) {
+	csv := writeExampleCSV(t)
+	out, err := captureStdout(t, func() error {
+		return cmdQuery([]string{
+			"-data", csv, "-csv",
+			"-q", "SELECT DISTINCT author FROM pub ORDER BY author",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "author\nAX\nAY\nAZ\n" {
+		t.Errorf("csv output = %q", out)
+	}
+}
+
+func TestCmdQueryErrors(t *testing.T) {
+	csv := writeExampleCSV(t)
+	cases := [][]string{
+		{},
+		{"-data", csv},
+		{"-data", csv, "-q", "SELECT nope FROM pub"},
+		{"-data", csv, "-q", "SELECT * FROM wrongtable"},
+		{"-data", "/nonexistent.csv", "-q", "SELECT * FROM t"},
+	}
+	for i, args := range cases {
+		if _, err := captureStdout(t, func() error { return cmdQuery(args) }); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCmdMineVariantsAndErrors(t *testing.T) {
+	csv := writeExampleCSV(t)
+	for _, miner := range []string{"arpmine", "sharegrp", "cube", "naive"} {
+		if _, err := captureStdout(t, func() error {
+			return cmdMine([]string{"-data", csv, "-miner", miner,
+				"-theta", "0.3", "-localsupp", "3", "-lambda", "0.3", "-globalsupp", "2", "-psi", "2"})
+		}); err != nil {
+			t.Errorf("miner %s: %v", miner, err)
+		}
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdMine([]string{"-data", csv, "-miner", "quantum"})
+	}); err == nil {
+		t.Error("unknown miner should error")
+	}
+	if _, err := captureStdout(t, func() error { return cmdMine(nil) }); err == nil {
+		t.Error("missing -data should error")
+	}
+}
+
+func TestParseMetricHelper(t *testing.T) {
+	m, err := parseMetric("year=4,community=2")
+	if err != nil || m == nil {
+		t.Fatalf("parseMetric: %v", err)
+	}
+	if _, err := parseMetric("year"); err == nil {
+		t.Error("missing = should error")
+	}
+	if _, err := parseMetric("year=-3"); err == nil {
+		t.Error("negative scale should error")
+	}
+	if m, err := parseMetric(""); err != nil || m == nil {
+		t.Error("empty spec should yield default metric")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	if len(splitList("")) != 0 {
+		t.Error("empty input should yield no entries")
+	}
+}
+
+func TestCmdExplainJSONOutput(t *testing.T) {
+	csv := writeExampleCSV(t)
+	out, err := captureStdout(t, func() error {
+		return cmdExplain([]string{
+			"-data", csv, "-json",
+			"-groupby", "author,venue,year", "-tuple", "AX,SIGKDD,2007",
+			"-dir", "low", "-k", "2",
+			"-theta", "0.5", "-localsupp", "3", "-lambda", "0.3", "-globalsupp", "2",
+			"-numeric", "year=4",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Question     string `json:"question"`
+		Explanations []struct {
+			Score     float64 `json:"score"`
+			Narration string  `json:"narration"`
+		} `json:"explanations"`
+	}
+	// Skip the "mined N patterns" line printed before the JSON body.
+	idx := strings.IndexByte(out, '{')
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	if err := json.Unmarshal([]byte(out[idx:]), &parsed); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(parsed.Explanations) != 2 || parsed.Explanations[0].Score <= 0 || parsed.Explanations[0].Narration == "" {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestCmdGeneralize(t *testing.T) {
+	csv := writeExampleCSV(t)
+	out, err := captureStdout(t, func() error {
+		return cmdGeneralize([]string{
+			"-data", csv,
+			"-groupby", "author,venue,year", "-tuple", "AX,SIGKDD,2007",
+			"-dir", "low", "-k", "3",
+			"-theta", "0.5", "-localsupp", "3", "-lambda", "0.3", "-globalsupp", "2",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "question:") {
+		t.Errorf("generalize output:\n%s", out)
+	}
+	if _, err := captureStdout(t, func() error { return cmdGeneralize(nil) }); err == nil {
+		t.Error("missing -data should error")
+	}
+}
+
+func TestCmdIntervene(t *testing.T) {
+	csv := writeExampleCSV(t)
+	// Low question: prints the refusal, exits cleanly.
+	out, err := captureStdout(t, func() error {
+		return cmdIntervene([]string{
+			"-data", csv,
+			"-groupby", "author,venue,year", "-tuple", "AX,SIGKDD,2007", "-dir", "low",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cannot explain a LOW outcome") {
+		t.Errorf("intervene low output:\n%s", out)
+	}
+	// High question: produces predicates or the nothing-to-explain note.
+	out, err = captureStdout(t, func() error {
+		return cmdIntervene([]string{
+			"-data", csv,
+			"-groupby", "author,venue,year", "-tuple", "AX,ICDE,2007", "-dir", "high",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "question:") {
+		t.Errorf("intervene high output:\n%s", out)
+	}
+	if _, err := captureStdout(t, func() error { return cmdIntervene(nil) }); err == nil {
+		t.Error("missing -data should error")
+	}
+}

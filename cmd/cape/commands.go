@@ -1,0 +1,366 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cape/internal/baseline"
+	"cape/internal/dataset"
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/sql"
+	"cape/internal/value"
+)
+
+// cmdGenerate writes a synthetic dataset as CSV.
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	ds := fs.String("dataset", "dblp", "dataset family: dblp or crime")
+	rows := fs.Int("rows", 10000, "number of rows")
+	attrs := fs.Int("attrs", 7, "number of attributes (crime only, 3-11)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tab *engine.Table
+	switch *ds {
+	case "dblp":
+		tab = dataset.GenerateDBLP(dataset.DBLPConfig{Rows: *rows, Seed: *seed})
+	case "crime":
+		tab = dataset.GenerateCrime(dataset.CrimeConfig{Rows: *rows, Seed: *seed, NumAttrs: *attrs})
+	default:
+		return fmt.Errorf("unknown dataset %q (want dblp or crime)", *ds)
+	}
+	if *out == "" {
+		return tab.WriteCSV(os.Stdout)
+	}
+	if err := tab.WriteCSVFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows, %d attributes to %s\n", tab.NumRows(), len(tab.Schema()), *out)
+	return nil
+}
+
+// miningFlags registers the shared mining flags and returns a builder.
+func miningFlags(fs *flag.FlagSet) func() mining.Options {
+	psi := fs.Int("psi", 3, "maximum pattern size ψ (|F ∪ V|)")
+	theta := fs.Float64("theta", 0.5, "local model quality threshold θ")
+	localSupp := fs.Int("localsupp", 5, "local support threshold δ")
+	lambda := fs.Float64("lambda", 0.5, "global confidence threshold λ")
+	globalSupp := fs.Int("globalsupp", 5, "global support threshold Δ")
+	attrs := fs.String("attrs", "", "comma-separated attributes to mine over (default: all)")
+	aggs := fs.String("aggs", "count", "comma-separated aggregate functions (count,sum,min,max,avg)")
+	useFDs := fs.Bool("fd", false, "enable functional-dependency pruning")
+	parallel := fs.Int("parallel", 1, "worker goroutines for mining (arpmine/sharegrp)")
+	return func() mining.Options {
+		opt := mining.Options{
+			MaxPatternSize: *psi,
+			Thresholds: pattern.Thresholds{
+				Theta: *theta, LocalSupport: *localSupp,
+				Lambda: *lambda, GlobalSupport: *globalSupp,
+			},
+			UseFDs:      *useFDs,
+			Parallelism: *parallel,
+		}
+		if *attrs != "" {
+			opt.Attributes = splitList(*attrs)
+		}
+		for _, a := range splitList(*aggs) {
+			f, err := engine.ParseAggFunc(a)
+			if err == nil {
+				opt.AggFuncs = append(opt.AggFuncs, f)
+			}
+		}
+		return opt
+	}
+}
+
+// cmdMine mines patterns and prints or saves them.
+func cmdMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV dataset (required)")
+	out := fs.String("o", "", "write mined patterns as JSON to this path")
+	miner := fs.String("miner", "arpmine", "miner variant: arpmine, sharegrp, cube, naive")
+	opts := miningFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	tab, err := engine.ReadCSVFile(*data)
+	if err != nil {
+		return err
+	}
+
+	var run func(*engine.Table, mining.Options) (*mining.Result, error)
+	switch *miner {
+	case "arpmine":
+		run = mining.ARPMine
+	case "sharegrp":
+		run = mining.ShareGrp
+	case "cube":
+		run = mining.CubeMine
+	case "naive":
+		run = mining.Naive
+	default:
+		return fmt.Errorf("unknown miner %q", *miner)
+	}
+	start := time.Now()
+	res, err := run(tab, opts())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mined %d patterns from %d rows in %v (%d candidates",
+		len(res.Patterns), tab.NumRows(), time.Since(start).Round(time.Millisecond), res.Candidates)
+	if res.SkippedByFD > 0 {
+		fmt.Printf(", %d FD-pruned", res.SkippedByFD)
+	}
+	fmt.Println(")")
+	for _, m := range res.Patterns {
+		fmt.Printf("  %-55s conf=%.2f local=%d supp=%d\n",
+			m.Pattern, m.Confidence, m.GlobalSupport(), m.NumSupported)
+	}
+	if *out != "" {
+		if err := pattern.WriteJSONFile(*out, res.Patterns); err != nil {
+			return err
+		}
+		fmt.Printf("wrote patterns to %s\n", *out)
+	}
+	return nil
+}
+
+// questionFlags registers the shared question flags.
+func questionFlags(fs *flag.FlagSet) (groupBy, tuple, dir *string, k *int) {
+	groupBy = fs.String("groupby", "", "comma-separated group-by attributes (required)")
+	tuple = fs.String("tuple", "", "comma-separated group-by values of the question tuple (required)")
+	dir = fs.String("dir", "low", "direction: low or high")
+	k = fs.Int("k", 10, "number of explanations to return")
+	return
+}
+
+// buildQuestion parses the question flags against the dataset.
+func buildQuestion(tab *engine.Table, groupByFlag, tupleFlag, dirFlag string) (explain.UserQuestion, error) {
+	var q explain.UserQuestion
+	if groupByFlag == "" || tupleFlag == "" {
+		return q, fmt.Errorf("-groupby and -tuple are required")
+	}
+	groupBy := splitList(groupByFlag)
+	rawVals := splitList(tupleFlag)
+	if len(rawVals) != len(groupBy) {
+		return q, fmt.Errorf("-tuple has %d values for %d group-by attributes", len(rawVals), len(groupBy))
+	}
+	vals := make(value.Tuple, len(rawVals))
+	for i, rv := range rawVals {
+		vals[i] = value.Parse(rv)
+	}
+	dir, err := explain.ParseDirection(dirFlag)
+	if err != nil {
+		return q, err
+	}
+	agg := engine.AggSpec{Func: engine.Count}
+	grouped, err := tab.GroupBy(groupBy, []engine.AggSpec{agg})
+	if err != nil {
+		return q, err
+	}
+	for _, row := range grouped.Rows() {
+		if value.Tuple(row[:len(groupBy)]).Equal(vals) {
+			return explain.UserQuestion{
+				GroupBy: groupBy, Agg: agg, Values: vals,
+				AggValue: row[len(groupBy)], Dir: dir,
+			}, nil
+		}
+	}
+	return q, fmt.Errorf("tuple (%s) is not a result of grouping by %s", tupleFlag, groupByFlag)
+}
+
+// cmdExplain answers a question, either with previously saved patterns or
+// by mining on the fly.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV dataset (required)")
+	patternsPath := fs.String("patterns", "", "patterns JSON from 'cape mine -o' (mines on the fly if empty)")
+	query := fs.String("query", "", "aggregate SQL query defining the question, e.g. \"SELECT a, b, count(*) FROM t GROUP BY a, b\" (alternative to -groupby)")
+	jsonOut := fs.Bool("json", false, "emit explanations as JSON")
+	groupBy, tuple, dir, k := questionFlags(fs)
+	numericAttrs := fs.String("numeric", "", "comma-separated attr=scale pairs for numeric distances, e.g. year=4")
+	opts := miningFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	tab, err := engine.ReadCSVFile(*data)
+	if err != nil {
+		return err
+	}
+	gb := *groupBy
+	if *query != "" {
+		stmt, err := sql.Parse(*query)
+		if err != nil {
+			return err
+		}
+		qGroupBy, _, err := sql.AggregateQuery(stmt)
+		if err != nil {
+			return err
+		}
+		gb = strings.Join(qGroupBy, ",")
+	}
+	q, err := buildQuestion(tab, gb, *tuple, *dir)
+	if err != nil {
+		return err
+	}
+
+	var mined []*pattern.Mined
+	if *patternsPath != "" {
+		mined, err = pattern.ReadJSONFile(*patternsPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		opt := opts()
+		if opt.Attributes == nil {
+			opt.Attributes = q.GroupBy
+		}
+		res, err := mining.ARPMine(tab, opt)
+		if err != nil {
+			return err
+		}
+		mined = res.Patterns
+		fmt.Printf("mined %d patterns on the fly\n", len(mined))
+	}
+
+	metric, err := parseMetric(*numericAttrs)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	expls, stats, err := explain.Generate(q, tab, mined, explain.Options{K: *k, Metric: metric})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return writeExplanationsJSON(os.Stdout, q, expls, stats)
+	}
+	fmt.Printf("question: %s\n", q)
+	fmt.Printf("%d explanations in %v (%d relevant patterns, %d candidates, %d refinements pruned)\n\n",
+		len(expls), time.Since(start).Round(time.Millisecond),
+		stats.RelevantPatterns, stats.Candidates, stats.PrunedRefinements)
+	for i, e := range expls {
+		fmt.Printf("%3d. %s\n", i+1, e)
+	}
+	return nil
+}
+
+// writeExplanationsJSON renders the result machine-readably, including
+// the Example-5 style narration per explanation.
+func writeExplanationsJSON(w io.Writer, q explain.UserQuestion, expls []explain.Explanation, stats *explain.Stats) error {
+	type entry struct {
+		Attrs     []string    `json:"attrs"`
+		Tuple     value.Tuple `json:"tuple"`
+		AggValue  value.V     `json:"aggValue"`
+		Predicted float64     `json:"predicted"`
+		Deviation float64     `json:"deviation"`
+		Distance  float64     `json:"distance"`
+		Score     float64     `json:"score"`
+		Relevant  string      `json:"relevantPattern"`
+		Refined   string      `json:"refinedPattern"`
+		Narration string      `json:"narration"`
+	}
+	out := struct {
+		Question     string         `json:"question"`
+		Stats        *explain.Stats `json:"stats"`
+		Explanations []entry        `json:"explanations"`
+	}{Question: q.String(), Stats: stats}
+	for _, e := range expls {
+		out.Explanations = append(out.Explanations, entry{
+			Attrs: e.Attrs, Tuple: e.Tuple, AggValue: e.AggValue,
+			Predicted: e.Predicted, Deviation: e.Deviation,
+			Distance: e.Distance, Score: e.Score,
+			Relevant: e.Relevant.String(), Refined: e.Refined.String(),
+			Narration: e.Narrate(q),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// cmdBaseline runs the Appendix-A.2 baseline for comparison.
+func cmdBaseline(args []string) error {
+	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV dataset (required)")
+	groupBy, tuple, dir, k := questionFlags(fs)
+	numericAttrs := fs.String("numeric", "", "comma-separated attr=scale pairs for numeric distances")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	tab, err := engine.ReadCSVFile(*data)
+	if err != nil {
+		return err
+	}
+	q, err := buildQuestion(tab, *groupBy, *tuple, *dir)
+	if err != nil {
+		return err
+	}
+	metric, err := parseMetric(*numericAttrs)
+	if err != nil {
+		return err
+	}
+	expls, err := baseline.Explain(q, tab, baseline.Options{K: *k, Metric: metric})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("question: %s\n\n", q)
+	for i, e := range expls {
+		fmt.Printf("%3d. %s\n", i+1, e)
+	}
+	return nil
+}
+
+// parseMetric builds a distance metric from "attr=scale" pairs.
+func parseMetric(spec string) (*distance.Metric, error) {
+	m := distance.NewMetric()
+	if spec == "" {
+		return m, nil
+	}
+	for _, part := range splitList(spec) {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad -numeric entry %q (want attr=scale)", part)
+		}
+		scale := value.Parse(part[eq+1:])
+		f, ok := scale.AsFloat()
+		if !ok || f <= 0 {
+			return nil, fmt.Errorf("bad scale in -numeric entry %q", part)
+		}
+		m.SetFunc(part[:eq], distance.Numeric{Scale: f})
+	}
+	return m, nil
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

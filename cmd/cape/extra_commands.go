@@ -1,0 +1,109 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/intervention"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+)
+
+// cmdGeneralize prints drill-up explanations: coarser aggregates
+// deviating in the question's own direction.
+func cmdGeneralize(args []string) error {
+	fs := flag.NewFlagSet("generalize", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV dataset (required)")
+	patternsPath := fs.String("patterns", "", "patterns JSON from 'cape mine -o' (mines on the fly if empty)")
+	groupBy, tuple, dir, k := questionFlags(fs)
+	opts := miningFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	tab, err := engine.ReadCSVFile(*data)
+	if err != nil {
+		return err
+	}
+	q, err := buildQuestion(tab, *groupBy, *tuple, *dir)
+	if err != nil {
+		return err
+	}
+
+	var mined []*pattern.Mined
+	if *patternsPath != "" {
+		mined, err = pattern.ReadJSONFile(*patternsPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		opt := opts()
+		if opt.Attributes == nil {
+			opt.Attributes = q.GroupBy
+		}
+		res, err := mining.ARPMine(tab, opt)
+		if err != nil {
+			return err
+		}
+		mined = res.Patterns
+	}
+
+	gens, err := explain.Generalize(q, tab, mined, explain.Options{K: *k})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("question: %s\n\n", q)
+	if len(gens) == 0 {
+		fmt.Println("no coarser-granularity deviation in the question's direction")
+		return nil
+	}
+	for i, g := range gens {
+		fmt.Printf("%3d. %s\n", i+1, g)
+	}
+	return nil
+}
+
+// cmdIntervene runs the provenance-restricted intervention explainer.
+func cmdIntervene(args []string) error {
+	fs := flag.NewFlagSet("intervene", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV dataset (required)")
+	groupBy, tuple, dir, k := questionFlags(fs)
+	expected := fs.Float64("expected", 0, "target aggregate value (default: average of the other groups)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	tab, err := engine.ReadCSVFile(*data)
+	if err != nil {
+		return err
+	}
+	q, err := buildQuestion(tab, *groupBy, *tuple, *dir)
+	if err != nil {
+		return err
+	}
+	expls, err := intervention.Explain(q, tab, intervention.Options{K: *k, Expected: *expected})
+	if errors.Is(err, intervention.ErrLowQuestion) {
+		fmt.Printf("question: %s\n\n%v\n", q, err)
+		fmt.Println("(try 'cape explain' — counterbalance explanations handle low outcomes)")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("question: %s\n\n", q)
+	if len(expls) == 0 {
+		fmt.Println("the value is not above the expected level; nothing to explain away")
+		return nil
+	}
+	for i, e := range expls {
+		fmt.Printf("%3d. %s\n", i+1, e)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command cape is the command-line interface to the CAPE explanation
+// system: generate synthetic data, mine aggregate regression patterns
+// offline, and explain surprising aggregate query results online.
+//
+// Usage:
+//
+//	cape generate -dataset dblp|crime -rows N [-attrs A] [-seed S] -o data.csv
+//	cape mine     -data data.csv [mining flags] [-o patterns.json]
+//	cape query    -data data.csv -q "SELECT venue, count(*) FROM data GROUP BY venue"
+//	cape explain  -data data.csv -groupby a,b,c -tuple v1,v2,v3 -dir low
+//	              [-patterns patterns.json | mining flags] [-k 10]
+//	cape baseline -data data.csv -groupby a,b,c -tuple v1,v2,v3 -dir low [-k 10]
+//
+// The mine/explain split mirrors the paper's architecture: pattern mining
+// runs offline and its output (patterns.json) serves any number of online
+// questions.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "mine":
+		err = cmdMine(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "generalize":
+		err = cmdGeneralize(os.Args[2:])
+	case "intervene":
+		err = cmdIntervene(os.Args[2:])
+	case "baseline":
+		err = cmdBaseline(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cape: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cape %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: cape <command> [flags]
+
+commands:
+  generate  produce a synthetic DBLP or Crime CSV dataset
+  mine      mine aggregate regression patterns from a CSV dataset
+  query     run a SQL query against a CSV dataset
+  explain   explain a surprising aggregate result with counterbalances
+  generalize  explanations by drill-up (same-direction coarser deviations)
+  intervene squash a high outlier with provenance predicates (Scorpion-style)
+  baseline  run the pattern-blind baseline explainer for comparison
+
+run "cape <command> -h" for the command's flags
+`)
+}

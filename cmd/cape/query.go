@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cape/internal/engine"
+	"cape/internal/sql"
+)
+
+// cmdQuery runs a SQL query against a CSV dataset and prints the result.
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV dataset (required)")
+	table := fs.String("table", "", "table name for the query (default: file name without extension)")
+	q := fs.String("q", "", "SQL query (required)")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of the aligned text grid")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *q == "" {
+		return fmt.Errorf("-data and -q are required")
+	}
+	tab, err := engine.ReadCSVFile(*data)
+	if err != nil {
+		return err
+	}
+	name := *table
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(*data), filepath.Ext(*data))
+	}
+	out, err := sql.Run(*q, sql.Catalog{name: tab})
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return out.WriteCSV(os.Stdout)
+	}
+	printGrid(out)
+	fmt.Printf("(%d rows)\n", out.NumRows())
+	return nil
+}
+
+// printGrid renders a table with column-aligned output.
+func printGrid(t *engine.Table) {
+	names := t.Schema().Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	rendered := make([][]string, t.NumRows())
+	for ri, row := range t.Rows() {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+			if len(cells[i]) > widths[i] {
+				widths[i] = len(cells[i])
+			}
+		}
+		rendered[ri] = cells
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%-*s", widths[i], c)
+		}
+		fmt.Println()
+	}
+	line(names)
+	sep := make([]string, len(names))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, cells := range rendered {
+		line(cells)
+	}
+}

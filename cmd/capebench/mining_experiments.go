@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cape/internal/dataset"
+	"cape/internal/engine"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+)
+
+// paperThresholds are the mining thresholds of Section 5.1, with the
+// support thresholds scaled to the smaller synthetic datasets (the paper
+// used δ = Δ = 15 on millions of rows).
+func paperThresholds() pattern.Thresholds {
+	return pattern.Thresholds{Theta: 0.5, LocalSupport: 5, Lambda: 0.5, GlobalSupport: 5}
+}
+
+func miningOpts(attrs []string, psi int) mining.Options {
+	return mining.Options{
+		MaxPatternSize: psi,
+		Attributes:     attrs,
+		Thresholds:     paperThresholds(),
+		AggFuncs:       []engine.AggFunc{engine.Count, engine.Sum},
+	}
+}
+
+type minerFunc func(*engine.Table, mining.Options) (*mining.Result, error)
+
+var miners = []struct {
+	name string
+	run  minerFunc
+}{
+	{"NAIVE", mining.Naive},
+	{"CUBE", mining.CubeMine},
+	{"SHARE-GRP", mining.ShareGrp},
+	{"ARP-MINE", mining.ARPMine},
+}
+
+func timeMiner(run minerFunc, tab *engine.Table, opt mining.Options) (time.Duration, *mining.Result, error) {
+	start := time.Now()
+	res, err := run(tab, opt)
+	return time.Since(start), res, err
+}
+
+// runFig3a: mining runtime vs attribute count on Crime, ψ=4. NAIVE is
+// only run at the smallest sizes — as in the paper, where its A=7 data
+// point (18000 s) was omitted from the plot.
+func runFig3a(full bool) error {
+	attrCounts := []int{4, 5, 6, 7, 8}
+	naiveMax := 4
+	rows := 5000
+	if full {
+		attrCounts = []int{4, 5, 6, 7, 8, 9, 10, 11}
+		naiveMax = 5
+		rows = 10000
+	}
+	fmt.Printf("Crime, D=%d, ψ=4, θ=0.5, λ=0.5, δ=5, Δ=5\n", rows)
+	fmt.Printf("%3s  %12s %12s %12s %12s  %9s\n", "A", "NAIVE", "CUBE", "SHARE-GRP", "ARP-MINE", "patterns")
+	for _, a := range attrCounts {
+		tab := dataset.GenerateCrime(dataset.CrimeConfig{Rows: rows, Seed: 1, NumAttrs: a})
+		opt := miningOpts(tab.Schema().Names(), 4)
+		fmt.Printf("%3d", a)
+		var patterns int
+		for _, m := range miners {
+			if m.name == "NAIVE" && a > naiveMax {
+				fmt.Printf("  %12s", "(omitted)")
+				continue
+			}
+			d, res, err := timeMiner(m.run, tab, opt)
+			if err != nil {
+				return err
+			}
+			patterns = len(res.Patterns)
+			fmt.Printf("  %12s", d.Round(time.Millisecond))
+		}
+		fmt.Printf("  %9d\n", patterns)
+	}
+	return nil
+}
+
+// runFig3b: mining runtime vs row count on Crime, A=7.
+func runFig3b(full bool) error {
+	sizes := []int{5000, 10000, 20000, 50000}
+	if full {
+		sizes = []int{10000, 25000, 50000, 100000, 200000}
+	}
+	fmt.Println("Crime, A=7, ψ=4 (NAIVE omitted as in the paper)")
+	fmt.Printf("%8s  %12s %12s %12s\n", "D", "CUBE", "SHARE-GRP", "ARP-MINE")
+	for _, d := range sizes {
+		tab := dataset.GenerateCrime(dataset.CrimeConfig{Rows: d, Seed: 1, NumAttrs: 7})
+		opt := miningOpts(tab.Schema().Names(), 4)
+		fmt.Printf("%8d", d)
+		for _, m := range miners[1:] {
+			dur, _, err := timeMiner(m.run, tab, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %12s", dur.Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runFig3c: mining runtime vs row count on DBLP, A=4.
+func runFig3c(full bool) error {
+	sizes := []int{5000, 10000, 20000, 50000}
+	if full {
+		sizes = []int{10000, 25000, 50000, 100000, 200000}
+	}
+	fmt.Println("DBLP, A=4 (author, pubid, year, venue), ψ=4")
+	fmt.Printf("%8s  %12s %12s %12s\n", "D", "CUBE", "SHARE-GRP", "ARP-MINE")
+	for _, d := range sizes {
+		tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: d, Seed: 1})
+		// pubid is unique per row; mining over it is meaningless but the
+		// paper's A=4 includes all columns, so we do too.
+		opt := miningOpts([]string{"author", "year", "venue"}, 3)
+		fmt.Printf("%8d", d)
+		for _, m := range miners[1:] {
+			dur, _, err := timeMiner(m.run, tab, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %12s", dur.Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runFig4: per-subtask breakdown normalized to the slowest variant
+// (CUBE), as in the paper's stacked-bar figure.
+func runFig4(full bool) error {
+	attrCounts := []int{4, 6, 8}
+	rows := 5000
+	if full {
+		attrCounts = []int{4, 6, 8, 10, 11}
+		rows = 10000
+	}
+	fmt.Printf("Crime, D=%d. Shares of total runtime, normalized to CUBE = 100%%\n", rows)
+	fmt.Printf("%3s  %-10s %10s %10s %10s %10s\n", "A", "variant", "regress", "query", "other", "total")
+	for _, a := range attrCounts {
+		tab := dataset.GenerateCrime(dataset.CrimeConfig{Rows: rows, Seed: 1, NumAttrs: a})
+		opt := miningOpts(tab.Schema().Names(), 4)
+		type row struct {
+			name  string
+			t     pattern.Timers
+			total time.Duration
+		}
+		var rowsOut []row
+		var cubeTotal time.Duration
+		for _, m := range miners[1:] { // ARP-MINE, SHARE-GRP, CUBE
+			dur, res, err := timeMiner(m.run, tab, opt)
+			if err != nil {
+				return err
+			}
+			tm := res.Timers
+			tm.Other = dur - tm.Query - tm.Regression
+			if tm.Other < 0 {
+				tm.Other = 0
+			}
+			rowsOut = append(rowsOut, row{m.name, tm, dur})
+			if m.name == "CUBE" {
+				cubeTotal = dur
+			}
+		}
+		for _, r := range rowsOut {
+			pct := func(d time.Duration) float64 {
+				return 100 * float64(d) / float64(cubeTotal)
+			}
+			fmt.Printf("%3d  %-10s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+				a, r.name, pct(r.t.Regression), pct(r.t.Query), pct(r.t.Other), pct(r.total))
+		}
+	}
+	return nil
+}
+
+// runFig5: ARP-MINE with FD optimizations on vs off, Crime with 9+
+// attributes (the FD-rich configuration).
+func runFig5(full bool) error {
+	sizes := []int{5000, 10000, 20000}
+	if full {
+		sizes = []int{10000, 25000, 50000, 100000}
+	}
+	fmt.Println("Crime, A=10 (block/district/beat/ward FDs present), ψ=3")
+	fmt.Printf("%8s  %12s %12s  %9s %9s\n", "D", "FDs off", "FDs on", "skipped", "FDs found")
+	for _, d := range sizes {
+		tab := dataset.GenerateCrime(dataset.CrimeConfig{Rows: d, Seed: 1, NumAttrs: 10})
+		opt := miningOpts(tab.Schema().Names(), 3)
+		durOff, _, err := timeMiner(mining.ARPMine, tab, opt)
+		if err != nil {
+			return err
+		}
+		opt.UseFDs = true
+		durOn, res, err := timeMiner(mining.ARPMine, tab, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d  %12s %12s  %9d %9d\n",
+			d, durOff.Round(time.Millisecond), durOn.Round(time.Millisecond),
+			res.SkippedByFD, res.FDs.Len())
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"fmt"
+
+	"cape/internal/baseline"
+	"cape/internal/dataset"
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// runTable3: the running example of Tables 2–3 — top-10 explanations for
+// "why is AX's SIGKDD 2007 publication count low?".
+func runTable3(bool) error {
+	tab := dataset.RunningExample()
+	mined, err := mining.ARPMine(tab, mining.Options{
+		MaxPatternSize: 3,
+		Thresholds:     pattern.Thresholds{Theta: 0.5, LocalSupport: 3, Lambda: 0.3, GlobalSupport: 2},
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	})
+	if err != nil {
+		return err
+	}
+	q := explain.UserQuestion{
+		GroupBy:  []string{"author", "venue", "year"},
+		Agg:      engine.AggSpec{Func: engine.Count},
+		Values:   value.Tuple{value.NewString("AX"), value.NewString("SIGKDD"), value.NewInt(2007)},
+		AggValue: value.NewInt(1),
+		Dir:      explain.Low,
+	}
+	metric := distance.NewMetric().SetFunc("year", distance.Numeric{Scale: 4})
+	expls, _, err := explain.Generate(q, tab, mined.Patterns, explain.Options{K: 10, Metric: metric})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("question: %s\n\n", q)
+	printExplanations(expls)
+	return nil
+}
+
+// dblpScenario mines the DBLP data and locates the strongest natural
+// outlier of the pattern [author, venue] : year ~Const~> count(*) in the
+// given direction, returning the question plus everything needed to
+// explain it.
+func dblpScenario(dir explain.Direction) (*engine.Table, []*pattern.Mined, explain.UserQuestion, *distance.Metric, error) {
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: 20000, Seed: 2019})
+	qAttrs := []string{"author", "venue", "year"}
+	mined, err := mining.ARPMine(tab, mining.Options{
+		MaxPatternSize: 3,
+		Attributes:     qAttrs,
+		Thresholds:     pattern.Thresholds{Theta: 0.2, LocalSupport: 4, Lambda: 0.2, GlobalSupport: 5},
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	})
+	if err != nil {
+		return nil, nil, explain.UserQuestion{}, nil, err
+	}
+	q, err := naturalOutlierQuestion(tab, mined.Patterns, qAttrs,
+		"author,venue|year|count(*)|Const", []string{"author", "venue"}, dir)
+	if err != nil {
+		return nil, nil, explain.UserQuestion{}, nil, err
+	}
+	metric := distance.NewMetric().SetFunc("year", distance.Numeric{Scale: 4})
+	return tab, mined.Patterns, q, metric, nil
+}
+
+// crimeScenario is the Crime analog over [community, type] : year.
+func crimeScenario(dir explain.Direction) (*engine.Table, []*pattern.Mined, explain.UserQuestion, *distance.Metric, error) {
+	tab := dataset.GenerateCrime(dataset.CrimeConfig{
+		Rows: 20000, Seed: 2019, NumAttrs: 5, NumTypes: 8, NumCommunities: 15,
+	})
+	qAttrs := []string{"type", "community", "year"}
+	mined, err := mining.ARPMine(tab, mining.Options{
+		MaxPatternSize: 3,
+		Attributes:     qAttrs,
+		Thresholds:     pattern.Thresholds{Theta: 0.2, LocalSupport: 4, Lambda: 0.2, GlobalSupport: 5},
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	})
+	if err != nil {
+		return nil, nil, explain.UserQuestion{}, nil, err
+	}
+	q, err := naturalOutlierQuestion(tab, mined.Patterns, qAttrs,
+		"community,type|year|count(*)|Const", []string{"community", "type"}, dir)
+	if err != nil {
+		return nil, nil, explain.UserQuestion{}, nil, err
+	}
+	metric := distance.NewMetric().
+		SetFunc("year", distance.Numeric{Scale: 3}).
+		SetFunc("community", distance.Numeric{Scale: 2})
+	return tab, mined.Patterns, q, metric, nil
+}
+
+// naturalOutlierQuestion scans the local models of the named pattern for
+// the result tuple deviating most strongly in the asked direction — the
+// kind of organic outlier the paper's qualitative tables discuss.
+func naturalOutlierQuestion(tab *engine.Table, patterns []*pattern.Mined, qAttrs []string,
+	patternKey string, fragAttrs []string, dir explain.Direction) (explain.UserQuestion, error) {
+
+	var target *pattern.Mined
+	for _, p := range patterns {
+		if p.Pattern.Key() == patternKey {
+			target = p
+			break
+		}
+	}
+	if target == nil {
+		return explain.UserQuestion{}, fmt.Errorf("pattern %q not mined", patternKey)
+	}
+	agg := engine.AggSpec{Func: engine.Count}
+	grouped, err := tab.GroupBy(qAttrs, []engine.AggSpec{agg})
+	if err != nil {
+		return explain.UserQuestion{}, err
+	}
+	fragIdx, err := grouped.Schema().Indices(fragAttrs)
+	if err != nil {
+		return explain.UserQuestion{}, err
+	}
+	aggIdx := len(qAttrs)
+
+	var best value.Tuple
+	var bestDev float64
+	frag := make(value.Tuple, len(fragIdx))
+	for _, row := range grouped.Rows() {
+		for i, ci := range fragIdx {
+			frag[i] = row[ci]
+		}
+		lm, ok := target.Local(frag)
+		if !ok {
+			continue
+		}
+		y, _ := row[aggIdx].AsFloat()
+		dev := y - lm.Model.Predict(nil)
+		better := (dir == explain.High && dev > bestDev) ||
+			(dir == explain.Low && dev < bestDev)
+		if better {
+			bestDev = dev
+			best = row.Clone()
+		}
+	}
+	if best == nil {
+		return explain.UserQuestion{}, fmt.Errorf("no outlier found for %q", patternKey)
+	}
+	return explain.QuestionFromRow(qAttrs, agg, best, dir)
+}
+
+func printExplanations(expls []explain.Explanation) {
+	fmt.Printf("%4s  %s\n", "rank", "explanation")
+	for i, e := range expls {
+		fmt.Printf("%4d  %s\n", i+1, e)
+	}
+}
+
+func printBaseline(expls []baseline.Explanation) {
+	fmt.Printf("%4s  %s\n", "rank", "explanation")
+	for i, e := range expls {
+		fmt.Printf("%4d  %s\n", i+1, e)
+	}
+}
+
+// runTable4: CAPE top-5 for the DBLP "why high?" question.
+func runTable4(bool) error {
+	tab, patterns, q, metric, err := dblpScenario(explain.High)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("question: %s\n\n", q)
+	expls, _, err := explain.Generate(q, tab, patterns, explain.Options{K: 5, Metric: metric})
+	if err != nil {
+		return err
+	}
+	printExplanations(expls)
+	return nil
+}
+
+// runTable5: CAPE top-5 for the Crime "why low?" question.
+func runTable5(bool) error {
+	tab, patterns, q, metric, err := crimeScenario(explain.Low)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("question: %s\n\n", q)
+	expls, _, err := explain.Generate(q, tab, patterns, explain.Options{K: 5, Metric: metric})
+	if err != nil {
+		return err
+	}
+	printExplanations(expls)
+	return nil
+}
+
+// runTable6: baseline top-5 for the same DBLP question as Table 4.
+func runTable6(bool) error {
+	tab, _, q, metric, err := dblpScenario(explain.High)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("question: %s\n\n", q)
+	expls, err := baseline.Explain(q, tab, baseline.Options{K: 5, Metric: metric})
+	if err != nil {
+		return err
+	}
+	printBaseline(expls)
+	return nil
+}
+
+// runTable7: baseline top-5 for the same Crime question as Table 5.
+func runTable7(bool) error {
+	tab, _, q, metric, err := crimeScenario(explain.Low)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("question: %s\n\n", q)
+	expls, err := baseline.Explain(q, tab, baseline.Options{K: 5, Metric: metric})
+	if err != nil {
+		return err
+	}
+	printBaseline(expls)
+	return nil
+}

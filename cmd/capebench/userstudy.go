@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+
+	"cape/internal/baseline"
+	"cape/internal/dataset"
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/exp"
+	"cape/internal/explain"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// runUserStudy reproduces the machine-checkable part of the Appendix-B
+// user study. The paper measured whether 14 humans — half with CAPE's
+// top-10, half without — could find a "sensible explanation" for three
+// outlier questions over a two-community crime extract. Humans are out of
+// scope for this repository; what can be reproduced is the core claim
+// behind the treatment group's advantage: for each study question, the
+// planted sensible explanation appears in CAPE's top-10 but not in the
+// pattern-blind baseline's.
+func runUserStudy(bool) error {
+	tab := dataset.GenerateCrime(dataset.CrimeConfig{
+		Rows: 10000, Seed: 7, NumAttrs: 5, NumTypes: 6, NumCommunities: 12,
+	})
+	qAttrs := []string{"type", "community", "year"}
+	spec := exp.SiteSpec{TypeAttr: "type", FragAttr: "community", PredAttr: "year", MinOutlierCount: 10}
+	opt := mining.Options{
+		MaxPatternSize: 3,
+		Attributes:     qAttrs,
+		Thresholds:     pattern.Thresholds{Theta: 0.2, LocalSupport: 3, Lambda: 0.2, GlobalSupport: 5},
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	}
+	metric := distance.NewMetric().
+		SetFunc("year", distance.Numeric{Scale: 3}).
+		SetFunc("community", distance.Numeric{Scale: 2})
+
+	clean, err := mining.ARPMine(tab, opt)
+	if err != nil {
+		return err
+	}
+	sites, err := exp.FindSites(tab, spec, clean.Patterns, 3)
+	if err != nil {
+		return err
+	}
+	if len(sites) < 3 {
+		return fmt.Errorf("only %d study sites found, need 3", len(sites))
+	}
+
+	fmt.Println("three study questions with a planted sensible explanation each;")
+	fmt.Println("hit = the planted counterbalance appears in the method's top-10")
+	fmt.Printf("\n%4s  %-40s %6s %10s\n", "phi", "question tuple (low)", "CAPE", "baseline")
+	capeHits, baseHits := 0, 0
+	for i, site := range sites[:3] {
+		injected, gt, err := dataset.InjectCounterbalance(tab, qAttrs, site.Outlier, site.Counter, 5, "low")
+		if err != nil {
+			return err
+		}
+		mined, err := mining.ARPMine(injected, opt)
+		if err != nil {
+			return err
+		}
+		sel, err := injected.SelectEq(qAttrs, site.Outlier)
+		if err != nil {
+			return err
+		}
+		q := explain.UserQuestion{
+			GroupBy: qAttrs, Agg: engine.AggSpec{Func: engine.Count},
+			Values: site.Outlier, AggValue: value.NewInt(int64(sel.NumRows())), Dir: explain.Low,
+		}
+		expls, _, err := explain.Generate(q, injected, mined.Patterns, explain.Options{K: 10, Metric: metric})
+		if err != nil {
+			return err
+		}
+		capeHit := false
+		for _, e := range expls {
+			if sensible(e, qAttrs, gt) {
+				capeHit = true
+				break
+			}
+		}
+		base, err := baseline.Explain(q, injected, baseline.Options{K: 10, Metric: metric})
+		if err != nil {
+			return err
+		}
+		baseHit := false
+		for _, e := range base {
+			if e.Tuple.Equal(gt.CounterTuple) {
+				baseHit = true
+				break
+			}
+		}
+		if capeHit {
+			capeHits++
+		}
+		if baseHit {
+			baseHits++
+		}
+		fmt.Printf("%4d  %-40s %6v %10v\n", i+1, site.Outlier.String(), capeHit, baseHit)
+	}
+	fmt.Printf("\nsuccess rate: CAPE %d/3, baseline %d/3\n", capeHits, baseHits)
+	fmt.Println("(the paper's human success rates: treatment 86/71/57%, control 71/43/0%)")
+	return nil
+}
+
+// sensible mirrors the paper's manual grading: an explanation counts if
+// it matches the planted counterbalance on every question attribute it
+// carries and pins down at least the shared community and year — exact
+// matches and their coarser (community, year) roll-ups both qualify,
+// since both point the analyst at the shifted reports.
+func sensible(e explain.Explanation, qAttrs []string, gt dataset.GroundTruth) bool {
+	if exp.Covers(e, qAttrs, gt.CounterTuple) {
+		return true
+	}
+	matched := map[string]bool{}
+	for i, a := range e.Attrs {
+		for j, ga := range qAttrs {
+			if a != ga {
+				continue
+			}
+			if !value.Equal(e.Tuple[i], gt.CounterTuple[j]) {
+				return false
+			}
+			matched[a] = true
+		}
+	}
+	// qAttrs is (type, frag, pred); require the frag and pred attributes.
+	return matched[qAttrs[1]] && matched[qAttrs[2]]
+}

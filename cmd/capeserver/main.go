@@ -1,0 +1,59 @@
+// Command capeserver serves the CAPE explanation system over HTTP: load
+// CSV tables, mine pattern sets offline, and answer "why is this value
+// high/low?" questions online.
+//
+// Usage:
+//
+//	capeserver [-addr :8080] [-load name=path.csv ...]
+//
+// Example session:
+//
+//	capeserver -load pub=pubs.csv &
+//	curl -X POST localhost:8080/v1/mine -d '{"table":"pub","theta":0.3,"localSupport":3,"lambda":0.3,"globalSupport":2}'
+//	curl -X POST localhost:8080/v1/explain -d '{"patterns":"ps-1","groupBy":["author","venue","year"],"tuple":["AX","SIGKDD","2007"],"dir":"low","k":5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"cape/internal/engine"
+	"cape/internal/server"
+)
+
+// loadFlags collects repeated -load name=path pairs.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	var loads loadFlags
+	flag.Var(&loads, "load", "preload a table as name=path.csv (repeatable)")
+	flag.Parse()
+
+	srv := server.New()
+	for _, spec := range loads {
+		eq := strings.IndexByte(spec, '=')
+		if eq <= 0 {
+			log.Fatalf("capeserver: bad -load %q (want name=path.csv)", spec)
+		}
+		name, path := spec[:eq], spec[eq+1:]
+		tab, err := engine.ReadCSVFile(path)
+		if err != nil {
+			log.Fatalf("capeserver: loading %s: %v", path, err)
+		}
+		srv.AddTable(name, tab)
+		fmt.Printf("loaded %s: %d rows, columns %v\n", name, tab.NumRows(), tab.Schema().Names())
+	}
+
+	fmt.Printf("capeserver listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

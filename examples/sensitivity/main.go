@@ -1,0 +1,71 @@
+// Command sensitivity reproduces a slice of the paper's Figure 7: it
+// plants ground-truth outlier/counterbalance pairs into a synthetic
+// crime dataset and measures, for a sweep of the local model quality
+// threshold θ and global confidence λ, what fraction of the planted
+// counterbalances CAPE recovers in its top-10 — showing that low θ with
+// moderate λ recovers the most ground truths, as the paper recommends.
+//
+// This example uses the internal experiment harness through the public
+// facade; the full sweep (varying Δ as well) lives in cmd/capebench
+// fig7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cape"
+)
+
+func main() {
+	fmt.Println("Generating crime data and planting counterbalances...")
+	tab := cape.GenerateCrime(cape.CrimeConfig{
+		Rows: 10000, Seed: 7, NumAttrs: 5, NumTypes: 6, NumCommunities: 12,
+	})
+
+	metric := cape.NewMetric().
+		SetFunc("year", cape.NumericDistance{Scale: 3}).
+		SetFunc("community", cape.NumericDistance{Scale: 2})
+
+	// Site discovery is pinned to one lenient setting so every sweep
+	// point measures the same planted ground truths.
+	siteMining := cape.MiningOptions{
+		MaxPatternSize: 3,
+		Attributes:     []string{"type", "community", "year"},
+		Thresholds:     cape.Thresholds{Theta: 0.2, LocalSupport: 3, Lambda: 0.2, GlobalSupport: 5},
+		AggFuncs:       []cape.AggFunc{cape.AggCount},
+	}
+
+	fmt.Printf("%8s %8s %10s\n", "theta", "lambda", "precision")
+	for _, theta := range []float64{0.1, 0.2, 0.35, 0.5, 0.7} {
+		for _, lambda := range []float64{0.2, 0.5} {
+			res, err := cape.RunPrecisionExperiment(cape.PrecisionConfig{
+				Table: tab,
+				Spec: cape.SiteSpec{
+					TypeAttr: "type", FragAttr: "community", PredAttr: "year",
+					MinOutlierCount: 10,
+				},
+				SiteMining: siteMining,
+				Mining: cape.MiningOptions{
+					MaxPatternSize: 3,
+					Attributes:     []string{"type", "community", "year"},
+					Thresholds: cape.Thresholds{
+						Theta: theta, LocalSupport: 3, Lambda: lambda, GlobalSupport: 5,
+					},
+					AggFuncs: []cape.AggFunc{cape.AggCount},
+				},
+				NumQuestions: 10,
+				K:            10,
+				Delta:        5,
+				Metric:       metric,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8.2f %8.2f %9.0f%% (%d/%d)\n",
+				theta, lambda, res.Precision()*100, res.Found, res.Questions)
+		}
+	}
+	fmt.Println("\nAs in the paper: precision degrades as θ grows (patterns vanish),")
+	fmt.Println("and moderate confidence thresholds beat strict ones.")
+}

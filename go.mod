@@ -1,0 +1,3 @@
+module cape
+
+go 1.24

@@ -1,0 +1,113 @@
+package cape
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGoldenRunningExample pins the exact ranked output of the running
+// example — a regression net over the whole pipeline (engine grouping,
+// chi-square goodness-of-fit, local/global pattern semantics, relevance,
+// refinement, distance, NORM, scoring, top-k). Any change to these
+// numbers is a semantic change and must be deliberate.
+func TestGoldenRunningExample(t *testing.T) {
+	s := NewSession(RunningExample())
+	s.SetMetric(NewMetric().SetFunc("year", NumericDistance{Scale: 4}))
+	err := s.Mine(MiningOptions{
+		MaxPatternSize: 3,
+		Thresholds:     Thresholds{Theta: 0.5, LocalSupport: 3, Lambda: 0.3, GlobalSupport: 2},
+		AggFuncs:       []AggFunc{AggCount},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Patterns()); got != 14 {
+		t.Errorf("mined patterns = %d, want 14", got)
+	}
+
+	expls, stats, err := s.Ask(
+		[]string{"author", "venue", "year"}, Count(),
+		Tuple{String("AX"), String("SIGKDD"), Int(2007)},
+		Low, ExplainOptions{K: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelevantPatterns != 11 {
+		t.Errorf("relevant patterns = %d, want 11", stats.RelevantPatterns)
+	}
+
+	type golden struct {
+		tuple string
+		score string
+	}
+	want := []golden{
+		{"(AX, ICDE, 2007)", "6.35"},   // [year]: author,venue — NORM = 1 (the question tuple's own count)
+		{"(AX, SIGKDD, 2006)", "6.00"}, // [venue]: author,year — adjacent year
+		{"(AX, SIGKDD, 2008)", "6.00"},
+		{"(AX, ICDE, 2007)", "5.20"},   // [author]: venue,year view of the same counterbalance
+		{"(AX, SIGKDD, 2006)", "4.16"}, // total-order tie-break (smaller key) over 2008 at 4.16
+	}
+	if len(expls) != len(want) {
+		t.Fatalf("explanations = %d, want %d", len(expls), len(want))
+	}
+	for i, w := range want {
+		got := golden{
+			tuple: renderByAttr(expls[i], "author", "venue", "year"),
+			score: fmt.Sprintf("%.2f", expls[i].Score),
+		}
+		if got != w {
+			t.Errorf("rank %d = %+v, want %+v", i+1, got, w)
+		}
+	}
+}
+
+// renderByAttr formats the explanation tuple in a fixed attribute order
+// regardless of the pattern's internal ordering.
+func renderByAttr(e Explanation, attrs ...string) string {
+	out := "("
+	for i, want := range attrs {
+		if i > 0 {
+			out += ", "
+		}
+		found := false
+		for j, a := range e.Attrs {
+			if a == want {
+				out += e.Tuple[j].String()
+				found = true
+				break
+			}
+		}
+		if !found {
+			out += "·"
+		}
+	}
+	return out + ")"
+}
+
+// TestGoldenBaseline pins the baseline's running-example output.
+func TestGoldenBaseline(t *testing.T) {
+	tab := RunningExample()
+	q := Question{
+		GroupBy:  []string{"author", "venue", "year"},
+		Agg:      Count(),
+		Values:   Tuple{String("AX"), String("SIGKDD"), Int(2007)},
+		AggValue: Int(1),
+		Dir:      Low,
+	}
+	expls, err := ExplainBaseline(q, tab,
+		BaselineOptions{K: 3, Metric: NewMetric().SetFunc("year", NumericDistance{Scale: 4})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expls) != 3 {
+		t.Fatalf("baseline explanations = %d", len(expls))
+	}
+	top := expls[0]
+	if top.Tuple[1].Str() != "ICDE" || top.Tuple[2].Int() != 2007 {
+		t.Errorf("baseline top = %s", top)
+	}
+	if got := fmt.Sprintf("%.2f", top.Score); got != "6.35" {
+		t.Errorf("baseline top score = %s, want 6.35", got)
+	}
+}

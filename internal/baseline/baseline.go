@@ -1,0 +1,137 @@
+// Package baseline implements the comparison method of Appendix A.2 in
+// the CAPE paper: counterbalances are sought only within the result of
+// the user's own query, scored by deviation from the result's average
+// aggregate value divided by distance to the question tuple. It is
+// pattern-blind — it cannot tell a predictably high value from an
+// unusually high one, and it cannot produce coarser- or finer-grained
+// explanations — which is exactly the contrast Tables 6 and 7 of the
+// paper illustrate.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/value"
+)
+
+// Explanation is a counterbalance from the question's own query result.
+type Explanation struct {
+	// Attrs and Tuple give the result row's group-by values.
+	Attrs []string
+	Tuple value.Tuple
+	// AggValue is the row's aggregate output.
+	AggValue value.V
+	// Deviation is AggValue − mean(aggregate over the query result).
+	Deviation float64
+	// Distance is the metric distance to the question tuple.
+	Distance float64
+	// Score is |Deviation| / (Distance + ε) for rows deviating opposite
+	// to the question's direction.
+	Score float64
+}
+
+// String renders the explanation compactly.
+func (e Explanation) String() string {
+	s := "("
+	for i, a := range e.Attrs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%s", a, e.Tuple[i])
+	}
+	return s + fmt.Sprintf(", agg=%s) score=%.2f dev=%+.2f", e.AggValue, e.Score, e.Deviation)
+}
+
+// Options configures the baseline explainer.
+type Options struct {
+	// K is the number of explanations to return (default 10).
+	K int
+	// Metric supplies attribute distances; nil means categorical with
+	// equal weights.
+	Metric *distance.Metric
+	// Epsilon guards the distance denominator (default 1e-9).
+	Epsilon float64
+}
+
+// Explain evaluates the question's query over r and ranks opposite-
+// direction deviations from the result average.
+func Explain(q explain.UserQuestion, r *engine.Table, opt Options) ([]Explanation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	if opt.Epsilon <= 0 {
+		opt.Epsilon = 1e-9
+	}
+
+	result, err := r.GroupBy(q.GroupBy, []engine.AggSpec{q.Agg})
+	if err != nil {
+		return nil, err
+	}
+	aggIdx := len(q.GroupBy)
+
+	// Average aggregate value over the whole query result.
+	var sum float64
+	var n int
+	for _, row := range result.Rows() {
+		if f, ok := row[aggIdx].AsFloat(); ok {
+			sum += f
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	avg := sum / float64(n)
+
+	isLow := 1.0
+	if q.Dir == explain.High {
+		isLow = -1
+	}
+	qDist := q.DistTuple()
+
+	var out []Explanation
+	for _, row := range result.Rows() {
+		tup := value.Tuple(row[:aggIdx])
+		if tup.Equal(q.Values) {
+			continue
+		}
+		f, ok := row[aggIdx].AsFloat()
+		if !ok {
+			continue
+		}
+		dev := f - avg
+		if dev*isLow <= 0 {
+			continue // deviates in the question's own direction
+		}
+		dt := make(distance.Tuple, len(q.GroupBy))
+		for i, a := range q.GroupBy {
+			dt[a] = tup[i]
+		}
+		d := opt.Metric.Distance(qDist, dt)
+		out = append(out, Explanation{
+			Attrs:     q.GroupBy,
+			Tuple:     tup.Clone(),
+			AggValue:  row[aggIdx],
+			Deviation: dev,
+			Distance:  d,
+			Score:     dev * isLow / (d + opt.Epsilon),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Tuple.Key() < out[j].Tuple.Key()
+	})
+	if len(out) > opt.K {
+		out = out[:opt.K]
+	}
+	return out, nil
+}

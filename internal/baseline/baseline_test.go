@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/value"
+)
+
+func smallTable(t *testing.T) *engine.Table {
+	t.Helper()
+	tab := engine.NewTable(engine.Schema{
+		{Name: "venue", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+	})
+	add := func(venue string, year int64, n int) {
+		for i := 0; i < n; i++ {
+			tab.MustAppend(value.Tuple{value.NewString(venue), value.NewInt(year)})
+		}
+	}
+	add("KDD", 2006, 4)
+	add("KDD", 2007, 1) // the low outlier
+	add("KDD", 2008, 4)
+	add("ICDE", 2007, 9) // big counterbalance
+	add("VLDB", 2007, 2) // below average: not a counterbalance for "low"
+	return tab
+}
+
+func lowQuestion() explain.UserQuestion {
+	return explain.UserQuestion{
+		GroupBy:  []string{"venue", "year"},
+		Agg:      engine.AggSpec{Func: engine.Count},
+		Values:   value.Tuple{value.NewString("KDD"), value.NewInt(2007)},
+		AggValue: value.NewInt(1),
+		Dir:      explain.Low,
+	}
+}
+
+func TestBaselineFindsAboveAverageRows(t *testing.T) {
+	tab := smallTable(t)
+	// Result rows: 4, 1, 4, 9, 2 → avg = 4.
+	expls, err := Explain(lowQuestion(), tab, Options{K: 10, Metric: distance.NewMetric().SetFunc("year", distance.Numeric{Scale: 4})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expls) != 1 {
+		t.Fatalf("explanations = %d, want 1 (only ICDE 2007 above avg)", len(expls))
+	}
+	top := expls[0]
+	if top.Tuple[0].Str() != "ICDE" || top.Tuple[1].Int() != 2007 {
+		t.Errorf("top = %s, want ICDE 2007", top)
+	}
+	if top.Deviation != 5 {
+		t.Errorf("deviation = %g, want 5 (9−4)", top.Deviation)
+	}
+	if top.Score <= 0 {
+		t.Errorf("score = %g", top.Score)
+	}
+}
+
+func TestBaselineHighDirection(t *testing.T) {
+	tab := smallTable(t)
+	q := explain.UserQuestion{
+		GroupBy:  []string{"venue", "year"},
+		Agg:      engine.AggSpec{Func: engine.Count},
+		Values:   value.Tuple{value.NewString("ICDE"), value.NewInt(2007)},
+		AggValue: value.NewInt(9),
+		Dir:      explain.High,
+	}
+	expls, err := Explain(q, tab, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range expls {
+		if e.Deviation >= 0 {
+			t.Errorf("high question requires below-average rows: %s", e)
+		}
+	}
+	if len(expls) != 2 { // KDD 2007 (1) and VLDB 2007 (2) below avg 4
+		t.Errorf("explanations = %d, want 2", len(expls))
+	}
+	if expls[0].Tuple[0].Str() != "KDD" {
+		t.Errorf("strongest below-average should be KDD 2007: %s", expls[0])
+	}
+}
+
+func TestBaselineExcludesQuestionTuple(t *testing.T) {
+	tab := smallTable(t)
+	expls, err := Explain(lowQuestion(), tab, Options{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range expls {
+		if e.Tuple.Equal(lowQuestion().Values) {
+			t.Error("question tuple must be excluded")
+		}
+	}
+}
+
+func TestBaselineKLimit(t *testing.T) {
+	tab := engine.NewTable(engine.Schema{{Name: "g", Kind: value.Int}})
+	for g := int64(0); g < 20; g++ {
+		for i := int64(0); i <= g; i++ {
+			tab.MustAppend(value.Tuple{value.NewInt(g)})
+		}
+	}
+	q := explain.UserQuestion{
+		GroupBy:  []string{"g"},
+		Agg:      engine.AggSpec{Func: engine.Count},
+		Values:   value.Tuple{value.NewInt(0)},
+		AggValue: value.NewInt(1),
+		Dir:      explain.Low,
+	}
+	expls, err := Explain(q, tab, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expls) != 3 {
+		t.Errorf("K=3 returned %d", len(expls))
+	}
+	// Sorted descending.
+	for i := 1; i < len(expls); i++ {
+		if expls[i].Score > expls[i-1].Score {
+			t.Error("not sorted by score")
+		}
+	}
+}
+
+func TestBaselineInvalidQuestion(t *testing.T) {
+	tab := smallTable(t)
+	if _, err := Explain(explain.UserQuestion{}, tab, Options{}); err == nil {
+		t.Error("invalid question should error")
+	}
+}
+
+func TestBaselineString(t *testing.T) {
+	e := Explanation{
+		Attrs:    []string{"venue"},
+		Tuple:    value.Tuple{value.NewString("ICDE")},
+		AggValue: value.NewInt(9),
+		Score:    1.5,
+	}
+	if s := e.String(); s == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// CrimeConfig parameterizes the synthetic crime-report generator modeled
+// on the preprocessed Chicago crime dataset of the paper: discrete
+// attributes with domain sizes from a handful to tens of thousands, a
+// configurable attribute count from 4 to 11, and functional dependencies
+// among the geographic attributes.
+type CrimeConfig struct {
+	// Rows is the number of crime-report rows to produce.
+	Rows int
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumAttrs selects how many of the 11 attributes to include, in the
+	// fixed order type, community, year, month, district, block, arrest,
+	// domestic, beat, ward, hour. Minimum 3, maximum 11; default 7.
+	NumAttrs int
+	// NumCommunities is the number of community areas (default 25).
+	NumCommunities int
+	// NumTypes is the number of crime types (default 10).
+	NumTypes int
+	// StartYear/EndYear bound the report years (default 2005–2016).
+	StartYear, EndYear int
+}
+
+func (c CrimeConfig) withDefaults() CrimeConfig {
+	if c.Rows <= 0 {
+		c.Rows = 10000
+	}
+	if c.NumAttrs == 0 {
+		c.NumAttrs = 7
+	}
+	if c.NumAttrs < 3 {
+		c.NumAttrs = 3
+	}
+	if c.NumAttrs > len(crimeAttrOrder) {
+		c.NumAttrs = len(crimeAttrOrder)
+	}
+	if c.NumCommunities <= 0 {
+		c.NumCommunities = 25
+	}
+	if c.NumTypes <= 0 {
+		c.NumTypes = 10
+	}
+	if c.StartYear == 0 {
+		c.StartYear = 2005
+	}
+	if c.EndYear == 0 {
+		c.EndYear = 2016
+	}
+	if c.EndYear < c.StartYear {
+		c.EndYear = c.StartYear
+	}
+	return c
+}
+
+// crimeAttrOrder fixes the attribute order used when NumAttrs truncates
+// the schema. Geographic FDs hold by construction: block → community,
+// community → district, beat → district, ward → community.
+var crimeAttrOrder = []string{
+	"type", "community", "year", "month", "district", "block",
+	"arrest", "domestic", "beat", "ward", "hour",
+}
+
+// crimeTypeNames supplies the crime-type labels.
+var crimeTypeNames = []string{
+	"Battery", "Theft", "Narcotics", "Assault", "Burglary", "Robbery",
+	"Criminal Damage", "Motor Vehicle Theft", "Fraud", "Weapons",
+	"Homicide", "Arson", "Gambling", "Trespass", "Stalking",
+}
+
+// GenerateCrime produces a synthetic crime-report relation. Each
+// (type, community) pair has a yearly incident rate that is constant or
+// drifts linearly over the years; months modulate the rate seasonally.
+// Rows carry derived geographic attributes respecting the FDs above, so
+// the Appendix-D optimizations have real dependencies to find.
+func GenerateCrime(cfg CrimeConfig) *engine.Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	attrs := crimeAttrOrder[:cfg.NumAttrs]
+	sch := make(engine.Schema, len(attrs))
+	for i, a := range attrs {
+		kind := value.Int
+		if a == "type" || a == "block" {
+			kind = value.String
+		}
+		sch[i] = engine.Column{Name: a, Kind: kind}
+	}
+	tab := engine.NewTable(sch)
+
+	years := cfg.EndYear - cfg.StartYear + 1
+
+	// Per (type, community) trend model.
+	type trend struct {
+		base, slope float64
+	}
+	trends := make([]trend, cfg.NumTypes*cfg.NumCommunities)
+	for i := range trends {
+		base := 0.5 + rng.Float64()*4
+		slope := 0.0
+		if rng.Float64() < 0.4 {
+			slope = (rng.Float64() - 0.5) * base / float64(years)
+		}
+		trends[i] = trend{base: base, slope: slope}
+	}
+	// Seasonal multipliers per month.
+	var season [12]float64
+	for m := range season {
+		season[m] = 0.7 + 0.6*rng.Float64()
+	}
+
+	blocksPerCommunity := 40
+
+	emit := func(ti, ci, year, month int) {
+		blockIdx := rng.Intn(blocksPerCommunity)
+		district := ci / 3 // community → district
+		row := make(value.Tuple, 0, len(attrs))
+		for _, a := range attrs {
+			switch a {
+			case "type":
+				name := crimeTypeNames[ti%len(crimeTypeNames)]
+				if ti >= len(crimeTypeNames) {
+					name = fmt.Sprintf("Type%02d", ti)
+				}
+				row = append(row, value.NewString(name))
+			case "community":
+				row = append(row, value.NewInt(int64(ci+1)))
+			case "year":
+				row = append(row, value.NewInt(int64(year)))
+			case "month":
+				row = append(row, value.NewInt(int64(month+1)))
+			case "district":
+				row = append(row, value.NewInt(int64(district+1)))
+			case "block":
+				// block encodes its community: block → community.
+				row = append(row, value.NewString(fmt.Sprintf("B%03d-%02d", ci+1, blockIdx)))
+			case "arrest":
+				row = append(row, value.NewInt(int64(rng.Intn(2))))
+			case "domestic":
+				row = append(row, value.NewInt(int64(rng.Intn(2))))
+			case "beat":
+				// beat encodes its district: beat → district.
+				row = append(row, value.NewInt(int64((district+1)*100+blockIdx%10)))
+			case "ward":
+				// ward encodes its community: ward → community.
+				row = append(row, value.NewInt(int64((ci+1)*2)))
+			case "hour":
+				row = append(row, value.NewInt(int64(rng.Intn(24))))
+			}
+		}
+		tab.MustAppend(row)
+	}
+
+	for tab.NumRows() < cfg.Rows {
+		ti := rng.Intn(cfg.NumTypes)
+		ci := rng.Intn(cfg.NumCommunities)
+		tr := trends[ti*cfg.NumCommunities+ci]
+		dy := rng.Intn(years)
+		year := cfg.StartYear + dy
+		month := rng.Intn(12)
+		rate := (tr.base + tr.slope*float64(dy)) * season[month] / 4
+		if rate < 0.05 {
+			rate = 0.05
+		}
+		n := poisson(rng, rate)
+		for i := 0; i < n && tab.NumRows() < cfg.Rows; i++ {
+			emit(ti, ci, year, month)
+		}
+	}
+	return tab
+}

@@ -1,0 +1,247 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"cape/internal/value"
+)
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, lambda := range []float64{0.5, 2, 10, 50} {
+		n := 20000
+		var sum int
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, lambda)
+		}
+		mean := float64(sum) / float64(n)
+		if mean < lambda*0.9 || mean > lambda*1.1 {
+			t.Errorf("poisson(%g) sample mean = %g", lambda, mean)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive lambda should give 0")
+	}
+}
+
+func TestGenerateDBLPShape(t *testing.T) {
+	tab := GenerateDBLP(DBLPConfig{Rows: 2000, Seed: 7})
+	if tab.NumRows() != 2000 {
+		t.Errorf("rows = %d, want 2000", tab.NumRows())
+	}
+	names := tab.Schema().Names()
+	want := []string{"author", "pubid", "year", "venue"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("schema[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	// pubid is unique.
+	n, err := tab.CountDistinct([]string{"pubid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != tab.NumRows() {
+		t.Errorf("pubid distinct = %d of %d rows", n, tab.NumRows())
+	}
+	// Years within range.
+	for _, r := range tab.Rows() {
+		y := r[2].Int()
+		if y < 2000 || y > 2015 {
+			t.Fatalf("year %d out of range", y)
+		}
+	}
+	// Several authors and venues.
+	na, _ := tab.CountDistinct([]string{"author"})
+	nv, _ := tab.CountDistinct([]string{"venue"})
+	if na < 10 || nv < 5 {
+		t.Errorf("authors = %d, venues = %d: too few", na, nv)
+	}
+}
+
+func TestGenerateDBLPDeterministic(t *testing.T) {
+	a := GenerateDBLP(DBLPConfig{Rows: 500, Seed: 3})
+	b := GenerateDBLP(DBLPConfig{Rows: 500, Seed: 3})
+	if a.NumRows() != b.NumRows() {
+		t.Fatal("row counts differ across identical seeds")
+	}
+	for i := range a.Rows() {
+		if !a.Row(i).Equal(b.Row(i)) {
+			t.Fatalf("row %d differs across identical seeds", i)
+		}
+	}
+	c := GenerateDBLP(DBLPConfig{Rows: 500, Seed: 4})
+	same := true
+	for i := 0; i < 50 && i < c.NumRows(); i++ {
+		if !a.Row(i).Equal(c.Row(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical prefixes")
+	}
+}
+
+func TestGenerateCrimeShape(t *testing.T) {
+	tab := GenerateCrime(CrimeConfig{Rows: 3000, Seed: 11, NumAttrs: 11})
+	if tab.NumRows() != 3000 {
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+	if len(tab.Schema()) != 11 {
+		t.Errorf("attrs = %d, want 11", len(tab.Schema()))
+	}
+	// Attribute truncation honored and ordered.
+	small := GenerateCrime(CrimeConfig{Rows: 100, Seed: 11, NumAttrs: 5})
+	names := small.Schema().Names()
+	want := []string{"type", "community", "year", "month", "district"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("schema[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestGenerateCrimeFDsHold(t *testing.T) {
+	tab := GenerateCrime(CrimeConfig{Rows: 5000, Seed: 5, NumAttrs: 11})
+	check := func(lhs, rhs string) {
+		t.Helper()
+		li := tab.Schema().Index(lhs)
+		ri := tab.Schema().Index(rhs)
+		seen := map[string]value.V{}
+		for _, r := range tab.Rows() {
+			k := r[li].String()
+			if prev, ok := seen[k]; ok {
+				if !value.Equal(prev, r[ri]) {
+					t.Fatalf("FD %s → %s violated at %s: %v vs %v", lhs, rhs, k, prev, r[ri])
+				}
+			} else {
+				seen[k] = r[ri]
+			}
+		}
+	}
+	check("block", "community")
+	check("community", "district")
+	check("beat", "district")
+	check("ward", "community")
+}
+
+func TestGenerateCrimeAttrBounds(t *testing.T) {
+	tooMany := GenerateCrime(CrimeConfig{Rows: 50, Seed: 1, NumAttrs: 99})
+	if len(tooMany.Schema()) != len(crimeAttrOrder) {
+		t.Errorf("NumAttrs should clamp to %d, got %d", len(crimeAttrOrder), len(tooMany.Schema()))
+	}
+	tooFew := GenerateCrime(CrimeConfig{Rows: 50, Seed: 1, NumAttrs: 1})
+	if len(tooFew.Schema()) != 3 {
+		t.Errorf("NumAttrs should clamp to 3, got %d", len(tooFew.Schema()))
+	}
+}
+
+func TestInjectCounterbalanceLow(t *testing.T) {
+	tab := RunningExample()
+	attrs := []string{"author", "venue", "year"}
+	outlier := value.Tuple{value.NewString("AY"), value.NewString("VLDB"), value.NewInt(2006)}
+	counter := value.Tuple{value.NewString("AY"), value.NewString("ICDE"), value.NewInt(2006)}
+	injected, gt, err := InjectCounterbalance(tab, attrs, outlier, counter, 2, "low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injected.NumRows() != tab.NumRows() {
+		t.Errorf("total rows changed: %d vs %d", injected.NumRows(), tab.NumRows())
+	}
+	count := func(tb interface {
+		Rows() []value.Tuple
+	}, want value.Tuple) int {
+		n := 0
+		for _, r := range tb.Rows() {
+			if value.Tuple(r[:3]).Equal(want) {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(injected, outlier); got != count(tab, outlier)-2 {
+		t.Errorf("outlier group = %d rows, want %d", got, count(tab, outlier)-2)
+	}
+	if got := count(injected, counter); got != count(tab, counter)+2 {
+		t.Errorf("counter group = %d rows, want %d", got, count(tab, counter)+2)
+	}
+	if gt.Dir != "low" || gt.Delta != 2 {
+		t.Errorf("ground truth = %+v", gt)
+	}
+}
+
+func TestInjectCounterbalanceHigh(t *testing.T) {
+	tab := RunningExample()
+	attrs := []string{"author", "venue", "year"}
+	outlier := value.Tuple{value.NewString("AZ"), value.NewString("VLDB"), value.NewInt(2008)}
+	counter := value.Tuple{value.NewString("AZ"), value.NewString("SIGKDD"), value.NewInt(2008)}
+	injected, _, err := InjectCounterbalance(tab, attrs, outlier, counter, 1, "high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, r := range injected.Rows() {
+		if value.Tuple(r[:3]).Equal(outlier) {
+			n++
+		}
+	}
+	if n != 4 { // 3 + 1 added
+		t.Errorf("high injection: outlier group has %d rows, want 4", n)
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	tab := RunningExample()
+	attrs := []string{"author", "venue", "year"}
+	out := value.Tuple{value.NewString("AX"), value.NewString("SIGKDD"), value.NewInt(2007)}
+	ctr := value.Tuple{value.NewString("AX"), value.NewString("ICDE"), value.NewInt(2007)}
+	if _, _, err := InjectCounterbalance(tab, attrs, out, ctr, 0, "low"); err == nil {
+		t.Error("zero delta should error")
+	}
+	if _, _, err := InjectCounterbalance(tab, attrs, out, ctr, 1, "sideways"); err == nil {
+		t.Error("bad direction should error")
+	}
+	if _, _, err := InjectCounterbalance(tab, attrs, out, ctr, 100, "low"); err == nil {
+		t.Error("removing more rows than exist should error")
+	}
+	ghost := value.Tuple{value.NewString("NOBODY"), value.NewString("X"), value.NewInt(1999)}
+	if _, _, err := InjectCounterbalance(tab, attrs, out, ghost, 1, "low"); err == nil {
+		t.Error("empty receiving group should error")
+	}
+	if _, _, err := InjectCounterbalance(tab, []string{"nope"}, out[:1], ctr[:1], 1, "low"); err == nil {
+		t.Error("unknown attribute should error")
+	}
+}
+
+func TestRunningExampleInvariants(t *testing.T) {
+	tab := RunningExample()
+	// AX totals 12 every year (the counterbalance preserves the total).
+	counts := map[int64]int{}
+	for _, r := range tab.Rows() {
+		if r[0].Str() == "AX" {
+			counts[r[2].Int()]++
+		}
+	}
+	for y, n := range counts {
+		if n != 12 {
+			t.Errorf("AX total in %d = %d, want 12", y, n)
+		}
+	}
+	// The outlier and counterbalance are present.
+	var kdd07, icde07 int
+	for _, r := range tab.Rows() {
+		if r[0].Str() == "AX" && r[2].Int() == 2007 {
+			switch r[1].Str() {
+			case "SIGKDD":
+				kdd07++
+			case "ICDE":
+				icde07++
+			}
+		}
+	}
+	if kdd07 != 1 || icde07 != 7 {
+		t.Errorf("AX 2007: SIGKDD=%d ICDE=%d, want 1 and 7", kdd07, icde07)
+	}
+}

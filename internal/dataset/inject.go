@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"fmt"
+
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// GroundTruth records one injected outlier/counterbalance pair for the
+// parameter-sensitivity experiment (Section 5.3): the attribute set the
+// injection operated on (F ∪ V of the chosen pattern), the group that was
+// turned into an outlier, the group that carries the counterbalance, the
+// outlier direction, and the magnitude.
+type GroundTruth struct {
+	Attrs        []string
+	OutlierTuple value.Tuple
+	CounterTuple value.Tuple
+	// Dir is "low" when rows were removed from the outlier group (and
+	// added to the counterbalance group), "high" for the reverse.
+	Dir   string
+	Delta int
+}
+
+// InjectCounterbalance returns a copy of tab where the count of the group
+// identified by (attrs = outlier) is decreased by delta rows and the
+// count of (attrs = counter) increased by delta rows — creating a low
+// outlier whose ground-truth explanation is the counterbalance group.
+// Pass dir "high" to flip the operation (outlier raised, counterbalance
+// lowered). New rows clone an existing row of the receiving group, so
+// attributes outside attrs (and any FDs they embed) stay realistic; the
+// receiving group must therefore already contain at least one row.
+func InjectCounterbalance(tab *engine.Table, attrs []string, outlier, counter value.Tuple, delta int, dir string) (*engine.Table, GroundTruth, error) {
+	gt := GroundTruth{
+		Attrs:        append([]string(nil), attrs...),
+		OutlierTuple: outlier.Clone(),
+		CounterTuple: counter.Clone(),
+		Dir:          dir,
+		Delta:        delta,
+	}
+	if delta <= 0 {
+		return nil, gt, fmt.Errorf("dataset: delta must be positive, got %d", delta)
+	}
+	shrink, grow := outlier, counter
+	switch dir {
+	case "low":
+	case "high":
+		shrink, grow = counter, outlier
+	default:
+		return nil, gt, fmt.Errorf("dataset: dir must be \"low\" or \"high\", got %q", dir)
+	}
+	idx, err := tab.Schema().Indices(attrs)
+	if err != nil {
+		return nil, gt, err
+	}
+	matches := func(row value.Tuple, want value.Tuple) bool {
+		for i, ci := range idx {
+			if !value.Equal(row[ci], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	out := engine.NewTable(tab.Schema())
+	removed := 0
+	var template value.Tuple
+	for _, row := range tab.Rows() {
+		if removed < delta && matches(row, shrink) {
+			removed++
+			continue
+		}
+		if template == nil && matches(row, grow) {
+			template = row
+		}
+		out.MustAppend(row.Clone())
+	}
+	if removed < delta {
+		return nil, gt, fmt.Errorf("dataset: group %v has only %d rows, cannot remove %d", shrink, removed, delta)
+	}
+	if template == nil {
+		return nil, gt, fmt.Errorf("dataset: receiving group %v has no template row", grow)
+	}
+	for i := 0; i < delta; i++ {
+		out.MustAppend(template.Clone())
+	}
+	return out, gt, nil
+}
+
+// RunningExample builds the deterministic mini-DBLP instance used by the
+// quickstart example: three authors publishing in three venues over
+// 2005–2009 with constant yearly totals, except that AX published only 1
+// SIGKDD paper in 2007 while publishing 7 ICDE papers that year — the
+// paper's introduction scenario, with the counterbalance planted.
+func RunningExample() *engine.Table {
+	tab := engine.NewTable(engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "venue", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+	})
+	venues := []string{"SIGKDD", "VLDB", "ICDE"}
+	for year := int64(2005); year <= 2009; year++ {
+		for _, v := range venues {
+			counts := map[string]int{"AX": 4, "AY": 3, "AZ": 3}
+			if year == 2007 && v == "SIGKDD" {
+				counts["AX"] = 1
+			}
+			if year == 2007 && v == "ICDE" {
+				counts["AX"] = 7
+			}
+			for _, a := range []string{"AX", "AY", "AZ"} {
+				for i := 0; i < counts[a]; i++ {
+					tab.MustAppend(value.Tuple{
+						value.NewString(a), value.NewString(v), value.NewInt(year),
+					})
+				}
+			}
+		}
+	}
+	return tab
+}

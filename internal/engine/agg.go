@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"cape/internal/value"
+)
+
+// AggFunc enumerates the aggregate functions the engine evaluates.
+type AggFunc uint8
+
+const (
+	// Count counts rows (count(*)) or non-null values of an argument.
+	Count AggFunc = iota
+	// Sum adds numeric values.
+	Sum
+	// Avg averages numeric values.
+	Avg
+	// Min takes the minimum under value.Compare order.
+	Min
+	// Max takes the maximum under value.Compare order.
+	Max
+)
+
+// String returns the lowercase SQL-ish name.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// ParseAggFunc converts a name back to an AggFunc.
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch strings.ToLower(s) {
+	case "count":
+		return Count, nil
+	case "sum":
+		return Sum, nil
+	case "avg":
+		return Avg, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	}
+	return 0, fmt.Errorf("engine: unknown aggregate %q", s)
+}
+
+// AggSpec is one aggregate expression, e.g. count(*) or sum(amount).
+// Arg "*" (or "") with Count counts rows.
+type AggSpec struct {
+	Func AggFunc
+	Arg  string
+}
+
+// String renders "func(arg)" — the output column name used by GroupBy.
+func (a AggSpec) String() string {
+	arg := a.Arg
+	if arg == "" {
+		arg = "*"
+	}
+	return a.Func.String() + "(" + arg + ")"
+}
+
+// IsStar reports whether the aggregate is count(*) style (no argument).
+func (a AggSpec) IsStar() bool { return a.Arg == "" || a.Arg == "*" }
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count    int64
+	sumF     float64
+	sumI     int64
+	anyFloat bool
+	minV     value.V
+	maxV     value.V
+	seen     bool
+}
+
+func (s *aggState) add(v value.V, f AggFunc, star bool) {
+	switch f {
+	case Count:
+		if star || !v.IsNull() {
+			s.count++
+		}
+	case Sum, Avg:
+		switch v.Kind() {
+		case value.Int:
+			s.sumI += v.Int()
+			s.sumF += float64(v.Int())
+			s.count++
+		case value.Float:
+			s.sumF += v.Float()
+			s.anyFloat = true
+			s.count++
+		}
+	case Min:
+		if v.IsNull() {
+			return
+		}
+		if !s.seen || value.Compare(v, s.minV) < 0 {
+			s.minV = v
+		}
+		s.seen = true
+	case Max:
+		if v.IsNull() {
+			return
+		}
+		if !s.seen || value.Compare(v, s.maxV) > 0 {
+			s.maxV = v
+		}
+		s.seen = true
+	}
+}
+
+func (s *aggState) result(f AggFunc) value.V {
+	switch f {
+	case Count:
+		return value.NewInt(s.count)
+	case Sum:
+		if s.count == 0 {
+			return value.NewNull()
+		}
+		if s.anyFloat {
+			return value.NewFloat(s.sumF)
+		}
+		return value.NewInt(s.sumI)
+	case Avg:
+		if s.count == 0 {
+			return value.NewNull()
+		}
+		return value.NewFloat(s.sumF / float64(s.count))
+	case Min:
+		if !s.seen {
+			return value.NewNull()
+		}
+		return s.minV
+	case Max:
+		if !s.seen {
+			return value.NewNull()
+		}
+		return s.maxV
+	default:
+		return value.NewNull()
+	}
+}
+
+// GroupBy evaluates SELECT groupCols, aggs... FROM t GROUP BY groupCols.
+// The output schema is the group columns followed by one column per
+// aggregate, named by AggSpec.String(). Groups appear in first-appearance
+// order. groupCols may be empty, producing a single global group.
+func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
+	gIdx, err := t.schema.Indices(groupCols)
+	if err != nil {
+		return nil, err
+	}
+	type aggCol struct {
+		spec AggSpec
+		idx  int // column index of the argument, -1 for star
+	}
+	aCols := make([]aggCol, len(aggs))
+	for i, a := range aggs {
+		ac := aggCol{spec: a, idx: -1}
+		if !a.IsStar() {
+			ci := t.schema.Index(a.Arg)
+			if ci < 0 {
+				return nil, fmt.Errorf("engine: unknown aggregate argument %q", a.Arg)
+			}
+			ac.idx = ci
+		} else if a.Func != Count {
+			return nil, fmt.Errorf("engine: %s requires an argument", a.Func)
+		}
+		aCols[i] = ac
+	}
+
+	sch := make(Schema, 0, len(gIdx)+len(aggs))
+	for _, ci := range gIdx {
+		sch = append(sch, t.schema[ci])
+	}
+	for _, a := range aggs {
+		kind := value.Null // result kind varies (Int/Float/arg kind)
+		sch = append(sch, Column{Name: a.String(), Kind: kind})
+	}
+
+	type group struct {
+		key    value.Tuple
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	order := make([]*group, 0)
+	var keyBuf []byte
+	for _, r := range t.rows {
+		keyBuf = keyBuf[:0]
+		for _, ci := range gIdx {
+			keyBuf = r[ci].AppendKey(keyBuf)
+		}
+		// The string(keyBuf) conversion inside the map index is
+		// allocation-free on lookup hits; a string is materialized only
+		// when inserting a new group.
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			key := make(value.Tuple, len(gIdx))
+			for i, ci := range gIdx {
+				key[i] = r[ci]
+			}
+			g = &group{key: key, states: make([]aggState, len(aCols))}
+			groups[string(keyBuf)] = g
+			order = append(order, g)
+		}
+		for i, ac := range aCols {
+			var arg value.V
+			if ac.idx >= 0 {
+				arg = r[ac.idx]
+			}
+			g.states[i].add(arg, ac.spec.Func, ac.idx < 0)
+		}
+	}
+
+	out := NewTable(sch)
+	out.rows = make([]value.Tuple, 0, len(order))
+	for _, g := range order {
+		row := make(value.Tuple, 0, len(sch))
+		row = append(row, g.key...)
+		for i, ac := range aCols {
+			row = append(row, g.states[i].result(ac.spec.Func))
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}

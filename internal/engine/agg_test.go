@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"cape/internal/value"
+)
+
+func TestAggFuncStringAndParse(t *testing.T) {
+	for _, f := range []AggFunc{Count, Sum, Avg, Min, Max} {
+		got, err := ParseAggFunc(f.String())
+		if err != nil || got != f {
+			t.Errorf("round trip %v: got %v, %v", f, got, err)
+		}
+	}
+	if _, err := ParseAggFunc("median"); err == nil {
+		t.Error("unknown aggregate should error")
+	}
+	if got := AggFunc(9).String(); got != "agg(9)" {
+		t.Errorf("unknown AggFunc rendered %q", got)
+	}
+}
+
+func TestAggSpecString(t *testing.T) {
+	if got := (AggSpec{Func: Count}).String(); got != "count(*)" {
+		t.Errorf("count spec = %q", got)
+	}
+	if got := (AggSpec{Func: Sum, Arg: "x"}).String(); got != "sum(x)" {
+		t.Errorf("sum spec = %q", got)
+	}
+}
+
+func TestGroupByCountStar(t *testing.T) {
+	tab := pubTable(t)
+	g, err := tab.GroupBy([]string{"author", "year"}, []AggSpec{{Func: Count}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"AX|2004": 2, "AX|2005": 3, "AY|2004": 3, "AY|2005": 1, "AZ|2004": 1,
+	}
+	if g.NumRows() != len(want) {
+		t.Fatalf("groups = %d, want %d", g.NumRows(), len(want))
+	}
+	for _, r := range g.Rows() {
+		k := r[0].Str() + "|" + r[1].String()
+		if r[2].Int() != want[k] {
+			t.Errorf("group %s count = %d, want %d", k, r[2].Int(), want[k])
+		}
+	}
+	if g.Schema()[2].Name != "count(*)" {
+		t.Errorf("aggregate column named %q", g.Schema()[2].Name)
+	}
+}
+
+func TestGroupByGlobalGroup(t *testing.T) {
+	tab := pubTable(t)
+	g, err := tab.GroupBy(nil, []AggSpec{{Func: Count}, {Func: Min, Arg: "year"}, {Func: Max, Arg: "year"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 1 {
+		t.Fatalf("global group rows = %d", g.NumRows())
+	}
+	r := g.Row(0)
+	if r[0].Int() != 10 || r[1].Int() != 2004 || r[2].Int() != 2005 {
+		t.Errorf("global aggregates = %v", r)
+	}
+}
+
+func TestGroupBySumAvg(t *testing.T) {
+	tab := NewTable(Schema{{Name: "k", Kind: value.String}, {Name: "v", Kind: value.Null}})
+	tab.MustAppend(value.Tuple{value.NewString("a"), value.NewInt(1)})
+	tab.MustAppend(value.Tuple{value.NewString("a"), value.NewInt(3)})
+	tab.MustAppend(value.Tuple{value.NewString("b"), value.NewFloat(0.5)})
+	tab.MustAppend(value.Tuple{value.NewString("b"), value.NewInt(2)})
+	tab.MustAppend(value.Tuple{value.NewString("c"), value.NewNull()})
+
+	g, err := tab.GroupBy([]string{"k"}, []AggSpec{{Func: Sum, Arg: "v"}, {Func: Avg, Arg: "v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]value.Tuple{}
+	for _, r := range g.Rows() {
+		byKey[r[0].Str()] = r
+	}
+	if r := byKey["a"]; r[1].Int() != 4 || r[2].Float() != 2 {
+		t.Errorf("group a = %v", r)
+	}
+	if r := byKey["b"]; r[1].Float() != 2.5 || r[2].Float() != 1.25 {
+		t.Errorf("group b = %v", r)
+	}
+	// All values null: Sum and Avg are NULL.
+	if r := byKey["c"]; !r[1].IsNull() || !r[2].IsNull() {
+		t.Errorf("group c = %v, want NULL aggregates", r)
+	}
+}
+
+func TestGroupByCountArgSkipsNulls(t *testing.T) {
+	tab := NewTable(Schema{{Name: "k", Kind: value.String}, {Name: "v", Kind: value.Null}})
+	tab.MustAppend(value.Tuple{value.NewString("a"), value.NewInt(1)})
+	tab.MustAppend(value.Tuple{value.NewString("a"), value.NewNull()})
+	g, err := tab.GroupBy([]string{"k"}, []AggSpec{{Func: Count, Arg: "v"}, {Func: Count, Arg: "*"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Row(0)
+	if r[1].Int() != 1 {
+		t.Errorf("count(v) = %d, want 1", r[1].Int())
+	}
+	if r[2].Int() != 2 {
+		t.Errorf("count(*) = %d, want 2", r[2].Int())
+	}
+}
+
+func TestGroupByMinMaxStrings(t *testing.T) {
+	tab := pubTable(t)
+	g, err := tab.GroupBy([]string{"author"}, []AggSpec{{Func: Min, Arg: "venue"}, {Func: Max, Arg: "venue"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range g.Rows() {
+		if r[0].Str() == "AY" {
+			if r[1].Str() != "ICDE" || r[2].Str() != "SIGKDD" {
+				t.Errorf("AY min/max venue = %v / %v", r[1], r[2])
+			}
+		}
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	tab := pubTable(t)
+	if _, err := tab.GroupBy([]string{"nope"}, []AggSpec{{Func: Count}}); err == nil {
+		t.Error("unknown group column should error")
+	}
+	if _, err := tab.GroupBy([]string{"author"}, []AggSpec{{Func: Sum, Arg: "nope"}}); err == nil {
+		t.Error("unknown aggregate argument should error")
+	}
+	if _, err := tab.GroupBy([]string{"author"}, []AggSpec{{Func: Sum, Arg: "*"}}); err == nil {
+		t.Error("sum(*) should error")
+	}
+}
+
+func TestGroupByMatchesNaiveScan(t *testing.T) {
+	// Property check: hash grouping agrees with an independent
+	// select-per-distinct-key evaluation, on randomized data.
+	rng := rand.New(rand.NewSource(3))
+	tab := NewTable(Schema{
+		{Name: "g1", Kind: value.Int},
+		{Name: "g2", Kind: value.String},
+		{Name: "v", Kind: value.Int},
+	})
+	letters := []string{"p", "q", "r"}
+	for i := 0; i < 500; i++ {
+		tab.MustAppend(value.Tuple{
+			value.NewInt(int64(rng.Intn(5))),
+			value.NewString(letters[rng.Intn(len(letters))]),
+			value.NewInt(int64(rng.Intn(100))),
+		})
+	}
+	g, err := tab.GroupBy([]string{"g1", "g2"}, []AggSpec{{Func: Count}, {Func: Sum, Arg: "v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gr := range g.Rows() {
+		sel, err := tab.SelectEq([]string{"g1", "g2"}, value.Tuple{gr[0], gr[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for _, r := range sel.Rows() {
+			sum += r[2].Int()
+		}
+		if int64(sel.NumRows()) != gr[2].Int() {
+			t.Errorf("group %v count mismatch: %d vs %d", gr[:2], sel.NumRows(), gr[2].Int())
+		}
+		if sum != gr[3].Int() {
+			t.Errorf("group %v sum mismatch: %d vs %d", gr[:2], sum, gr[3].Int())
+		}
+	}
+	// Group count equals distinct key count.
+	nd, _ := tab.CountDistinct([]string{"g1", "g2"})
+	if g.NumRows() != nd {
+		t.Errorf("group count %d != distinct %d", g.NumRows(), nd)
+	}
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"cape/internal/value"
+)
+
+// ReadCSV loads a table from CSV data. The first record is the header;
+// each field is parsed to the most specific value kind (int, float, then
+// string; empty fields become NULL). Columns are untyped so mixed-kind
+// columns load without error.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading CSV header: %w", err)
+	}
+	sch := make(Schema, len(header))
+	for i, name := range header {
+		sch[i] = Column{Name: name, Kind: value.Null}
+	}
+	t := NewTable(sch)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: reading CSV row: %w", err)
+		}
+		row := make(value.Tuple, len(rec))
+		for i, f := range rec {
+			row[i] = value.Parse(f)
+		}
+		if err := t.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile loads a table from the named CSV file.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSV writes the table as CSV with a header row. NULL values render
+// as empty fields.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.schema))
+	for _, r := range t.rows {
+		for i, v := range r {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to the named file, creating or truncating
+// it.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

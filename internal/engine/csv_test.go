@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cape/internal/value"
+)
+
+func TestReadCSVTypesAndNulls(t *testing.T) {
+	in := "name,year,score\nalice,2004,1.5\nbob,,\n"
+	tab, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	r0 := tab.Row(0)
+	if r0[0].Kind() != value.String || r0[1].Kind() != value.Int || r0[2].Kind() != value.Float {
+		t.Errorf("row 0 kinds = %v %v %v", r0[0].Kind(), r0[1].Kind(), r0[2].Kind())
+	}
+	r1 := tab.Row(1)
+	if !r1[1].IsNull() || !r1[2].IsNull() {
+		t.Errorf("empty fields should parse as NULL: %v", r1)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error (no header)")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := pubTable(t)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() {
+		t.Fatalf("round trip rows = %d, want %d", back.NumRows(), tab.NumRows())
+	}
+	for i := range tab.Rows() {
+		if !back.Row(i).Equal(tab.Row(i)) {
+			t.Errorf("row %d: %v vs %v", i, back.Row(i), tab.Row(i))
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	tab := pubTable(t)
+	path := filepath.Join(t.TempDir(), "pub.csv")
+	if err := tab.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() {
+		t.Errorf("file round trip rows = %d", back.NumRows())
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}

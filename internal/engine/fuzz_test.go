@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV loader never panics: arbitrary input either
+// loads into a well-formed table or fails with an error.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"a,b\n1,2\n",
+		"a\n\n",
+		"x,y,z\nfoo,2.5,\n,,\n",
+		"h\n\"quoted,comma\"\n",
+		"a,b\n1\n", // ragged
+		"",
+		"\xff\xfe",
+		"a,a\n1,2\n", // duplicate column names
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		tab, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Loaded tables must be structurally sound: every row matches the
+		// schema arity.
+		for i, r := range tab.Rows() {
+			if len(r) != len(tab.Schema()) {
+				t.Fatalf("row %d arity %d != schema %d", i, len(r), len(tab.Schema()))
+			}
+		}
+		// And they must round-trip through the writer without error.
+		var sb strings.Builder
+		if err := tab.WriteCSV(&sb); err != nil {
+			t.Fatalf("WriteCSV on loaded table: %v", err)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"cape/internal/value"
+)
+
+// tableIndex is a hash index over one column set: canonical key bytes of
+// the indexed columns → row positions.
+type tableIndex struct {
+	cols    []string // sorted
+	buckets map[string][]int
+}
+
+// indexKey canonically identifies a column set.
+func indexKey(cols []string) string {
+	s := append([]string(nil), cols...)
+	sort.Strings(s)
+	return strings.Join(s, "\x1f")
+}
+
+// BuildIndex constructs (and retains) a hash index over the given
+// columns, accelerating subsequent SelectEq calls on exactly that column
+// set. Building is O(rows); each indexed SelectEq then costs O(result)
+// instead of a full scan. Any Append invalidates all indexes. Build
+// indexes before sharing the table across goroutines.
+func (t *Table) BuildIndex(cols []string) error {
+	if _, err := t.schema.Indices(cols); err != nil {
+		return err
+	}
+	sorted := append([]string(nil), cols...)
+	sort.Strings(sorted)
+	sortedIdx, _ := t.schema.Indices(sorted)
+
+	idx := &tableIndex{
+		cols:    sorted,
+		buckets: make(map[string][]int),
+	}
+	var keyBuf []byte
+	for ri, row := range t.rows {
+		keyBuf = keyBuf[:0]
+		for _, ci := range sortedIdx {
+			keyBuf = row[ci].AppendKey(keyBuf)
+		}
+		idx.buckets[string(keyBuf)] = append(idx.buckets[string(keyBuf)], ri)
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[string]*tableIndex)
+	}
+	t.indexes[indexKey(cols)] = idx
+	return nil
+}
+
+// HasIndex reports whether an index over exactly this column set exists.
+func (t *Table) HasIndex(cols []string) bool {
+	_, ok := t.indexes[indexKey(cols)]
+	return ok
+}
+
+// lookupIndex finds rows matching vals (positionally aligned with cols)
+// via an index, if one covers the column set. ok is false when no index
+// exists.
+func (t *Table) lookupIndex(cols []string, vals value.Tuple) ([]int, bool) {
+	idx, found := t.indexes[indexKey(cols)]
+	if !found {
+		return nil, false
+	}
+	// Reorder vals into the index's sorted column order.
+	byName := make(map[string]value.V, len(cols))
+	for i, c := range cols {
+		byName[c] = vals[i]
+	}
+	var keyBuf []byte
+	for _, c := range idx.cols {
+		keyBuf = byName[c].AppendKey(keyBuf)
+	}
+	return idx.buckets[string(keyBuf)], true
+}

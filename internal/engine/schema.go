@@ -1,0 +1,78 @@
+// Package engine is an in-memory relational engine: typed schemas, row
+// tables, and the operators CAPE's mining and explanation algorithms are
+// built from — selection, projection, multi-aggregate grouping, multi-key
+// sorting, and a CUBE operator with group-size filtering. It stands in for
+// the PostgreSQL instance the paper ran on; the mining variants differ
+// only in which of these operators they invoke and how often.
+package engine
+
+import (
+	"fmt"
+
+	"cape/internal/value"
+)
+
+// Column describes one attribute of a schema. Kind value.Null means the
+// column is untyped (accepts any value); a concrete kind is enforced on
+// Append.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Index returns the position of the named column, or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Indices resolves a list of column names to positions. It fails on the
+// first unknown name.
+func (s Schema) Indices(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx := s.Index(n)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q", n)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two schemas have identical names and kinds in the
+// same order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

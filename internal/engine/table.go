@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cape/internal/value"
+)
+
+// Table is an in-memory row-oriented relation. It is not safe for
+// concurrent mutation; concurrent reads are fine.
+type Table struct {
+	schema Schema
+	rows   []value.Tuple
+	// indexes holds hash indexes built with BuildIndex; invalidated by
+	// Append.
+	indexes map[string]*tableIndex
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema Schema) *Table {
+	return &Table{schema: schema.Clone()}
+}
+
+// Schema returns the table's schema (callers must not mutate it).
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows reports the number of rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns row i (callers must not mutate it).
+func (t *Table) Row(i int) value.Tuple { return t.rows[i] }
+
+// Rows returns the backing row slice (callers must not mutate it).
+func (t *Table) Rows() []value.Tuple { return t.rows }
+
+// Append adds a row. The arity must match the schema, and each value must
+// match the column kind unless the column is untyped or the value is NULL.
+func (t *Table) Append(row value.Tuple) error {
+	if len(row) != len(t.schema) {
+		return fmt.Errorf("engine: arity mismatch: row has %d values, schema %d columns", len(row), len(t.schema))
+	}
+	for i, v := range row {
+		want := t.schema[i].Kind
+		if want != value.Null && !v.IsNull() && v.Kind() != want {
+			return fmt.Errorf("engine: column %q expects %s, got %s", t.schema[i].Name, want, v.Kind())
+		}
+	}
+	t.rows = append(t.rows, row)
+	t.indexes = nil // mutation invalidates all indexes
+	return nil
+}
+
+// MustAppend is Append that panics on error; intended for tests and
+// generators that construct rows programmatically.
+func (t *Table) MustAppend(row value.Tuple) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep copy of the table (rows are cloned).
+func (t *Table) Clone() *Table {
+	out := NewTable(t.schema)
+	out.rows = make([]value.Tuple, len(t.rows))
+	for i, r := range t.rows {
+		out.rows[i] = r.Clone()
+	}
+	return out
+}
+
+// Select returns the rows satisfying pred, sharing row storage with t.
+func (t *Table) Select(pred func(value.Tuple) bool) *Table {
+	out := NewTable(t.schema)
+	for _, r := range t.rows {
+		if pred(r) {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out
+}
+
+// SelectEq returns the rows whose values in cols equal vals positionally.
+func (t *Table) SelectEq(cols []string, vals value.Tuple) (*Table, error) {
+	idx, err := t.schema.Indices(cols)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != len(cols) {
+		return nil, fmt.Errorf("engine: SelectEq got %d values for %d columns", len(vals), len(cols))
+	}
+	out := NewTable(t.schema)
+	if rows, ok := t.lookupIndex(cols, vals); ok {
+		for _, ri := range rows {
+			out.rows = append(out.rows, t.rows[ri])
+		}
+		return out, nil
+	}
+	for _, r := range t.rows {
+		match := true
+		for i, ci := range idx {
+			if !value.Equal(r[ci], vals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+// Project returns a table with only the named columns, preserving
+// duplicates and row order.
+func (t *Table) Project(cols []string) (*Table, error) {
+	idx, err := t.schema.Indices(cols)
+	if err != nil {
+		return nil, err
+	}
+	sch := make(Schema, len(idx))
+	for i, ci := range idx {
+		sch[i] = t.schema[ci]
+	}
+	out := NewTable(sch)
+	out.rows = make([]value.Tuple, len(t.rows))
+	for ri, r := range t.rows {
+		row := make(value.Tuple, len(idx))
+		for i, ci := range idx {
+			row[i] = r[ci]
+		}
+		out.rows[ri] = row
+	}
+	return out, nil
+}
+
+// DistinctProject returns the distinct combinations of the named columns,
+// in first-appearance order.
+func (t *Table) DistinctProject(cols []string) (*Table, error) {
+	idx, err := t.schema.Indices(cols)
+	if err != nil {
+		return nil, err
+	}
+	sch := make(Schema, len(idx))
+	for i, ci := range idx {
+		sch[i] = t.schema[ci]
+	}
+	out := NewTable(sch)
+	seen := make(map[string]struct{})
+	var keyBuf []byte
+	for _, r := range t.rows {
+		keyBuf = keyBuf[:0]
+		for _, ci := range idx {
+			keyBuf = r[ci].AppendKey(keyBuf)
+		}
+		if _, dup := seen[string(keyBuf)]; dup {
+			continue
+		}
+		seen[string(keyBuf)] = struct{}{}
+		row := make(value.Tuple, len(idx))
+		for i, ci := range idx {
+			row[i] = r[ci]
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// CountDistinct counts the distinct combinations of the named columns.
+func (t *Table) CountDistinct(cols []string) (int, error) {
+	idx, err := t.schema.Indices(cols)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[string]struct{})
+	var keyBuf []byte
+	for _, r := range t.rows {
+		keyBuf = keyBuf[:0]
+		for _, ci := range idx {
+			keyBuf = r[ci].AppendKey(keyBuf)
+		}
+		seen[string(keyBuf)] = struct{}{}
+	}
+	return len(seen), nil
+}
+
+// SortBy sorts the table in place by the given columns ascending (using
+// value.Compare ordering). The sort is stable.
+func (t *Table) SortBy(cols []string) error {
+	idx, err := t.schema.Indices(cols)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(t.rows, func(a, b int) bool {
+		ra, rb := t.rows[a], t.rows[b]
+		for _, ci := range idx {
+			if c := value.Compare(ra[ci], rb[ci]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// Sorted returns a copy of the table sorted by the given columns. The
+// copy shares row storage (rows are not mutated by sorting, only
+// reordered).
+func (t *Table) Sorted(cols []string) (*Table, error) {
+	out := NewTable(t.schema)
+	out.rows = make([]value.Tuple, len(t.rows))
+	copy(out.rows, t.rows)
+	if err := out.SortBy(cols); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// String renders the table as a small ASCII grid, for debugging and
+// example output.
+func (t *Table) String() string {
+	var sb strings.Builder
+	for i, c := range t.schema {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString(c.Name)
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, v := range r {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"testing"
+
+	"cape/internal/dataset"
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/regress"
+	"cape/internal/value"
+)
+
+func crimeSpec() SiteSpec {
+	return SiteSpec{TypeAttr: "type", FragAttr: "community", PredAttr: "year", MinOutlierCount: 10}
+}
+
+func crimeMiningOpts() mining.Options {
+	return mining.Options{
+		MaxPatternSize: 3,
+		Attributes:     []string{"type", "community", "year"},
+		Thresholds:     pattern.Thresholds{Theta: 0.2, LocalSupport: 3, Lambda: 0.2, GlobalSupport: 5},
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	}
+}
+
+func TestFindSites(t *testing.T) {
+	tab := dataset.GenerateCrime(dataset.CrimeConfig{Rows: 10000, Seed: 7, NumAttrs: 5, NumTypes: 6, NumCommunities: 12})
+	mined, err := mining.ARPMine(tab, crimeMiningOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := FindSites(tab, crimeSpec(), mined.Patterns, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("no injection sites found")
+	}
+	for _, s := range sites {
+		// Outlier and counter share community and year, differ in type.
+		if !value.Equal(s.Outlier[1], s.Counter[1]) || !value.Equal(s.Outlier[2], s.Counter[2]) {
+			t.Errorf("site must share frag/pred values: %v / %v", s.Outlier, s.Counter)
+		}
+		if value.Equal(s.Outlier[0], s.Counter[0]) {
+			t.Errorf("site must differ in type: %v / %v", s.Outlier, s.Counter)
+		}
+	}
+}
+
+func TestFindSitesMissingPatterns(t *testing.T) {
+	tab := dataset.GenerateCrime(dataset.CrimeConfig{Rows: 1000, Seed: 7, NumAttrs: 5})
+	if _, err := FindSites(tab, crimeSpec(), nil, 5); err == nil {
+		t.Error("missing required patterns should error")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	qAttrs := []string{"type", "community", "year"}
+	gt := value.Tuple{value.NewString("Theft"), value.NewInt(12), value.NewInt(2007)}
+	p := pattern.Pattern{F: []string{"community", "type"}, V: []string{"year"},
+		Agg: engine.AggSpec{Func: engine.Count}, Model: regress.Const}
+	exact := explain.Explanation{
+		Refined: p,
+		Attrs:   []string{"community", "type", "year"},
+		Tuple:   value.Tuple{value.NewInt(12), value.NewString("Theft"), value.NewInt(2007)},
+	}
+	if !Covers(exact, qAttrs, gt) {
+		t.Error("exact match should cover")
+	}
+	wrongYear := exact
+	wrongYear.Tuple = value.Tuple{value.NewInt(12), value.NewString("Theft"), value.NewInt(2008)}
+	if Covers(wrongYear, qAttrs, gt) {
+		t.Error("wrong year must not cover")
+	}
+	coarse := explain.Explanation{
+		Refined: p,
+		Attrs:   []string{"community", "year"},
+		Tuple:   value.Tuple{value.NewInt(12), value.NewInt(2007)},
+	}
+	if Covers(coarse, qAttrs, gt) {
+		t.Error("coarser schema lacking the type attribute must not cover")
+	}
+}
+
+func TestRandomQuestions(t *testing.T) {
+	tab := dataset.GenerateCrime(dataset.CrimeConfig{Rows: 3000, Seed: 3, NumAttrs: 5})
+	qs, err := RandomQuestions(tab, []string{"type", "community"}, engine.AggSpec{Func: engine.Count}, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 8 {
+		t.Fatalf("questions = %d", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("invalid question: %v", err)
+		}
+		if q.AggValue.Int() <= 0 {
+			t.Errorf("question about empty group: %v", q)
+		}
+	}
+	// Determinism.
+	qs2, _ := RandomQuestions(tab, []string{"type", "community"}, engine.AggSpec{Func: engine.Count}, 8, 42)
+	for i := range qs {
+		if !qs[i].Values.Equal(qs2[i].Values) || qs[i].Dir != qs2[i].Dir {
+			t.Error("RandomQuestions not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestRandomQuestionsEmptyResult(t *testing.T) {
+	tab := engine.NewTable(engine.Schema{{Name: "a", Kind: value.Int}})
+	if _, err := RandomQuestions(tab, []string{"a"}, engine.AggSpec{Func: engine.Count}, 3, 1); err == nil {
+		t.Error("empty table should error")
+	}
+}
+
+func TestRunPrecision(t *testing.T) {
+	tab := dataset.GenerateCrime(dataset.CrimeConfig{Rows: 10000, Seed: 7, NumAttrs: 5, NumTypes: 6, NumCommunities: 12})
+	metric := distance.NewMetric().
+		SetFunc("year", distance.Numeric{Scale: 3}).
+		SetFunc("community", distance.Numeric{Scale: 2})
+	res, err := RunPrecision(PrecisionConfig{
+		Table:        tab,
+		Spec:         crimeSpec(),
+		Mining:       crimeMiningOpts(),
+		NumQuestions: 4,
+		K:            100,
+		Delta:        5,
+		Metric:       metric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Questions == 0 {
+		t.Fatal("no questions ran")
+	}
+	if res.Found < 0 || res.Found > res.Questions {
+		t.Errorf("found %d of %d", res.Found, res.Questions)
+	}
+	if p := res.Precision(); p < 0 || p > 1 {
+		t.Errorf("precision %g out of range", p)
+	}
+	// With a generous K the ground truth should be recovered at least
+	// once — otherwise the whole pipeline is broken.
+	if res.Found == 0 {
+		t.Error("K=100 recovered no ground truths at all")
+	}
+}
+
+func TestPrecisionResultZero(t *testing.T) {
+	if (PrecisionResult{}).Precision() != 0 {
+		t.Error("zero questions should give precision 0")
+	}
+}

@@ -1,0 +1,112 @@
+package explain
+
+import (
+	"strings"
+	"sync"
+
+	"cape/internal/engine"
+	"cape/internal/pattern"
+)
+
+// Explainer answers many questions over one relation and pattern set,
+// reusing the aggregate query results that candidate enumeration scans.
+// A fresh Generate call re-groups the relation for every refined pattern
+// it visits; in an interactive session asking several questions, those
+// group-bys are identical across questions, so the Explainer caches them.
+// It is safe for concurrent use.
+type Explainer struct {
+	r        *engine.Table
+	patterns []*pattern.Mined
+	opt      Options
+
+	mu    sync.Mutex
+	cache map[string]*engine.Table
+}
+
+// NewExplainer builds an explainer over the relation and mined patterns.
+// The options supply defaults for every question; Explain's per-call
+// options override fields that are set.
+func NewExplainer(r *engine.Table, patterns []*pattern.Mined, opt Options) *Explainer {
+	return &Explainer{
+		r:        r,
+		patterns: patterns,
+		opt:      opt.withDefaults(),
+		cache:    make(map[string]*engine.Table),
+	}
+}
+
+// Explain answers one question with the bound-pruned generator, reusing
+// cached aggregate results across calls.
+func (e *Explainer) Explain(q UserQuestion) ([]Explanation, *Stats, error) {
+	g, rel, stats, err := prepare(q, e.r, e.patterns, e.opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Swap in the shared cache behind a lock-guarded getter.
+	g.lookup = e.cachedGrouped
+	if e.opt.DescendingNorm {
+		sortRelevant(rel, true)
+	} else {
+		sortRelevant(rel, false)
+	}
+	tk := newTopK(g.opt.K)
+	for _, re := range rel {
+		for _, ref := range refinementsOf(re.mined, e.patterns) {
+			stats.RefinementPairs++
+			if min, full := tk.minScore(); full {
+				// Strict comparison: a refinement whose bound ties the
+				// current k-th score could still win the key tiebreak.
+				if g.scoreBound(re, ref) < min {
+					stats.PrunedRefinements++
+					continue
+				}
+			}
+			if err := g.enumerate(re, ref, tk, stats); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return tk.sorted(), stats, nil
+}
+
+// CachedGroupings reports how many distinct aggregate results are held.
+func (e *Explainer) CachedGroupings() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// cachedGrouped is the shared, locked variant of generator.grouped.
+func (e *Explainer) cachedGrouped(p pattern.Pattern) (*engine.Table, error) {
+	key := strings.Join(p.GroupAttrs(), "\x1f") + "\x1e" + p.Agg.String()
+	e.mu.Lock()
+	t, ok := e.cache[key]
+	e.mu.Unlock()
+	if ok {
+		return t, nil
+	}
+	t, err := e.r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.cache[key] = t
+	e.mu.Unlock()
+	return t, nil
+}
+
+// sortRelevant orders relevant patterns by NORM.
+func sortRelevant(rel []relevantEntry, descending bool) {
+	for i := 1; i < len(rel); i++ {
+		for j := i; j > 0; j-- {
+			less := rel[j].norm < rel[j-1].norm
+			if descending {
+				less = rel[j].norm > rel[j-1].norm
+			}
+			if !less {
+				break
+			}
+			rel[j-1], rel[j] = rel[j], rel[j-1]
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package explain
+
+import (
+	"sync"
+	"testing"
+
+	"cape/internal/value"
+)
+
+// TestExplainerMatchesGenerate: the warm-cache path must return exactly
+// what a cold Generate run returns.
+func TestExplainerMatchesGenerate(t *testing.T) {
+	tab := runningExample(t)
+	pats := minePatterns(t, tab)
+	opt := Options{K: 10, Metric: yearMetric()}
+	ex := NewExplainer(tab, pats, opt)
+
+	questions := []UserQuestion{
+		sigkddQuestion(),
+		{
+			GroupBy:  []string{"author", "venue", "year"},
+			Agg:      sigkddQuestion().Agg,
+			Values:   value.Tuple{value.NewString("AX"), value.NewString("ICDE"), value.NewInt(2007)},
+			AggValue: value.NewInt(7),
+			Dir:      High,
+		},
+	}
+	for qi, q := range questions {
+		cold, _, err := Generate(q, tab, pats, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, _, err := ex.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cold) != len(warm) {
+			t.Fatalf("question %d: %d vs %d explanations", qi, len(cold), len(warm))
+		}
+		for i := range cold {
+			if cold[i].Score != warm[i].Score || !cold[i].Tuple.Equal(warm[i].Tuple) {
+				t.Errorf("question %d rank %d: %s vs %s", qi, i, cold[i], warm[i])
+			}
+		}
+	}
+	if ex.CachedGroupings() == 0 {
+		t.Error("explainer cached nothing across two questions")
+	}
+}
+
+// TestExplainerConcurrent hammers one Explainer from several goroutines;
+// run under -race this verifies the shared cache locking.
+func TestExplainerConcurrent(t *testing.T) {
+	tab := runningExample(t)
+	pats := minePatterns(t, tab)
+	ex := NewExplainer(tab, pats, Options{K: 5, Metric: yearMetric()})
+	q := sigkddQuestion()
+
+	want, _, err := ex.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := ex.Explain(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got) != len(want) || got[0].Score != want[0].Score {
+				t.Errorf("concurrent result differs")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestExplainerInvalidQuestion propagates validation errors.
+func TestExplainerInvalidQuestion(t *testing.T) {
+	tab := runningExample(t)
+	pats := minePatterns(t, tab)
+	ex := NewExplainer(tab, pats, Options{})
+	if _, _, err := ex.Explain(UserQuestion{}); err == nil {
+		t.Error("invalid question should error")
+	}
+}

@@ -1,0 +1,156 @@
+package explain
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"cape/internal/distance"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// Explanation is Definition 7's triple (P, P', t') augmented with the
+// quantities that produced its score.
+type Explanation struct {
+	// Relevant is the pattern P relevant for the question.
+	Relevant pattern.Pattern
+	// Refined is the refinement P' whose local model the counterbalance
+	// deviates from.
+	Refined pattern.Pattern
+	// Attrs names the counterbalance tuple's attributes (F' then V,
+	// canonical order); Tuple holds the corresponding values.
+	Attrs []string
+	Tuple value.Tuple
+	// AggValue is t'[agg(A)]; Predicted is g_{P',t'[F']}(t'[V]).
+	AggValue  value.V
+	Predicted float64
+	// Deviation is AggValue − Predicted (Definition 8).
+	Deviation float64
+	// Distance is d(t[G], t'[F' ∪ V]) under the configured metric.
+	Distance float64
+	// Norm is the normalization factor NORM of Definition 10.
+	Norm float64
+	// Score is Definition 10's deviation/distance score; higher is a
+	// better explanation.
+	Score float64
+}
+
+// DistTuple renders the counterbalance tuple for the distance metric.
+func (e Explanation) DistTuple() distance.Tuple {
+	out := make(distance.Tuple, len(e.Attrs))
+	for i, a := range e.Attrs {
+		out[a] = e.Tuple[i]
+	}
+	return out
+}
+
+// key identifies the (P', t') combination for deduplication: when several
+// relevant patterns refine to the same P' and tuple, only the
+// highest-scoring explanation is kept (per Section 3.3).
+func (e Explanation) key() string {
+	return e.Refined.Key() + "\x1e" + e.Tuple.Key()
+}
+
+// String renders "(AX, ICDE, 2007, 6) score=13.78 via [author]: ...".
+func (e Explanation) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, a := range e.Attrs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", a, e.Tuple[i])
+	}
+	fmt.Fprintf(&sb, ", %s=%s) score=%.2f [dev=%+.2f pred=%.2f] via %s refined to %s",
+		e.Refined.Agg, e.AggValue, e.Score, e.Deviation, e.Predicted, e.Relevant, e.Refined)
+	return sb.String()
+}
+
+// better imposes a total order on explanations — higher score first, ties
+// broken by key — so the kept top-k set is unique and the top-k list is
+// always a prefix of any larger-k list.
+func better(a, b Explanation) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.key() < b.key()
+}
+
+// explHeap is a min-heap under the `better` order holding the best k
+// explanations seen so far (the heap root is the current k-th best).
+type explHeap []Explanation
+
+func (h explHeap) Len() int            { return len(h) }
+func (h explHeap) Less(i, j int) bool  { return better(h[j], h[i]) }
+func (h explHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *explHeap) Push(x interface{}) { *h = append(*h, x.(Explanation)) }
+func (h *explHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// topK maintains the best k explanations with per-(P', t') dedup.
+type topK struct {
+	k    int
+	heap explHeap
+	// best maps explanation key to its best score seen, so a later lower
+	// score for the same (P', t') never displaces the earlier one.
+	best map[string]float64
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, best: make(map[string]float64)}
+}
+
+// minScore is the current k-th best score, or -inf semantics (ok=false)
+// when fewer than k explanations are held.
+func (t *topK) minScore() (float64, bool) {
+	if len(t.heap) < t.k {
+		return 0, false
+	}
+	return t.heap[0].Score, true
+}
+
+// offer inserts an explanation, handling dedup and eviction.
+func (t *topK) offer(e Explanation) {
+	if prev, seen := t.best[e.key()]; seen && prev >= e.Score {
+		return
+	}
+	t.best[e.key()] = e.Score
+	// Remove a previous entry for the same key if it is in the heap.
+	for i := range t.heap {
+		if t.heap[i].key() == e.key() {
+			t.heap[i] = e
+			heap.Fix(&t.heap, i)
+			return
+		}
+	}
+	if len(t.heap) < t.k {
+		heap.Push(&t.heap, e)
+		return
+	}
+	if better(e, t.heap[0]) {
+		t.heap[0] = e
+		heap.Fix(&t.heap, 0)
+	}
+}
+
+// sorted returns the held explanations ordered by descending score, ties
+// broken by tuple key for determinism.
+func (t *topK) sorted() []Explanation {
+	out := append([]Explanation(nil), t.heap...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.Score > b.Score || (a.Score == b.Score && a.key() <= b.key()) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// generalizationExample builds data where AX's entire 2007 output is
+// depressed (not just one venue): every venue has 2 instead of 4 papers
+// in 2007, so the question about SIGKDD 2007 generalizes to "AX's 2007
+// total is low".
+func generalizationExample(t testing.TB) *engine.Table {
+	tab := engine.NewTable(engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "venue", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+	})
+	add := func(author, venue string, year int64, n int) {
+		for i := 0; i < n; i++ {
+			tab.MustAppend(value.Tuple{
+				value.NewString(author), value.NewString(venue), value.NewInt(year),
+			})
+		}
+	}
+	for year := int64(2005); year <= 2009; year++ {
+		for _, v := range []string{"SIGKDD", "VLDB", "ICDE"} {
+			n := 4
+			if year == 2007 {
+				n = 2 // author-wide dip
+			}
+			add("AX", v, year, n)
+			add("AY", v, year, 3)
+			add("AZ", v, year, 3)
+		}
+	}
+	return tab
+}
+
+func TestGeneralizeFindsAuthorWideDip(t *testing.T) {
+	tab := generalizationExample(t)
+	pats := minePatterns(t, tab)
+	q := UserQuestion{
+		GroupBy: []string{"author", "venue", "year"},
+		Agg:     engine.AggSpec{Func: engine.Count},
+		Values: value.Tuple{
+			value.NewString("AX"), value.NewString("SIGKDD"), value.NewInt(2007),
+		},
+		AggValue: value.NewInt(2),
+		Dir:      Low,
+	}
+	gens, err := Generalize(q, tab, pats, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) == 0 {
+		t.Fatal("no generalizations found for an author-wide dip")
+	}
+	// The strongest generalization should be the author-year dip: AX's
+	// 2007 total (6) well below the ~12 trend.
+	top := gens[0]
+	if top.Deviation >= 0 {
+		t.Errorf("low question must generalize to negative deviation: %+v", top)
+	}
+	s := top.String()
+	if !strings.Contains(s, "AX") || !strings.Contains(s, "2007") || !strings.Contains(s, "below") {
+		t.Errorf("top generalization = %s", s)
+	}
+	// Every generalization is strictly coarser than the question.
+	for _, g := range gens {
+		if len(g.Attrs) >= len(q.GroupBy) {
+			t.Errorf("generalization not coarser: %v", g.Attrs)
+		}
+		if g.Deviation >= 0 {
+			t.Errorf("wrong-direction generalization: %s", g)
+		}
+	}
+}
+
+func TestGeneralizeNoDipNoFindings(t *testing.T) {
+	// In the counterbalanced running example AX's yearly totals are
+	// exactly constant, so no author-level generalization should fire
+	// for the low question.
+	tab := runningExample(t)
+	pats := minePatterns(t, tab)
+	gens, err := Generalize(sigkddQuestion(), tab, pats, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gens {
+		isAuthorYear := len(g.Attrs) == 2 &&
+			((g.Attrs[0] == "author" && g.Attrs[1] == "year") ||
+				(g.Attrs[0] == "year" && g.Attrs[1] == "author"))
+		if isAuthorYear {
+			t.Errorf("author-year generalization on perfectly-counterbalanced data: %s", g)
+		}
+	}
+}
+
+func TestGeneralizeHighDirection(t *testing.T) {
+	tab := generalizationExample(t)
+	pats := minePatterns(t, tab)
+	// 2005's values sit slightly above the (dip-lowered) constant model,
+	// so a high question should generalize with positive deviations only.
+	q := UserQuestion{
+		GroupBy: []string{"author", "venue", "year"},
+		Agg:     engine.AggSpec{Func: engine.Count},
+		Values: value.Tuple{
+			value.NewString("AX"), value.NewString("SIGKDD"), value.NewInt(2005),
+		},
+		AggValue: value.NewInt(4),
+		Dir:      High,
+	}
+	gens, err := Generalize(q, tab, pats, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gens {
+		if g.Deviation <= 0 {
+			t.Errorf("high question requires positive deviations: %s", g)
+		}
+	}
+}
+
+func TestGeneralizeInvalidQuestion(t *testing.T) {
+	tab := generalizationExample(t)
+	if _, err := Generalize(UserQuestion{}, tab, nil, Options{}); err == nil {
+		t.Error("invalid question should error")
+	}
+}
+
+func TestGeneralizeKLimit(t *testing.T) {
+	tab := generalizationExample(t)
+	pats := minePatterns(t, tab)
+	q := UserQuestion{
+		GroupBy: []string{"author", "venue", "year"},
+		Agg:     engine.AggSpec{Func: engine.Count},
+		Values: value.Tuple{
+			value.NewString("AX"), value.NewString("SIGKDD"), value.NewInt(2007),
+		},
+		AggValue: value.NewInt(2),
+		Dir:      Low,
+	}
+	gens, err := Generalize(q, tab, pats, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) > 1 {
+		t.Errorf("K=1 returned %d generalizations", len(gens))
+	}
+}

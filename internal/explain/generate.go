@@ -1,0 +1,427 @@
+package explain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// Options configures explanation generation.
+type Options struct {
+	// K is the number of explanations to return (default 10).
+	K int
+	// Metric supplies attribute distances and weights; nil uses
+	// categorical distance with equal weights.
+	Metric *distance.Metric
+	// Epsilon guards denominators against zero (default 1e-9, the
+	// paper's footnote 2).
+	Epsilon float64
+	// DescendingNorm makes GenOpt visit relevant patterns in descending
+	// NORM order — the order the paper's prose literally states. The
+	// default ascending order visits small-NORM (large-possible-score)
+	// patterns first, which fills the top-k with strong candidates early
+	// and lets the upper bound prune more; this flag exists for the
+	// ablation benchmark.
+	DescendingNorm bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-9
+	}
+	return o
+}
+
+// Stats reports the work a generation run performed, for the Figure-6
+// experiments.
+type Stats struct {
+	// RelevantPatterns is the number of mined patterns relevant to the
+	// question (Definition 5).
+	RelevantPatterns int
+	// RefinementPairs is the number of (P, P') pairs considered.
+	RefinementPairs int
+	// Candidates is the number of result tuples t' tested.
+	Candidates int
+	// PrunedRefinements counts (P, P') pairs skipped by the upper score
+	// bound (GenOpt only).
+	PrunedRefinements int
+}
+
+// relevantEntry pairs a relevant pattern with the question-fragment data
+// the scoring needs.
+type relevantEntry struct {
+	mined *pattern.Mined
+	frag  value.Tuple // t[F]
+	norm  float64     // NORM of Definition 10
+}
+
+// generator carries the shared state of one generation run.
+type generator struct {
+	q     UserQuestion
+	r     *engine.Table
+	opt   Options
+	cache map[string]*engine.Table // grouped result per refined pattern
+	// lookup resolves γ_{F'∪V, agg}(R) for a refined pattern; defaults to
+	// the per-run cache, overridden by Explainer's shared cache.
+	lookup func(pattern.Pattern) (*engine.Table, error)
+}
+
+// Generate runs the optimized generator — the default entry point.
+func Generate(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
+	return GenOpt(q, r, patterns, opt)
+}
+
+// GenNaive is Algorithm 1: test every candidate tuple of every refinement
+// of every relevant pattern, maintaining a top-k heap.
+func GenNaive(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
+	g, rel, stats, err := prepare(q, r, patterns, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	tk := newTopK(g.opt.K)
+	for _, re := range rel {
+		for _, ref := range refinementsOf(re.mined, patterns) {
+			stats.RefinementPairs++
+			if err := g.enumerate(re, ref, tk, stats); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return tk.sorted(), stats, nil
+}
+
+// GenOpt is the Section-3.5 generator: relevant patterns are visited in
+// ascending NORM order (largest possible scores first) and a refinement
+// P' is skipped whenever its upper score bound
+//
+//	score↑(φ, P, P') = dev↑(P') / (d↓(φ, P') · NORM + ε)
+//
+// cannot beat the current k-th best score.
+func GenOpt(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
+	g, rel, stats, err := prepare(q, r, patterns, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Ascending NORM: score ∝ 1/NORM, so small NORM first finds
+	// high-score explanations early and makes the bound bite sooner.
+	if g.opt.DescendingNorm {
+		sort.SliceStable(rel, func(i, j int) bool { return rel[i].norm > rel[j].norm })
+	} else {
+		sort.SliceStable(rel, func(i, j int) bool { return rel[i].norm < rel[j].norm })
+	}
+
+	tk := newTopK(g.opt.K)
+	for _, re := range rel {
+		for _, ref := range refinementsOf(re.mined, patterns) {
+			stats.RefinementPairs++
+			if min, full := tk.minScore(); full {
+				// Strict comparison: a refinement whose bound ties the
+				// current k-th score could still win the key tiebreak.
+				if g.scoreBound(re, ref) < min {
+					stats.PrunedRefinements++
+					continue
+				}
+			}
+			if err := g.enumerate(re, ref, tk, stats); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return tk.sorted(), stats, nil
+}
+
+// prepare validates inputs and finds the relevant patterns with their
+// NORM factors.
+func prepare(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) (*generator, []relevantEntry, *Stats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	g := &generator{q: q, r: r, opt: opt.withDefaults(), cache: make(map[string]*engine.Table)}
+	g.lookup = g.grouped
+	stats := &Stats{}
+	var rel []relevantEntry
+	for _, m := range patterns {
+		re, ok, err := g.relevant(m)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if ok {
+			rel = append(rel, re)
+			stats.RelevantPatterns++
+		}
+	}
+	return g, rel, stats, nil
+}
+
+// relevant implements Definition 5 plus the NORM computation: the pattern
+// must share the question's aggregate, use only question attributes, and
+// hold locally on the question's fragment.
+func (g *generator) relevant(m *pattern.Mined) (relevantEntry, bool, error) {
+	if m.Pattern.Agg != g.q.Agg {
+		return relevantEntry{}, false, nil
+	}
+	frag, ok := g.q.Project(m.Pattern.F)
+	if !ok {
+		return relevantEntry{}, false, nil // F ⊄ G
+	}
+	if _, ok := g.q.Project(m.Pattern.V); !ok {
+		return relevantEntry{}, false, nil // V ⊄ G
+	}
+	if !m.HoldsLocally(frag) {
+		return relevantEntry{}, false, nil
+	}
+	norm, err := g.norm(m.Pattern)
+	if err != nil {
+		return relevantEntry{}, false, err
+	}
+	return relevantEntry{mined: m, frag: frag, norm: norm}, true, nil
+}
+
+// norm computes Definition 10's normalization factor: the aggregate value
+// of the question's own group under the relevant pattern's (coarser)
+// grouping, i.e. π_{agg}(σ_{F∪V = t[F∪V]}(R)) aggregated.
+func (g *generator) norm(p pattern.Pattern) (float64, error) {
+	attrs := p.GroupAttrs()
+	vals, ok := g.q.Project(attrs)
+	if !ok {
+		return 0, fmt.Errorf("explain: pattern attributes %v outside question group-by", attrs)
+	}
+	sel, err := g.r.SelectEq(attrs, vals)
+	if err != nil {
+		return 0, err
+	}
+	agg, err := sel.GroupBy(nil, []engine.AggSpec{p.Agg})
+	if err != nil {
+		return 0, err
+	}
+	if agg.NumRows() == 0 {
+		return 0, nil
+	}
+	f, _ := agg.Row(0)[0].AsFloat()
+	return math.Abs(f), nil
+}
+
+// refinementsOf lists the mined patterns refining P w.r.t. the question
+// (Definition 6) — including P itself, since F' ⊇ F is non-strict.
+func refinementsOf(p *pattern.Mined, patterns []*pattern.Mined) []*pattern.Mined {
+	var out []*pattern.Mined
+	for _, c := range patterns {
+		if c.Pattern.Refines(p.Pattern) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// scoreBound is score↑(φ, P, P') from Section 3.5, using the refined
+// pattern's per-fragment deviation extremes: only fragments agreeing with
+// the question on P's partition attributes can produce candidates, so the
+// bound takes the maximum counterbalancing deviation over exactly those
+// local models (the paper's "more accurate bound using the information
+// stored with the local versions of a pattern").
+func (g *generator) scoreBound(re relevantEntry, ref *pattern.Mined) float64 {
+	devUp := g.devBound(re, ref)
+	if devUp <= 0 {
+		return 0 // no counterbalancing deviation exists in reachable fragments
+	}
+	dLow := g.opt.Metric.LowerBound(g.q.GroupBy, ref.Pattern.GroupAttrs())
+	return devUp / (dLow*re.norm + g.opt.Epsilon)
+}
+
+// devBound computes dev↑(φ, P') restricted to fragments matching the
+// question's partition values, falling back to the pattern-global extreme
+// when the attribute mapping fails.
+func (g *generator) devBound(re relevantEntry, ref *pattern.Mined) float64 {
+	global := ref.MaxPosDev
+	if g.q.Dir == High {
+		global = -ref.MaxNegDev
+	}
+	// Map P.F positions into P'.F (both canonical order).
+	p, pRef := re.mined.Pattern, ref.Pattern
+	idx := make([]int, len(p.F))
+	for i, a := range p.F {
+		idx[i] = -1
+		for j, b := range pRef.F {
+			if a == b {
+				idx[i] = j
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return global // should not happen for a valid refinement
+		}
+	}
+	best := 0.0
+	for _, lm := range ref.Locals {
+		match := true
+		for i, j := range idx {
+			if !value.Equal(lm.Frag[j], re.frag[i]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		dev := lm.MaxPosDev
+		if g.q.Dir == High {
+			dev = -lm.MaxNegDev
+		}
+		if dev > best {
+			best = dev
+		}
+	}
+	return best
+}
+
+// enumerate walks the aggregate result of the refined pattern's grouping
+// and offers every valid counterbalance to the top-k collector
+// (Definition 7 conditions 3–5).
+func (g *generator) enumerate(re relevantEntry, ref *pattern.Mined, tk *topK, stats *Stats) error {
+	p, pRef := re.mined.Pattern, ref.Pattern
+	attrs := pRef.GroupAttrs()
+	grouped, err := g.lookup(pRef)
+	if err != nil {
+		return err
+	}
+	sch := grouped.Schema()
+	fIdx, err := sch.Indices(p.F)
+	if err != nil {
+		return err
+	}
+	fRefIdx, err := sch.Indices(pRef.F)
+	if err != nil {
+		return err
+	}
+	vIdx, err := sch.Indices(pRef.V)
+	if err != nil {
+		return err
+	}
+	aggIdx := sch.Index(pRef.Agg.String())
+	if aggIdx < 0 {
+		return fmt.Errorf("explain: grouped result missing aggregate column %q", pRef.Agg)
+	}
+	attrIdx, err := sch.Indices(attrs)
+	if err != nil {
+		return err
+	}
+
+	// When the counterbalance schema equals the question's, exclude the
+	// question tuple itself (Definition 7, condition 4).
+	sameSchema := sameSet(attrs, g.q.GroupBy)
+	var tOnAttrs value.Tuple
+	if sameSchema {
+		tOnAttrs, _ = g.q.Project(attrs)
+	}
+
+	qDist := g.q.DistTuple()
+	fragRef := make(value.Tuple, len(fRefIdx))
+	for _, row := range grouped.Rows() {
+		stats.Candidates++
+		// Condition 4: t'[F] = t[F].
+		match := true
+		for i, ci := range fIdx {
+			if !value.Equal(row[ci], re.frag[i]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		// Condition 3: P' holds locally on t'[F'].
+		for i, ci := range fRefIdx {
+			fragRef[i] = row[ci]
+		}
+		lm, ok := ref.Local(fragRef)
+		if !ok {
+			continue
+		}
+		// Condition 5: deviation opposite to the question direction.
+		aggVal := row[aggIdx]
+		y, numeric := aggVal.AsFloat()
+		if !numeric {
+			continue
+		}
+		vVals := make(value.Tuple, len(vIdx))
+		for i, ci := range vIdx {
+			vVals[i] = row[ci]
+		}
+		var pred float64
+		if enc, ok := pattern.EncodePredictors(vVals); ok {
+			pred = lm.Model.Predict(enc)
+		} else {
+			pred = lm.Model.Predict(nil)
+		}
+		dev := y - pred
+		if (g.q.Dir == Low && dev <= 0) || (g.q.Dir == High && dev >= 0) {
+			continue
+		}
+		// Condition 4 second half: t' ≠ t for same-schema tuples.
+		tup := make(value.Tuple, len(attrs))
+		for i, ci := range attrIdx {
+			tup[i] = row[ci]
+		}
+		if sameSchema && tup.Equal(tOnAttrs) {
+			continue
+		}
+
+		e := Explanation{
+			Relevant:  p,
+			Refined:   pRef,
+			Attrs:     attrs,
+			Tuple:     tup.Clone(),
+			AggValue:  aggVal,
+			Predicted: pred,
+			Deviation: dev,
+			Norm:      re.norm,
+		}
+		e.Distance = g.opt.Metric.Distance(qDist, e.DistTuple())
+		isLow := 1.0
+		if g.q.Dir == High {
+			isLow = -1
+		}
+		e.Score = dev * isLow / (e.Distance*re.norm + g.opt.Epsilon)
+		tk.offer(e)
+	}
+	return nil
+}
+
+// grouped returns (and caches) γ_{F'∪V, agg}(R) for a refined pattern.
+func (g *generator) grouped(p pattern.Pattern) (*engine.Table, error) {
+	key := strings.Join(p.GroupAttrs(), "\x1f") + "\x1e" + p.Agg.String()
+	if t, ok := g.cache[key]; ok {
+		return t, nil
+	}
+	t, err := g.r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
+	if err != nil {
+		return nil, err
+	}
+	g.cache[key] = t
+	return t, nil
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[string]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	for _, y := range b {
+		if !in[y] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+package explain
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Narrate renders an explanation as prose in the style of the paper's
+// Example 5 interpretation:
+//
+//	Even though the data follows the pattern "[author]: year ~Const~>
+//	count(*)", count(*) = 1 for (author=AX, venue=SIGKDD, year=2007) is
+//	lower than usual. A possible counterbalance: (author=AX, venue=ICDE,
+//	year=2007) has count(*) = 7, which is 3.67 above the 3.33 its own
+//	trend predicts.
+//
+// The question supplies the outcome the explanation accounts for.
+func (e Explanation) Narrate(q UserQuestion) string {
+	var sb strings.Builder
+
+	direction := "lower"
+	opposite := "above"
+	if q.Dir == High {
+		direction = "higher"
+		opposite = "below"
+	}
+
+	fmt.Fprintf(&sb, "Even though the data follows the pattern %q, %s = %s for (",
+		e.Relevant.String(), q.Agg, q.AggValue)
+	for i, a := range q.GroupBy {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", a, q.Values[i])
+	}
+	fmt.Fprintf(&sb, ") is %s than usual. A possible counterbalance: (", direction)
+	for i, a := range e.Attrs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", a, e.Tuple[i])
+	}
+	dev := e.Deviation
+	if dev < 0 {
+		dev = -dev
+	}
+	fmt.Fprintf(&sb, ") has %s = %s, which is %.2f %s the %.2f its own trend (%q) predicts.",
+		e.Refined.Agg, e.AggValue, dev, opposite, e.Predicted, e.Refined.String())
+	return sb.String()
+}

@@ -1,0 +1,151 @@
+// Package explain implements CAPE's online phase (Section 3 of the
+// paper): given a user question about a surprisingly high or low
+// aggregate result and a set of mined aggregate regression patterns, it
+// finds counterbalancing explanations — tuples that deviate in the
+// opposite direction with respect to a refinement of a pattern relevant
+// to the question — and ranks them by the deviation/distance score of
+// Definition 10. Both the brute-force generator (Algorithm 1) and the
+// bound-pruned generator (Section 3.5) are provided.
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// Direction says whether the user finds the aggregate value lower or
+// higher than expected.
+type Direction uint8
+
+const (
+	// Low means "why is this value so low?" — counterbalances are
+	// higher-than-predicted outcomes.
+	Low Direction = iota
+	// High means "why is this value so high?" — counterbalances are
+	// lower-than-predicted outcomes.
+	High
+)
+
+// String returns "low" or "high".
+func (d Direction) String() string {
+	if d == Low {
+		return "low"
+	}
+	return "high"
+}
+
+// ParseDirection converts "low"/"high" (case-insensitive) to a Direction.
+func ParseDirection(s string) (Direction, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return Low, nil
+	case "high":
+		return High, nil
+	}
+	return 0, fmt.Errorf("explain: unknown direction %q", s)
+}
+
+// UserQuestion is Definition 1: an aggregate query (group-by attributes
+// plus aggregate), one of its result tuples, and a direction. Values is
+// aligned positionally with GroupBy; AggValue is the aggregate output the
+// user is asking about.
+type UserQuestion struct {
+	GroupBy  []string
+	Agg      engine.AggSpec
+	Values   value.Tuple
+	AggValue value.V
+	Dir      Direction
+}
+
+// Validate checks structural consistency of the question.
+func (q UserQuestion) Validate() error {
+	if len(q.GroupBy) == 0 {
+		return fmt.Errorf("explain: question has no group-by attributes")
+	}
+	if len(q.Values) != len(q.GroupBy) {
+		return fmt.Errorf("explain: question has %d values for %d group-by attributes",
+			len(q.Values), len(q.GroupBy))
+	}
+	seen := map[string]bool{}
+	for _, a := range q.GroupBy {
+		if seen[a] {
+			return fmt.Errorf("explain: duplicate group-by attribute %q", a)
+		}
+		seen[a] = true
+	}
+	if q.Agg.IsStar() && q.Agg.Func != engine.Count {
+		return fmt.Errorf("explain: %s requires an argument", q.Agg.Func)
+	}
+	return nil
+}
+
+// ValueOf returns the question's value for a group-by attribute.
+func (q UserQuestion) ValueOf(attr string) (value.V, bool) {
+	for i, a := range q.GroupBy {
+		if a == attr {
+			return q.Values[i], true
+		}
+	}
+	return value.V{}, false
+}
+
+// Project extracts the question's values for the given attributes, in the
+// given order. ok is false when any attribute is not part of the
+// question's group-by.
+func (q UserQuestion) Project(attrs []string) (value.Tuple, bool) {
+	out := make(value.Tuple, len(attrs))
+	for i, a := range attrs {
+		v, found := q.ValueOf(a)
+		if !found {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// DistTuple renders the question tuple for the distance metric:
+// attribute-name-tagged values over the group-by attributes.
+func (q UserQuestion) DistTuple() distance.Tuple {
+	out := make(distance.Tuple, len(q.GroupBy))
+	for i, a := range q.GroupBy {
+		out[a] = q.Values[i]
+	}
+	return out
+}
+
+// String renders the question in the paper's style:
+// "why is count(*) = 1 low for (author=AX, venue=SIGKDD, year=2007)?".
+func (q UserQuestion) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "why is %s = %s %s for (", q.Agg, q.AggValue, q.Dir)
+	for i, a := range q.GroupBy {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", a, q.Values[i])
+	}
+	sb.WriteString(")?")
+	return sb.String()
+}
+
+// QuestionFromRow builds a question from one row of an aggregate query
+// result whose schema is (groupBy..., agg). It verifies the row arity.
+func QuestionFromRow(groupBy []string, agg engine.AggSpec, row value.Tuple, dir Direction) (UserQuestion, error) {
+	if len(row) != len(groupBy)+1 {
+		return UserQuestion{}, fmt.Errorf("explain: row has %d values, want %d group-by values plus aggregate",
+			len(row), len(groupBy))
+	}
+	q := UserQuestion{
+		GroupBy:  groupBy,
+		Agg:      agg,
+		Values:   row[:len(groupBy)].Clone(),
+		AggValue: row[len(groupBy)],
+		Dir:      dir,
+	}
+	return q, q.Validate()
+}

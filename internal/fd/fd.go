@@ -1,0 +1,179 @@
+// Package fd implements functional-dependency bookkeeping for pattern
+// mining (Appendix D of the CAPE paper): storing FDs with single-attribute
+// right-hand sides, computing attribute closures, checking that a
+// pattern's partition attributes are minimal, and detecting FDs from the
+// group counts that mining computes anyway (|π_A(R)| = |π_{A∪B}(R)| ⟹
+// A → B).
+package fd
+
+import (
+	"sort"
+	"strings"
+)
+
+// dep is one functional dependency lhs → rhs with a single RHS attribute.
+type dep struct {
+	lhs []string // sorted
+	rhs string
+}
+
+// Set is a collection of functional dependencies. The zero value is not
+// usable; construct with NewSet.
+type Set struct {
+	deps []dep
+	seen map[string]struct{} // dedup key per dependency
+}
+
+// NewSet returns an empty FD set.
+func NewSet() *Set {
+	return &Set{seen: make(map[string]struct{})}
+}
+
+// Key returns a canonical string for an attribute set: sorted names
+// joined with an unprintable separator. Used to index group-size maps.
+func Key(attrs []string) string {
+	s := append([]string(nil), attrs...)
+	sort.Strings(s)
+	return strings.Join(s, "\x1f")
+}
+
+// Add records the dependency lhs → rhs. Trivial dependencies (rhs ∈ lhs)
+// and duplicates are ignored.
+func (s *Set) Add(lhs []string, rhs string) {
+	for _, a := range lhs {
+		if a == rhs {
+			return
+		}
+	}
+	sorted := append([]string(nil), lhs...)
+	sort.Strings(sorted)
+	k := Key(sorted) + "\x1e" + rhs
+	if _, dup := s.seen[k]; dup {
+		return
+	}
+	s.seen[k] = struct{}{}
+	s.deps = append(s.deps, dep{lhs: sorted, rhs: rhs})
+}
+
+// Len reports the number of stored dependencies.
+func (s *Set) Len() int { return len(s.deps) }
+
+// Closure computes the attribute closure of attrs under the stored FDs
+// (all attributes implied by attrs), returned as a membership set.
+func (s *Set) Closure(attrs []string) map[string]bool {
+	closure := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		closure[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range s.deps {
+			if closure[d.rhs] {
+				continue
+			}
+			all := true
+			for _, a := range d.lhs {
+				if !closure[a] {
+					all = false
+					break
+				}
+			}
+			if all {
+				closure[d.rhs] = true
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether lhs → rhs follows from the stored FDs.
+func (s *Set) Implies(lhs []string, rhs string) bool {
+	return s.Closure(lhs)[rhs]
+}
+
+// IsMinimal reports whether no attribute of attrs is implied by the
+// remaining attributes — the condition under which a pattern's partition
+// attributes F should be considered (non-minimal F yields a pattern
+// redundant with the one over the reduced F, per the augmentation rule in
+// Appendix D).
+func (s *Set) IsMinimal(attrs []string) bool {
+	if len(s.deps) == 0 || len(attrs) < 2 {
+		return true
+	}
+	rest := make([]string, 0, len(attrs)-1)
+	for i, a := range attrs {
+		rest = rest[:0]
+		rest = append(rest, attrs[:i]...)
+		rest = append(rest, attrs[i+1:]...)
+		if s.Implies(rest, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// DeterminesAll reports whether lhs functionally determines every
+// attribute in rhs. A pattern where F → V cannot satisfy a local support
+// threshold δ > 1 (each fragment has exactly one predictor point), so
+// mining skips it.
+func (s *Set) DeterminesAll(lhs, rhs []string) bool {
+	if len(s.deps) == 0 {
+		return false
+	}
+	closure := s.Closure(lhs)
+	for _, a := range rhs {
+		if !closure[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Detect inspects recorded group counts to find dependencies
+// (g − {A}) → A for each attribute A of g: the dependency holds exactly
+// when grouping on g − {A} produces as many groups as grouping on g.
+// groupSizes maps Key(attrSet) → number of distinct combinations; entries
+// missing from the map are skipped. Newly found FDs are added to s; the
+// number added is returned.
+func (s *Set) Detect(groupSizes map[string]int, g []string) int {
+	if len(g) < 2 {
+		return 0
+	}
+	full, ok := groupSizes[Key(g)]
+	if !ok {
+		return 0
+	}
+	added := 0
+	rest := make([]string, 0, len(g)-1)
+	for i, a := range g {
+		rest = rest[:0]
+		rest = append(rest, g[:i]...)
+		rest = append(rest, g[i+1:]...)
+		sub, ok := groupSizes[Key(rest)]
+		if !ok || sub != full {
+			continue
+		}
+		before := s.Len()
+		s.Add(rest, a)
+		if s.Len() > before {
+			added++
+		}
+	}
+	return added
+}
+
+// Dep is an exported view of one stored dependency.
+type Dep struct {
+	LHS []string
+	RHS string
+}
+
+// Deps returns copies of the stored dependencies for inspection.
+func (s *Set) Deps() []Dep {
+	out := make([]Dep, len(s.deps))
+	for i, d := range s.deps {
+		out[i] = Dep{LHS: append([]string(nil), d.lhs...), RHS: d.rhs}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package fd
+
+import (
+	"testing"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	if Key([]string{"b", "a"}) != Key([]string{"a", "b"}) {
+		t.Error("Key should be order-insensitive")
+	}
+	if Key([]string{"a"}) == Key([]string{"a", "b"}) {
+		t.Error("different sets should have different keys")
+	}
+	// Input slice must not be mutated.
+	in := []string{"z", "a"}
+	Key(in)
+	if in[0] != "z" {
+		t.Error("Key mutated its input")
+	}
+}
+
+func TestAddDedupAndTrivial(t *testing.T) {
+	s := NewSet()
+	s.Add([]string{"a"}, "b")
+	s.Add([]string{"a"}, "b")
+	if s.Len() != 1 {
+		t.Errorf("duplicate Add: Len = %d", s.Len())
+	}
+	s.Add([]string{"a", "b"}, "a") // trivial
+	if s.Len() != 1 {
+		t.Errorf("trivial FD stored: Len = %d", s.Len())
+	}
+	s.Add([]string{"b", "a"}, "c")
+	s.Add([]string{"a", "b"}, "c") // same FD, different order
+	if s.Len() != 2 {
+		t.Errorf("order-insensitive dedup failed: Len = %d", s.Len())
+	}
+}
+
+func TestClosureTransitive(t *testing.T) {
+	s := NewSet()
+	s.Add([]string{"a"}, "b")
+	s.Add([]string{"b"}, "c")
+	s.Add([]string{"c", "d"}, "e")
+	cl := s.Closure([]string{"a"})
+	for _, want := range []string{"a", "b", "c"} {
+		if !cl[want] {
+			t.Errorf("closure(a) missing %q", want)
+		}
+	}
+	if cl["e"] {
+		t.Error("closure(a) should not contain e (d missing)")
+	}
+	cl2 := s.Closure([]string{"a", "d"})
+	if !cl2["e"] {
+		t.Error("closure(a,d) should contain e via a→b→c, cd→e")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	s := NewSet()
+	s.Add([]string{"block"}, "district")
+	s.Add([]string{"district"}, "community")
+	if !s.Implies([]string{"block"}, "community") {
+		t.Error("block → community should be implied transitively")
+	}
+	if s.Implies([]string{"community"}, "block") {
+		t.Error("reverse implication should not hold")
+	}
+}
+
+func TestIsMinimal(t *testing.T) {
+	s := NewSet()
+	s.Add([]string{"block"}, "district")
+	if s.IsMinimal([]string{"block", "district"}) {
+		t.Error("{block, district} should be non-minimal (block → district)")
+	}
+	if !s.IsMinimal([]string{"block", "year"}) {
+		t.Error("{block, year} should be minimal")
+	}
+	if !s.IsMinimal([]string{"district"}) {
+		t.Error("singleton sets are always minimal")
+	}
+	empty := NewSet()
+	if !empty.IsMinimal([]string{"a", "b", "c"}) {
+		t.Error("no FDs ⟹ everything minimal")
+	}
+}
+
+func TestDeterminesAll(t *testing.T) {
+	s := NewSet()
+	s.Add([]string{"id"}, "year")
+	s.Add([]string{"id"}, "venue")
+	if !s.DeterminesAll([]string{"id"}, []string{"year", "venue"}) {
+		t.Error("id should determine both year and venue")
+	}
+	if s.DeterminesAll([]string{"id"}, []string{"year", "author"}) {
+		t.Error("id should not determine author")
+	}
+	if NewSet().DeterminesAll([]string{"id"}, []string{"year"}) {
+		t.Error("empty FD set determines nothing")
+	}
+}
+
+func TestDetect(t *testing.T) {
+	// Simulated group counts: grouping on {block} gives 100 groups, and
+	// {block, district} also 100 ⟹ block → district. {block, year} gives
+	// 400 ⟹ no FD in either direction w.r.t. year.
+	sizes := map[string]int{
+		Key([]string{"block"}):             100,
+		Key([]string{"district"}):          10,
+		Key([]string{"year"}):              4,
+		Key([]string{"block", "district"}): 100,
+		Key([]string{"block", "year"}):     400,
+	}
+	s := NewSet()
+	if added := s.Detect(sizes, []string{"block", "district"}); added != 1 {
+		t.Errorf("Detect added %d FDs, want 1", added)
+	}
+	if !s.Implies([]string{"block"}, "district") {
+		t.Error("detected FD block → district missing")
+	}
+	if added := s.Detect(sizes, []string{"block", "year"}); added != 0 {
+		t.Errorf("no FD should be detected for block/year, got %d", added)
+	}
+	// Re-detection of a known FD adds nothing.
+	if added := s.Detect(sizes, []string{"block", "district"}); added != 0 {
+		t.Errorf("re-detect added %d", added)
+	}
+}
+
+func TestDetectMissingCounts(t *testing.T) {
+	s := NewSet()
+	if added := s.Detect(map[string]int{}, []string{"a", "b"}); added != 0 {
+		t.Error("missing counts should add nothing")
+	}
+	if added := s.Detect(map[string]int{Key([]string{"a"}): 5}, []string{"a"}); added != 0 {
+		t.Error("singleton g should add nothing")
+	}
+}
+
+func TestDeps(t *testing.T) {
+	s := NewSet()
+	s.Add([]string{"a"}, "b")
+	deps := s.Deps()
+	if len(deps) != 1 || deps[0].RHS != "b" || len(deps[0].LHS) != 1 || deps[0].LHS[0] != "a" {
+		t.Errorf("Deps = %+v", deps)
+	}
+	// Mutating the returned copy must not affect the set.
+	deps[0].LHS[0] = "zzz"
+	if !s.Implies([]string{"a"}, "b") {
+		t.Error("Deps returned aliased storage")
+	}
+}

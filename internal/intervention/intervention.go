@@ -1,0 +1,222 @@
+// Package intervention implements a simplified intervention-based
+// explainer in the spirit of the provenance-restricted systems the CAPE
+// paper contrasts itself with (Scorpion [47], Roy–Suciu [36], Roy et
+// al. [35]): given a "why is this aggregate so high?" question, it finds
+// predicates over the non-group-by attributes of the question tuple's
+// *provenance* whose removal moves the aggregate toward the rest of the
+// result, ranked by influence per removed tuple.
+//
+// The package also demonstrates — by construction — the paper's central
+// motivation: intervention can only delete provenance tuples, so it has
+// nothing to offer for "why is this value so LOW?" questions (removing
+// tuples from a count or a non-negative sum can never raise it), and it
+// can never surface counterbalances that live outside the provenance.
+// Explain returns ErrLowQuestion in that case; CAPE's counterbalances
+// are the answer the paper proposes instead.
+package intervention
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/value"
+)
+
+// ErrLowQuestion is returned for dir = low questions: deleting provenance
+// tuples cannot raise a count or a non-negative sum, which is exactly the
+// limitation CAPE's counterbalances overcome.
+var ErrLowQuestion = errors.New(
+	"intervention: removing provenance tuples cannot explain a LOW outcome; use counterbalance explanations")
+
+// Explanation is one candidate intervention: a single-attribute predicate
+// over the provenance whose removal lowers the aggregate toward the
+// expected value.
+type Explanation struct {
+	// Attr = Val is the predicate describing the removed tuples.
+	Attr string
+	Val  value.V
+	// Removed is the number of provenance tuples matching the predicate.
+	Removed int
+	// NewValue is the question aggregate after removal.
+	NewValue float64
+	// Influence is the aggregate change per removed tuple (Δagg / n).
+	Influence float64
+}
+
+// String renders "venue=ICDE: removing 7 tuples lowers count(*) to 5
+// (influence 1.00)".
+func (e Explanation) String() string {
+	return fmt.Sprintf("%s=%s: removing %d tuples lowers the aggregate to %.2f (influence %.2f)",
+		e.Attr, e.Val, e.Removed, e.NewValue, e.Influence)
+}
+
+// Options configures the intervention explainer.
+type Options struct {
+	// K is the number of predicates to return (default 10).
+	K int
+	// Expected is the target value the aggregate "should" have; when 0 it
+	// defaults to the average aggregate over the question query's other
+	// groups. Candidates that would push the aggregate below Expected are
+	// discarded (over-deletion explains nothing).
+	Expected float64
+}
+
+// Explain finds single-attribute predicates over the question tuple's
+// provenance whose removal moves the aggregate toward Expected. Only
+// count(*) and sum over non-negative attributes are supported — the
+// aggregates for which monotone deletion semantics are well-defined.
+func Explain(q explain.UserQuestion, r *engine.Table, opt Options) ([]Explanation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Dir == explain.Low {
+		return nil, ErrLowQuestion
+	}
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	if q.Agg.Func != engine.Count && q.Agg.Func != engine.Sum {
+		return nil, fmt.Errorf("intervention: aggregate %s not supported (count and sum only)", q.Agg)
+	}
+
+	// The provenance of the question tuple: rows in its group.
+	prov, err := r.SelectEq(q.GroupBy, q.Values)
+	if err != nil {
+		return nil, err
+	}
+	current, err := aggValue(prov, q.Agg)
+	if err != nil {
+		return nil, err
+	}
+
+	expected := opt.Expected
+	if expected == 0 {
+		expected, err = expectedFromOtherGroups(q, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if current <= expected {
+		return nil, nil // nothing to explain away
+	}
+
+	inGroup := map[string]bool{}
+	for _, a := range q.GroupBy {
+		inGroup[a] = true
+	}
+	var aggIdx = -1
+	if !q.Agg.IsStar() {
+		aggIdx = prov.Schema().Index(q.Agg.Arg)
+	}
+
+	// Enumerate (attr, value) predicates over non-group-by attributes and
+	// accumulate each predicate's removal effect in one scan per attr.
+	var out []Explanation
+	for ci, col := range prov.Schema() {
+		if inGroup[col.Name] || (!q.Agg.IsStar() && col.Name == q.Agg.Arg) {
+			continue
+		}
+		type eff struct {
+			n     int
+			delta float64
+		}
+		effects := map[string]*eff{}
+		vals := map[string]value.V{}
+		for _, row := range prov.Rows() {
+			k := row[ci].String()
+			e, ok := effects[k]
+			if !ok {
+				e = &eff{}
+				effects[k] = e
+				vals[k] = row[ci]
+			}
+			e.n++
+			if q.Agg.IsStar() {
+				e.delta++
+			} else if f, ok := row[aggIdx].AsFloat(); ok {
+				if f < 0 {
+					return nil, fmt.Errorf("intervention: sum over negative values has no monotone deletion semantics")
+				}
+				e.delta += f
+			}
+		}
+		for k, e := range effects {
+			if e.n == prov.NumRows() {
+				continue // removing everything is not an explanation
+			}
+			newVal := current - e.delta
+			if newVal < expected {
+				continue // over-deletes past the expected value
+			}
+			out = append(out, Explanation{
+				Attr:      col.Name,
+				Val:       vals[k],
+				Removed:   e.n,
+				NewValue:  newVal,
+				Influence: e.delta / float64(e.n),
+			})
+		}
+	}
+
+	// Rank: biggest aggregate reduction first (most of the anomaly
+	// explained), then higher influence, then predicate text.
+	sort.Slice(out, func(i, j int) bool {
+		di := current - out[i].NewValue
+		dj := current - out[j].NewValue
+		if di != dj {
+			return di > dj
+		}
+		if out[i].Influence != out[j].Influence {
+			return out[i].Influence > out[j].Influence
+		}
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr < out[j].Attr
+		}
+		return value.Compare(out[i].Val, out[j].Val) < 0
+	})
+	if len(out) > opt.K {
+		out = out[:opt.K]
+	}
+	return out, nil
+}
+
+// aggValue evaluates the question aggregate over a set of rows.
+func aggValue(t *engine.Table, agg engine.AggSpec) (float64, error) {
+	g, err := t.GroupBy(nil, []engine.AggSpec{agg})
+	if err != nil {
+		return 0, err
+	}
+	if g.NumRows() == 0 {
+		return 0, nil
+	}
+	f, _ := g.Row(0)[0].AsFloat()
+	return f, nil
+}
+
+// expectedFromOtherGroups averages the aggregate over the question
+// query's other result tuples.
+func expectedFromOtherGroups(q explain.UserQuestion, r *engine.Table) (float64, error) {
+	grouped, err := r.GroupBy(q.GroupBy, []engine.AggSpec{q.Agg})
+	if err != nil {
+		return 0, err
+	}
+	aggIdx := len(q.GroupBy)
+	var sum float64
+	var n int
+	for _, row := range grouped.Rows() {
+		if value.Tuple(row[:aggIdx]).Equal(q.Values) {
+			continue
+		}
+		if f, ok := row[aggIdx].AsFloat(); ok {
+			sum += f
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,190 @@
+package intervention
+
+import (
+	"errors"
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/value"
+)
+
+// salesTable: the "west" region's count is inflated by a burst of
+// online-channel orders — the classic Scorpion scenario where a predicate
+// over a non-group-by attribute explains the outlier away.
+func salesTable(t *testing.T) *engine.Table {
+	t.Helper()
+	tab := engine.NewTable(engine.Schema{
+		{Name: "region", Kind: value.String},
+		{Name: "channel", Kind: value.String},
+		{Name: "rep", Kind: value.String},
+		{Name: "amount", Kind: value.Int},
+	})
+	add := func(region, channel, rep string, amount int64, n int) {
+		for i := 0; i < n; i++ {
+			tab.MustAppend(value.Tuple{
+				value.NewString(region), value.NewString(channel),
+				value.NewString(rep), value.NewInt(amount),
+			})
+		}
+	}
+	add("east", "store", "bob", 10, 5)
+	add("north", "store", "eve", 10, 5)
+	// west: 5 ordinary store orders plus a 9-order online burst.
+	add("west", "store", "amy", 10, 5)
+	add("west", "online", "amy", 10, 9)
+	return tab
+}
+
+func highQuestion() explain.UserQuestion {
+	return explain.UserQuestion{
+		GroupBy:  []string{"region"},
+		Agg:      engine.AggSpec{Func: engine.Count},
+		Values:   value.Tuple{value.NewString("west")},
+		AggValue: value.NewInt(14),
+		Dir:      explain.High,
+	}
+}
+
+func TestInterventionFindsBurstPredicate(t *testing.T) {
+	tab := salesTable(t)
+	expls, err := Explain(highQuestion(), tab, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expls) == 0 {
+		t.Fatal("no interventions found")
+	}
+	top := expls[0]
+	if top.Attr != "channel" || top.Val.Str() != "online" {
+		t.Errorf("top intervention = %s, want channel=online", top)
+	}
+	if top.Removed != 9 || top.NewValue != 5 {
+		t.Errorf("top removal effect = %d → %g, want 9 → 5", top.Removed, top.NewValue)
+	}
+}
+
+func TestInterventionRefusesLowQuestions(t *testing.T) {
+	tab := salesTable(t)
+	q := highQuestion()
+	q.Dir = explain.Low
+	_, err := Explain(q, tab, Options{})
+	if !errors.Is(err, ErrLowQuestion) {
+		t.Errorf("low question error = %v, want ErrLowQuestion", err)
+	}
+}
+
+func TestInterventionSumAggregate(t *testing.T) {
+	tab := salesTable(t)
+	q := explain.UserQuestion{
+		GroupBy:  []string{"region"},
+		Agg:      engine.AggSpec{Func: engine.Sum, Arg: "amount"},
+		Values:   value.Tuple{value.NewString("west")},
+		AggValue: value.NewInt(140),
+		Dir:      explain.High,
+	}
+	expls, err := Explain(q, tab, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expls) == 0 {
+		t.Fatal("no sum interventions")
+	}
+	if expls[0].Attr != "channel" || expls[0].Val.Str() != "online" {
+		t.Errorf("top sum intervention = %s", expls[0])
+	}
+	if expls[0].NewValue != 50 {
+		t.Errorf("sum after removal = %g, want 50", expls[0].NewValue)
+	}
+}
+
+func TestInterventionNoOverDeletion(t *testing.T) {
+	tab := salesTable(t)
+	expls, err := Explain(highQuestion(), tab, Options{K: 100, Expected: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range expls {
+		if e.NewValue < 5 {
+			t.Errorf("over-deleting predicate survived: %s", e)
+		}
+	}
+}
+
+func TestInterventionNothingToExplain(t *testing.T) {
+	tab := salesTable(t)
+	q := explain.UserQuestion{
+		GroupBy:  []string{"region"},
+		Agg:      engine.AggSpec{Func: engine.Count},
+		Values:   value.Tuple{value.NewString("east")},
+		AggValue: value.NewInt(5),
+		Dir:      explain.High,
+	}
+	// east (5) is below the average of the others ((5+14)/2 = 9.5).
+	expls, err := Explain(q, tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expls) != 0 {
+		t.Errorf("nothing should need explaining: %v", expls)
+	}
+}
+
+func TestInterventionErrors(t *testing.T) {
+	tab := salesTable(t)
+	if _, err := Explain(explain.UserQuestion{}, tab, Options{}); err == nil {
+		t.Error("invalid question should error")
+	}
+	q := highQuestion()
+	q.Agg = engine.AggSpec{Func: engine.Avg, Arg: "amount"}
+	if _, err := Explain(q, tab, Options{}); err == nil {
+		t.Error("avg aggregate should be rejected")
+	}
+	// Negative sums have no monotone deletion semantics.
+	neg := engine.NewTable(tab.Schema())
+	for _, r := range tab.Rows() {
+		neg.MustAppend(r.Clone())
+	}
+	neg.MustAppend(value.Tuple{
+		value.NewString("west"), value.NewString("refund"),
+		value.NewString("amy"), value.NewInt(-50),
+	})
+	q = highQuestion()
+	q.Agg = engine.AggSpec{Func: engine.Sum, Arg: "amount"}
+	if _, err := Explain(q, neg, Options{}); err == nil {
+		t.Error("negative sum values should be rejected")
+	}
+}
+
+// TestInterventionCannotSeeCounterbalances documents the package-level
+// point: the running example's counterbalance (AX's extra ICDE papers)
+// is invisible to intervention because it is outside the question
+// tuple's provenance, and the low question is refused outright.
+func TestInterventionCannotSeeCounterbalances(t *testing.T) {
+	tab := engine.NewTable(engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "venue", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+	})
+	rows := []struct {
+		v string
+		n int
+	}{{"SIGKDD", 1}, {"ICDE", 7}}
+	for _, r := range rows {
+		for i := 0; i < r.n; i++ {
+			tab.MustAppend(value.Tuple{
+				value.NewString("AX"), value.NewString(r.v), value.NewInt(2007),
+			})
+		}
+	}
+	q := explain.UserQuestion{
+		GroupBy:  []string{"author", "venue", "year"},
+		Agg:      engine.AggSpec{Func: engine.Count},
+		Values:   value.Tuple{value.NewString("AX"), value.NewString("SIGKDD"), value.NewInt(2007)},
+		AggValue: value.NewInt(1),
+		Dir:      explain.Low,
+	}
+	if _, err := Explain(q, tab, Options{}); !errors.Is(err, ErrLowQuestion) {
+		t.Errorf("err = %v, want ErrLowQuestion", err)
+	}
+}

@@ -1,0 +1,373 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/fd"
+	"cape/internal/pattern"
+	"cape/internal/regress"
+	"cape/internal/value"
+)
+
+// testTable builds a small 4-attribute relation with planted trends:
+// per (author, venue) the yearly publication count is roughly constant,
+// and "cites" carries a numeric payload.
+func testTable(t testing.TB, rows int) *engine.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	tab := engine.NewTable(engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "venue", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+		{Name: "cites", Kind: value.Int},
+	})
+	authors := []string{"a1", "a2", "a3", "a4", "a5"}
+	venues := []string{"KDD", "ICDE", "VLDB"}
+	for i := 0; i < rows; i++ {
+		tab.MustAppend(value.Tuple{
+			value.NewString(authors[rng.Intn(len(authors))]),
+			value.NewString(venues[rng.Intn(len(venues))]),
+			value.NewInt(int64(2000 + rng.Intn(6))),
+			value.NewInt(int64(rng.Intn(30))),
+		})
+	}
+	return tab
+}
+
+func lenientOpts() Options {
+	return Options{
+		MaxPatternSize: 3,
+		Thresholds:     pattern.Thresholds{Theta: 0.1, LocalSupport: 2, Lambda: 0.3, GlobalSupport: 1},
+		AggFuncs:       []engine.AggFunc{engine.Count, engine.Sum},
+		Models:         []regress.ModelType{regress.Const, regress.Lin},
+	}
+}
+
+func patternKeys(res *Result) map[string]bool {
+	out := make(map[string]bool, len(res.Patterns))
+	for _, m := range res.Patterns {
+		out[m.Pattern.Key()] = true
+	}
+	return out
+}
+
+// TestMinerEquivalence is the central consistency check: all four miner
+// variants must discover exactly the same set of globally-holding
+// patterns (FD pruning disabled), since they differ only in query
+// sharing, not semantics.
+func TestMinerEquivalence(t *testing.T) {
+	tab := testTable(t, 400)
+	opt := lenientOpts()
+
+	naive, err := Naive(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share, err := ShareGrp(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := CubeMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arp, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(naive.Patterns) == 0 {
+		t.Fatal("no patterns found at lenient thresholds — test data or miner broken")
+	}
+	nk := patternKeys(naive)
+	for name, res := range map[string]*Result{"ShareGrp": share, "Cube": cube, "ARPMine": arp} {
+		rk := patternKeys(res)
+		if len(rk) != len(nk) {
+			t.Errorf("%s found %d patterns, Naive found %d", name, len(rk), len(nk))
+		}
+		for k := range nk {
+			if !rk[k] {
+				t.Errorf("%s missing pattern %s", name, k)
+			}
+		}
+		for k := range rk {
+			if !nk[k] {
+				t.Errorf("%s has extra pattern %s", name, k)
+			}
+		}
+	}
+}
+
+// TestMinerLocalModelsAgree verifies the per-fragment models agree
+// between the naive and shared implementations, not just the pattern
+// sets.
+func TestMinerLocalModelsAgree(t *testing.T) {
+	tab := testTable(t, 300)
+	opt := lenientOpts()
+	naive, err := Naive(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arp, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arpByKey := map[string]*pattern.Mined{}
+	for _, m := range arp.Patterns {
+		arpByKey[m.Pattern.Key()] = m
+	}
+	for _, nm := range naive.Patterns {
+		am, ok := arpByKey[nm.Pattern.Key()]
+		if !ok {
+			t.Fatalf("ARPMine missing %s", nm.Pattern)
+		}
+		if len(am.Locals) != len(nm.Locals) {
+			t.Errorf("%s: local model count %d vs %d", nm.Pattern, len(am.Locals), len(nm.Locals))
+			continue
+		}
+		for k, nlm := range nm.Locals {
+			alm, ok := am.Locals[k]
+			if !ok {
+				t.Errorf("%s: missing fragment %v", nm.Pattern, nlm.Frag)
+				continue
+			}
+			if alm.Support != nlm.Support {
+				t.Errorf("%s %v: support %d vs %d", nm.Pattern, nlm.Frag, alm.Support, nlm.Support)
+			}
+			np, ap := nlm.Model.Params(), alm.Model.Params()
+			for i := range np {
+				if diff := np[i] - ap[i]; diff > 1e-9 || diff < -1e-9 {
+					t.Errorf("%s %v: params %v vs %v", nm.Pattern, nlm.Frag, np, ap)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestARPMineFDPruning(t *testing.T) {
+	// Add a column functionally determined by venue (venue → area).
+	tab := testTable(t, 300)
+	area := map[string]string{"KDD": "DM", "ICDE": "DB", "VLDB": "DB"}
+	aug := engine.NewTable(append(tab.Schema().Clone(), engine.Column{Name: "area", Kind: value.String}))
+	for _, r := range tab.Rows() {
+		row := append(r.Clone(), value.NewString(area[r[1].Str()]))
+		aug.MustAppend(row)
+	}
+
+	opt := lenientOpts()
+	opt.UseFDs = true
+	res, err := ARPMine(aug, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedByFD == 0 {
+		t.Error("FD pruning should skip some (F,V) pairs with venue → area present")
+	}
+	if res.FDs == nil || !res.FDs.Implies([]string{"venue"}, "area") {
+		t.Error("venue → area should have been detected")
+	}
+	// Pruned patterns must all be redundant: every surviving pattern has
+	// minimal F.
+	for _, m := range res.Patterns {
+		if !res.FDs.IsMinimal(m.Pattern.F) {
+			t.Errorf("non-minimal F survived FD pruning: %s", m.Pattern)
+		}
+	}
+
+	// Without FDs the superset includes everything found with FDs except
+	// pruned-but-redundant ones.
+	opt.UseFDs = false
+	noFD, err := ARPMine(aug, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withKeys := patternKeys(res)
+	noKeys := patternKeys(noFD)
+	for k := range withKeys {
+		if !noKeys[k] {
+			t.Errorf("FD run found pattern absent from full run: %s", k)
+		}
+	}
+	if res.Candidates >= noFD.Candidates {
+		t.Errorf("FD pruning should reduce candidates: %d vs %d", res.Candidates, noFD.Candidates)
+	}
+}
+
+func TestARPMineInitialFDs(t *testing.T) {
+	tab := testTable(t, 200)
+	seed := fd.NewSet()
+	seed.Add([]string{"author"}, "venue") // artificial: prunes {author,venue} F sets
+	opt := lenientOpts()
+	opt.UseFDs = true
+	opt.InitialFDs = seed
+	res, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Patterns {
+		if !seed.IsMinimal(m.Pattern.F) {
+			t.Errorf("pattern with non-minimal F survived: %s", m.Pattern)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	tab := testTable(t, 50)
+	got, err := Options{}.withDefaults(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxPatternSize != 4 || len(got.Attributes) != 4 || len(got.AggFuncs) != 2 || len(got.Models) != 2 {
+		t.Errorf("defaults = %+v", got)
+	}
+	if _, err := (Options{MaxPatternSize: 1}).withDefaults(tab); err == nil {
+		t.Error("ψ = 1 should error")
+	}
+	if _, err := (Options{Attributes: []string{"ghost"}}).withDefaults(tab); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	if _, err := (Options{Thresholds: pattern.Thresholds{Theta: 5, LocalSupport: 1, Lambda: 0, GlobalSupport: 1}}).withDefaults(tab); err == nil {
+		t.Error("invalid thresholds should error")
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	attrs := []string{"a", "b", "c", "d"}
+	if got := len(combinations(attrs, 2)); got != 6 {
+		t.Errorf("C(4,2) = %d, want 6", got)
+	}
+	if got := len(combinations(attrs, 4)); got != 1 {
+		t.Errorf("C(4,4) = %d, want 1", got)
+	}
+	if combinations(attrs, 0) != nil || combinations(attrs, 5) != nil {
+		t.Error("out-of-range k should return nil")
+	}
+	// Subsets preserve input order.
+	for _, c := range combinations(attrs, 3) {
+		for i := 1; i < len(c); i++ {
+			if c[i-1] >= c[i] {
+				t.Errorf("combination %v not in input order", c)
+			}
+		}
+	}
+}
+
+func TestSplits(t *testing.T) {
+	g := []string{"a", "b", "c"}
+	sp := splits(g)
+	if len(sp) != 6 { // 2³ − 2
+		t.Errorf("splits of 3 attrs = %d, want 6", len(sp))
+	}
+	for _, s := range sp {
+		if len(s[0]) == 0 || len(s[1]) == 0 {
+			t.Errorf("split has empty side: %v", s)
+		}
+		if len(s[0])+len(s[1]) != len(g) {
+			t.Errorf("split loses attributes: %v", s)
+		}
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	if got := len(permutations([]string{"a", "b", "c"})); got != 6 {
+		t.Errorf("3! = %d, want 6", got)
+	}
+	if got := len(permutations([]string{"a"})); got != 1 {
+		t.Errorf("1! = %d", got)
+	}
+	if permutations(nil) != nil {
+		t.Error("permutations of empty should be nil")
+	}
+	// All distinct.
+	seen := map[string]bool{}
+	for _, p := range permutations([]string{"a", "b", "c", "d"}) {
+		k := p[0] + p[1] + p[2] + p[3]
+		if seen[k] {
+			t.Errorf("duplicate permutation %v", p)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 24 {
+		t.Errorf("4! = %d, want 24", len(seen))
+	}
+}
+
+func TestAggSpecsFor(t *testing.T) {
+	tab := testTable(t, 10)
+	specs := aggSpecsFor(tab, []engine.AggFunc{engine.Count, engine.Sum}, []string{"author", "year"})
+	var haveCount, haveSumCites, haveSumYear bool
+	for _, s := range specs {
+		switch s.String() {
+		case "count(*)":
+			haveCount = true
+		case "sum(cites)":
+			haveSumCites = true
+		case "sum(year)":
+			haveSumYear = true
+		}
+	}
+	if !haveCount || !haveSumCites {
+		t.Errorf("specs missing expected aggregates: %v", specs)
+	}
+	if haveSumYear {
+		t.Error("sum(year) must be excluded: year ∈ G")
+	}
+	// String columns are never aggregate arguments.
+	for _, s := range specs {
+		if s.Arg == "author" || s.Arg == "venue" {
+			t.Errorf("string column used as aggregate argument: %v", s)
+		}
+	}
+}
+
+func TestMiningTimersPopulated(t *testing.T) {
+	tab := testTable(t, 200)
+	res, err := ARPMine(tab, lenientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timers.Query <= 0 {
+		t.Error("query time should be positive")
+	}
+	if res.Timers.Regression <= 0 {
+		t.Error("regression time should be positive")
+	}
+	if res.Candidates <= 0 {
+		t.Error("candidate count should be positive")
+	}
+}
+
+func TestMaxPatternSizeRestricts(t *testing.T) {
+	tab := testTable(t, 200)
+	opt := lenientOpts()
+	opt.MaxPatternSize = 2
+	res, err := ShareGrp(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Patterns {
+		if len(m.Pattern.F)+len(m.Pattern.V) > 2 {
+			t.Errorf("pattern exceeds ψ=2: %s", m.Pattern)
+		}
+	}
+}
+
+func TestAttributesRestricts(t *testing.T) {
+	tab := testTable(t, 200)
+	opt := lenientOpts()
+	opt.Attributes = []string{"author", "year"}
+	res, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Patterns {
+		for _, a := range m.Pattern.GroupAttrs() {
+			if a != "author" && a != "year" {
+				t.Errorf("pattern uses excluded attribute: %s", m.Pattern)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package mining
+
+import (
+	"sync"
+)
+
+// forEachParallel runs fn(i) for i in [0, n) on up to `workers`
+// goroutines, returning the first error encountered (remaining items are
+// still drained, so all goroutines exit cleanly). workers ≤ 1 runs
+// sequentially.
+func forEachParallel(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,90 @@
+package mining
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachParallelRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		var count int64
+		err := forEachParallel(20, workers, func(i int) error {
+			atomic.AddInt64(&count, 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != 20 {
+			t.Errorf("workers=%d ran %d of 20", workers, count)
+		}
+	}
+}
+
+func TestForEachParallelPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := forEachParallel(50, 4, func(i int) error {
+		if i == 17 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Errorf("error = %v, want sentinel", err)
+	}
+}
+
+func TestForEachParallelZeroItems(t *testing.T) {
+	if err := forEachParallel(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("zero items should not run fn: %v", err)
+	}
+}
+
+// TestParallelMiningEquivalence: parallel ShareGrp and ARPMine (with and
+// without FDs) must produce exactly the sequential pattern sets and
+// counters.
+func TestParallelMiningEquivalence(t *testing.T) {
+	tab := testTable(t, 400)
+	for _, useFDs := range []bool{false, true} {
+		opt := lenientOpts()
+		opt.UseFDs = useFDs
+		seqA, err := ARPMine(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Parallelism = 4
+		parA, err := ARPMine(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seqA.Patterns) != len(parA.Patterns) ||
+			seqA.Candidates != parA.Candidates ||
+			seqA.SkippedByFD != parA.SkippedByFD {
+			t.Fatalf("FDs=%v: parallel ARPMine differs: %d/%d/%d vs %d/%d/%d",
+				useFDs,
+				len(seqA.Patterns), seqA.Candidates, seqA.SkippedByFD,
+				len(parA.Patterns), parA.Candidates, parA.SkippedByFD)
+		}
+		for i := range seqA.Patterns {
+			if seqA.Patterns[i].Pattern.Key() != parA.Patterns[i].Pattern.Key() {
+				t.Fatalf("pattern order differs at %d", i)
+			}
+		}
+	}
+
+	opt := lenientOpts()
+	seqS, err := ShareGrp(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallelism = 4
+	parS, err := ShareGrp(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqS.Patterns) != len(parS.Patterns) || seqS.Candidates != parS.Candidates {
+		t.Fatalf("parallel ShareGrp differs: %d/%d vs %d/%d",
+			len(seqS.Patterns), seqS.Candidates, len(parS.Patterns), parS.Candidates)
+	}
+}

@@ -1,0 +1,196 @@
+package mining
+
+import (
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// TestThetaMonotonicity: raising the local model quality threshold can
+// only shrink the set of patterns that hold globally (every fragment that
+// passes a higher θ also passes a lower one, and confidence/support can
+// only drop).
+func TestThetaMonotonicity(t *testing.T) {
+	tab := testTable(t, 400)
+	opt := lenientOpts()
+	var prev map[string]bool
+	for _, theta := range []float64{0.05, 0.2, 0.5, 0.8} {
+		opt.Thresholds.Theta = theta
+		res, err := ARPMine(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := patternKeys(res)
+		if prev != nil {
+			for k := range cur {
+				if !prev[k] {
+					t.Errorf("θ=%g found pattern absent at lower θ: %s", theta, k)
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestGlobalSupportMonotonicity: raising Δ can only shrink the pattern
+// set.
+func TestGlobalSupportMonotonicity(t *testing.T) {
+	tab := testTable(t, 400)
+	opt := lenientOpts()
+	var prev map[string]bool
+	for _, gs := range []int{1, 2, 4, 8} {
+		opt.Thresholds.GlobalSupport = gs
+		res, err := ARPMine(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := patternKeys(res)
+		if prev != nil {
+			for k := range cur {
+				if !prev[k] {
+					t.Errorf("Δ=%d found pattern absent at lower Δ: %s", gs, k)
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestLambdaMonotonicity: raising λ can only shrink the pattern set.
+func TestLambdaMonotonicity(t *testing.T) {
+	tab := testTable(t, 400)
+	opt := lenientOpts()
+	var prev map[string]bool
+	for _, lambda := range []float64{0.05, 0.3, 0.6, 0.9} {
+		opt.Thresholds.Lambda = lambda
+		res, err := ARPMine(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := patternKeys(res)
+		if prev != nil {
+			for k := range cur {
+				if !prev[k] {
+					t.Errorf("λ=%g found pattern absent at lower λ: %s", lambda, k)
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestLocalSupportShrinksSupportedFragments: raising δ cannot increase
+// any pattern's number of supported fragments.
+func TestLocalSupportShrinksSupportedFragments(t *testing.T) {
+	tab := testTable(t, 400)
+	opt := lenientOpts()
+	opt.Thresholds.LocalSupport = 2
+	loose, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseByKey := map[string]*pattern.Mined{}
+	for _, m := range loose.Patterns {
+		looseByKey[m.Pattern.Key()] = m
+	}
+	opt.Thresholds.LocalSupport = 4
+	tight, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tight.Patterns {
+		lm, ok := looseByKey[m.Pattern.Key()]
+		if !ok {
+			continue // pattern may gain confidence when weak fragments drop out
+		}
+		if m.NumSupported > lm.NumSupported {
+			t.Errorf("%s: δ=4 supported %d fragments, δ=2 only %d",
+				m.Pattern, m.NumSupported, lm.NumSupported)
+		}
+	}
+}
+
+// TestAugmentationRule verifies the Appendix-D inference rule on data:
+// with the FD venue → area holding, whenever [F]: V holds globally with
+// venue ∈ F, the augmented pattern [F ∪ {area}]: V must also hold
+// globally (same thresholds), because the fragments are identical sets of
+// rows.
+func TestAugmentationRule(t *testing.T) {
+	base := testTable(t, 400)
+	area := map[string]string{"KDD": "DM", "ICDE": "DB", "VLDB": "DB"}
+	tab := engine.NewTable(append(base.Schema().Clone(), engine.Column{Name: "area", Kind: value.String}))
+	for _, r := range base.Rows() {
+		tab.MustAppend(append(r.Clone(), value.NewString(area[r[1].Str()])))
+	}
+
+	opt := lenientOpts()
+	opt.MaxPatternSize = 3
+	res, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]*pattern.Mined{}
+	for _, m := range res.Patterns {
+		byKey[m.Pattern.Key()] = m
+	}
+	checked := 0
+	for _, m := range res.Patterns {
+		hasVenue, hasArea := false, false
+		for _, a := range m.Pattern.F {
+			if a == "venue" {
+				hasVenue = true
+			}
+			if a == "area" {
+				hasArea = true
+			}
+		}
+		usesArea := hasArea
+		for _, a := range m.Pattern.V {
+			if a == "area" {
+				usesArea = true
+			}
+		}
+		if !hasVenue || usesArea {
+			continue
+		}
+		if len(m.Pattern.GroupAttrs())+1 > opt.MaxPatternSize {
+			continue // augmented pattern exceeds ψ, not mined
+		}
+		aug := m.Pattern
+		aug.F = append(append([]string(nil), aug.F...), "area")
+		augKey := aug.Key()
+		if _, ok := byKey[augKey]; !ok {
+			t.Errorf("augmentation rule violated: %s holds but %s does not", m.Pattern, augKey)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no venue-partitioned patterns small enough to check")
+	}
+}
+
+// TestMiningDeterminism: identical inputs yield identical pattern sets
+// and statistics across runs.
+func TestMiningDeterminism(t *testing.T) {
+	tab := testTable(t, 300)
+	opt := lenientOpts()
+	a, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(b.Patterns) || a.Candidates != b.Candidates {
+		t.Fatalf("non-deterministic mining: %d/%d vs %d/%d patterns/candidates",
+			len(a.Patterns), a.Candidates, len(b.Patterns), b.Candidates)
+	}
+	for i := range a.Patterns {
+		if a.Patterns[i].Pattern.Key() != b.Patterns[i].Pattern.Key() {
+			t.Errorf("pattern order differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package pattern
+
+import (
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/regress"
+	"cape/internal/value"
+)
+
+// figure1Table reproduces the Pub instance from Figure 1 of the paper.
+func figure1Table(t *testing.T) *engine.Table {
+	t.Helper()
+	tab := engine.NewTable(engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "pubid", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+		{Name: "venue", Kind: value.String},
+	})
+	rows := []struct {
+		a, p  string
+		y     int64
+		venue string
+	}{
+		{"AX", "P1", 2004, "SIGKDD"}, {"AX", "P2", 2004, "SIGKDD"},
+		{"AX", "P3", 2005, "SIGKDD"}, {"AX", "P4", 2005, "SIGKDD"},
+		{"AX", "P5", 2005, "ICDE"},
+		{"AY", "P2", 2004, "SIGKDD"}, {"AY", "P6", 2004, "ICDE"},
+		{"AY", "P7", 2004, "ICDM"}, {"AY", "P8", 2005, "ICDE"},
+		{"AZ", "P9", 2004, "SIGMOD"},
+	}
+	for _, r := range rows {
+		tab.MustAppend(value.Tuple{
+			value.NewString(r.a), value.NewString(r.p),
+			value.NewInt(r.y), value.NewString(r.venue),
+		})
+	}
+	return tab
+}
+
+// TestFitFigure1 reproduces the paper's Example 2: pattern
+// [author]: year ~Const~> count(*) with δ=2, θ=0.2, λ=0.5, Δ=2 holds
+// globally; AX's model predicts 2.5 papers/year, AY's 2; AZ lacks
+// support.
+func TestFitFigure1(t *testing.T) {
+	tab := figure1Table(t)
+	p := Pattern{F: []string{"author"}, V: []string{"year"},
+		Agg: engine.AggSpec{Func: engine.Count}, Model: regress.Const}
+	th := Thresholds{Theta: 0.2, LocalSupport: 2, Lambda: 0.5, GlobalSupport: 2}
+	m, err := Fit(p, tab, th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("pattern should hold globally")
+	}
+	if m.NumFragments != 3 {
+		t.Errorf("|frag| = %d, want 3", m.NumFragments)
+	}
+	if m.NumSupported != 2 {
+		t.Errorf("|frag_supp| = %d, want 2 (AZ below δ)", m.NumSupported)
+	}
+	if m.GlobalSupport() != 2 {
+		t.Errorf("|frag_good| = %d, want 2", m.GlobalSupport())
+	}
+	if m.Confidence != 1 {
+		t.Errorf("confidence = %g, want 1", m.Confidence)
+	}
+	ax, ok := m.Local(value.Tuple{value.NewString("AX")})
+	if !ok {
+		t.Fatal("AX should hold locally")
+	}
+	if got := ax.Model.Predict(nil); got != 2.5 {
+		t.Errorf("g(AX) predicts %g, want 2.5", got)
+	}
+	ay, ok := m.Local(value.Tuple{value.NewString("AY")})
+	if !ok {
+		t.Fatal("AY should hold locally")
+	}
+	if got := ay.Model.Predict(nil); got != 2 {
+		t.Errorf("g(AY) predicts %g, want 2", got)
+	}
+	if m.HoldsLocally(value.Tuple{value.NewString("AZ")}) {
+		t.Error("AZ must not hold locally (support 1 < δ)")
+	}
+}
+
+func TestFitGlobalSupportFails(t *testing.T) {
+	tab := figure1Table(t)
+	p := Pattern{F: []string{"author"}, V: []string{"year"},
+		Agg: engine.AggSpec{Func: engine.Count}, Model: regress.Const}
+	th := Thresholds{Theta: 0.2, LocalSupport: 2, Lambda: 0.5, GlobalSupport: 3}
+	m, err := Fit(p, tab, th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Error("Δ=3 exceeds the 2 good fragments: pattern must not hold")
+	}
+}
+
+func TestFitConfidenceFails(t *testing.T) {
+	// Make AY's counts wildly scattered so its Const fit has low GoF,
+	// pushing confidence to 1/2 < λ = 0.9.
+	tab := figure1Table(t)
+	for i := 0; i < 40; i++ {
+		tab.MustAppend(value.Tuple{
+			value.NewString("AY"), value.NewString("PX"),
+			value.NewInt(2006), value.NewString("ICDE"),
+		})
+	}
+	p := Pattern{F: []string{"author"}, V: []string{"year"},
+		Agg: engine.AggSpec{Func: engine.Count}, Model: regress.Const}
+	th := Thresholds{Theta: 0.2, LocalSupport: 2, Lambda: 0.9, GlobalSupport: 1}
+	m, err := Fit(p, tab, th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Errorf("confidence %g with λ=0.9 should fail", m.Confidence)
+	}
+	// Same data, lenient λ: holds with confidence 0.5.
+	th.Lambda = 0.5
+	m, err = Fit(p, tab, th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("λ=0.5 should pass with confidence 1/2")
+	}
+	if m.Confidence != 0.5 {
+		t.Errorf("confidence = %g, want 0.5", m.Confidence)
+	}
+}
+
+func TestFitLinearPattern(t *testing.T) {
+	// Author pubs grow linearly: 1, 2, 3, 4 per year.
+	tab := engine.NewTable(engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+	})
+	for _, a := range []string{"A1", "A2", "A3"} {
+		for y := int64(0); y < 4; y++ {
+			for k := int64(0); k <= y; k++ {
+				tab.MustAppend(value.Tuple{value.NewString(a), value.NewInt(2000 + y)})
+			}
+		}
+	}
+	p := Pattern{F: []string{"author"}, V: []string{"year"},
+		Agg: engine.AggSpec{Func: engine.Count}, Model: regress.Lin}
+	th := Thresholds{Theta: 0.9, LocalSupport: 3, Lambda: 0.5, GlobalSupport: 2}
+	m, err := Fit(p, tab, th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("exact linear trend should hold")
+	}
+	if m.GlobalSupport() != 3 {
+		t.Errorf("good fragments = %d, want 3", m.GlobalSupport())
+	}
+	lm, _ := m.Local(value.Tuple{value.NewString("A1")})
+	if got := lm.Model.Predict([]float64{2005}); got < 5.9 || got > 6.1 {
+		t.Errorf("extrapolated prediction = %g, want ≈ 6", got)
+	}
+}
+
+func TestFitLinNonNumericPredictor(t *testing.T) {
+	// venue (string) as predictor: Lin cannot hold, Const can.
+	tab := figure1Table(t)
+	lin := Pattern{F: []string{"author"}, V: []string{"venue"},
+		Agg: engine.AggSpec{Func: engine.Count}, Model: regress.Lin}
+	th := Thresholds{Theta: 0.0, LocalSupport: 2, Lambda: 0.1, GlobalSupport: 1}
+	m, err := Fit(lin, tab, th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Error("Lin over a string predictor must not hold")
+	}
+	cst := lin
+	cst.Model = regress.Const
+	m, err = Fit(cst, tab, th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Error("Const over a string predictor should be fittable")
+	}
+}
+
+func TestFitSharedMultipleAggregates(t *testing.T) {
+	tab := figure1Table(t)
+	f, v := []string{"author"}, []string{"year"}
+	aggs := []engine.AggSpec{{Func: engine.Count}, {Func: engine.Min, Arg: "venue"}}
+	grouped, err := tab.GroupBy(append(f, v...), aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grouped.SortBy(append(f, v...)); err != nil {
+		t.Fatal(err)
+	}
+	th := Thresholds{Theta: 0.1, LocalSupport: 2, Lambda: 0.5, GlobalSupport: 1}
+	res, err := FitShared(f, v, aggs, []regress.ModelType{regress.Const, regress.Lin}, grouped, th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res {
+		// min(venue) yields strings: no regression possible.
+		if m.Pattern.Agg.Func == engine.Min {
+			t.Errorf("string-valued aggregate pattern %s should not hold", m.Pattern)
+		}
+	}
+	// At least the Const count pattern should be present.
+	found := false
+	for _, m := range res {
+		if m.Pattern.Agg.Func == engine.Count && m.Pattern.Model == regress.Const {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Const count(*) pattern missing from FitShared result")
+	}
+}
+
+func TestFitSharedMissingAggColumn(t *testing.T) {
+	tab := figure1Table(t)
+	grouped, _ := tab.GroupBy([]string{"author", "year"}, []engine.AggSpec{{Func: engine.Count}})
+	_, err := FitShared([]string{"author"}, []string{"year"},
+		[]engine.AggSpec{{Func: engine.Sum, Arg: "zz"}},
+		[]regress.ModelType{regress.Const}, grouped, DefaultThresholds(), nil)
+	if err == nil {
+		t.Error("missing aggregate column should error")
+	}
+}
+
+func TestFitSharedBadThresholds(t *testing.T) {
+	tab := figure1Table(t)
+	grouped, _ := tab.GroupBy([]string{"author", "year"}, []engine.AggSpec{{Func: engine.Count}})
+	_, err := FitShared([]string{"author"}, []string{"year"},
+		[]engine.AggSpec{{Func: engine.Count}},
+		[]regress.ModelType{regress.Const}, grouped,
+		Thresholds{Theta: 2, LocalSupport: 1, Lambda: 0.5, GlobalSupport: 1}, nil)
+	if err == nil {
+		t.Error("invalid thresholds should error")
+	}
+}
+
+func TestFitDeviationExtremes(t *testing.T) {
+	// AX counts: 2004→2, 2005→3; mean 2.5 ⟹ devs −0.5, +0.5.
+	tab := figure1Table(t)
+	p := Pattern{F: []string{"author"}, V: []string{"year"},
+		Agg: engine.AggSpec{Func: engine.Count}, Model: regress.Const}
+	th := Thresholds{Theta: 0.2, LocalSupport: 2, Lambda: 0.5, GlobalSupport: 1}
+	m, err := Fit(p, tab, th, nil)
+	if err != nil || m == nil {
+		t.Fatal(err)
+	}
+	ax, _ := m.Local(value.Tuple{value.NewString("AX")})
+	if ax.MaxPosDev != 0.5 || ax.MaxNegDev != -0.5 {
+		t.Errorf("AX dev extremes = %g / %g, want +0.5 / −0.5", ax.MaxPosDev, ax.MaxNegDev)
+	}
+	if m.MaxPosDev < 0.5 {
+		t.Errorf("global MaxPosDev = %g, want ≥ 0.5", m.MaxPosDev)
+	}
+	if m.MaxNegDev > -0.5 {
+		t.Errorf("global MaxNegDev = %g, want ≤ −0.5", m.MaxNegDev)
+	}
+}
+
+func TestFitTimersAccumulate(t *testing.T) {
+	tab := figure1Table(t)
+	p := Pattern{F: []string{"author"}, V: []string{"year"},
+		Agg: engine.AggSpec{Func: engine.Count}, Model: regress.Const}
+	var tm Timers
+	if _, err := Fit(p, tab, Thresholds{Theta: 0.1, LocalSupport: 2, Lambda: 0.5, GlobalSupport: 1}, &tm); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Total() <= 0 {
+		t.Error("timers should accumulate some duration")
+	}
+	var sum Timers
+	sum.Add(tm)
+	sum.Add(tm)
+	if sum.Total() != 2*tm.Total() {
+		t.Error("Timers.Add arithmetic wrong")
+	}
+}
+
+func TestEncodePredictors(t *testing.T) {
+	if _, ok := EncodePredictors(value.Tuple{value.NewString("x")}); ok {
+		t.Error("string predictor should not encode")
+	}
+	if _, ok := EncodePredictors(value.Tuple{value.NewNull()}); ok {
+		t.Error("null predictor should not encode")
+	}
+	enc, ok := EncodePredictors(value.Tuple{value.NewInt(3), value.NewFloat(1.5)})
+	if !ok || enc[0] != 3 || enc[1] != 1.5 {
+		t.Errorf("EncodePredictors = %v, %v", enc, ok)
+	}
+}
+
+func TestFitInvalidPattern(t *testing.T) {
+	tab := figure1Table(t)
+	bad := Pattern{F: nil, V: []string{"year"}, Agg: engine.AggSpec{Func: engine.Count}}
+	if _, err := Fit(bad, tab, DefaultThresholds(), nil); err == nil {
+		t.Error("invalid pattern should error")
+	}
+}

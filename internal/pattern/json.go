@@ -1,0 +1,143 @@
+package pattern
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"cape/internal/engine"
+	"cape/internal/regress"
+	"cape/internal/value"
+)
+
+// The JSON wire format lets the offline mining phase persist its output
+// for the online explanation phase — the deployment split the paper's
+// architecture assumes.
+
+type jsonLocal struct {
+	Frag      value.Tuple `json:"frag"`
+	Params    []float64   `json:"params"`
+	GoF       float64     `json:"gof"`
+	Support   int         `json:"support"`
+	MaxPosDev float64     `json:"maxPosDev"`
+	MaxNegDev float64     `json:"maxNegDev"`
+}
+
+type jsonMined struct {
+	F            []string    `json:"f"`
+	V            []string    `json:"v"`
+	Agg          string      `json:"agg"`
+	AggArg       string      `json:"aggArg,omitempty"`
+	Model        string      `json:"model"`
+	NumFragments int         `json:"numFragments"`
+	NumSupported int         `json:"numSupported"`
+	Confidence   float64     `json:"confidence"`
+	MaxPosDev    float64     `json:"maxPosDev"`
+	MaxNegDev    float64     `json:"maxNegDev"`
+	Locals       []jsonLocal `json:"locals"`
+}
+
+// WriteJSON serializes mined patterns (with their local models) to w.
+func WriteJSON(w io.Writer, patterns []*Mined) error {
+	out := make([]jsonMined, 0, len(patterns))
+	for _, m := range patterns {
+		jm := jsonMined{
+			F:            m.Pattern.F,
+			V:            m.Pattern.V,
+			Agg:          m.Pattern.Agg.Func.String(),
+			AggArg:       m.Pattern.Agg.Arg,
+			Model:        m.Pattern.Model.String(),
+			NumFragments: m.NumFragments,
+			NumSupported: m.NumSupported,
+			Confidence:   m.Confidence,
+			MaxPosDev:    m.MaxPosDev,
+			MaxNegDev:    m.MaxNegDev,
+		}
+		for _, lm := range m.Locals {
+			jm.Locals = append(jm.Locals, jsonLocal{
+				Frag:      lm.Frag,
+				Params:    lm.Model.Params(),
+				GoF:       lm.Model.GoF(),
+				Support:   lm.Support,
+				MaxPosDev: lm.MaxPosDev,
+				MaxNegDev: lm.MaxNegDev,
+			})
+		}
+		out = append(out, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes mined patterns written by WriteJSON.
+func ReadJSON(r io.Reader) ([]*Mined, error) {
+	var in []jsonMined
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("pattern: decoding patterns JSON: %w", err)
+	}
+	out := make([]*Mined, 0, len(in))
+	for i, jm := range in {
+		aggFunc, err := engine.ParseAggFunc(jm.Agg)
+		if err != nil {
+			return nil, fmt.Errorf("pattern: entry %d: %w", i, err)
+		}
+		modelType, err := regress.ParseModelType(jm.Model)
+		if err != nil {
+			return nil, fmt.Errorf("pattern: entry %d: %w", i, err)
+		}
+		m := &Mined{
+			Pattern: Pattern{
+				F:     jm.F,
+				V:     jm.V,
+				Agg:   engine.AggSpec{Func: aggFunc, Arg: jm.AggArg},
+				Model: modelType,
+			},
+			Locals:       make(map[string]*LocalModel, len(jm.Locals)),
+			NumFragments: jm.NumFragments,
+			NumSupported: jm.NumSupported,
+			Confidence:   jm.Confidence,
+			MaxPosDev:    jm.MaxPosDev,
+			MaxNegDev:    jm.MaxNegDev,
+		}
+		if err := m.Pattern.Validate(); err != nil {
+			return nil, fmt.Errorf("pattern: entry %d: %w", i, err)
+		}
+		for _, jl := range jm.Locals {
+			model, err := regress.FromParams(modelType, jl.Params, jl.GoF)
+			if err != nil {
+				return nil, fmt.Errorf("pattern: entry %d fragment %v: %w", i, jl.Frag, err)
+			}
+			m.Locals[jl.Frag.Key()] = &LocalModel{
+				Frag:      jl.Frag,
+				Model:     model,
+				Support:   jl.Support,
+				MaxPosDev: jl.MaxPosDev,
+				MaxNegDev: jl.MaxNegDev,
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// WriteJSONFile writes patterns to the named file.
+func WriteJSONFile(path string, patterns []*Mined) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteJSON(f, patterns)
+}
+
+// ReadJSONFile loads patterns from the named file.
+func ReadJSONFile(path string) ([]*Mined, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

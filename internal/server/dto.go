@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// ExplainRequest is the body of POST /v1/explain (with Patterns set) and
+// POST /v1/baseline (with Table set).
+type ExplainRequest struct {
+	// Patterns names a pattern set from /v1/mine (explain only).
+	Patterns string `json:"patterns,omitempty"`
+	// Table names a loaded table (baseline only; explain takes the table
+	// from the pattern set).
+	Table string `json:"table,omitempty"`
+	// GroupBy + Aggregate + Tuple + Dir define the user question. Tuple
+	// values are rendered strings, parsed with the CSV value rules.
+	GroupBy   []string `json:"groupBy"`
+	Aggregate string   `json:"aggregate,omitempty"` // e.g. "count(*)", "sum(x)"; default count(*)
+	Tuple     []string `json:"tuple"`
+	Dir       string   `json:"dir"`
+	K         int      `json:"k,omitempty"`
+	// Numeric maps attribute names to numeric-distance scales.
+	Numeric map[string]float64 `json:"numeric,omitempty"`
+	// Weights maps attribute names to metric weights.
+	Weights map[string]float64 `json:"weights,omitempty"`
+}
+
+// build validates the request against the table and produces the
+// question plus explanation options.
+func (r ExplainRequest) build(tab *engine.Table) (explain.UserQuestion, explain.Options, error) {
+	var q explain.UserQuestion
+	if len(r.GroupBy) == 0 || len(r.Tuple) != len(r.GroupBy) {
+		return q, explain.Options{}, fmt.Errorf("groupBy and tuple must be non-empty and the same length")
+	}
+	dir, err := explain.ParseDirection(r.Dir)
+	if err != nil {
+		return q, explain.Options{}, err
+	}
+	agg := engine.AggSpec{Func: engine.Count}
+	if r.Aggregate != "" && r.Aggregate != "count(*)" {
+		var fn, arg string
+		if i := indexByte(r.Aggregate, '('); i > 0 && r.Aggregate[len(r.Aggregate)-1] == ')' {
+			fn, arg = r.Aggregate[:i], r.Aggregate[i+1:len(r.Aggregate)-1]
+		} else {
+			return q, explain.Options{}, fmt.Errorf("aggregate %q must look like func(arg)", r.Aggregate)
+		}
+		f, err := engine.ParseAggFunc(fn)
+		if err != nil {
+			return q, explain.Options{}, err
+		}
+		agg = engine.AggSpec{Func: f, Arg: arg}
+		if agg.IsStar() && f != engine.Count {
+			return q, explain.Options{}, fmt.Errorf("%s requires an argument", fn)
+		}
+	}
+
+	vals := make(value.Tuple, len(r.Tuple))
+	for i, raw := range r.Tuple {
+		vals[i] = value.Parse(raw)
+	}
+	grouped, err := tab.GroupBy(r.GroupBy, []engine.AggSpec{agg})
+	if err != nil {
+		return q, explain.Options{}, err
+	}
+	found := false
+	for _, row := range grouped.Rows() {
+		if value.Tuple(row[:len(r.GroupBy)]).Equal(vals) {
+			q = explain.UserQuestion{
+				GroupBy: r.GroupBy, Agg: agg, Values: vals,
+				AggValue: row[len(r.GroupBy)], Dir: dir,
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return q, explain.Options{}, fmt.Errorf("tuple %v is not a result of the question query", r.Tuple)
+	}
+
+	metric := distance.NewMetric()
+	for attr, scale := range r.Numeric {
+		if scale <= 0 {
+			return q, explain.Options{}, fmt.Errorf("numeric scale for %q must be positive", attr)
+		}
+		metric.SetFunc(attr, distance.Numeric{Scale: scale})
+	}
+	for attr, weight := range r.Weights {
+		if weight < 0 {
+			return q, explain.Options{}, fmt.Errorf("weight for %q must be non-negative", attr)
+		}
+		metric.SetWeight(attr, weight)
+	}
+	return q, explain.Options{K: r.K, Metric: metric}, nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// tableDTO renders a relation as column names plus stringified rows.
+func tableDTO(t *engine.Table) map[string]interface{} {
+	cols := t.Schema().Names()
+	rows := make([][]string, t.NumRows())
+	for i, r := range t.Rows() {
+		cells := make([]string, len(r))
+		for j, v := range r {
+			if v.IsNull() {
+				cells[j] = ""
+			} else {
+				cells[j] = v.String()
+			}
+		}
+		rows[i] = cells
+	}
+	return map[string]interface{}{"columns": cols, "rows": rows}
+}
+
+// patternDTO is the wire form of a mined pattern summary.
+type patternDTO struct {
+	Pattern    string  `json:"pattern"`
+	Confidence float64 `json:"confidence"`
+	Locals     int     `json:"localModels"`
+	Supported  int     `json:"supportedFragments"`
+	Fragments  int     `json:"fragments"`
+}
+
+func newPatternDTO(m *pattern.Mined) patternDTO {
+	return patternDTO{
+		Pattern:    m.Pattern.String(),
+		Confidence: m.Confidence,
+		Locals:     m.GlobalSupport(),
+		Supported:  m.NumSupported,
+		Fragments:  m.NumFragments,
+	}
+}
+
+// explanationDTO is the wire form of one ranked counterbalance.
+type explanationDTO struct {
+	Attrs     []string `json:"attrs"`
+	Tuple     []string `json:"tuple"`
+	AggValue  string   `json:"aggValue"`
+	Predicted float64  `json:"predicted"`
+	Deviation float64  `json:"deviation"`
+	Distance  float64  `json:"distance"`
+	Score     float64  `json:"score"`
+	Relevant  string   `json:"relevantPattern"`
+	Refined   string   `json:"refinedPattern"`
+	Narration string   `json:"narration"`
+}
+
+func newExplanationDTO(e explain.Explanation, q explain.UserQuestion) explanationDTO {
+	tuple := make([]string, len(e.Tuple))
+	for i, v := range e.Tuple {
+		tuple[i] = v.String()
+	}
+	return explanationDTO{
+		Attrs:     e.Attrs,
+		Tuple:     tuple,
+		AggValue:  e.AggValue.String(),
+		Predicted: e.Predicted,
+		Deviation: e.Deviation,
+		Distance:  e.Distance,
+		Score:     e.Score,
+		Relevant:  e.Relevant.String(),
+		Refined:   e.Refined.String(),
+		Narration: e.Narrate(q),
+	}
+}
+
+// generalizationDTO is the wire form of one drill-up explanation.
+type generalizationDTO struct {
+	Attrs     []string `json:"attrs"`
+	Tuple     []string `json:"tuple"`
+	AggValue  string   `json:"aggValue"`
+	Predicted float64  `json:"predicted"`
+	Deviation float64  `json:"deviation"`
+	Score     float64  `json:"score"`
+	Pattern   string   `json:"pattern"`
+}
+
+func newGeneralizationDTO(g explain.Generalization) generalizationDTO {
+	tuple := make([]string, len(g.Tuple))
+	for i, v := range g.Tuple {
+		tuple[i] = v.String()
+	}
+	return generalizationDTO{
+		Attrs: g.Attrs, Tuple: tuple, AggValue: g.AggValue.String(),
+		Predicted: g.Predicted, Deviation: g.Deviation, Score: g.Score,
+		Pattern: g.Pattern.String(),
+	}
+}

@@ -1,0 +1,453 @@
+// Package server exposes CAPE over HTTP: load CSV tables, mine pattern
+// sets offline, and answer user questions online — the deployment shape
+// the paper's architecture implies (mining is a batch job; explanation is
+// an interactive endpoint). The API is JSON over REST:
+//
+//	GET  /healthz                    liveness probe
+//	GET  /v1/tables                  list loaded tables
+//	POST /v1/tables?name=pub         load a CSV body as a table
+//	POST /v1/query                   run a SQL query
+//	POST /v1/mine                    mine a pattern set, returns its id
+//	GET  /v1/patterns/{id}           inspect a mined pattern set
+//	POST /v1/explain                 top-k counterbalances for a question
+//	POST /v1/generalize              same-direction coarser deviations
+//	POST /v1/intervene               provenance-restricted intervention baseline
+//	POST /v1/baseline                the pattern-blind comparison method
+//
+// The server holds everything in memory and is safe for concurrent use.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cape/internal/baseline"
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/intervention"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/sql"
+)
+
+// Server is the HTTP handler. Create with New.
+type Server struct {
+	mux *http.ServeMux
+
+	mu       sync.RWMutex
+	tables   map[string]*engine.Table
+	patterns map[string]*patternSet
+	nextID   int
+
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// patternSet is a stored mining result.
+type patternSet struct {
+	ID       string      `json:"id"`
+	Table    string      `json:"table"`
+	Count    int         `json:"patterns"`
+	Locals   int         `json:"localModels"`
+	Options  MineRequest `json:"options"`
+	patterns []*pattern.Mined
+}
+
+// New returns a ready-to-serve Server.
+func New() *Server {
+	s := &Server{
+		tables:       make(map[string]*engine.Table),
+		patterns:     make(map[string]*patternSet),
+		MaxBodyBytes: 64 << 20,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/tables", s.handleListTables)
+	mux.HandleFunc("POST /v1/tables", s.handleLoadTable)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("GET /v1/patterns/{id}", s.handleGetPatterns)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/generalize", s.handleGeneralize)
+	mux.HandleFunc("POST /v1/intervene", s.handleIntervene)
+	mux.HandleFunc("POST /v1/baseline", s.handleBaseline)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// AddTable registers a table programmatically (e.g. preloaded data).
+func (s *Server) AddTable(name string, t *engine.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[name] = t
+}
+
+// ---- handlers ----
+
+func (s *Server) handleListTables(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type info struct {
+		Name    string   `json:"name"`
+		Rows    int      `json:"rows"`
+		Columns []string `json:"columns"`
+	}
+	out := make([]info, 0, len(s.tables))
+	for name, t := range s.tables {
+		out = append(out, info{Name: name, Rows: t.NumRows(), Columns: t.Schema().Names()})
+	}
+	// Deterministic order for clients and tests.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Name > out[j].Name; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleLoadTable(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "query parameter 'name' is required")
+		return
+	}
+	tab, err := engine.ReadCSV(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "loading CSV: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.tables[name] = tab
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]interface{}{
+		"name": name, "rows": tab.NumRows(), "columns": tab.Schema().Names(),
+	})
+}
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	cat := make(sql.Catalog, len(s.tables))
+	for n, t := range s.tables {
+		cat[n] = t
+	}
+	s.mu.RUnlock()
+	out, err := sql.Run(req.SQL, cat)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tableDTO(out))
+}
+
+// MineRequest is the body of POST /v1/mine.
+type MineRequest struct {
+	Table          string   `json:"table"`
+	Miner          string   `json:"miner,omitempty"` // arpmine (default), sharegrp, cube, naive
+	Attributes     []string `json:"attributes,omitempty"`
+	MaxPatternSize int      `json:"maxPatternSize,omitempty"`
+	Theta          float64  `json:"theta,omitempty"`
+	LocalSupport   int      `json:"localSupport,omitempty"`
+	Lambda         float64  `json:"lambda,omitempty"`
+	GlobalSupport  int      `json:"globalSupport,omitempty"`
+	Aggregates     []string `json:"aggregates,omitempty"`
+	UseFDs         bool     `json:"useFDs,omitempty"`
+	Parallelism    int      `json:"parallelism,omitempty"`
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req MineRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	tab, ok := s.table(req.Table)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown table %q", req.Table)
+		return
+	}
+	opt, err := req.options()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	run := mining.ARPMine
+	switch strings.ToLower(req.Miner) {
+	case "", "arpmine":
+	case "sharegrp":
+		run = mining.ShareGrp
+	case "cube":
+		run = mining.CubeMine
+	case "naive":
+		run = mining.Naive
+	default:
+		httpError(w, http.StatusBadRequest, "unknown miner %q", req.Miner)
+		return
+	}
+	res, err := run(tab, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	locals := 0
+	for _, m := range res.Patterns {
+		locals += len(m.Locals)
+	}
+	s.mu.Lock()
+	s.nextID++
+	ps := &patternSet{
+		ID:       "ps-" + strconv.Itoa(s.nextID),
+		Table:    req.Table,
+		Count:    len(res.Patterns),
+		Locals:   locals,
+		Options:  req,
+		patterns: res.Patterns,
+	}
+	s.patterns[ps.ID] = ps
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, ps)
+}
+
+// options converts a MineRequest to mining.Options.
+func (r MineRequest) options() (mining.Options, error) {
+	opt := mining.Options{
+		MaxPatternSize: r.MaxPatternSize,
+		Attributes:     r.Attributes,
+		UseFDs:         r.UseFDs,
+		Parallelism:    r.Parallelism,
+		Thresholds: pattern.Thresholds{
+			Theta:         r.Theta,
+			LocalSupport:  r.LocalSupport,
+			Lambda:        r.Lambda,
+			GlobalSupport: r.GlobalSupport,
+		},
+	}
+	if opt.Thresholds == (pattern.Thresholds{}) {
+		opt.Thresholds = pattern.DefaultThresholds()
+	}
+	for _, a := range r.Aggregates {
+		f, err := engine.ParseAggFunc(a)
+		if err != nil {
+			return opt, err
+		}
+		opt.AggFuncs = append(opt.AggFuncs, f)
+	}
+	return opt, nil
+}
+
+func (s *Server) handleGetPatterns(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	ps, ok := s.patterns[id]
+	s.mu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown pattern set %q", id)
+		return
+	}
+	out := make([]patternDTO, 0, len(ps.patterns))
+	for _, m := range ps.patterns {
+		out = append(out, newPatternDTO(m))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id": ps.ID, "table": ps.Table, "patterns": out,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	ps, ok := s.patterns[req.Patterns]
+	s.mu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown pattern set %q", req.Patterns)
+		return
+	}
+	tab, ok := s.table(ps.Table)
+	if !ok {
+		httpError(w, http.StatusNotFound, "table %q for pattern set is gone", ps.Table)
+		return
+	}
+	q, opt, err := req.build(tab)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	expls, stats, err := explain.Generate(q, tab, ps.patterns, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]explanationDTO, 0, len(expls))
+	for _, e := range expls {
+		out = append(out, newExplanationDTO(e, q))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"question":     q.String(),
+		"explanations": out,
+		"stats":        stats,
+	})
+}
+
+func (s *Server) handleGeneralize(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	ps, ok := s.patterns[req.Patterns]
+	s.mu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown pattern set %q", req.Patterns)
+		return
+	}
+	tab, ok := s.table(ps.Table)
+	if !ok {
+		httpError(w, http.StatusNotFound, "table %q for pattern set is gone", ps.Table)
+		return
+	}
+	q, opt, err := req.build(tab)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	gens, err := explain.Generalize(q, tab, ps.patterns, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]generalizationDTO, 0, len(gens))
+	for _, g := range gens {
+		out = append(out, newGeneralizationDTO(g))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"question":        q.String(),
+		"generalizations": out,
+	})
+}
+
+func (s *Server) handleIntervene(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Table == "" {
+		httpError(w, http.StatusBadRequest, "intervention requests need 'table'")
+		return
+	}
+	tab, ok := s.table(req.Table)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown table %q", req.Table)
+		return
+	}
+	q, opt, err := req.build(tab)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	expls, err := intervention.Explain(q, tab, intervention.Options{K: opt.K})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, intervention.ErrLowQuestion) {
+			status = http.StatusUnprocessableEntity
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"question":      q.String(),
+		"interventions": expls,
+	})
+}
+
+func (s *Server) handleBaseline(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Table == "" {
+		httpError(w, http.StatusBadRequest, "baseline requests need 'table'")
+		return
+	}
+	tab, ok := s.table(req.Table)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown table %q", req.Table)
+		return
+	}
+	q, opt, err := req.build(tab)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	expls, err := baseline.Explain(q, tab, baseline.Options{K: opt.K, Metric: opt.Metric})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"question":     q.String(),
+		"explanations": expls,
+	})
+}
+
+// table looks up a loaded table.
+func (s *Server) table(name string) (*engine.Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// ---- plumbing ----
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	// Reject trailing garbage.
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "unexpected trailing data in request body")
+		return false
+	}
+	io.Copy(io.Discard, r.Body)
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

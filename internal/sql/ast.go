@@ -1,0 +1,157 @@
+package sql
+
+import (
+	"strings"
+
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// SelectStmt is the parsed form of a query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     string
+	Where    Expr // nil when absent
+	GroupBy  []string
+	Having   Expr // nil when absent; evaluated over the grouped output
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projection entry: a bare star, a column reference, or
+// an aggregate call, optionally aliased.
+type SelectItem struct {
+	Star   bool
+	Column string
+	Agg    *AggExpr
+	Alias  string
+}
+
+// OutputName is the column name the item produces: the alias if present,
+// otherwise the column name or the aggregate's canonical rendering.
+func (s SelectItem) OutputName() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if s.Agg != nil {
+		return s.Agg.Spec().String()
+	}
+	return s.Column
+}
+
+// AggExpr is an aggregate call, e.g. count(*) or sum(amount).
+type AggExpr struct {
+	Func engine.AggFunc
+	Arg  string // empty for star
+	Star bool
+}
+
+// Spec converts to the engine's aggregate representation.
+func (a AggExpr) Spec() engine.AggSpec {
+	if a.Star {
+		return engine.AggSpec{Func: a.Func}
+	}
+	return engine.AggSpec{Func: a.Func, Arg: a.Arg}
+}
+
+// OrderKey is one ORDER BY entry.
+type OrderKey struct {
+	Column string
+	Desc   bool
+}
+
+// Expr is a boolean or scalar expression evaluable over a row.
+type Expr interface {
+	// String renders the expression in SQL syntax.
+	String() string
+	// columns appends the column names the expression references.
+	columns(dst []string) []string
+}
+
+// ColumnRef references a column by name.
+type ColumnRef struct{ Name string }
+
+func (c ColumnRef) String() string                { return c.Name }
+func (c ColumnRef) columns(dst []string) []string { return append(dst, c.Name) }
+
+// Literal is a constant value.
+type Literal struct{ Val value.V }
+
+func (l Literal) String() string {
+	if l.Val.Kind() == value.String {
+		return "'" + strings.ReplaceAll(l.Val.Str(), "'", "''") + "'"
+	}
+	if l.Val.IsNull() {
+		return "NULL"
+	}
+	return l.Val.String()
+}
+func (l Literal) columns(dst []string) []string { return dst }
+
+// CompareOp enumerates comparison operators.
+type CompareOp uint8
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var compareOpNames = map[CompareOp]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+// Compare is a binary comparison between two scalar expressions.
+type Compare struct {
+	Op   CompareOp
+	L, R Expr
+}
+
+func (c Compare) String() string {
+	return c.L.String() + " " + compareOpNames[c.Op] + " " + c.R.String()
+}
+func (c Compare) columns(dst []string) []string {
+	return c.R.columns(c.L.columns(dst))
+}
+
+// Logical is AND/OR of two boolean expressions.
+type Logical struct {
+	And  bool // true = AND, false = OR
+	L, R Expr
+}
+
+func (l Logical) String() string {
+	op := " OR "
+	if l.And {
+		op = " AND "
+	}
+	return "(" + l.L.String() + op + l.R.String() + ")"
+}
+func (l Logical) columns(dst []string) []string {
+	return l.R.columns(l.L.columns(dst))
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+func (n Not) String() string                { return "NOT (" + n.E.String() + ")" }
+func (n Not) columns(dst []string) []string { return n.E.columns(dst) }
+
+// IsNull tests a column for NULL (negated when Negate is set).
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+func (i IsNull) String() string {
+	if i.Negate {
+		return i.E.String() + " IS NOT NULL"
+	}
+	return i.E.String() + " IS NULL"
+}
+func (i IsNull) columns(dst []string) []string { return i.E.columns(dst) }

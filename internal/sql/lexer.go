@@ -1,0 +1,160 @@
+// Package sql implements the small SQL dialect the CAPE paper's
+// interface assumes: single-table SELECT with projection, DISTINCT,
+// WHERE predicates, GROUP BY with the aggregate functions of
+// Definition 2, ORDER BY, and LIMIT. Queries compile onto the relational
+// engine's operators; the explanation CLI uses it to pose aggregate
+// queries and user questions the way the paper writes them:
+//
+//	SELECT author, year, venue, count(*) AS pubcnt
+//	FROM pub
+//	GROUP BY author, year, venue
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep their case
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+// keywords of the dialect. Aggregate function names are ordinary
+// identifiers followed by '('.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true,
+	"ASC": true, "DESC": true, "IS": true, "NULL": true,
+}
+
+// lex tokenizes a query. It returns an error with a byte offset for
+// unterminated strings and unexpected characters.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				out = append(out, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				out = append(out, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' && startsValue(out)):
+			start := i
+			if c == '-' {
+				i++
+			}
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			out = append(out, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // '' escape
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			sym := input[start:i]
+			if sym == "!" {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d (did you mean !=?)", start)
+			}
+			out = append(out, token{kind: tokSymbol, text: sym, pos: start})
+		case c == '=' || c == ',' || c == '(' || c == ')' || c == '*' || c == ';':
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: n})
+	return out, nil
+}
+
+// startsValue reports whether a '-' at the current position begins a
+// negative literal (previous token was an operator or keyword) rather
+// than being part of an identifier context.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokSymbol:
+		return last.text != ")" && last.text != "*"
+	case tokKeyword:
+		return true
+	default:
+		return false
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

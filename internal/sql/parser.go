@@ -1,0 +1,379 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// Parse turns a query string into a SelectStmt.
+func Parse(query string) (*SelectStmt, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	p.acceptSymbol(";")
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s after end of statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: "+format+" (offset %d)", append(args, p.peek().pos)...)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errf("expected %q, got %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		p.next()
+		return t.text, nil
+	}
+	return "", p.errf("expected identifier, got %s", p.peek())
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	if p.acceptKeyword("WHERE") {
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = expr
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		if len(stmt.GroupBy) == 0 {
+			return nil, p.errf("HAVING requires GROUP BY")
+		}
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = expr
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Column: col}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, got %s", t)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+// parseSelectItem handles "*", "col [AS alias]", and "agg(arg) [AS alias]".
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return SelectItem{}, p.errf("expected column or aggregate, got %s", t)
+	}
+	name := t.text
+	p.next()
+
+	var item SelectItem
+	if p.acceptSymbol("(") {
+		fn, err := engine.ParseAggFunc(name)
+		if err != nil {
+			return SelectItem{}, p.errf("unknown aggregate function %q", name)
+		}
+		agg := &AggExpr{Func: fn}
+		if p.acceptSymbol("*") {
+			agg.Star = true
+		} else {
+			arg, err := p.expectIdent()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			agg.Arg = arg
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return SelectItem{}, err
+		}
+		if agg.Star && fn != engine.Count {
+			return SelectItem{}, p.errf("%s(*) is not valid; only count(*)", strings.ToLower(fn.String()))
+		}
+		item = SelectItem{Agg: agg}
+	} else {
+		item = SelectItem{Column: name}
+	}
+
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+// Expression grammar: or := and (OR and)* ; and := unary (AND unary)* ;
+// unary := NOT unary | primary ; primary := '(' or ')' | operand
+// ((cmp operand) | IS [NOT] NULL).
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Logical{And: false, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = Logical{And: true, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.acceptSymbol("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IS") {
+		negate := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return IsNull{E: left, Negate: negate}, nil
+	}
+	op, err := p.parseCompareOp()
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return Compare{Op: op, L: left, R: right}, nil
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		// An aggregate call used as an operand (HAVING count(*) > 2)
+		// resolves to the aggregate's output column.
+		if p.acceptSymbol("(") {
+			fn, err := engine.ParseAggFunc(t.text)
+			if err != nil {
+				return nil, p.errf("unknown aggregate function %q", t.text)
+			}
+			agg := AggExpr{Func: fn}
+			if p.acceptSymbol("*") {
+				agg.Star = true
+			} else {
+				arg, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				agg.Arg = arg
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			if agg.Star && fn != engine.Count {
+				return nil, p.errf("%s(*) is not valid; only count(*)", strings.ToLower(fn.String()))
+			}
+			return ColumnRef{Name: agg.Spec().String()}, nil
+		}
+		return ColumnRef{Name: t.text}, nil
+	case tokNumber:
+		p.next()
+		return Literal{Val: value.Parse(t.text)}, nil
+	case tokString:
+		p.next()
+		return Literal{Val: value.NewString(t.text)}, nil
+	case tokKeyword:
+		if t.text == "NULL" {
+			p.next()
+			return Literal{Val: value.NewNull()}, nil
+		}
+	}
+	return nil, p.errf("expected column, literal, or NULL, got %s", t)
+}
+
+func (p *parser) parseCompareOp() (CompareOp, error) {
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return 0, p.errf("expected comparison operator, got %s", t)
+	}
+	var op CompareOp
+	switch t.text {
+	case "=":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return 0, p.errf("expected comparison operator, got %s", t)
+	}
+	p.next()
+	return op, nil
+}

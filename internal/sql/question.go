@@ -1,0 +1,54 @@
+package sql
+
+import (
+	"fmt"
+
+	"cape/internal/engine"
+)
+
+// AggregateQuery extracts the (group-by attributes, aggregate) pair from
+// a statement of the shape the CAPE user question requires:
+//
+//	SELECT g1, ..., gn, agg(x) FROM t GROUP BY g1, ..., gn
+//
+// Exactly one aggregate item is allowed; every non-aggregate item must be
+// a group-by column; WHERE/ORDER BY/LIMIT are rejected because a user
+// question ranges over the full query result.
+func AggregateQuery(stmt *SelectStmt) (groupBy []string, agg engine.AggSpec, err error) {
+	if len(stmt.GroupBy) == 0 {
+		return nil, agg, fmt.Errorf("sql: user question query needs GROUP BY")
+	}
+	if stmt.Where != nil {
+		return nil, agg, fmt.Errorf("sql: user question query must not have WHERE (ask about the full result)")
+	}
+	if len(stmt.OrderBy) > 0 || stmt.Limit >= 0 || stmt.Distinct || stmt.Having != nil {
+		return nil, agg, fmt.Errorf("sql: user question query must not use HAVING, ORDER BY, LIMIT, or DISTINCT")
+	}
+	var aggItem *AggExpr
+	for _, item := range stmt.Items {
+		switch {
+		case item.Star:
+			return nil, agg, fmt.Errorf("sql: * is not allowed in a user question query")
+		case item.Agg != nil:
+			if aggItem != nil {
+				return nil, agg, fmt.Errorf("sql: user question query needs exactly one aggregate")
+			}
+			aggItem = item.Agg
+		}
+	}
+	if aggItem == nil {
+		return nil, agg, fmt.Errorf("sql: user question query needs an aggregate item")
+	}
+	inSelect := map[string]bool{}
+	for _, item := range stmt.Items {
+		if item.Agg == nil && !item.Star {
+			inSelect[item.Column] = true
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		if !inSelect[g] {
+			return nil, agg, fmt.Errorf("sql: group-by column %q missing from SELECT list", g)
+		}
+	}
+	return stmt.GroupBy, aggItem.Spec(), nil
+}

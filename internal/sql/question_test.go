@@ -1,0 +1,68 @@
+package sql
+
+import (
+	"testing"
+
+	"cape/internal/engine"
+)
+
+func TestAggregateQueryExtraction(t *testing.T) {
+	stmt, err := Parse("SELECT author, year, venue, count(*) AS pubcnt FROM pub GROUP BY author, year, venue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupBy, agg, err := AggregateQuery(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groupBy) != 3 || groupBy[0] != "author" || groupBy[2] != "venue" {
+		t.Errorf("groupBy = %v", groupBy)
+	}
+	if agg.Func != engine.Count || !agg.IsStar() {
+		t.Errorf("agg = %v", agg)
+	}
+}
+
+func TestAggregateQuerySum(t *testing.T) {
+	stmt, _ := Parse("SELECT region, sum(amount) FROM sales GROUP BY region")
+	_, agg, err := AggregateQuery(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Func != engine.Sum || agg.Arg != "amount" {
+		t.Errorf("agg = %v", agg)
+	}
+}
+
+func TestAggregateQueryRejections(t *testing.T) {
+	bad := []string{
+		"SELECT author FROM pub GROUP BY author",                             // no aggregate
+		"SELECT author, count(*), sum(x) FROM pub GROUP BY author",           // two aggregates
+		"SELECT count(*) FROM pub",                                           // no group-by
+		"SELECT author, count(*) FROM pub WHERE year = 2007 GROUP BY author", // WHERE
+		"SELECT author, count(*) FROM pub GROUP BY author ORDER BY author",   // ORDER BY
+		"SELECT author, count(*) FROM pub GROUP BY author LIMIT 5",           // LIMIT
+		"SELECT DISTINCT author, count(*) FROM pub GROUP BY author",          // DISTINCT
+		"SELECT *, count(*) FROM pub GROUP BY author",                        // star
+		"SELECT count(*) FROM pub GROUP BY author",                           // group col missing from SELECT
+	}
+	for _, q := range bad {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, _, err := AggregateQuery(stmt); err == nil {
+			t.Errorf("accepted invalid question query %q", q)
+		}
+	}
+}
+
+func TestAggregateQueryRejectsHaving(t *testing.T) {
+	stmt, err := Parse("SELECT author, count(*) AS n FROM pub GROUP BY author HAVING n > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AggregateQuery(stmt); err == nil {
+		t.Error("HAVING should be rejected in a user question query")
+	}
+}

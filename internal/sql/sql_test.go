@@ -1,0 +1,359 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+func pubCatalog(t *testing.T) Catalog {
+	t.Helper()
+	tab := engine.NewTable(engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+		{Name: "venue", Kind: value.String},
+		{Name: "cites", Kind: value.Null},
+	})
+	rows := []struct {
+		a     string
+		y     int64
+		v     string
+		cites value.V
+	}{
+		{"AX", 2006, "SIGKDD", value.NewInt(10)},
+		{"AX", 2006, "SIGKDD", value.NewInt(4)},
+		{"AX", 2007, "SIGKDD", value.NewInt(1)},
+		{"AX", 2007, "ICDE", value.NewInt(7)},
+		{"AX", 2007, "ICDE", value.NewInt(3)},
+		{"AY", 2006, "ICDE", value.NewNull()},
+		{"AY", 2007, "VLDB", value.NewInt(2)},
+	}
+	for _, r := range rows {
+		tab.MustAppend(value.Tuple{
+			value.NewString(r.a), value.NewInt(r.y), value.NewString(r.v), r.cites,
+		})
+	}
+	return Catalog{"pub": tab}
+}
+
+func mustRun(t *testing.T, cat Catalog, q string) *engine.Table {
+	t.Helper()
+	out, err := Run(q, cat)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return out
+}
+
+func TestSelectStar(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT * FROM pub")
+	if out.NumRows() != 7 || len(out.Schema()) != 4 {
+		t.Errorf("rows=%d cols=%d", out.NumRows(), len(out.Schema()))
+	}
+}
+
+func TestProjectionAndAlias(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT author AS a, venue FROM pub")
+	if out.Schema()[0].Name != "a" || out.Schema()[1].Name != "venue" {
+		t.Errorf("schema = %v", out.Schema().Names())
+	}
+	if out.NumRows() != 7 {
+		t.Errorf("rows = %d", out.NumRows())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT DISTINCT author FROM pub")
+	if out.NumRows() != 2 {
+		t.Errorf("distinct authors = %d", out.NumRows())
+	}
+}
+
+func TestWhereComparisons(t *testing.T) {
+	cat := pubCatalog(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"SELECT * FROM pub WHERE year = 2007", 4},
+		{"SELECT * FROM pub WHERE year != 2007", 3},
+		{"SELECT * FROM pub WHERE year > 2006", 4},
+		{"SELECT * FROM pub WHERE year >= 2006", 7},
+		{"SELECT * FROM pub WHERE year < 2007", 3},
+		{"SELECT * FROM pub WHERE year <= 2006", 3},
+		{"SELECT * FROM pub WHERE venue = 'SIGKDD'", 3},
+		{"SELECT * FROM pub WHERE venue = 'SIGKDD' AND year = 2007", 1},
+		{"SELECT * FROM pub WHERE venue = 'SIGKDD' OR venue = 'VLDB'", 4},
+		{"SELECT * FROM pub WHERE NOT venue = 'SIGKDD'", 4},
+		{"SELECT * FROM pub WHERE (venue = 'SIGKDD' OR venue = 'ICDE') AND year = 2007", 3},
+		{"SELECT * FROM pub WHERE cites IS NULL", 1},
+		{"SELECT * FROM pub WHERE cites IS NOT NULL", 6},
+		{"SELECT * FROM pub WHERE cites > 5", 2},
+		{"SELECT * FROM pub WHERE author = 'nobody'", 0},
+	}
+	for _, c := range cases {
+		out := mustRun(t, cat, c.q)
+		if out.NumRows() != c.want {
+			t.Errorf("%s: rows = %d, want %d", c.q, out.NumRows(), c.want)
+		}
+	}
+}
+
+func TestNullComparisonsNeverMatch(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT * FROM pub WHERE cites = NULL")
+	if out.NumRows() != 0 {
+		t.Errorf("= NULL matched %d rows, want 0 (three-valued logic)", out.NumRows())
+	}
+}
+
+func TestGroupByCount(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT author, year, count(*) AS n FROM pub GROUP BY author, year ORDER BY author, year")
+	want := [][3]interface{}{
+		{"AX", int64(2006), int64(2)},
+		{"AX", int64(2007), int64(3)},
+		{"AY", int64(2006), int64(1)},
+		{"AY", int64(2007), int64(1)},
+	}
+	if out.NumRows() != len(want) {
+		t.Fatalf("groups = %d", out.NumRows())
+	}
+	for i, w := range want {
+		r := out.Row(i)
+		if r[0].Str() != w[0].(string) || r[1].Int() != w[1].(int64) || r[2].Int() != w[2].(int64) {
+			t.Errorf("row %d = %v, want %v", i, r, w)
+		}
+	}
+	if out.Schema()[2].Name != "n" {
+		t.Errorf("alias lost: %v", out.Schema().Names())
+	}
+}
+
+func TestGroupByMultipleAggregates(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT venue, count(*), sum(cites), avg(cites), min(cites), max(cites) FROM pub GROUP BY venue ORDER BY venue")
+	// Venues sorted: ICDE, SIGKDD, VLDB.
+	r := out.Row(0) // ICDE: cites 7, 3, NULL
+	if r[1].Int() != 3 || r[2].Int() != 10 || r[3].Float() != 5 || r[4].Int() != 3 || r[5].Int() != 7 {
+		t.Errorf("ICDE aggregates = %v", r)
+	}
+}
+
+func TestSelectItemOrderIndependentOfGroupBy(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT count(*), author FROM pub GROUP BY author ORDER BY author")
+	if out.Schema()[0].Name != "count(*)" || out.Schema()[1].Name != "author" {
+		t.Errorf("schema = %v", out.Schema().Names())
+	}
+	if out.Row(0)[0].Int() != 5 || out.Row(0)[1].Str() != "AX" {
+		t.Errorf("row 0 = %v", out.Row(0))
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT count(*) FROM pub")
+	if out.NumRows() != 1 || out.Row(0)[0].Int() != 7 {
+		t.Errorf("global count = %v", out.Rows())
+	}
+}
+
+func TestWhereThenGroup(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT venue, count(*) FROM pub WHERE author = 'AX' GROUP BY venue ORDER BY venue")
+	if out.NumRows() != 2 {
+		t.Fatalf("groups = %d", out.NumRows())
+	}
+	if out.Row(0)[0].Str() != "ICDE" || out.Row(0)[1].Int() != 2 {
+		t.Errorf("row 0 = %v", out.Row(0))
+	}
+	if out.Row(1)[0].Str() != "SIGKDD" || out.Row(1)[1].Int() != 3 {
+		t.Errorf("row 1 = %v", out.Row(1))
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT author, count(*) AS n FROM pub GROUP BY author ORDER BY n DESC, author")
+	if out.Row(0)[0].Str() != "AX" || out.Row(1)[0].Str() != "AY" {
+		t.Errorf("desc order wrong: %v", out.Rows())
+	}
+}
+
+func TestLimit(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT * FROM pub LIMIT 3")
+	if out.NumRows() != 3 {
+		t.Errorf("limit rows = %d", out.NumRows())
+	}
+	out = mustRun(t, cat, "SELECT * FROM pub LIMIT 0")
+	if out.NumRows() != 0 {
+		t.Errorf("limit 0 rows = %d", out.NumRows())
+	}
+	out = mustRun(t, cat, "SELECT * FROM pub LIMIT 100")
+	if out.NumRows() != 7 {
+		t.Errorf("oversized limit rows = %d", out.NumRows())
+	}
+}
+
+func TestTrailingSemicolonAndKeywordCase(t *testing.T) {
+	cat := pubCatalog(t)
+	// Keywords and aggregate names are case-insensitive.
+	out := mustRun(t, cat, "select author, COUNT(*) from pub group by author;")
+	if out.NumRows() != 2 {
+		t.Errorf("groups = %d, want 2", out.NumRows())
+	}
+	// Column identifiers are case-sensitive: wrong case is an error.
+	if _, err := Run("select Author from pub", cat); err == nil {
+		t.Error("wrong-case column should error")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	tab := engine.NewTable(engine.Schema{{Name: "s", Kind: value.String}})
+	tab.MustAppend(value.Tuple{value.NewString("it's")})
+	tab.MustAppend(value.Tuple{value.NewString("plain")})
+	cat := Catalog{"t": tab}
+	out := mustRun(t, cat, "SELECT * FROM t WHERE s = 'it''s'")
+	if out.NumRows() != 1 {
+		t.Errorf("escaped quote match = %d rows", out.NumRows())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM pub",
+		"SELECT * FROM",
+		"SELECT * pub",
+		"SELECT * FROM pub WHERE",
+		"SELECT * FROM pub WHERE year",
+		"SELECT * FROM pub WHERE year ==",
+		"SELECT * FROM pub WHERE year = ",
+		"SELECT * FROM pub GROUP year",
+		"SELECT * FROM pub ORDER year",
+		"SELECT * FROM pub LIMIT x",
+		"SELECT * FROM pub LIMIT -1",
+		"SELECT median(x) FROM pub",
+		"SELECT sum(*) FROM pub",
+		"SELECT * FROM pub extra",
+		"SELECT * FROM pub WHERE s = 'unterminated",
+		"SELECT * FROM pub WHERE a ! b",
+		"SELECT * FROM pub WHERE year IS 5",
+		"SELECT a AS FROM pub",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted bad query %q", q)
+		}
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	cat := pubCatalog(t)
+	bad := []string{
+		"SELECT * FROM nope",
+		"SELECT ghost FROM pub",
+		"SELECT * FROM pub WHERE ghost = 1",
+		"SELECT author FROM pub GROUP BY year",
+		"SELECT * FROM pub GROUP BY year",
+		"SELECT author, count(*) FROM pub GROUP BY author ORDER BY ghost",
+	}
+	for _, q := range bad {
+		if _, err := Run(q, cat); err == nil {
+			t.Errorf("accepted bad query %q", q)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE NOT (a = 1 AND b != 'x') OR c IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.Where.String()
+	for _, want := range []string{"NOT", "a = 1", "b != 'x'", "c IS NOT NULL", "OR"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Where.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestNegativeNumberLiteral(t *testing.T) {
+	tab := engine.NewTable(engine.Schema{{Name: "x", Kind: value.Int}})
+	tab.MustAppend(value.Tuple{value.NewInt(-5)})
+	tab.MustAppend(value.Tuple{value.NewInt(5)})
+	cat := Catalog{"t": tab}
+	out := mustRun(t, cat, "SELECT * FROM t WHERE x = -5")
+	if out.NumRows() != 1 {
+		t.Errorf("negative literal matched %d rows", out.NumRows())
+	}
+	out = mustRun(t, cat, "SELECT * FROM t WHERE x < -1")
+	if out.NumRows() != 1 {
+		t.Errorf("negative comparison matched %d rows", out.NumRows())
+	}
+}
+
+func TestPaperQuery(t *testing.T) {
+	// The paper's Q0, verbatim modulo table name.
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, `SELECT author, year, venue, count(*) AS pubcnt
+FROM pub
+GROUP BY author, year, venue`)
+	if out.Schema().Names()[3] != "pubcnt" {
+		t.Errorf("schema = %v", out.Schema().Names())
+	}
+	if out.NumRows() != 5 {
+		t.Errorf("groups = %d, want 5", out.NumRows())
+	}
+}
+
+func TestHaving(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT author, count(*) AS n FROM pub GROUP BY author HAVING n > 2 ORDER BY author")
+	if out.NumRows() != 1 || out.Row(0)[0].Str() != "AX" {
+		t.Errorf("HAVING result = %v", out.Rows())
+	}
+	// HAVING can reference the canonical aggregate name too.
+	out = mustRun(t, cat, "SELECT venue, count(*) FROM pub GROUP BY venue HAVING venue != 'VLDB' ORDER BY venue")
+	if out.NumRows() != 2 {
+		t.Errorf("HAVING on group column = %v", out.Rows())
+	}
+}
+
+func TestHavingErrors(t *testing.T) {
+	cat := pubCatalog(t)
+	if _, err := Parse("SELECT * FROM pub HAVING x = 1"); err == nil {
+		t.Error("HAVING without GROUP BY should not parse")
+	}
+	if _, err := Run("SELECT author, count(*) FROM pub GROUP BY author HAVING ghost > 1", cat); err == nil {
+		t.Error("HAVING over unknown column should error")
+	}
+}
+
+func TestHavingAggregateCallSyntax(t *testing.T) {
+	cat := pubCatalog(t)
+	out := mustRun(t, cat, "SELECT author, count(*) FROM pub GROUP BY author HAVING count(*) > 2")
+	if out.NumRows() != 1 || out.Row(0)[0].Str() != "AX" {
+		t.Errorf("HAVING count(*) result = %v", out.Rows())
+	}
+	out = mustRun(t, cat, "SELECT venue, sum(cites) FROM pub GROUP BY venue HAVING sum(cites) >= 10 ORDER BY venue")
+	if out.NumRows() != 2 { // ICDE 10, SIGKDD 15
+		t.Errorf("HAVING sum(cites) result = %v", out.Rows())
+	}
+	// The aggregate in HAVING must have been computed (it is resolved by
+	// output column name).
+	if _, err := Run("SELECT author, count(*) FROM pub GROUP BY author HAVING sum(cites) > 1", cat); err == nil {
+		t.Error("HAVING over an unselected aggregate should error")
+	}
+	if _, err := Parse("SELECT a, count(*) FROM t GROUP BY a HAVING median(x) > 1"); err == nil {
+		t.Error("unknown aggregate in HAVING should not parse")
+	}
+}

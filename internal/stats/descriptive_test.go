@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if Variance(nil) != 0 {
+		t.Error("Variance(nil) should be 0")
+	}
+	if Variance([]float64{7}) != 0 {
+		t.Error("Variance of single value should be 0")
+	}
+}
+
+func TestVarianceNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceShiftInvariance(t *testing.T) {
+	xs := []float64{1, 3, 7, 2, 9}
+	shifted := make([]float64, len(xs))
+	for i, x := range xs {
+		shifted[i] = x + 1000
+	}
+	if !almostEq(Variance(xs), Variance(shifted), 1e-6) {
+		t.Errorf("variance not shift-invariant: %g vs %g", Variance(xs), Variance(shifted))
+	}
+}
+
+func TestSumSquaredDev(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := SumSquaredDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("SumSquaredDev = %g, want 2", got)
+	}
+	if got := SumSquaredDev(xs); !almostEq(got, Variance(xs)*float64(len(xs)), 1e-12) {
+		t.Errorf("SumSquaredDev inconsistent with Variance: %g", got)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 1}, {math.NaN(), 0},
+		{math.Inf(1), 1}, {math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package stats provides the statistical primitives the regression layer
+// needs: the regularized incomplete gamma function, the chi-square CDF,
+// and small descriptive-statistics helpers. Everything is implemented from
+// scratch on top of math, because the paper's substrate (scipy) is not
+// available to a stdlib-only Go build.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDomain is returned when a function is evaluated outside its domain.
+var ErrDomain = errors.New("stats: argument out of domain")
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 500
+)
+
+// RegularizedGammaP computes P(a, x) = γ(a, x)/Γ(a), the lower regularized
+// incomplete gamma function, for a > 0 and x >= 0. It selects between the
+// series expansion (x < a+1) and the continued fraction (x >= a+1) as in
+// Numerical Recipes §6.2.
+func RegularizedGammaP(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, ErrDomain
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	q, err := gammaContinuedFraction(a, x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - q, nil
+}
+
+// RegularizedGammaQ computes Q(a, x) = 1 - P(a, x), the upper regularized
+// incomplete gamma function.
+func RegularizedGammaQ(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, ErrDomain
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	if x < a+1 {
+		p, err := gammaSeries(a, x)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - p, nil
+	}
+	return gammaContinuedFraction(a, x)
+}
+
+// gammaSeries evaluates P(a,x) by its series representation. Converges
+// fast for x < a+1.
+func gammaSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return 0, errors.New("stats: gamma series did not converge")
+}
+
+// gammaContinuedFraction evaluates Q(a,x) by the modified Lentz method.
+// Converges fast for x >= a+1.
+func gammaContinuedFraction(a, x float64) (float64, error) {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return 0, errors.New("stats: gamma continued fraction did not converge")
+}
+
+// ChiSquareCDF returns Pr[X <= x] for a chi-square random variable with k
+// degrees of freedom.
+func ChiSquareCDF(x float64, k float64) (float64, error) {
+	if k <= 0 {
+		return 0, ErrDomain
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return RegularizedGammaP(k/2, x/2)
+}
+
+// ChiSquareSF returns the survival function Pr[X > x] (the p-value of a
+// chi-square statistic x with k degrees of freedom).
+func ChiSquareSF(x float64, k float64) (float64, error) {
+	if k <= 0 {
+		return 0, ErrDomain
+	}
+	if x <= 0 {
+		return 1, nil
+	}
+	return RegularizedGammaQ(k/2, x/2)
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	// Reference values from scipy.special.gammainc.
+	cases := []struct {
+		a, x, want float64
+	}{
+		{1, 1, 0.6321205588285577},     // 1 - e^-1
+		{0.5, 0.5, 0.6826894921370859}, // erf(sqrt(0.5))... P(0.5, 0.5)
+		{2, 3, 0.8008517265285442},
+		{5, 5, 0.5595067149347875},
+		{10, 3, 0.0011024881301856177},
+		{3, 20, 1 - math.Exp(-20)*221}, // closed form: 1 − e⁻²⁰(1+20+200)
+	}
+	for _, c := range cases {
+		got, err := RegularizedGammaP(c.a, c.x)
+		if err != nil {
+			t.Fatalf("P(%g,%g): %v", c.a, c.x, err)
+		}
+		if !almostEq(got, c.want, 1e-10) {
+			t.Errorf("P(%g,%g) = %.15g, want %.15g", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegularizedGammaPQComplementary(t *testing.T) {
+	f := func(ai, xi uint8) bool {
+		a := 0.25 + float64(ai%40)*0.5
+		x := float64(xi%60) * 0.4
+		p, err1 := RegularizedGammaP(a, x)
+		q, err2 := RegularizedGammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEq(p+q, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegularizedGammaPMonotoneInX(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10} {
+		prev := -1.0
+		for x := 0.0; x <= 30; x += 0.5 {
+			p, err := RegularizedGammaP(a, x)
+			if err != nil {
+				t.Fatalf("P(%g,%g): %v", a, x, err)
+			}
+			if p < prev-1e-12 {
+				t.Fatalf("P(%g, ·) not monotone at x=%g: %g < %g", a, x, p, prev)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("P(%g,%g)=%g outside [0,1]", a, x, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestRegularizedGammaDomainErrors(t *testing.T) {
+	if _, err := RegularizedGammaP(0, 1); err == nil {
+		t.Error("a=0 should error")
+	}
+	if _, err := RegularizedGammaP(-1, 1); err == nil {
+		t.Error("a<0 should error")
+	}
+	if _, err := RegularizedGammaP(1, -1); err == nil {
+		t.Error("x<0 should error")
+	}
+	if _, err := RegularizedGammaQ(math.NaN(), 1); err == nil {
+		t.Error("NaN a should error")
+	}
+	if _, err := RegularizedGammaQ(1, math.NaN()); err == nil {
+		t.Error("NaN x should error")
+	}
+}
+
+func TestRegularizedGammaBoundary(t *testing.T) {
+	p, err := RegularizedGammaP(3, 0)
+	if err != nil || p != 0 {
+		t.Errorf("P(3,0) = %g, %v; want 0", p, err)
+	}
+	q, err := RegularizedGammaQ(3, 0)
+	if err != nil || q != 1 {
+		t.Errorf("Q(3,0) = %g, %v; want 1", q, err)
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Reference values from scipy.stats.chi2.cdf.
+	cases := []struct {
+		x, k, want float64
+	}{
+		{3.841458820694124, 1, 0.95},
+		{5.991464547107979, 2, 0.95},
+		{2, 2, 0.6321205588285577},
+		{10, 5, 0.9247647538534878},
+		{1, 10, 0.00017211562995584072},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareCDF(c.x, c.k)
+		if err != nil {
+			t.Fatalf("cdf(%g,%g): %v", c.x, c.k, err)
+		}
+		if !almostEq(got, c.want, 1e-9) {
+			t.Errorf("ChiSquareCDF(%g, %g) = %.12g, want %.12g", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSFComplement(t *testing.T) {
+	for _, k := range []float64{1, 2, 5, 30} {
+		for x := 0.1; x < 50; x += 1.3 {
+			cdf, err1 := ChiSquareCDF(x, k)
+			sf, err2 := ChiSquareSF(x, k)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errors at x=%g k=%g: %v %v", x, k, err1, err2)
+			}
+			if !almostEq(cdf+sf, 1, 1e-9) {
+				t.Errorf("cdf+sf = %g at x=%g k=%g", cdf+sf, x, k)
+			}
+		}
+	}
+}
+
+func TestChiSquareEdges(t *testing.T) {
+	if _, err := ChiSquareCDF(1, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if sf, _ := ChiSquareSF(0, 3); sf != 1 {
+		t.Errorf("SF(0) = %g, want 1", sf)
+	}
+	if sf, _ := ChiSquareSF(-5, 3); sf != 1 {
+		t.Errorf("SF(-5) = %g, want 1", sf)
+	}
+	if cdf, _ := ChiSquareCDF(-5, 3); cdf != 0 {
+		t.Errorf("CDF(-5) = %g, want 0", cdf)
+	}
+}

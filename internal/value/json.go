@@ -1,0 +1,50 @@
+package value
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonValue is the wire representation of a V: the kind tag keeps
+// int64(3) and float64(3) and "3" distinguishable across a round trip.
+type jsonValue struct {
+	Kind string  `json:"k"`
+	Int  int64   `json:"i,omitempty"`
+	F    float64 `json:"f,omitempty"`
+	S    string  `json:"s,omitempty"`
+}
+
+// MarshalJSON encodes the value with an explicit kind tag.
+func (v V) MarshalJSON() ([]byte, error) {
+	jv := jsonValue{Kind: v.kind.String()}
+	switch v.kind {
+	case Int:
+		jv.Int = v.i
+	case Float:
+		jv.F = v.f
+	case String:
+		jv.S = v.s
+	}
+	return json.Marshal(jv)
+}
+
+// UnmarshalJSON decodes a kind-tagged value.
+func (v *V) UnmarshalJSON(data []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return err
+	}
+	switch jv.Kind {
+	case "null":
+		*v = NewNull()
+	case "int":
+		*v = NewInt(jv.Int)
+	case "float":
+		*v = NewFloat(jv.F)
+	case "string":
+		*v = NewString(jv.S)
+	default:
+		return fmt.Errorf("value: unknown kind %q in JSON", jv.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package value
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	vals := []V{NewNull(), NewInt(-7), NewInt(0), NewFloat(2.5), NewString(""), NewString("SIGKDD")}
+	for _, v := range vals {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back V
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.Kind() != v.Kind() || !Equal(back, v) {
+			t.Errorf("round trip %v -> %s -> %v", v, data, back)
+		}
+	}
+}
+
+func TestTupleJSONRoundTrip(t *testing.T) {
+	tup := Tuple{NewString("AX"), NewInt(2007), NewNull()}
+	data, err := json.Marshal(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tuple
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(tup) {
+		t.Errorf("tuple round trip: %v vs %v", back, tup)
+	}
+}
+
+func TestValueJSONErrors(t *testing.T) {
+	var v V
+	if err := json.Unmarshal([]byte(`{"k":"complex"}`), &v); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if err := json.Unmarshal([]byte(`42`), &v); err == nil {
+		t.Error("non-object should error")
+	}
+}
+
+func TestIntFloatDistinguishedInJSON(t *testing.T) {
+	i, _ := json.Marshal(NewInt(3))
+	f, _ := json.Marshal(NewFloat(3))
+	if string(i) == string(f) {
+		t.Error("Int(3) and Float(3) must serialize distinctly (kind tag)")
+	}
+}

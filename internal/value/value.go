@@ -1,0 +1,278 @@
+// Package value defines the dynamically typed scalar values that flow
+// through the relational engine: 64-bit integers, 64-bit floats, strings,
+// and NULL. Values are small immutable structs that are cheap to copy and
+// compare; they carry their kind so operators can type-check lazily.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+const (
+	// Null is the absence of a value. Nulls sort before everything else
+	// and compare equal only to other nulls.
+	Null Kind = iota
+	// Int is a 64-bit signed integer.
+	Int
+	// Float is a 64-bit IEEE-754 float.
+	Float
+	// String is an arbitrary UTF-8 string.
+	String
+)
+
+// String returns the kind name ("null", "int", "float", "string").
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// V is a single scalar value. The zero V is NULL.
+type V struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// NewNull returns the NULL value.
+func NewNull() V { return V{} }
+
+// NewInt wraps a 64-bit integer.
+func NewInt(i int64) V { return V{kind: Int, i: i} }
+
+// NewFloat wraps a 64-bit float.
+func NewFloat(f float64) V { return V{kind: Float, f: f} }
+
+// NewString wraps a string.
+func NewString(s string) V { return V{kind: String, s: s} }
+
+// Kind reports the runtime type of v.
+func (v V) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v V) IsNull() bool { return v.kind == Null }
+
+// Int returns the integer payload. It panics if v is not an Int.
+func (v V) Int() int64 {
+	if v.kind != Int {
+		panic(fmt.Sprintf("value: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload. It panics if v is not a Float.
+func (v V) Float() float64 {
+	if v.kind != Float {
+		panic(fmt.Sprintf("value: Float() on %s value", v.kind))
+	}
+	return v.f
+}
+
+// Str returns the string payload. It panics if v is not a String.
+func (v V) Str() string {
+	if v.kind != String {
+		panic(fmt.Sprintf("value: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// AsFloat converts numeric values to float64. ok is false for NULL and
+// String values.
+func (v V) AsFloat() (f float64, ok bool) {
+	switch v.kind {
+	case Int:
+		return float64(v.i), true
+	case Float:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// IsNumeric reports whether v is an Int or a Float.
+func (v V) IsNumeric() bool { return v.kind == Int || v.kind == Float }
+
+// Compare orders two values. NULL < Int/Float < String across kinds,
+// except that Int and Float compare numerically with each other.
+// The result is -1, 0 or +1.
+func Compare(a, b V) int {
+	// Numeric cross-kind comparison.
+	if a.IsNumeric() && b.IsNumeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		// Equal as floats: break ties so Int(1) and Float(1) are stable
+		// but considered equal for grouping purposes.
+		return 0
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case Null:
+		return 0
+	case String:
+		return strings.Compare(a.s, b.s)
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+func Equal(a, b V) bool { return Compare(a, b) == 0 }
+
+// String renders the value for display. NULL renders as "∅".
+func (v V) String() string {
+	switch v.kind {
+	case Null:
+		return "∅"
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case String:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// AppendKey appends a canonical, injective byte encoding of v to dst.
+// The encoding is used as a hash key for grouping: distinct values produce
+// distinct encodings and Equal values produce identical encodings
+// (Int(1) and Float(1) encode identically because they group together).
+func (v V) AppendKey(dst []byte) []byte {
+	switch v.kind {
+	case Null:
+		return append(dst, 0x00)
+	case Int:
+		dst = append(dst, 0x01)
+		return appendUint64(dst, uint64(v.i))
+	case Float:
+		// Encode integral floats exactly like the equivalent Int so that
+		// grouping treats them as equal, matching Compare.
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) &&
+			v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			dst = append(dst, 0x01)
+			return appendUint64(dst, uint64(int64(v.f)))
+		}
+		dst = append(dst, 0x02)
+		return appendUint64(dst, math.Float64bits(v.f))
+	case String:
+		dst = append(dst, 0x03)
+		dst = appendUint64(dst, uint64(len(v.s)))
+		return append(dst, v.s...)
+	default:
+		panic("value: unknown kind")
+	}
+}
+
+func appendUint64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// Parse converts a raw text token to the most specific value kind:
+// empty string → NULL, integer syntax → Int, float syntax → Float,
+// otherwise String.
+func Parse(tok string) V {
+	if tok == "" {
+		return NewNull()
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return NewFloat(f)
+	}
+	return NewString(tok)
+}
+
+// Tuple is an ordered list of values, positionally aligned with a schema.
+type Tuple []V
+
+// Clone returns a copy of t with its own backing array.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key returns the canonical byte encoding of the whole tuple, suitable
+// for use as a map key via string conversion.
+func (t Tuple) Key() string {
+	var buf []byte
+	for _, v := range t {
+		buf = v.AppendKey(buf)
+	}
+	return string(buf)
+}
+
+// Equal reports element-wise equality of two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !Equal(t[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically.
+func (t Tuple) Compare(o Tuple) int {
+	n := min(len(t), len(o))
+	for i := 0; i < n; i++ {
+		if c := Compare(t[i], o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	}
+	return 0
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+package cape
+
+import (
+	"testing"
+)
+
+// sumExample builds a sales-style relation where the sum(amount) per
+// (region, quarter) is roughly constant, with a planted low outlier in
+// one region/quarter counterbalanced by a spike in another product of the
+// same region and quarter — exercising the full pipeline with a
+// non-count aggregate.
+func sumExample() *Table {
+	tab := NewTable(Schema{
+		{Name: "region", Kind: KindString},
+		{Name: "product", Kind: KindString},
+		{Name: "quarter", Kind: KindInt},
+		{Name: "amount", Kind: KindInt},
+	})
+	add := func(region, product string, quarter, amount int64) {
+		tab.MustAppend(Tuple{String(region), String(product), Int(quarter), Int(amount)})
+	}
+	regions := []string{"north", "south", "west"}
+	products := []string{"widgets", "gadgets", "gizmos"}
+	for _, r := range regions {
+		for q := int64(1); q <= 8; q++ {
+			for _, p := range products {
+				// Baseline ~10 with ±1 alternation so the constant model
+				// has non-degenerate scatter (chi-square goodness-of-fit
+				// assumes variance of the order of the mean).
+				amount := int64(9 + q%2*2)
+				if r == "north" && q == 5 {
+					if p == "widgets" {
+						amount = 2 // the low outlier
+					}
+					if p == "gadgets" {
+						amount = 19 // the counterbalance (totals stay 30)
+					}
+				}
+				// Two transactions per (region, product, quarter).
+				add(r, p, q, amount/2)
+				add(r, p, q, amount-amount/2)
+			}
+		}
+	}
+	return tab
+}
+
+func TestSumAggregateEndToEnd(t *testing.T) {
+	tab := sumExample()
+	s := NewSession(tab)
+	s.SetMetric(NewMetric().SetFunc("quarter", NumericDistance{Scale: 3}))
+	err := s.Mine(MiningOptions{
+		MaxPatternSize: 3,
+		Attributes:     []string{"region", "product", "quarter"},
+		Thresholds:     Thresholds{Theta: 0.1, LocalSupport: 3, Lambda: 0.3, GlobalSupport: 2},
+		AggFuncs:       []AggFunc{AggSum},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum(amount) patterns must exist.
+	foundSum := false
+	for _, m := range s.Patterns() {
+		if m.Pattern.Agg.Func == AggSum && m.Pattern.Agg.Arg == "amount" {
+			foundSum = true
+		}
+	}
+	if !foundSum {
+		t.Fatal("no sum(amount) patterns mined")
+	}
+
+	expls, stats, err := s.Ask(
+		[]string{"region", "product", "quarter"},
+		Sum("amount"),
+		Tuple{String("north"), String("widgets"), Int(5)},
+		Low,
+		ExplainOptions{K: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelevantPatterns == 0 {
+		t.Fatal("no relevant sum patterns for the question")
+	}
+	if len(expls) == 0 {
+		t.Fatal("no explanations for the sum question")
+	}
+	top := expls[0]
+	product := findTupleAttr(top, "product")
+	quarter := findTupleAttr(top, "quarter")
+	if product == nil || product.Str() != "gadgets" || quarter == nil || quarter.Int() != 5 {
+		t.Errorf("top sum explanation = %s, want gadgets Q5", top)
+	}
+	if top.Deviation <= 0 {
+		t.Errorf("low question needs positive deviation: %s", top)
+	}
+}
+
+func findTupleAttr(e Explanation, attr string) *Value {
+	for i, a := range e.Attrs {
+		if a == attr {
+			v := e.Tuple[i]
+			return &v
+		}
+	}
+	return nil
+}
+
+// TestMinMaxPatternsMine: min/max aggregates over numeric attributes flow
+// through mining (Definition 2 lists them alongside count and sum).
+func TestMinMaxPatternsMine(t *testing.T) {
+	tab := sumExample()
+	res, err := MinePatterns(tab, MiningOptions{
+		MaxPatternSize: 2,
+		Attributes:     []string{"region", "quarter"},
+		Thresholds:     Thresholds{Theta: 0.1, LocalSupport: 3, Lambda: 0.3, GlobalSupport: 2},
+		AggFuncs:       []AggFunc{AggMin, AggMax},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveMin, haveMax bool
+	for _, m := range res.Patterns {
+		switch m.Pattern.Agg.Func {
+		case AggMin:
+			haveMin = true
+		case AggMax:
+			haveMax = true
+		}
+	}
+	if !haveMin || !haveMax {
+		t.Errorf("min/max patterns missing: min=%v max=%v (%d patterns)", haveMin, haveMax, len(res.Patterns))
+	}
+}
+
+// TestAvgPatternsMine: avg is supported as an extension beyond the
+// paper's four functions.
+func TestAvgPatternsMine(t *testing.T) {
+	tab := sumExample()
+	res, err := MinePatterns(tab, MiningOptions{
+		MaxPatternSize: 2,
+		Attributes:     []string{"region", "quarter"},
+		Thresholds:     Thresholds{Theta: 0.1, LocalSupport: 3, Lambda: 0.3, GlobalSupport: 2},
+		AggFuncs:       []AggFunc{AggAvg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Error("no avg patterns mined")
+	}
+}
