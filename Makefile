@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The gate every PR must pass: vet, build, and the full suite under the
+# race detector (the parallel generator and sharded cache are only
+# meaningfully exercised with -race).
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# Performance trajectory: the explanation worker-count sweep and the
+# GroupBy hot path, plus the capebench run that writes BENCH_explain.json.
+bench:
+	$(GO) test -bench 'BenchmarkGenOptParallel|BenchmarkGroupBy$$' -benchmem -run XXX ./...
+	$(GO) run ./cmd/capebench benchexplain
+
+clean:
+	$(GO) clean ./...

@@ -417,6 +417,26 @@ func BenchmarkAblation_NormVisitOrder(b *testing.B) {
 	})
 }
 
+// BenchmarkGenOptParallel sweeps the explanation worker count. On
+// multi-core hosts the higher worker counts should approach proportional
+// speedups; on a single vCPU the sweep mostly measures how cheap the
+// coordination (atomic cursor, shared bound, singleflight cache) is.
+func BenchmarkGenOptParallel(b *testing.B) {
+	tab := dblpTable(b, 10000)
+	patterns, q, metric := explBenchSetup(b, tab,
+		[]string{"author", "venue", "year"}, []string{"author", "venue", "year"})
+	for _, w := range []int{1, 2, 4, 8} {
+		opt := ExplainOptions{K: 10, Metric: metric, Parallelism: w}
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Explain(q, tab, patterns, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_ParallelMining compares sequential mining with a
 // 4-worker fan-out over attribute sets. On multi-core hosts the parallel
 // run should approach a proportional speedup; on a single vCPU it mostly

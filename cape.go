@@ -197,7 +197,9 @@ const (
 // breakdown).
 type Explanation = explain.Explanation
 
-// ExplainOptions configures explanation generation.
+// ExplainOptions configures explanation generation. Parallelism fans
+// the (relevant pattern, refinement) pairs across a worker pool; the
+// ranked result is identical to the sequential run.
 type ExplainOptions = explain.Options
 
 // ExplainStats reports the work performed by a generation run.
@@ -221,8 +223,8 @@ func ExplainNaive(q Question, t *Table, patterns []*MinedPattern, opt ExplainOpt
 }
 
 // Explainer answers many questions over one relation and pattern set,
-// caching the aggregate results candidate enumeration scans. Safe for
-// concurrent use.
+// sharing the group-by results across questions in a sharded cache with
+// duplicate-computation suppression. Safe for concurrent use.
 type Explainer = explain.Explainer
 
 // NewExplainer builds a warm-cache explainer; opt supplies defaults for

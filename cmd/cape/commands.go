@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -51,8 +52,9 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
-// miningFlags registers the shared mining flags and returns a builder.
-func miningFlags(fs *flag.FlagSet) func() mining.Options {
+// miningFlags registers the shared mining flags and returns a builder
+// plus the -parallel value, which also drives explanation generation.
+func miningFlags(fs *flag.FlagSet) (func() mining.Options, *int) {
 	psi := fs.Int("psi", 3, "maximum pattern size ψ (|F ∪ V|)")
 	theta := fs.Float64("theta", 0.5, "local model quality threshold θ")
 	localSupp := fs.Int("localsupp", 5, "local support threshold δ")
@@ -61,8 +63,8 @@ func miningFlags(fs *flag.FlagSet) func() mining.Options {
 	attrs := fs.String("attrs", "", "comma-separated attributes to mine over (default: all)")
 	aggs := fs.String("aggs", "count", "comma-separated aggregate functions (count,sum,min,max,avg)")
 	useFDs := fs.Bool("fd", false, "enable functional-dependency pruning")
-	parallel := fs.Int("parallel", 1, "worker goroutines for mining (arpmine/sharegrp)")
-	return func() mining.Options {
+	parallel := fs.Int("parallel", runtime.NumCPU(), "worker goroutines for mining and explanation generation")
+	build := func() mining.Options {
 		opt := mining.Options{
 			MaxPatternSize: *psi,
 			Thresholds: pattern.Thresholds{
@@ -83,6 +85,7 @@ func miningFlags(fs *flag.FlagSet) func() mining.Options {
 		}
 		return opt
 	}
+	return build, parallel
 }
 
 // cmdMine mines patterns and prints or saves them.
@@ -91,7 +94,7 @@ func cmdMine(args []string) error {
 	data := fs.String("data", "", "input CSV dataset (required)")
 	out := fs.String("o", "", "write mined patterns as JSON to this path")
 	miner := fs.String("miner", "arpmine", "miner variant: arpmine, sharegrp, cube, naive")
-	opts := miningFlags(fs)
+	opts, _ := miningFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,7 +197,7 @@ func cmdExplain(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit explanations as JSON")
 	groupBy, tuple, dir, k := questionFlags(fs)
 	numericAttrs := fs.String("numeric", "", "comma-separated attr=scale pairs for numeric distances, e.g. year=4")
-	opts := miningFlags(fs)
+	opts, parallel := miningFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -246,7 +249,7 @@ func cmdExplain(args []string) error {
 		return err
 	}
 	start := time.Now()
-	expls, stats, err := explain.Generate(q, tab, mined, explain.Options{K: *k, Metric: metric})
+	expls, stats, err := explain.GenOpt(q, tab, mined, explain.Options{K: *k, Metric: metric, Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

@@ -19,7 +19,7 @@ func cmdGeneralize(args []string) error {
 	data := fs.String("data", "", "input CSV dataset (required)")
 	patternsPath := fs.String("patterns", "", "patterns JSON from 'cape mine -o' (mines on the fly if empty)")
 	groupBy, tuple, dir, k := questionFlags(fs)
-	opts := miningFlags(fs)
+	opts, _ := miningFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

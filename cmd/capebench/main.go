@@ -11,7 +11,7 @@
 //	capebench <experiment> [-full]
 //
 // Experiments: fig3a fig3b fig3c fig4 fig5 fig6a fig6b fig6c fig7
-// table3 table4 table5 table6 table7 userstudy all
+// table3 table4 table5 table6 table7 userstudy benchexplain all
 //
 // -full runs the larger input sizes (slower; closer to the paper's
 // ranges).
@@ -30,21 +30,22 @@ var experiments = map[string]struct {
 	run  func(full bool) error
 	desc string
 }{
-	"fig3a":     {runFig3a, "mining runtime vs attribute count (Crime): NAIVE / CUBE / SHARE-GRP / ARP-MINE"},
-	"fig3b":     {runFig3b, "mining runtime vs row count (Crime)"},
-	"fig3c":     {runFig3c, "mining runtime vs row count (DBLP)"},
-	"fig4":      {runFig4, "mining subtask breakdown: regression vs query vs other"},
-	"fig5":      {runFig5, "ARP-MINE with and without FD optimizations (Crime, 9 attrs)"},
-	"fig6a":     {runFig6a, "explanation runtime vs number of local patterns (DBLP), naive vs opt"},
-	"fig6b":     {runFig6b, "explanation runtime vs number of local patterns (Crime)"},
-	"fig6c":     {runFig6c, "explanation runtime vs question group-by size (Crime)"},
-	"fig7":      {runFig7, "precision vs (θ, λ, Δ) on injected ground-truth counterbalances"},
-	"table3":    {runTable3, "top-10 explanations for the running-example question (low)"},
-	"table4":    {runTable4, "top-5 CAPE explanations, DBLP high question"},
-	"table5":    {runTable5, "top-5 CAPE explanations, Crime low question"},
-	"table6":    {runTable6, "top-5 baseline explanations, DBLP high question"},
-	"table7":    {runTable7, "top-5 baseline explanations, Crime low question"},
-	"userstudy": {runUserStudy, "machine-checkable part of the Appendix-B user study"},
+	"fig3a":        {runFig3a, "mining runtime vs attribute count (Crime): NAIVE / CUBE / SHARE-GRP / ARP-MINE"},
+	"fig3b":        {runFig3b, "mining runtime vs row count (Crime)"},
+	"fig3c":        {runFig3c, "mining runtime vs row count (DBLP)"},
+	"fig4":         {runFig4, "mining subtask breakdown: regression vs query vs other"},
+	"fig5":         {runFig5, "ARP-MINE with and without FD optimizations (Crime, 9 attrs)"},
+	"fig6a":        {runFig6a, "explanation runtime vs number of local patterns (DBLP), naive vs opt"},
+	"fig6b":        {runFig6b, "explanation runtime vs number of local patterns (Crime)"},
+	"fig6c":        {runFig6c, "explanation runtime vs question group-by size (Crime)"},
+	"fig7":         {runFig7, "precision vs (θ, λ, Δ) on injected ground-truth counterbalances"},
+	"table3":       {runTable3, "top-10 explanations for the running-example question (low)"},
+	"table4":       {runTable4, "top-5 CAPE explanations, DBLP high question"},
+	"table5":       {runTable5, "top-5 CAPE explanations, Crime low question"},
+	"table6":       {runTable6, "top-5 baseline explanations, DBLP high question"},
+	"table7":       {runTable7, "top-5 baseline explanations, Crime low question"},
+	"userstudy":    {runUserStudy, "machine-checkable part of the Appendix-B user study"},
+	"benchexplain": {runBenchExplain, "parallel explanation generation sweep; writes BENCH_explain.json"},
 }
 
 func usage() {

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cape/internal/dataset"
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/exp"
+	"cape/internal/explain"
+	"cape/internal/mining"
+)
+
+// benchExplainSeries is one worker-count measurement in BENCH_explain.json.
+type benchExplainSeries struct {
+	Workers int   `json:"workers"`
+	NsTotal int64 `json:"nsTotal"`
+	NsPerQ  int64 `json:"nsPerQuestion"`
+}
+
+// benchExplainReport is the schema of BENCH_explain.json.
+type benchExplainReport struct {
+	Dataset       string               `json:"dataset"`
+	Rows          int                  `json:"rows"`
+	CPUs          int                  `json:"cpus"`
+	Patterns      int                  `json:"patterns"`
+	Questions     int                  `json:"questions"`
+	Cold          []benchExplainSeries `json:"cold"`
+	WarmExplainer benchExplainSeries   `json:"warmExplainer"`
+}
+
+// runBenchExplain times GenOpt across worker counts on a fixed DBLP
+// workload and writes the numbers to BENCH_explain.json. The cold rows
+// rebuild the group-by cache per question (the GenOpt path); the warm
+// row reuses one Explainer so every question after the first hits the
+// shared sharded cache. On a single-vCPU host the worker sweep mostly
+// measures coordination overhead; the interesting deltas need real
+// cores.
+func runBenchExplain(full bool) error {
+	rows := 20000
+	numQ := 8
+	if full {
+		rows = 100000
+		numQ = 12
+	}
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: rows, Seed: 3})
+	metric := distance.NewMetric().SetFunc("year", distance.Numeric{Scale: 4})
+	mined, err := mining.ARPMine(tab, mining.Options{
+		MaxPatternSize: 3,
+		Attributes:     []string{"author", "venue", "year"},
+		Thresholds:     lenientThresholds(),
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	})
+	if err != nil {
+		return err
+	}
+	questions, err := exp.RandomQuestions(tab, []string{"author", "venue", "year"},
+		engine.AggSpec{Func: engine.Count}, numQ, 99)
+	if err != nil {
+		return err
+	}
+	report := benchExplainReport{
+		Dataset:   "dblp",
+		Rows:      rows,
+		CPUs:      runtime.NumCPU(),
+		Patterns:  len(mined.Patterns),
+		Questions: len(questions),
+	}
+	fmt.Printf("DBLP, D=%d, %d patterns, %d questions, GOMAXPROCS=%d\n\n",
+		rows, len(mined.Patterns), len(questions), runtime.GOMAXPROCS(0))
+
+	fmt.Printf("%8s  %12s  %12s\n", "workers", "total", "per question")
+	for _, w := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		for _, q := range questions {
+			if _, _, err := explain.GenOpt(q, tab, mined.Patterns,
+				explain.Options{K: 10, Metric: metric, Parallelism: w}); err != nil {
+				return err
+			}
+		}
+		total := time.Since(start)
+		report.Cold = append(report.Cold, benchExplainSeries{
+			Workers: w,
+			NsTotal: total.Nanoseconds(),
+			NsPerQ:  total.Nanoseconds() / int64(len(questions)),
+		})
+		fmt.Printf("%8d  %12s  %12s\n", w,
+			total.Round(time.Millisecond),
+			(total / time.Duration(len(questions))).Round(100*time.Microsecond))
+	}
+
+	// Warm path: one Explainer shared across all questions, so repeated
+	// group-bys are computed once and singleflight absorbs duplicates.
+	ex := explain.NewExplainer(tab, mined.Patterns,
+		explain.Options{K: 10, Metric: metric, Parallelism: runtime.NumCPU()})
+	start := time.Now()
+	for _, q := range questions {
+		if _, _, err := ex.Explain(q); err != nil {
+			return err
+		}
+	}
+	total := time.Since(start)
+	report.WarmExplainer = benchExplainSeries{
+		Workers: runtime.NumCPU(),
+		NsTotal: total.Nanoseconds(),
+		NsPerQ:  total.Nanoseconds() / int64(len(questions)),
+	}
+	fmt.Printf("\nwarm Explainer (%d workers, %d cached groupings): %s total, %s per question\n",
+		runtime.NumCPU(), ex.CachedGroupings(),
+		total.Round(time.Millisecond),
+		(total / time.Duration(len(questions))).Round(100*time.Microsecond))
+
+	f, err := os.Create("BENCH_explain.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_explain.json")
+	return nil
+}

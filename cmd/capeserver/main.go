@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strings"
 
 	"cape/internal/engine"
@@ -35,11 +36,14 @@ func (l *loadFlags) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"default worker goroutines per explanation request (1 = sequential; requests may override)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a table as name=path.csv (repeatable)")
 	flag.Parse()
 
 	srv := server.New()
+	srv.ExplainParallelism = *parallel
 	for _, spec := range loads {
 		eq := strings.IndexByte(spec, '=')
 		if eq <= 0 {

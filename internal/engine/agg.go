@@ -193,49 +193,84 @@ func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
 		sch = append(sch, Column{Name: a.String(), Kind: kind})
 	}
 
+	// Hash aggregation. Groups live in one growing slice (the map holds
+	// indices into it, preserving first-appearance order) and their keys
+	// and aggregate states are carved out of chunked arenas, so a new
+	// group costs two amortized bump allocations instead of three heap
+	// objects, and the per-row hot loop allocates nothing: the
+	// string(keyBuf) conversion inside the map index is allocation-free
+	// on lookup hits, and a string is materialized only when inserting a
+	// new group.
 	type group struct {
 		key    value.Tuple
 		states []aggState
 	}
-	groups := make(map[string]*group)
-	order := make([]*group, 0)
+	nG, nA := len(gIdx), len(aCols)
+	idx := make(map[string]int)
+	var groups []group
+	var stateArena []aggState // groups keep slices into retired chunks
+	var keyArena []value.V
 	var keyBuf []byte
 	for _, r := range t.rows {
 		keyBuf = keyBuf[:0]
 		for _, ci := range gIdx {
 			keyBuf = r[ci].AppendKey(keyBuf)
 		}
-		// The string(keyBuf) conversion inside the map index is
-		// allocation-free on lookup hits; a string is materialized only
-		// when inserting a new group.
-		g, ok := groups[string(keyBuf)]
+		gi, ok := idx[string(keyBuf)]
 		if !ok {
-			key := make(value.Tuple, len(gIdx))
+			if len(stateArena)+nA > cap(stateArena) {
+				stateArena = make([]aggState, 0, arenaChunk(nA))
+			}
+			states := stateArena[len(stateArena) : len(stateArena)+nA : len(stateArena)+nA]
+			stateArena = stateArena[:len(stateArena)+nA]
+			if len(keyArena)+nG > cap(keyArena) {
+				keyArena = make([]value.V, 0, arenaChunk(nG))
+			}
+			key := keyArena[len(keyArena) : len(keyArena)+nG : len(keyArena)+nG]
+			keyArena = keyArena[:len(keyArena)+nG]
 			for i, ci := range gIdx {
 				key[i] = r[ci]
 			}
-			g = &group{key: key, states: make([]aggState, len(aCols))}
-			groups[string(keyBuf)] = g
-			order = append(order, g)
+			gi = len(groups)
+			groups = append(groups, group{key: key, states: states})
+			idx[string(keyBuf)] = gi
 		}
+		st := groups[gi].states
 		for i, ac := range aCols {
 			var arg value.V
 			if ac.idx >= 0 {
 				arg = r[ac.idx]
 			}
-			g.states[i].add(arg, ac.spec.Func, ac.idx < 0)
+			st[i].add(arg, ac.spec.Func, ac.idx < 0)
 		}
 	}
 
+	// Materialize all output rows into one slab; the capped subslices
+	// keep a later append on any row from clobbering its neighbor.
 	out := NewTable(sch)
-	out.rows = make([]value.Tuple, 0, len(order))
-	for _, g := range order {
-		row := make(value.Tuple, 0, len(sch))
-		row = append(row, g.key...)
+	out.rows = make([]value.Tuple, len(groups))
+	width := len(sch)
+	slab := make([]value.V, len(groups)*width)
+	for gi := range groups {
+		row := slab[gi*width : (gi+1)*width : (gi+1)*width]
+		copy(row, groups[gi].key)
 		for i, ac := range aCols {
-			row = append(row, g.states[i].result(ac.spec.Func))
+			row[nG+i] = groups[gi].states[i].result(ac.spec.Func)
 		}
-		out.rows = append(out.rows, row)
+		out.rows[gi] = row
 	}
 	return out, nil
+}
+
+// arenaChunk sizes an arena chunk to hold many groups' worth of entries
+// while never being smaller than one group's need.
+func arenaChunk(n int) int {
+	const target = 1024
+	if n > target {
+		return n
+	}
+	if n == 0 {
+		return 0
+	}
+	return target - target%n // whole groups per chunk
 }

@@ -1,0 +1,109 @@
+package explain
+
+import (
+	"strings"
+	"sync"
+
+	"cape/internal/engine"
+	"cape/internal/pattern"
+)
+
+// groupKey canonically identifies the aggregate query γ_{F'∪V, agg}(R)
+// a refined pattern enumerates over.
+func groupKey(p pattern.Pattern) string {
+	return strings.Join(p.GroupAttrs(), "\x1f") + "\x1e" + p.Agg.String()
+}
+
+// cacheShards is the number of lock stripes in a groupCache. Sixteen
+// keeps contention negligible at any worker count this package spawns
+// while costing only sixteen small maps.
+const cacheShards = 16
+
+// groupCache maps group-by keys to materialized aggregate results. It is
+// sharded — concurrent lookups of different keys take different locks —
+// and performs singleflight duplicate suppression: concurrent misses on
+// the same key run the GroupBy once, with the late arrivals blocking on
+// the first caller's result instead of recomputing it. (A single-mutex
+// map would both serialize every lookup and let two concurrent misses
+// each run the full aggregation.)
+type groupCache struct {
+	shards [cacheShards]cacheShard
+
+	// onCompute, when non-nil, is invoked once per actual computation
+	// (not per lookup), before compute runs — a test hook for the
+	// computed-exactly-once guarantee.
+	onCompute func(key string)
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+// cacheEntry is one in-flight or completed computation. ready is closed
+// when tab/err are valid.
+type cacheEntry struct {
+	ready chan struct{}
+	tab   *engine.Table
+	err   error
+}
+
+func newGroupCache() *groupCache {
+	c := &groupCache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// shardFor hashes the key (FNV-1a) onto a lock stripe.
+func (c *groupCache) shardFor(key string) *cacheShard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// get returns the table cached under key, running compute on the first
+// request. Concurrent callers of the same key block until that single
+// computation finishes and share its result. A failed computation is
+// not cached: in-flight waiters observe the error, later callers retry.
+func (c *groupCache) get(key string, compute func() (*engine.Table, error)) (*engine.Table, error) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		<-e.ready
+		return e.tab, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	sh.entries[key] = e
+	sh.mu.Unlock()
+
+	if c.onCompute != nil {
+		c.onCompute(key)
+	}
+	e.tab, e.err = compute()
+	if e.err != nil {
+		sh.mu.Lock()
+		delete(sh.entries, key)
+		sh.mu.Unlock()
+	}
+	close(e.ready)
+	return e.tab, e.err
+}
+
+// len reports the number of cached (or in-flight) groupings.
+func (c *groupCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,9 +1,6 @@
 package explain
 
 import (
-	"strings"
-	"sync"
-
 	"cape/internal/engine"
 	"cape/internal/pattern"
 )
@@ -12,101 +9,84 @@ import (
 // reusing the aggregate query results that candidate enumeration scans.
 // A fresh Generate call re-groups the relation for every refined pattern
 // it visits; in an interactive session asking several questions, those
-// group-bys are identical across questions, so the Explainer caches them.
-// It is safe for concurrent use.
+// group-bys are identical across questions, so the Explainer caches
+// them. The cache is sharded (concurrent questions needing different
+// groupings do not contend on one lock) with singleflight duplicate
+// suppression (N concurrent questions needing the same grouping compute
+// it once). It is safe for concurrent use.
 type Explainer struct {
 	r        *engine.Table
 	patterns []*pattern.Mined
 	opt      Options
-
-	mu    sync.Mutex
-	cache map[string]*engine.Table
+	cache    *groupCache
 }
 
 // NewExplainer builds an explainer over the relation and mined patterns.
-// The options supply defaults for every question; Explain's per-call
+// The options supply defaults for every question; ExplainOpts' per-call
 // options override fields that are set.
 func NewExplainer(r *engine.Table, patterns []*pattern.Mined, opt Options) *Explainer {
 	return &Explainer{
 		r:        r,
 		patterns: patterns,
 		opt:      opt.withDefaults(),
-		cache:    make(map[string]*engine.Table),
+		cache:    newGroupCache(),
 	}
 }
 
-// Explain answers one question with the bound-pruned generator, reusing
-// cached aggregate results across calls.
+// Explain answers one question with the bound-pruned generator under the
+// explainer's default options, reusing cached aggregate results across
+// calls.
 func (e *Explainer) Explain(q UserQuestion) ([]Explanation, *Stats, error) {
-	g, rel, stats, err := prepare(q, e.r, e.patterns, e.opt)
+	return e.ExplainOpts(q, e.opt)
+}
+
+// ExplainOpts answers one question with per-call options: zero-valued
+// fields fall back to the explainer's defaults. This is the shape a
+// server needs — per-request K, metric, or parallelism while still
+// sharing one warm group-by cache across every request for the table.
+func (e *Explainer) ExplainOpts(q UserQuestion, opt Options) ([]Explanation, *Stats, error) {
+	g, rel, stats, err := prepare(q, e.r, e.patterns, e.merged(opt))
 	if err != nil {
 		return nil, nil, err
 	}
-	// Swap in the shared cache behind a lock-guarded getter.
+	// Swap in the shared sharded cache.
 	g.lookup = e.cachedGrouped
-	if e.opt.DescendingNorm {
-		sortRelevant(rel, true)
-	} else {
-		sortRelevant(rel, false)
+	expls, err := g.run(rel, e.patterns, stats)
+	if err != nil {
+		return nil, nil, err
 	}
-	tk := newTopK(g.opt.K)
-	for _, re := range rel {
-		for _, ref := range refinementsOf(re.mined, e.patterns) {
-			stats.RefinementPairs++
-			if min, full := tk.minScore(); full {
-				// Strict comparison: a refinement whose bound ties the
-				// current k-th score could still win the key tiebreak.
-				if g.scoreBound(re, ref) < min {
-					stats.PrunedRefinements++
-					continue
-				}
-			}
-			if err := g.enumerate(re, ref, tk, stats); err != nil {
-				return nil, nil, err
-			}
-		}
+	return expls, stats, nil
+}
+
+// merged overlays the set fields of opt onto the explainer defaults.
+func (e *Explainer) merged(opt Options) Options {
+	out := e.opt
+	if opt.K > 0 {
+		out.K = opt.K
 	}
-	return tk.sorted(), stats, nil
+	if opt.Metric != nil {
+		out.Metric = opt.Metric
+	}
+	if opt.Epsilon > 0 {
+		out.Epsilon = opt.Epsilon
+	}
+	if opt.Parallelism != 0 {
+		out.Parallelism = opt.Parallelism
+	}
+	if opt.DescendingNorm {
+		out.DescendingNorm = true
+	}
+	return out
 }
 
 // CachedGroupings reports how many distinct aggregate results are held.
 func (e *Explainer) CachedGroupings() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.cache)
+	return e.cache.len()
 }
 
-// cachedGrouped is the shared, locked variant of generator.grouped.
+// cachedGrouped is the shared, sharded variant of generator.grouped.
 func (e *Explainer) cachedGrouped(p pattern.Pattern) (*engine.Table, error) {
-	key := strings.Join(p.GroupAttrs(), "\x1f") + "\x1e" + p.Agg.String()
-	e.mu.Lock()
-	t, ok := e.cache[key]
-	e.mu.Unlock()
-	if ok {
-		return t, nil
-	}
-	t, err := e.r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.cache[key] = t
-	e.mu.Unlock()
-	return t, nil
-}
-
-// sortRelevant orders relevant patterns by NORM.
-func sortRelevant(rel []relevantEntry, descending bool) {
-	for i := 1; i < len(rel); i++ {
-		for j := i; j > 0; j-- {
-			less := rel[j].norm < rel[j-1].norm
-			if descending {
-				less = rel[j].norm > rel[j-1].norm
-			}
-			if !less {
-				break
-			}
-			rel[j-1], rel[j] = rel[j], rel[j-1]
-		}
-	}
+	return e.cache.get(groupKey(p), func() (*engine.Table, error) {
+		return e.r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
+	})
 }

@@ -117,8 +117,26 @@ func (t *topK) minScore() (float64, bool) {
 
 // offer inserts an explanation, handling dedup and eviction.
 func (t *topK) offer(e Explanation) {
-	if prev, seen := t.best[e.key()]; seen && prev >= e.Score {
-		return
+	if prev, seen := t.best[e.key()]; seen {
+		if prev > e.Score {
+			return
+		}
+		if prev == e.Score {
+			// Equal-score duplicate of a held key: different relevant
+			// patterns can produce the same (P', t') at the same score.
+			// Tie-break on the relevant pattern's key, so the kept entry
+			// does not depend on arrival order — parallel runs must
+			// reproduce the sequential result byte for byte.
+			for i := range t.heap {
+				if t.heap[i].key() == e.key() {
+					if e.Relevant.Key() < t.heap[i].Relevant.Key() {
+						t.heap[i] = e
+					}
+					break
+				}
+			}
+			return
+		}
 	}
 	t.best[e.key()] = e.Score
 	// Remove a previous entry for the same key if it is in the heap.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"cape/internal/distance"
 	"cape/internal/engine"
@@ -29,6 +28,23 @@ type Options struct {
 	// and lets the upper bound prune more; this flag exists for the
 	// ablation benchmark.
 	DescendingNorm bool
+	// Parallelism is the number of worker goroutines GenOpt (and the
+	// Explainer) fan the (relevant pattern, refinement) pairs across.
+	// 0 or 1 runs sequentially. Parallel runs return exactly the
+	// sequential explanation list — same scores, tuples, and order —
+	// because the top-k order is total and the shared score bound only
+	// ever under-prunes. Stats.PrunedRefinements may vary between runs
+	// (a stale bound lets a worker enumerate a pair a tighter schedule
+	// would have pruned); Candidates and the explanations do not.
+	Parallelism int
+}
+
+// workers clamps Parallelism to a usable worker count.
+func (o Options) workers() int {
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 func (o Options) withDefaults() Options {
@@ -64,14 +80,17 @@ type relevantEntry struct {
 	norm  float64     // NORM of Definition 10
 }
 
-// generator carries the shared state of one generation run.
+// generator carries the shared state of one generation run. After
+// prepare returns, every field is read-only except the cache, which is
+// safe for concurrent use — a generator may be driven by many workers.
 type generator struct {
 	q     UserQuestion
 	r     *engine.Table
 	opt   Options
-	cache map[string]*engine.Table // grouped result per refined pattern
+	cache *groupCache // grouped result per refined pattern
 	// lookup resolves γ_{F'∪V, agg}(R) for a refined pattern; defaults to
-	// the per-run cache, overridden by Explainer's shared cache.
+	// the per-run cache, overridden by Explainer's shared cache. Must be
+	// safe for concurrent calls.
 	lookup func(pattern.Pattern) (*engine.Table, error)
 }
 
@@ -105,38 +124,69 @@ func GenNaive(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Op
 //
 //	score↑(φ, P, P') = dev↑(P') / (d↓(φ, P') · NORM + ε)
 //
-// cannot beat the current k-th best score.
+// cannot beat the current k-th best score. With opt.Parallelism > 1 the
+// (P, P') pairs are fanned across a worker pool; the result is identical
+// to the sequential run.
 func GenOpt(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
 	g, rel, stats, err := prepare(q, r, patterns, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Ascending NORM: score ∝ 1/NORM, so small NORM first finds
-	// high-score explanations early and makes the bound bite sooner.
-	if g.opt.DescendingNorm {
+	expls, err := g.run(rel, patterns, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return expls, stats, nil
+}
+
+// sortRelevant orders relevant patterns by NORM. Ascending is the
+// default: score ∝ 1/NORM, so small NORM first finds high-score
+// explanations early and makes the bound bite sooner. The sort is stable
+// so ties keep the (deterministic) mined-pattern order.
+func sortRelevant(rel []relevantEntry, descending bool) {
+	if descending {
 		sort.SliceStable(rel, func(i, j int) bool { return rel[i].norm > rel[j].norm })
 	} else {
 		sort.SliceStable(rel, func(i, j int) bool { return rel[i].norm < rel[j].norm })
 	}
+}
 
-	tk := newTopK(g.opt.K)
+// run executes the bound-pruned search over the relevant patterns,
+// sequentially or — when opt.Parallelism asks for it — fanned across a
+// bounded worker pool.
+func (g *generator) run(rel []relevantEntry, patterns []*pattern.Mined, stats *Stats) ([]Explanation, error) {
+	sortRelevant(rel, g.opt.DescendingNorm)
+	// Flatten the (P, P') pairs in visit order. Workers claim items in
+	// this same order, so parallel runs tighten the bound as early as the
+	// sequential loop does.
+	var items []workItem
 	for _, re := range rel {
 		for _, ref := range refinementsOf(re.mined, patterns) {
-			stats.RefinementPairs++
-			if min, full := tk.minScore(); full {
-				// Strict comparison: a refinement whose bound ties the
-				// current k-th score could still win the key tiebreak.
-				if g.scoreBound(re, ref) < min {
-					stats.PrunedRefinements++
-					continue
-				}
-			}
-			if err := g.enumerate(re, ref, tk, stats); err != nil {
-				return nil, nil, err
-			}
+			items = append(items, workItem{re: re, ref: ref})
 		}
 	}
-	return tk.sorted(), stats, nil
+	stats.RefinementPairs = len(items)
+	if workers := g.opt.workers(); workers > 1 && len(items) > 1 {
+		if workers > len(items) {
+			workers = len(items)
+		}
+		return g.runParallel(items, stats, workers)
+	}
+	tk := newTopK(g.opt.K)
+	for _, it := range items {
+		if min, full := tk.minScore(); full {
+			// Strict comparison: a refinement whose bound ties the
+			// current k-th score could still win the key tiebreak.
+			if g.scoreBound(it.re, it.ref) < min {
+				stats.PrunedRefinements++
+				continue
+			}
+		}
+		if err := g.enumerate(it.re, it.ref, tk, stats); err != nil {
+			return nil, err
+		}
+	}
+	return tk.sorted(), nil
 }
 
 // prepare validates inputs and finds the relevant patterns with their
@@ -145,7 +195,7 @@ func prepare(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Opt
 	if err := q.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
-	g := &generator{q: q, r: r, opt: opt.withDefaults(), cache: make(map[string]*engine.Table)}
+	g := &generator{q: q, r: r, opt: opt.withDefaults(), cache: newGroupCache()}
 	g.lookup = g.grouped
 	stats := &Stats{}
 	var rel []relevantEntry
@@ -285,8 +335,10 @@ func (g *generator) devBound(re relevantEntry, ref *pattern.Mined) float64 {
 
 // enumerate walks the aggregate result of the refined pattern's grouping
 // and offers every valid counterbalance to the top-k collector
-// (Definition 7 conditions 3–5).
-func (g *generator) enumerate(re relevantEntry, ref *pattern.Mined, tk *topK, stats *Stats) error {
+// (Definition 7 conditions 3–5). It only reads generator state and
+// writes through the sink and stats it is handed, so concurrent calls
+// with distinct sinks-and-stats (or a concurrency-safe sink) are safe.
+func (g *generator) enumerate(re relevantEntry, ref *pattern.Mined, sink explSink, stats *Stats) error {
 	p, pRef := re.mined.Pattern, ref.Pattern
 	attrs := pRef.GroupAttrs()
 	grouped, err := g.lookup(pRef)
@@ -391,23 +443,20 @@ func (g *generator) enumerate(re relevantEntry, ref *pattern.Mined, tk *topK, st
 			isLow = -1
 		}
 		e.Score = dev * isLow / (e.Distance*re.norm + g.opt.Epsilon)
-		tk.offer(e)
+		sink.offer(e)
 	}
 	return nil
 }
 
 // grouped returns (and caches) γ_{F'∪V, agg}(R) for a refined pattern.
+// The per-run cache has the same sharded singleflight structure as the
+// Explainer's shared one, so parallel workers needing different
+// groupings compute them concurrently while duplicates are computed
+// once.
 func (g *generator) grouped(p pattern.Pattern) (*engine.Table, error) {
-	key := strings.Join(p.GroupAttrs(), "\x1f") + "\x1e" + p.Agg.String()
-	if t, ok := g.cache[key]; ok {
-		return t, nil
-	}
-	t, err := g.r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
-	if err != nil {
-		return nil, err
-	}
-	g.cache[key] = t
-	return t, nil
+	return g.cache.get(groupKey(p), func() (*engine.Table, error) {
+		return g.r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
+	})
 }
 
 func sameSet(a, b []string) bool {

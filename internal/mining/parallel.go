@@ -2,12 +2,15 @@ package mining
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // forEachParallel runs fn(i) for i in [0, n) on up to `workers`
-// goroutines, returning the first error encountered (remaining items are
-// still drained, so all goroutines exit cleanly). workers ≤ 1 runs
-// sequentially.
+// goroutines, returning the first error encountered. It fails fast: once
+// an error is recorded, no further items are dispatched and already
+// queued items are drained without running, so a large mining run does
+// not grind through the remaining attribute sets after one has failed.
+// workers ≤ 1 runs sequentially.
 func forEachParallel(n, workers int, fn func(i int) error) error {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -24,22 +27,30 @@ func forEachParallel(n, workers int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var failed atomic.Bool
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if failed.Load() {
+					continue // drain without running
+				}
 				if err := fn(i); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
+					failed.Store(true)
 				}
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break // stop feeding the pool
+		}
 		work <- i
 	}
 	close(work)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachParallelRunsAll(t *testing.T) {
@@ -32,6 +33,29 @@ func TestForEachParallelPropagatesError(t *testing.T) {
 	})
 	if err != sentinel {
 		t.Errorf("error = %v, want sentinel", err)
+	}
+}
+
+// TestForEachParallelFailsFast: after an error is recorded, the
+// dispatcher must stop feeding work — a large run should execute only a
+// handful of items past the failure, not all of them.
+func TestForEachParallelFailsFast(t *testing.T) {
+	sentinel := errors.New("boom")
+	const n = 10000
+	var ran int64
+	err := forEachParallel(n, 4, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 0 {
+			return sentinel
+		}
+		time.Sleep(time.Millisecond) // let the dispatcher observe the error
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("error = %v, want sentinel", err)
+	}
+	if got := atomic.LoadInt64(&ran); got > n/10 {
+		t.Errorf("ran %d of %d items after the first error; fail-fast not effective", got, n)
 	}
 }
 

@@ -25,6 +25,9 @@ type ExplainRequest struct {
 	Tuple     []string `json:"tuple"`
 	Dir       string   `json:"dir"`
 	K         int      `json:"k,omitempty"`
+	// Parallelism overrides the server's default explanation worker
+	// count for this request; 0 keeps the default, 1 forces sequential.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Numeric maps attribute names to numeric-distance scales.
 	Numeric map[string]float64 `json:"numeric,omitempty"`
 	// Weights maps attribute names to metric weights.
@@ -96,7 +99,7 @@ func (r ExplainRequest) build(tab *engine.Table) (explain.UserQuestion, explain.
 		}
 		metric.SetWeight(attr, weight)
 	}
-	return q, explain.Options{K: r.K, Metric: metric}, nil
+	return q, explain.Options{K: r.K, Metric: metric, Parallelism: r.Parallelism}, nil
 }
 
 func indexByte(s string, b byte) int {

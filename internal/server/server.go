@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,10 +44,26 @@ type Server struct {
 	mu       sync.RWMutex
 	tables   map[string]*engine.Table
 	patterns map[string]*patternSet
-	nextID   int
+	// explainers holds one warm Explainer per pattern set, so the
+	// group-by cache survives across /v1/explain requests instead of
+	// being rebuilt per call.
+	explainers map[string]*explainerEntry
+	nextID     int
 
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
+
+	// ExplainParallelism is the default worker count for explanation
+	// generation (runtime.NumCPU() from New); requests may override it
+	// with their own "parallelism" field.
+	ExplainParallelism int
+}
+
+// explainerEntry pins the Explainer to the table snapshot it was built
+// over, so reloading a table invalidates the cached aggregates.
+type explainerEntry struct {
+	table *engine.Table
+	ex    *explain.Explainer
 }
 
 // patternSet is a stored mining result.
@@ -62,9 +79,11 @@ type patternSet struct {
 // New returns a ready-to-serve Server.
 func New() *Server {
 	s := &Server{
-		tables:       make(map[string]*engine.Table),
-		patterns:     make(map[string]*patternSet),
-		MaxBodyBytes: 64 << 20,
+		tables:             make(map[string]*engine.Table),
+		patterns:           make(map[string]*patternSet),
+		explainers:         make(map[string]*explainerEntry),
+		MaxBodyBytes:       64 << 20,
+		ExplainParallelism: runtime.NumCPU(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -297,7 +316,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	expls, stats, err := explain.Generate(q, tab, ps.patterns, opt)
+	expls, stats, err := s.explainerFor(ps, tab).ExplainOpts(q, opt)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -412,6 +431,22 @@ func (s *Server) handleBaseline(w http.ResponseWriter, r *http.Request) {
 		"question":     q.String(),
 		"explanations": expls,
 	})
+}
+
+// explainerFor returns the pattern set's shared Explainer, building it
+// on first use and rebuilding it when the backing table was replaced.
+// Reusing one Explainer per pattern set is what makes the sharded
+// group-by cache warm across requests: N concurrent identical questions
+// run one GroupBy per distinct grouping instead of N.
+func (s *Server) explainerFor(ps *patternSet, tab *engine.Table) *explain.Explainer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.explainers[ps.ID]; ok && e.table == tab {
+		return e.ex
+	}
+	ex := explain.NewExplainer(tab, ps.patterns, explain.Options{Parallelism: s.ExplainParallelism})
+	s.explainers[ps.ID] = &explainerEntry{table: tab, ex: ex}
+	return ex
 }
 
 // table looks up a loaded table.
