@@ -18,11 +18,13 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 
-# Performance trajectory: the explanation worker-count sweep and the
-# GroupBy hot path, plus the capebench run that writes BENCH_explain.json.
+# Performance trajectory: the explanation worker-count sweep, the
+# GroupBy hot path, and the offline-mining fast path, plus the capebench
+# runs that write BENCH_explain.json and BENCH_mine.json.
 bench:
-	$(GO) test -bench 'BenchmarkGenOptParallel|BenchmarkGroupBy$$' -benchmem -run XXX ./...
+	$(GO) test -bench 'BenchmarkGenOptParallel|BenchmarkGroupBy$$|BenchmarkARPMine|BenchmarkFitShared' -benchmem -run XXX ./...
 	$(GO) run ./cmd/capebench benchexplain
+	$(GO) run ./cmd/capebench benchmine
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cape/internal/dataset"
+	"cape/internal/engine"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/regress"
+)
+
+// benchMineStats is one benchmark measurement in BENCH_mine.json.
+type benchMineStats struct {
+	NsPerOp     int64 `json:"nsPerOp"`
+	BytesPerOp  int64 `json:"bytesPerOp"`
+	AllocsPerOp int64 `json:"allocsPerOp"`
+}
+
+// benchMineBreakdown is the Figure-4 subtask split of one ARPMine run.
+type benchMineBreakdown struct {
+	QueryNs      int64 `json:"queryNs"`
+	RegressionNs int64 `json:"regressionNs"`
+	OtherNs      int64 `json:"otherNs"`
+	TotalNs      int64 `json:"totalNs"`
+	Patterns     int   `json:"patterns"`
+	Candidates   int   `json:"candidates"`
+}
+
+// benchMineSide holds the measurements of one side (baseline or current).
+type benchMineSide struct {
+	ARPMine   benchMineStats     `json:"arpmine"`
+	FitShared benchMineStats     `json:"fitShared"`
+	Breakdown benchMineBreakdown `json:"breakdown"`
+}
+
+// benchMineReport is the schema of BENCH_mine.json.
+type benchMineReport struct {
+	Dataset        string        `json:"dataset"`
+	Rows           int           `json:"rows"`
+	Psi            int           `json:"psi"`
+	CPUs           int           `json:"cpus"`
+	BaselineCommit string        `json:"baselineCommit"`
+	Baseline       benchMineSide `json:"baseline"`
+	Current        benchMineSide `json:"current"`
+	Speedup        float64       `json:"speedup"`
+	AllocRatio     float64       `json:"allocRatio"`
+}
+
+// benchMineBaseline is the pre-fast-path measurement of the identical
+// workload (DBLP 5000 rows, seed 1, ψ=3, Count+Sum × Const+Lin), taken
+// at commit 428a2f4 by running the same benchmarks against that tree on
+// the same host, median of 5. The Figure-4 breakdown comes from a single
+// timed ARPMine run of that tree.
+var benchMineBaseline = benchMineSide{
+	ARPMine:   benchMineStats{NsPerOp: 11722424, BytesPerOp: 3393212, AllocsPerOp: 16787},
+	FitShared: benchMineStats{NsPerOp: 341589, BytesPerOp: 187408, AllocsPerOp: 4513},
+	Breakdown: benchMineBreakdown{
+		QueryNs:      9496734,
+		RegressionNs: 273433,
+		OtherNs:      1930885,
+		TotalNs:      11701052,
+		Patterns:     2,
+		Candidates:   28,
+	},
+}
+
+// runBenchMine measures the offline-mining fast path on the fixed
+// BENCH_mine workload and writes BENCH_mine.json comparing against the
+// recorded pre-change baseline. The workload is pinned (the baseline
+// numbers are only comparable on the same input), so -full is ignored.
+func runBenchMine(full bool) error {
+	_ = full
+	const rows, psi = 5000, 3
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: rows, Seed: 1})
+	opt := miningOpts([]string{"author", "year", "venue"}, psi)
+	opt.Models = []regress.ModelType{regress.Const, regress.Lin}
+
+	report := benchMineReport{
+		Dataset:        "dblp",
+		Rows:           rows,
+		Psi:            psi,
+		CPUs:           runtime.NumCPU(),
+		BaselineCommit: "428a2f4",
+		Baseline:       benchMineBaseline,
+	}
+
+	// End-to-end miner benchmark.
+	arp := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := mining.ARPMine(tab, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Patterns) == 0 {
+				b.Fatal("benchmark workload mined no patterns")
+			}
+		}
+	})
+	report.Current.ARPMine = benchMineStats{
+		NsPerOp:     arp.NsPerOp(),
+		BytesPerOp:  arp.AllocedBytesPerOp(),
+		AllocsPerOp: arp.AllocsPerOp(),
+	}
+
+	// Shared-fitter benchmark: one (F, V) split of the grouped result.
+	// DBLP has no numeric column outside the grouping attributes, so the
+	// requested Sum contributes no aggregate expression and the candidates
+	// are count(*) × {Const, Lin}, exactly as in the end-to-end miner.
+	g := []string{"author", "year", "venue"}
+	aggs := []engine.AggSpec{{Func: engine.Count}}
+	grouped, err := tab.GroupBy(g, aggs)
+	if err != nil {
+		return err
+	}
+	f, v := []string{"author", "venue"}, []string{"year"}
+	sorted, err := grouped.Sorted(append(append([]string{}, f...), v...))
+	if err != nil {
+		return err
+	}
+	fit := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pattern.FitShared(f, v, aggs, opt.Models, sorted, opt.Thresholds, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.Current.FitShared = benchMineStats{
+		NsPerOp:     fit.NsPerOp(),
+		BytesPerOp:  fit.AllocedBytesPerOp(),
+		AllocsPerOp: fit.AllocsPerOp(),
+	}
+
+	// Figure-4 breakdown of one timed run.
+	start := time.Now()
+	res, err := mining.ARPMine(tab, opt)
+	if err != nil {
+		return err
+	}
+	total := time.Since(start)
+	report.Current.Breakdown = benchMineBreakdown{
+		QueryNs:      res.Timers.Query.Nanoseconds(),
+		RegressionNs: res.Timers.Regression.Nanoseconds(),
+		OtherNs:      total.Nanoseconds() - res.Timers.Query.Nanoseconds() - res.Timers.Regression.Nanoseconds(),
+		TotalNs:      total.Nanoseconds(),
+		Patterns:     len(res.Patterns),
+		Candidates:   res.Candidates,
+	}
+
+	report.Speedup = float64(report.Baseline.ARPMine.NsPerOp) / float64(report.Current.ARPMine.NsPerOp)
+	report.AllocRatio = float64(report.Baseline.ARPMine.AllocsPerOp) / float64(report.Current.ARPMine.AllocsPerOp)
+
+	fmt.Printf("DBLP, D=%d, ψ=%d, GOMAXPROCS=%d\n\n", rows, psi, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-22s %14s %14s\n", "", "baseline", "current")
+	fmt.Printf("%-22s %14s %14s\n", "ARPMine ns/op",
+		fmtNs(report.Baseline.ARPMine.NsPerOp), fmtNs(report.Current.ARPMine.NsPerOp))
+	fmt.Printf("%-22s %14d %14d\n", "ARPMine allocs/op",
+		report.Baseline.ARPMine.AllocsPerOp, report.Current.ARPMine.AllocsPerOp)
+	fmt.Printf("%-22s %14s %14s\n", "FitShared ns/op",
+		fmtNs(report.Baseline.FitShared.NsPerOp), fmtNs(report.Current.FitShared.NsPerOp))
+	fmt.Printf("%-22s %14s %14s\n", "query time",
+		fmtNs(report.Baseline.Breakdown.QueryNs), fmtNs(report.Current.Breakdown.QueryNs))
+	fmt.Printf("%-22s %14s %14s\n", "regression time",
+		fmtNs(report.Baseline.Breakdown.RegressionNs), fmtNs(report.Current.Breakdown.RegressionNs))
+	fmt.Printf("%-22s %14s %14s\n", "other time",
+		fmtNs(report.Baseline.Breakdown.OtherNs), fmtNs(report.Current.Breakdown.OtherNs))
+	fmt.Printf("%-22s %14d %14d\n", "patterns",
+		report.Baseline.Breakdown.Patterns, report.Current.Breakdown.Patterns)
+	fmt.Printf("%-22s %14d %14d\n", "candidates",
+		report.Baseline.Breakdown.Candidates, report.Current.Breakdown.Candidates)
+	fmt.Printf("\nspeedup %.2fx, allocs %.2fx fewer\n", report.Speedup, report.AllocRatio)
+
+	if report.Current.Breakdown.Patterns != report.Baseline.Breakdown.Patterns ||
+		report.Current.Breakdown.Candidates != report.Baseline.Breakdown.Candidates {
+		return fmt.Errorf("fast path changed mining results: %d patterns / %d candidates, baseline %d / %d",
+			report.Current.Breakdown.Patterns, report.Current.Breakdown.Candidates,
+			report.Baseline.Breakdown.Patterns, report.Baseline.Breakdown.Candidates)
+	}
+
+	out, err := os.Create("BENCH_mine.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_mine.json")
+	return nil
+}
+
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -11,7 +11,7 @@
 //	capebench <experiment> [-full]
 //
 // Experiments: fig3a fig3b fig3c fig4 fig5 fig6a fig6b fig6c fig7
-// table3 table4 table5 table6 table7 userstudy benchexplain all
+// table3 table4 table5 table6 table7 userstudy benchexplain benchmine all
 //
 // -full runs the larger input sizes (slower; closer to the paper's
 // ranges).
@@ -46,6 +46,7 @@ var experiments = map[string]struct {
 	"table7":       {runTable7, "top-5 baseline explanations, Crime low question"},
 	"userstudy":    {runUserStudy, "machine-checkable part of the Appendix-B user study"},
 	"benchexplain": {runBenchExplain, "parallel explanation generation sweep; writes BENCH_explain.json"},
+	"benchmine":    {runBenchMine, "offline mining fast-path benchmark vs recorded baseline; writes BENCH_mine.json"},
 }
 
 func usage() {

@@ -1,11 +1,17 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
+	"hash/maphash"
 	"strings"
 
 	"cape/internal/value"
 )
+
+// hashSeed keys the group-by hash chains; one process-wide seed keeps
+// hashes comparable across calls without exposing them anywhere.
+var hashSeed = maphash.MakeSeed()
 
 // AggFunc enumerates the aggregate functions the engine evaluates.
 type AggFunc uint8
@@ -193,31 +199,49 @@ func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
 		sch = append(sch, Column{Name: a.String(), Kind: kind})
 	}
 
-	// Hash aggregation. Groups live in one growing slice (the map holds
-	// indices into it, preserving first-appearance order) and their keys
-	// and aggregate states are carved out of chunked arenas, so a new
-	// group costs two amortized bump allocations instead of three heap
-	// objects, and the per-row hot loop allocates nothing: the
-	// string(keyBuf) conversion inside the map index is allocation-free
-	// on lookup hits, and a string is materialized only when inserting a
-	// new group.
+	// Hash aggregation. Groups live in one growing slice preserving
+	// first-appearance order; their keys, key bytes, and aggregate states
+	// are carved out of chunked arenas. Group lookup goes through an
+	// open-addressed table of group indices keyed by a 64-bit hash of the
+	// encoded key, disambiguated by comparing the arena-stored key bytes
+	// — so a new group costs only amortized bump allocations (no
+	// per-group map-key string), and the per-row hot loop allocates
+	// nothing at all.
 	type group struct {
-		key    value.Tuple
-		states []aggState
+		key      value.Tuple
+		keyBytes []byte
+		states   []aggState
+		hash     uint64
 	}
 	nG, nA := len(gIdx), len(aCols)
-	idx := make(map[string]int)
+	tabSize := 64
+	tab := make([]int32, tabSize)
+	for i := range tab {
+		tab[i] = -1
+	}
+	mask := uint64(tabSize - 1)
 	var groups []group
 	var stateArena []aggState // groups keep slices into retired chunks
 	var keyArena []value.V
+	var byteArena []byte
 	var keyBuf []byte
 	for _, r := range t.rows {
 		keyBuf = keyBuf[:0]
 		for _, ci := range gIdx {
 			keyBuf = r[ci].AppendKey(keyBuf)
 		}
-		gi, ok := idx[string(keyBuf)]
-		if !ok {
+		h := maphash.Bytes(hashSeed, keyBuf)
+		gi := int32(-1)
+		slot := h & mask
+		for tab[slot] >= 0 {
+			j := tab[slot]
+			if groups[j].hash == h && bytes.Equal(groups[j].keyBytes, keyBuf) {
+				gi = j
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+		if gi < 0 {
 			if len(stateArena)+nA > cap(stateArena) {
 				stateArena = make([]aggState, 0, arenaChunk(nA))
 			}
@@ -231,9 +255,36 @@ func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
 			for i, ci := range gIdx {
 				key[i] = r[ci]
 			}
-			gi = len(groups)
-			groups = append(groups, group{key: key, states: states})
-			idx[string(keyBuf)] = gi
+			if len(byteArena)+len(keyBuf) > cap(byteArena) {
+				n := 4096
+				if len(keyBuf) > n {
+					n = len(keyBuf)
+				}
+				byteArena = make([]byte, 0, n)
+			}
+			kb := byteArena[len(byteArena) : len(byteArena)+len(keyBuf) : len(byteArena)+len(keyBuf)]
+			byteArena = byteArena[:len(byteArena)+len(keyBuf)]
+			copy(kb, keyBuf)
+			gi = int32(len(groups))
+			groups = append(groups, group{key: key, keyBytes: kb, states: states, hash: h})
+			tab[slot] = gi
+			// Keep the load factor under 1/2: rebuild the index from the
+			// stored hashes when the group count reaches half the slots.
+			if len(groups)*2 >= tabSize {
+				tabSize *= 2
+				mask = uint64(tabSize - 1)
+				tab = make([]int32, tabSize)
+				for i := range tab {
+					tab[i] = -1
+				}
+				for j := range groups {
+					s := groups[j].hash & mask
+					for tab[s] >= 0 {
+						s = (s + 1) & mask
+					}
+					tab[s] = int32(j)
+				}
+			}
 		}
 		st := groups[gi].states
 		for i, ac := range aCols {

@@ -113,14 +113,31 @@ func ARPMine(r *engine.Table, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// exploreSortOrders is Algorithm 5: iterate the permutations of G,
-// skipping any permutation that covers no untested (F, V) pair; for each
-// kept permutation, sort the grouped result once and evaluate every split
-// whose F is a prefix of the sort order.
+// exploreSortOrders is Algorithm 5 on the fast path: instead of copying
+// and re-sorting the grouped rows per sort order, it dictionary-encodes
+// the grouping columns once (BuildSortCodes) and sorts a row-index
+// permutation, reusing the sorted prefix shared with the previous order.
+// The orders come from the minimal cover (C(n, ⌊n/2⌋) of the n!
+// permutations); each order evaluates every split whose F is a prefix,
+// through one SharedFitter that scans fragments columnar.
 func exploreSortOrders(g []string, grouped *engine.Table, aggs []engine.AggSpec,
 	opt Options, fds *fd.Set, tested map[string]bool, res *Result) error {
 
-	for _, s := range permutations(g) {
+	t0 := time.Now()
+	codes, err := engine.BuildSortCodes(grouped, g)
+	if err != nil {
+		return err
+	}
+	perm := codes.NewPerm()
+	res.Timers.Query += time.Since(t0)
+
+	fitter, err := pattern.NewSharedFitter(grouped, aggs, opt.Models, opt.Thresholds)
+	if err != nil {
+		return err
+	}
+
+	var prev []string
+	for _, s := range sortOrderCover(g) {
 		// Does this sort order cover anything new?
 		covers := false
 		for k := 1; k < len(s); k++ {
@@ -133,11 +150,11 @@ func exploreSortOrders(g []string, grouped *engine.Table, aggs []engine.AggSpec,
 			continue
 		}
 		t0 := time.Now()
-		sorted, err := grouped.Sorted(s)
-		if err != nil {
+		if err := codes.SortPerm(perm, s, sharedPrefix(prev, s)); err != nil {
 			return err
 		}
 		res.Timers.Query += time.Since(t0)
+		prev = s
 
 		for k := 1; k < len(s); k++ {
 			f, v := s[:k], s[k:]
@@ -151,7 +168,7 @@ func exploreSortOrders(g []string, grouped *engine.Table, aggs []engine.AggSpec,
 				continue
 			}
 			res.Candidates += len(aggs) * len(opt.Models)
-			mined, err := pattern.FitShared(f, v, aggs, opt.Models, sorted, opt.Thresholds, &res.Timers)
+			mined, err := fitter.Fit(f, v, perm, codes, &res.Timers)
 			if err != nil {
 				return err
 			}
@@ -159,31 +176,4 @@ func exploreSortOrders(g []string, grouped *engine.Table, aggs []engine.AggSpec,
 		}
 	}
 	return nil
-}
-
-// permutations returns every ordering of attrs (Heap's algorithm).
-func permutations(attrs []string) [][]string {
-	n := len(attrs)
-	work := append([]string(nil), attrs...)
-	var out [][]string
-	var gen func(k int)
-	gen = func(k int) {
-		if k == 1 {
-			out = append(out, append([]string(nil), work...))
-			return
-		}
-		for i := 0; i < k; i++ {
-			gen(k - 1)
-			if k%2 == 0 {
-				work[i], work[k-1] = work[k-1], work[i]
-			} else {
-				work[0], work[k-1] = work[k-1], work[0]
-			}
-		}
-	}
-	if n == 0 {
-		return nil
-	}
-	gen(n)
-	return out
 }

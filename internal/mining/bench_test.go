@@ -1,0 +1,67 @@
+package mining
+
+import (
+	"testing"
+
+	"cape/internal/dataset"
+	"cape/internal/engine"
+	"cape/internal/pattern"
+	"cape/internal/regress"
+)
+
+// benchDBLP is the DBLP-style workload BENCH_mine.json measures: a
+// synthetic publication table mined over (author, year, venue) at ψ=3.
+func benchDBLP(rows int) (*engine.Table, Options) {
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: rows, Seed: 1})
+	opt := Options{
+		MaxPatternSize: 3,
+		Attributes:     []string{"author", "year", "venue"},
+		Thresholds:     pattern.Thresholds{Theta: 0.5, LocalSupport: 5, Lambda: 0.5, GlobalSupport: 5},
+		AggFuncs:       []engine.AggFunc{engine.Count, engine.Sum},
+		Models:         []regress.ModelType{regress.Const, regress.Lin},
+	}
+	return tab, opt
+}
+
+// BenchmarkARPMine is the offline-mining hot path end to end: group-by
+// evaluation, sort-order exploration, and shared fitting on a DBLP-style
+// table at ψ=3 (the BENCH_mine.json configuration).
+func BenchmarkARPMine(b *testing.B) {
+	tab, opt := benchDBLP(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ARPMine(tab, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("benchmark workload mined no patterns")
+		}
+	}
+}
+
+// BenchmarkFitShared isolates the shared fragment-scan fitter: one
+// grouped-and-sorted input, every (agg, model) candidate of one (F, V)
+// split evaluated per iteration.
+func BenchmarkFitShared(b *testing.B) {
+	tab, opt := benchDBLP(5000)
+	g := []string{"author", "year", "venue"}
+	aggs := aggSpecsFor(tab, opt.AggFuncs, g)
+	grouped, err := tab.GroupBy(g, aggs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, v := []string{"author", "venue"}, []string{"year"}
+	sorted, err := grouped.Sorted(append(append([]string{}, f...), v...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pattern.FitShared(f, v, aggs, opt.Models, sorted, opt.Thresholds, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,29 +39,41 @@ func CubeMine(r *engine.Table, opt Options) (*Result, error) {
 	res.Timers.Query += time.Since(t0)
 
 	for size := 2; size <= maxSize; size++ {
-		for _, g := range combinations(opt.Attributes, size) {
+		err := eachCombination(opt.Attributes, size, func(g []string) error {
 			aggs := aggSpecsFor(r, opt.AggFuncs, g)
 			t0 = time.Now()
 			slice, err := engine.CubeSlice(cube, opt.Attributes, g, aggs)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			codes, err := engine.BuildSortCodes(slice, g)
+			if err != nil {
+				return err
+			}
+			perm := codes.NewPerm()
 			res.Timers.Query += time.Since(t0)
+			fitter, err := pattern.NewSharedFitter(slice, aggs, opt.Models, opt.Thresholds)
+			if err != nil {
+				return err
+			}
 			for _, sp := range splits(g) {
 				f, v := sp[0], sp[1]
 				t0 = time.Now()
-				sorted, err := slice.Sorted(append(append([]string{}, f...), v...))
-				if err != nil {
-					return nil, err
+				if err := codes.SortPerm(perm, append(append([]string{}, f...), v...), 0); err != nil {
+					return err
 				}
 				res.Timers.Query += time.Since(t0)
 				res.Candidates += len(aggs) * len(opt.Models)
-				mined, err := pattern.FitShared(f, v, aggs, opt.Models, sorted, opt.Thresholds, &res.Timers)
+				mined, err := fitter.Fit(f, v, perm, codes, &res.Timers)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				res.Patterns = append(res.Patterns, mined...)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	res.sortPatterns()

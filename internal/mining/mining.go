@@ -136,36 +136,51 @@ func aggSpecsFor(r *engine.Table, funcs []engine.AggFunc, g []string) []engine.A
 	return out
 }
 
-// combinations returns all k-element subsets of attrs, preserving input
-// order within each subset.
-func combinations(attrs []string, k int) [][]string {
+// eachCombination calls fn with every k-element subset of attrs in
+// lexicographic index order, preserving input order within each subset.
+// The slice passed to fn is reused between calls; fn must copy it if it
+// retains it. Generation is lazy — nothing is materialized, so miners
+// that only stream subsets pay no allocation for the enumeration.
+func eachCombination(attrs []string, k int, fn func([]string) error) error {
 	if k <= 0 || k > len(attrs) {
 		return nil
 	}
-	var out [][]string
 	idx := make([]int, k)
+	sub := make([]string, k)
 	for i := range idx {
 		idx[i] = i
 	}
 	for {
-		sub := make([]string, k)
 		for i, j := range idx {
 			sub[i] = attrs[j]
 		}
-		out = append(out, sub)
+		if err := fn(sub); err != nil {
+			return err
+		}
 		// advance
 		i := k - 1
 		for i >= 0 && idx[i] == len(attrs)-k+i {
 			i--
 		}
 		if i < 0 {
-			return out
+			return nil
 		}
 		idx[i]++
 		for j := i + 1; j < k; j++ {
 			idx[j] = idx[j-1] + 1
 		}
 	}
+}
+
+// combinations materializes all k-element subsets of attrs, for callers
+// (the parallel miners) that need an indexable work list.
+func combinations(attrs []string, k int) [][]string {
+	var out [][]string
+	eachCombination(attrs, k, func(sub []string) error {
+		out = append(out, append([]string(nil), sub...))
+		return nil
+	})
+	return out
 }
 
 // splits returns every (F, V) partition of g into two non-empty sets,
@@ -189,10 +204,3 @@ func splits(g []string) [][2][]string {
 
 // pairKey canonically identifies an (F, V) pair.
 func pairKey(f, v []string) string { return fd.Key(f) + "||" + fd.Key(v) }
-
-// sortedCopy returns attrs sorted ascending without mutating the input.
-func sortedCopy(attrs []string) []string {
-	out := append([]string(nil), attrs...)
-	sort.Strings(out)
-	return out
-}

@@ -271,27 +271,65 @@ func TestSplits(t *testing.T) {
 	}
 }
 
-func TestPermutations(t *testing.T) {
-	if got := len(permutations([]string{"a", "b", "c"})); got != 6 {
-		t.Errorf("3! = %d, want 6", got)
+func TestSortOrderCover(t *testing.T) {
+	if sortOrderCover(nil) != nil {
+		t.Error("cover of empty should be nil")
 	}
-	if got := len(permutations([]string{"a"})); got != 1 {
-		t.Errorf("1! = %d", got)
-	}
-	if permutations(nil) != nil {
-		t.Error("permutations of empty should be nil")
-	}
-	// All distinct.
-	seen := map[string]bool{}
-	for _, p := range permutations([]string{"a", "b", "c", "d"}) {
-		k := p[0] + p[1] + p[2] + p[3]
-		if seen[k] {
-			t.Errorf("duplicate permutation %v", p)
+	// binom(n, k) without floats.
+	binom := func(n, k int) int {
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
 		}
-		seen[k] = true
+		return r
 	}
-	if len(seen) != 24 {
-		t.Errorf("4! = %d, want 24", len(seen))
+	for n := 1; n <= 6; n++ {
+		g := make([]string, n)
+		for i := range g {
+			g[i] = string(rune('a' + i))
+		}
+		orders := sortOrderCover(g)
+		// Minimal size: C(n, ⌊n/2⌋) orders.
+		if want := binom(n, n/2); len(orders) != want {
+			t.Errorf("n=%d: %d orders, want %d", n, len(orders), want)
+		}
+		// Each order is a permutation of g.
+		for _, s := range orders {
+			seen := map[string]bool{}
+			for _, a := range s {
+				seen[a] = true
+			}
+			if len(s) != n || len(seen) != n {
+				t.Errorf("n=%d: order %v is not a permutation of %v", n, s, g)
+			}
+		}
+		// Every non-empty proper subset is a prefix set of some order.
+		covered := map[string]bool{}
+		for _, s := range orders {
+			for k := 1; k < n; k++ {
+				covered[fd.Key(s[:k])] = true
+			}
+		}
+		for mask := 1; mask < (1<<uint(n))-1; mask++ {
+			var f []string
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					f = append(f, g[i])
+				}
+			}
+			if !covered[fd.Key(f)] {
+				t.Errorf("n=%d: subset %v not covered by any sort order", n, f)
+			}
+		}
+	}
+}
+
+func TestSharedPrefix(t *testing.T) {
+	if got := sharedPrefix([]string{"a", "b", "c"}, []string{"a", "b", "d"}); got != 2 {
+		t.Errorf("sharedPrefix = %d, want 2", got)
+	}
+	if got := sharedPrefix(nil, []string{"a"}); got != 0 {
+		t.Errorf("sharedPrefix with nil = %d, want 0", got)
 	}
 }
 

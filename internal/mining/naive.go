@@ -21,7 +21,7 @@ func Naive(r *engine.Table, opt Options) (*Result, error) {
 	}
 	res := &Result{}
 	for size := 2; size <= opt.MaxPatternSize && size <= len(opt.Attributes); size++ {
-		for _, g := range combinations(opt.Attributes, size) {
+		err := eachCombination(opt.Attributes, size, func(g []string) error {
 			aggs := aggSpecsFor(r, opt.AggFuncs, g)
 			for _, sp := range splits(g) {
 				for _, a := range aggs {
@@ -30,7 +30,7 @@ func Naive(r *engine.Table, opt Options) (*Result, error) {
 						res.Candidates++
 						mined, err := naivePatternHolds(p, r, opt.Thresholds, &res.Timers)
 						if err != nil {
-							return nil, err
+							return err
 						}
 						if mined != nil {
 							res.Patterns = append(res.Patterns, mined)
@@ -38,6 +38,10 @@ func Naive(r *engine.Table, opt Options) (*Result, error) {
 					}
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	res.sortPatterns()
@@ -53,8 +57,8 @@ func naivePatternHolds(p pattern.Pattern, r *engine.Table, th pattern.Thresholds
 	}
 	// Canonical attribute order, matching pattern.FitShared, so fragment
 	// keys agree across miner variants.
-	p.F = sortedCopy(p.F)
-	p.V = sortedCopy(p.V)
+	p.F = pattern.SortedCopy(p.F)
+	p.V = pattern.SortedCopy(p.V)
 	t0 := time.Now()
 	frags, err := r.DistinctProject(p.F)
 	if err != nil {

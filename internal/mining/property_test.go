@@ -1,6 +1,8 @@
 package mining
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"cape/internal/engine"
@@ -168,6 +170,123 @@ func TestAugmentationRule(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Skip("no venue-partitioned patterns small enough to check")
+	}
+}
+
+// randomMiningTable builds a table with randomized cardinalities and a
+// mix of planted and noise structure, so the fast-path equivalence check
+// exercises shapes the fixed test fixture does not: skewed fragment
+// sizes, stringly and numeric attributes, and null-prone payloads.
+func randomMiningTable(rng *rand.Rand, rows int) *engine.Table {
+	tab := engine.NewTable(engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "venue", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+		{Name: "cites", Kind: value.Int},
+	})
+	nAuthors := rng.Intn(12) + 3
+	nVenues := rng.Intn(4) + 2
+	nYears := rng.Intn(8) + 2
+	for i := 0; i < rows; i++ {
+		author := value.NewString(string(rune('A' + rng.Intn(nAuthors))))
+		venue := value.NewString([]string{"KDD", "ICDE", "VLDB", "SIGMOD", "PODS", "CIKM"}[rng.Intn(nVenues)])
+		year := value.NewInt(int64(2000 + rng.Intn(nYears)))
+		cites := value.NewInt(int64(rng.Intn(50)))
+		tab.MustAppend(value.Tuple{author, venue, year, cites})
+	}
+	return tab
+}
+
+// TestRandomizedMinerEquivalence: across randomized tables, the
+// fast-path ARPMine, ShareGrp, and the brute-force Naive miner must
+// agree on everything observable — pattern key sets, candidate counts,
+// per-pattern fragment statistics, local model fragments and supports,
+// and model parameters/GoF within 1e-9 (the miners feed observations to
+// the regression kernels in different row orders, so bit equality is not
+// guaranteed, but 1e-9 is orders of magnitude below any threshold).
+func TestRandomizedMinerEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomMiningTable(rng, 150+rng.Intn(250))
+		opt := lenientOpts()
+
+		naive, err := Naive(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		share, err := ShareGrp(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arp, err := ARPMine(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for name, res := range map[string]*Result{"ShareGrp": share, "ARPMine": arp} {
+			if res.Candidates != naive.Candidates {
+				t.Errorf("seed %d: %s evaluated %d candidates, Naive %d",
+					seed, name, res.Candidates, naive.Candidates)
+			}
+			if len(res.Patterns) != len(naive.Patterns) {
+				t.Errorf("seed %d: %s found %d patterns, Naive %d",
+					seed, name, len(res.Patterns), len(naive.Patterns))
+				continue
+			}
+			byKey := map[string]*pattern.Mined{}
+			for _, m := range res.Patterns {
+				byKey[m.Pattern.Key()] = m
+			}
+			for _, nm := range naive.Patterns {
+				m, ok := byKey[nm.Pattern.Key()]
+				if !ok {
+					t.Errorf("seed %d: %s missing pattern %s", seed, name, nm.Pattern)
+					continue
+				}
+				if m.NumSupported != nm.NumSupported || m.Confidence != nm.Confidence {
+					t.Errorf("seed %d: %s %s: supported/confidence (%d, %g) vs Naive (%d, %g)",
+						seed, name, m.Pattern, m.NumSupported, m.Confidence, nm.NumSupported, nm.Confidence)
+				}
+				if len(m.Locals) != len(nm.Locals) {
+					t.Errorf("seed %d: %s %s: %d local models, Naive %d",
+						seed, name, m.Pattern, len(m.Locals), len(nm.Locals))
+					continue
+				}
+				for k, nlm := range nm.Locals {
+					lm, ok := m.Locals[k]
+					if !ok {
+						t.Errorf("seed %d: %s %s: missing fragment %v", seed, name, m.Pattern, nlm.Frag)
+						continue
+					}
+					if lm.Support != nlm.Support {
+						t.Errorf("seed %d: %s %s %v: support %d vs %d",
+							seed, name, m.Pattern, nlm.Frag, lm.Support, nlm.Support)
+					}
+					gp, np := lm.Model.Params(), nlm.Model.Params()
+					if len(gp) != len(np) {
+						t.Errorf("seed %d: %s %s %v: %d params vs %d",
+							seed, name, m.Pattern, nlm.Frag, len(gp), len(np))
+						continue
+					}
+					for i := range gp {
+						if math.Abs(gp[i]-np[i]) > 1e-9 {
+							t.Errorf("seed %d: %s %s %v: param[%d] %g vs %g",
+								seed, name, m.Pattern, nlm.Frag, i, gp[i], np[i])
+						}
+					}
+					if math.Abs(lm.Model.GoF()-nlm.Model.GoF()) > 1e-9 {
+						t.Errorf("seed %d: %s %s %v: gof %g vs %g",
+							seed, name, m.Pattern, nlm.Frag, lm.Model.GoF(), nlm.Model.GoF())
+					}
+					if math.Abs(lm.MaxPosDev-nlm.MaxPosDev) > 1e-9 ||
+						math.Abs(lm.MaxNegDev-nlm.MaxNegDev) > 1e-9 {
+						t.Errorf("seed %d: %s %s %v: deviations (%g, %g) vs (%g, %g)",
+							seed, name, m.Pattern, nlm.Frag,
+							lm.MaxPosDev, lm.MaxNegDev, nlm.MaxPosDev, nlm.MaxNegDev)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -34,17 +34,27 @@ func ShareGrp(r *engine.Table, opt Options) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		codes, err := engine.BuildSortCodes(grouped, g)
+		if err != nil {
+			return err
+		}
+		perm := codes.NewPerm()
 		out.Timers.Query += time.Since(t0)
+		fitter, err := pattern.NewSharedFitter(grouped, aggs, opt.Models, opt.Thresholds)
+		if err != nil {
+			return err
+		}
 		for _, sp := range splits(g) {
 			f, v := sp[0], sp[1]
+			// One full index sort per split: ShareGrp deliberately skips
+			// ARPMine's sort-order reuse, keeping its historical cost shape.
 			t0 = time.Now()
-			sorted, err := grouped.Sorted(append(append([]string{}, f...), v...))
-			if err != nil {
+			if err := codes.SortPerm(perm, append(append([]string{}, f...), v...), 0); err != nil {
 				return err
 			}
 			out.Timers.Query += time.Since(t0)
 			out.Candidates += len(aggs) * len(opt.Models)
-			mined, err := pattern.FitShared(f, v, aggs, opt.Models, sorted, opt.Thresholds, &out.Timers)
+			mined, err := fitter.Fit(f, v, perm, codes, &out.Timers)
 			if err != nil {
 				return err
 			}

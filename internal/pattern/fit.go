@@ -1,7 +1,6 @@
 package pattern
 
 import (
-	"fmt"
 	"time"
 
 	"cape/internal/engine"
@@ -48,197 +47,26 @@ func EncodePredictors(vs value.Tuple) ([]float64, bool) {
 // be the result of grouping on f ∪ v, sorted by f then v, and must
 // contain one column per aggregate in aggs named engine.AggSpec.String().
 // The returned slice holds one *Mined per candidate that holds globally
-// under th. This implements the paper's "one query for all patterns
-// sharing F and V" optimization plus Algorithm 6's block scan.
+// under th.
+//
+// FitShared is the convenience entry point: it builds a SharedFitter and
+// scans dSorted in row order. Miners that evaluate many (F, V) splits
+// over one grouped table construct a SharedFitter once and call its Fit
+// with a sorted permutation instead.
 func FitShared(f, v []string, aggs []engine.AggSpec, models []regress.ModelType,
 	dSorted *engine.Table, th Thresholds, tm *Timers) ([]*Mined, error) {
 
-	if err := th.Validate(); err != nil {
-		return nil, err
-	}
-	// Canonicalize attribute order so the same (F, V) pair produces
-	// identical pattern keys and fragment keys regardless of which sort
-	// order or enumeration order discovered it. Fragment blocks in
-	// dSorted stay consecutive under any permutation of F.
-	f = sortedCopy(f)
-	v = sortedCopy(v)
-	sch := dSorted.Schema()
-	fIdx, err := sch.Indices(f)
+	sf, err := NewSharedFitter(dSorted, aggs, models, th)
 	if err != nil {
 		return nil, err
 	}
-	vIdx, err := sch.Indices(v)
-	if err != nil {
-		return nil, err
-	}
-	aggIdx := make([]int, len(aggs))
-	for i, a := range aggs {
-		ci := sch.Index(a.String())
-		if ci < 0 {
-			return nil, fmt.Errorf("pattern: sorted input missing aggregate column %q", a.String())
-		}
-		aggIdx[i] = ci
-	}
-
-	type candState struct {
-		p       Pattern
-		mined   *Mined
-		numSupp int
-		numFrag int
-	}
-	// cands[ai*len(models)+mi] is the candidate for aggregate ai, model mi.
-	cands := make([]*candState, 0, len(aggs)*len(models))
-	for _, a := range aggs {
-		for _, m := range models {
-			p := Pattern{F: f, V: v, Agg: a, Model: m}
-			if err := p.Validate(); err != nil {
-				return nil, err
-			}
-			cands = append(cands, &candState{
-				p: p,
-				mined: &Mined{
-					Pattern: p,
-					Locals:  make(map[string]*LocalModel),
-				},
-			})
-		}
-	}
-
-	// Scan fragment blocks; dSorted is sorted by F so each fragment is a
-	// consecutive run of rows.
-	rows := dSorted.Rows()
-	start := 0
-	flushFragment := func(lo, hi int) error {
-		frag := make(value.Tuple, len(fIdx))
-		for i, ci := range fIdx {
-			frag[i] = rows[lo][ci]
-		}
-		// Encode the fragment's predictor points once.
-		n := hi - lo
-		xs := make([][]float64, 0, n)
-		numericX := true
-		vt := make(value.Tuple, len(vIdx))
-		for r := lo; r < hi && numericX; r++ {
-			for i, ci := range vIdx {
-				vt[i] = rows[r][ci]
-			}
-			enc, ok := EncodePredictors(vt)
-			if !ok {
-				numericX = false
-				break
-			}
-			xs = append(xs, enc)
-		}
-
-		for ai := range aggs {
-			// Extract the aggregate observations once per aggregate.
-			ys := make([]float64, 0, n)
-			numericY := true
-			for r := lo; r < hi; r++ {
-				fv, numeric := rows[r][aggIdx[ai]].AsFloat()
-				if !numeric {
-					numericY = false
-					break
-				}
-				ys = append(ys, fv)
-			}
-			for mi := range models {
-				cs := cands[ai*len(models)+mi]
-				cs.numFrag++
-				if !numericY || len(ys) < th.LocalSupport {
-					continue // insufficient local support
-				}
-				cs.numSupp++
-				if cs.p.Model == regress.Lin && !numericX {
-					continue // Lin needs numeric predictors
-				}
-				var x [][]float64
-				if cs.p.Model == regress.Lin {
-					x = xs
-				} else {
-					x = make([][]float64, len(ys))
-				}
-				t0 := time.Now()
-				model, ferr := regress.Fit(cs.p.Model, x, ys)
-				if tm != nil {
-					tm.Regression += time.Since(t0)
-				}
-				if ferr != nil {
-					continue // singular fit etc.: pattern does not hold here
-				}
-				if model.GoF() < th.Theta {
-					continue
-				}
-				lm := &LocalModel{
-					Frag:    frag,
-					Model:   model,
-					Support: len(ys),
-				}
-				for i, y := range ys {
-					var pred float64
-					if cs.p.Model == regress.Lin {
-						pred = model.Predict(xs[i])
-					} else {
-						pred = model.Predict(nil)
-					}
-					dev := y - pred
-					if dev > lm.MaxPosDev {
-						lm.MaxPosDev = dev
-					}
-					if dev < lm.MaxNegDev {
-						lm.MaxNegDev = dev
-					}
-				}
-				cs.mined.Locals[frag.Key()] = lm
-				if lm.MaxPosDev > cs.mined.MaxPosDev {
-					cs.mined.MaxPosDev = lm.MaxPosDev
-				}
-				if lm.MaxNegDev < cs.mined.MaxNegDev {
-					cs.mined.MaxNegDev = lm.MaxNegDev
-				}
-			}
-		}
-		return nil
-	}
-
-	for r := 1; r <= len(rows); r++ {
-		boundary := r == len(rows)
-		if !boundary {
-			for _, ci := range fIdx {
-				if !value.Equal(rows[r][ci], rows[r-1][ci]) {
-					boundary = true
-					break
-				}
-			}
-		}
-		if boundary {
-			if err := flushFragment(start, r); err != nil {
-				return nil, err
-			}
-			start = r
-		}
-	}
-
-	// Decide global holding per candidate (Definition 4).
-	var out []*Mined
-	for _, cs := range cands {
-		good := len(cs.mined.Locals)
-		if good < th.GlobalSupport || cs.numSupp == 0 {
-			continue
-		}
-		conf := float64(good) / float64(cs.numSupp)
-		if conf < th.Lambda {
-			continue
-		}
-		cs.mined.NumFragments = cs.numFrag
-		cs.mined.NumSupported = cs.numSupp
-		cs.mined.Confidence = conf
-		out = append(out, cs.mined)
-	}
-	return out, nil
+	return sf.Fit(f, v, nil, nil, tm)
 }
 
-func sortedCopy(s []string) []string {
+// SortedCopy returns the strings in ascending order without modifying
+// the input. Pattern keys, fragment keys, and mining sort orders all use
+// this canonical attribute order.
+func SortedCopy(s []string) []string {
 	out := append([]string(nil), s...)
 	sortStrings(out)
 	return out

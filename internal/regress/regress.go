@@ -10,10 +10,7 @@ package regress
 import (
 	"errors"
 	"fmt"
-	"math"
 	"strings"
-
-	"cape/internal/stats"
 )
 
 // ModelType identifies a regression model family.
@@ -109,41 +106,20 @@ func (m *constModel) String() string {
 	return fmt.Sprintf("Const(%.4g, gof=%.3f)", m.mean, m.gof)
 }
 
-// fitConst computes the mean and a chi-square goodness-of-fit. The GoF is
-// the p-value of Pearson's statistic χ² = Σ (obs − mean)² / mean with
-// n−1 degrees of freedom: 1 when every observation equals the mean,
-// decreasing toward 0 as observations scatter. When the mean is not
-// positive the chi-square test is undefined; we then report 1 for a
-// perfect fit and 0 otherwise.
+// fitConst computes the mean and a chi-square goodness-of-fit via the
+// one-pass sufficient statistics (n, Σy, Σy², min, max): the GoF is the
+// p-value of Pearson's statistic with n−1 degrees of freedom — 1 when
+// every observation equals the mean, decreasing toward 0 as observations
+// scatter. When the mean is not positive the chi-square test is
+// undefined; we then report 1 for a perfect fit and 0 otherwise. The
+// mining fast path accumulates the same ConstStats directly, so both
+// paths produce identical models.
 func fitConst(ys []float64) (Model, error) {
-	mean := stats.Mean(ys)
-	perfect := true
+	var s ConstStats
 	for _, y := range ys {
-		if y != mean {
-			perfect = false
-			break
-		}
+		s.Add(y)
 	}
-	if perfect {
-		return &constModel{mean: mean, gof: 1}, nil
-	}
-	if mean <= 0 {
-		return &constModel{mean: mean, gof: 0}, nil
-	}
-	var chi2 float64
-	for _, y := range ys {
-		d := y - mean
-		chi2 += d * d / mean
-	}
-	dof := float64(len(ys) - 1)
-	if dof < 1 {
-		dof = 1
-	}
-	p, err := stats.ChiSquareSF(chi2, dof)
-	if err != nil {
-		return nil, err
-	}
-	return &constModel{mean: mean, gof: stats.Clamp01(p)}, nil
+	return s.Fit()
 }
 
 // linearModel predicts β0 + Σ βi·xi.
@@ -170,109 +146,23 @@ func (m *linearModel) String() string {
 	return fmt.Sprintf("Lin(%v, gof=%.3f)", m.beta, m.gof)
 }
 
-// fitLinear runs ordinary least squares with an intercept, solving the
+// fitLinear runs ordinary least squares with an intercept by flattening
+// the predictor rows and delegating to FitLinFlat, which solves the
 // normal equations (XᵀX)β = Xᵀy by Gaussian elimination with partial
 // pivoting. GoF is R² = 1 − SSres/SStot, clamped to [0, 1]; when the
 // dependent variable is constant, R² is 1 for a perfect fit and 0
-// otherwise.
+// otherwise. The mining fast path calls FitLinFlat directly on a buffer
+// it gathers itself, so both paths produce identical models.
 func fitLinear(xs [][]float64, ys []float64) (Model, error) {
-	n := len(ys)
 	d := len(xs[0])
 	for _, row := range xs {
 		if len(row) != d {
 			return nil, ErrShape
 		}
 	}
-	p := d + 1 // intercept + predictors
-
-	// Build XᵀX (p×p) and Xᵀy (p).
-	xtx := make([][]float64, p)
-	for i := range xtx {
-		xtx[i] = make([]float64, p)
+	flat := make([]float64, 0, len(xs)*d)
+	for _, row := range xs {
+		flat = append(flat, row...)
 	}
-	xty := make([]float64, p)
-	xi := make([]float64, p)
-	for r := 0; r < n; r++ {
-		xi[0] = 1
-		copy(xi[1:], xs[r])
-		for i := 0; i < p; i++ {
-			for j := i; j < p; j++ {
-				xtx[i][j] += xi[i] * xi[j]
-			}
-			xty[i] += xi[i] * ys[r]
-		}
-	}
-	for i := 1; i < p; i++ {
-		for j := 0; j < i; j++ {
-			xtx[i][j] = xtx[j][i]
-		}
-	}
-
-	beta, err := solveLinearSystem(xtx, xty)
-	if err != nil {
-		return nil, err
-	}
-
-	m := &linearModel{beta: beta}
-	var ssRes float64
-	for r := 0; r < n; r++ {
-		e := ys[r] - m.Predict(xs[r])
-		ssRes += e * e
-	}
-	ssTot := stats.SumSquaredDev(ys)
-	switch {
-	case ssTot == 0 && ssRes <= 1e-18:
-		m.gof = 1
-	case ssTot == 0:
-		m.gof = 0
-	default:
-		m.gof = stats.Clamp01(1 - ssRes/ssTot)
-	}
-	return m, nil
-}
-
-// solveLinearSystem solves A·x = b in place using Gaussian elimination
-// with partial pivoting. A and b are modified. Returns ErrSingular when a
-// pivot is (numerically) zero, which happens for collinear predictors or
-// fewer distinct points than coefficients.
-func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
-	n := len(b)
-	for col := 0; col < n; col++ {
-		// Partial pivot: pick the row with the largest absolute value.
-		pivot := col
-		maxAbs := math.Abs(a[col][col])
-		for r := col + 1; r < n; r++ {
-			if abs := math.Abs(a[r][col]); abs > maxAbs {
-				maxAbs, pivot = abs, r
-			}
-		}
-		if maxAbs < 1e-12 {
-			return nil, ErrSingular
-		}
-		if pivot != col {
-			a[col], a[pivot] = a[pivot], a[col]
-			b[col], b[pivot] = b[pivot], b[col]
-		}
-		inv := 1 / a[col][col]
-		for r := col + 1; r < n; r++ {
-			factor := a[r][col] * inv
-			if factor == 0 {
-				continue
-			}
-			for c := col; c < n; c++ {
-				a[r][c] -= factor * a[col][c]
-			}
-			b[r] -= factor * b[col]
-		}
-	}
-	// Back substitution.
-	x := make([]float64, n)
-	for r := n - 1; r >= 0; r-- {
-		sum := b[r]
-		for c := r + 1; c < n; c++ {
-			sum -= a[r][c] * x[c]
-		}
-		x[r] = sum / a[r][r]
-	}
-	return x, nil
+	return FitLinFlat(flat, d, ys, nil)
 }

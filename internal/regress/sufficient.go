@@ -1,0 +1,215 @@
+package regress
+
+import (
+	"math"
+
+	"cape/internal/stats"
+)
+
+// ConstStats accumulates the sufficient statistics of a constant fit in
+// one pass: (n, Σy, Σy², min, max). A Const model and its chi-square
+// goodness-of-fit are derivable from these five numbers alone, so the
+// mining hot path never materializes an observation slice — or the dummy
+// predictor matrix the generic Fit API requires — for Const candidates.
+type ConstStats struct {
+	N          int
+	Sum, SumSq float64
+	Min, Max   float64
+}
+
+// Add folds one observation into the statistics. Observations must be
+// added in dataset order so the accumulated Σy reproduces the mean of a
+// slice-based fit bit for bit.
+func (s *ConstStats) Add(y float64) {
+	if s.N == 0 {
+		s.Min, s.Max = y, y
+	} else if y < s.Min {
+		s.Min = y
+	} else if y > s.Max {
+		s.Max = y
+	}
+	s.N++
+	s.Sum += y
+	s.SumSq += y * y
+}
+
+// Reset clears the statistics for reuse.
+func (s *ConstStats) Reset() { *s = ConstStats{} }
+
+// Fit builds the Const model from the accumulated statistics. The mean
+// is Σy/n; the fit is perfect exactly when min = max = mean (min = max
+// alone is not enough: for a constant sample whose mean rounds away from
+// the constant, the historical elementwise check y ≠ mean declared the
+// fit imperfect, and this must too). Otherwise the Pearson statistic is
+// expanded as χ² = (Σy² − 2·mean·Σy + n·mean²)/mean (clamped at 0
+// against catastrophic cancellation) and converted to a p-value with n−1
+// degrees of freedom, as in the slice-based fit.
+func (s *ConstStats) Fit() (Model, error) {
+	if s.N == 0 {
+		return nil, ErrEmpty
+	}
+	mean := s.Sum / float64(s.N)
+	if s.Min == s.Max && s.Min == mean {
+		return &constModel{mean: mean, gof: 1}, nil
+	}
+	if mean <= 0 {
+		return &constModel{mean: mean, gof: 0}, nil
+	}
+	chi2 := (s.SumSq - 2*mean*s.Sum + float64(s.N)*mean*mean) / mean
+	if chi2 < 0 {
+		chi2 = 0
+	}
+	dof := float64(s.N - 1)
+	if dof < 1 {
+		dof = 1
+	}
+	p, err := stats.ChiSquareSF(chi2, dof)
+	if err != nil {
+		return nil, err
+	}
+	return &constModel{mean: mean, gof: stats.Clamp01(p)}, nil
+}
+
+// LinScratch holds the normal-equation buffers FitLinFlat reuses across
+// calls, so a mining run fitting thousands of fragments performs no
+// per-fit matrix allocation. The zero value is ready to use.
+type LinScratch struct {
+	xtx, xty []float64
+}
+
+func (s *LinScratch) grow(p int) (xtx, xty []float64) {
+	if cap(s.xtx) < p*p {
+		s.xtx = make([]float64, p*p)
+	}
+	if cap(s.xty) < p {
+		s.xty = make([]float64, p)
+	}
+	xtx, xty = s.xtx[:p*p], s.xty[:p]
+	for i := range xtx {
+		xtx[i] = 0
+	}
+	for i := range xty {
+		xty[i] = 0
+	}
+	return xtx, xty
+}
+
+// FitLinFlat fits ordinary least squares with an intercept over
+// n = len(ys) observations whose predictor vectors are stored row-major
+// in x with stride d (len(x) = n·d). It accumulates XᵀX and Xᵀy in a
+// single pass over the flat buffer — no [][]float64 is ever built — and
+// solves the normal equations by Gaussian elimination with partial
+// pivoting. scr may be nil; passing one reuses its buffers. The returned
+// model retains no scratch memory. The arithmetic (accumulation order,
+// pivoting, R² residual pass) is identical to the historical
+// slice-of-slices implementation, so fits agree bit for bit.
+func FitLinFlat(x []float64, d int, ys []float64, scr *LinScratch) (Model, error) {
+	n := len(ys)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if d < 0 || len(x) != n*d {
+		return nil, ErrShape
+	}
+	p := d + 1 // intercept + predictors
+
+	var xtx, xty []float64
+	if scr != nil {
+		xtx, xty = scr.grow(p)
+	} else {
+		xtx = make([]float64, p*p)
+		xty = make([]float64, p)
+	}
+	for r := 0; r < n; r++ {
+		row := x[r*d : r*d+d]
+		y := ys[r]
+		// Intercept row: xi[0] = 1, so products reduce to the raw values.
+		xtx[0]++
+		for j := 1; j < p; j++ {
+			xtx[j] += row[j-1]
+		}
+		xty[0] += y
+		for i := 1; i < p; i++ {
+			xi := row[i-1]
+			base := i * p
+			for j := i; j < p; j++ {
+				xtx[base+j] += xi * row[j-1]
+			}
+			xty[i] += xi * y
+		}
+	}
+	for i := 1; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i*p+j] = xtx[j*p+i]
+		}
+	}
+
+	beta, err := solveFlat(xtx, xty, p)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &linearModel{beta: beta}
+	var ssRes float64
+	for r := 0; r < n; r++ {
+		e := ys[r] - m.Predict(x[r*d:r*d+d])
+		ssRes += e * e
+	}
+	ssTot := stats.SumSquaredDev(ys)
+	switch {
+	case ssTot == 0 && ssRes <= 1e-18:
+		m.gof = 1
+	case ssTot == 0:
+		m.gof = 0
+	default:
+		m.gof = stats.Clamp01(1 - ssRes/ssTot)
+	}
+	return m, nil
+}
+
+// solveFlat solves the n×n system A·x = b where a is row-major, using
+// Gaussian elimination with partial pivoting. a and b are modified in
+// place (they are scratch); the returned solution is freshly allocated.
+// Returns ErrSingular when a pivot is numerically zero (collinear
+// predictors or fewer distinct points than coefficients).
+func solveFlat(a []float64, b []float64, n int) ([]float64, error) {
+	for col := 0; col < n; col++ {
+		pivot := col
+		maxAbs := math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(a[r*n+col]); abs > maxAbs {
+				maxAbs, pivot = abs, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			pr, cr := a[pivot*n:pivot*n+n], a[col*n:col*n+n]
+			for i := range cr {
+				cr[i], pr[i] = pr[i], cr[i]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r*n+col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r*n+c] -= factor * a[col*n+c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r*n+c] * x[c]
+		}
+		x[r] = sum / a[r*n+r]
+	}
+	return x, nil
+}

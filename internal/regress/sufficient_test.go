@@ -1,0 +1,307 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cape/internal/stats"
+)
+
+// refFitConst is the historical elementwise constant fit (mean, perfect
+// check by comparing every observation, chi² accumulated term by term),
+// kept here as the reference the sufficient-statistics kernel must match.
+func refFitConst(ys []float64) (mean, gof float64, err error) {
+	mean = stats.Mean(ys)
+	perfect := true
+	for _, y := range ys {
+		if y != mean {
+			perfect = false
+			break
+		}
+	}
+	if perfect {
+		return mean, 1, nil
+	}
+	if mean <= 0 {
+		return mean, 0, nil
+	}
+	var chi2 float64
+	for _, y := range ys {
+		d := y - mean
+		chi2 += d * d / mean
+	}
+	dof := float64(len(ys) - 1)
+	if dof < 1 {
+		dof = 1
+	}
+	p, err := stats.ChiSquareSF(chi2, dof)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mean, stats.Clamp01(p), nil
+}
+
+// refFitLinear is the historical slice-of-slices OLS (explicit XᵀX/Xᵀy
+// matrices, in-place Gaussian elimination), the reference for FitLinFlat.
+func refFitLinear(xs [][]float64, ys []float64) (beta []float64, gof float64, err error) {
+	n := len(ys)
+	d := len(xs[0])
+	p := d + 1
+
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	xi := make([]float64, p)
+	for r := 0; r < n; r++ {
+		xi[0] = 1
+		copy(xi[1:], xs[r])
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				xtx[i][j] += xi[i] * xi[j]
+			}
+			xty[i] += xi[i] * ys[r]
+		}
+	}
+	for i := 1; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	for col := 0; col < p; col++ {
+		pivot := col
+		maxAbs := math.Abs(xtx[col][col])
+		for r := col + 1; r < p; r++ {
+			if abs := math.Abs(xtx[r][col]); abs > maxAbs {
+				maxAbs, pivot = abs, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, 0, ErrSingular
+		}
+		if pivot != col {
+			xtx[col], xtx[pivot] = xtx[pivot], xtx[col]
+			xty[col], xty[pivot] = xty[pivot], xty[col]
+		}
+		inv := 1 / xtx[col][col]
+		for r := col + 1; r < p; r++ {
+			factor := xtx[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < p; c++ {
+				xtx[r][c] -= factor * xtx[col][c]
+			}
+			xty[r] -= factor * xty[col]
+		}
+	}
+	beta = make([]float64, p)
+	for r := p - 1; r >= 0; r-- {
+		sum := xty[r]
+		for c := r + 1; c < p; c++ {
+			sum -= xtx[r][c] * beta[c]
+		}
+		beta[r] = sum / xtx[r][r]
+	}
+
+	var ssRes float64
+	for r := 0; r < n; r++ {
+		pred := beta[0]
+		for i := 0; i < d; i++ {
+			pred += beta[i+1] * xs[r][i]
+		}
+		e := ys[r] - pred
+		ssRes += e * e
+	}
+	ssTot := stats.SumSquaredDev(ys)
+	switch {
+	case ssTot == 0 && ssRes <= 1e-18:
+		gof = 1
+	case ssTot == 0:
+		gof = 0
+	default:
+		gof = stats.Clamp01(1 - ssRes/ssTot)
+	}
+	return beta, gof, nil
+}
+
+// randomObservations draws a y-vector from one of several regimes so the
+// property test exercises perfect fits, negative means, near-constant
+// data, and wide scatter.
+func randomObservations(rng *rand.Rand, n int) []float64 {
+	ys := make([]float64, n)
+	switch rng.Intn(5) {
+	case 0: // constant (perfect fit)
+		c := rng.Float64()*20 - 5
+		for i := range ys {
+			ys[i] = c
+		}
+	case 1: // negative mean
+		for i := range ys {
+			ys[i] = -rng.Float64()*10 - 0.1
+		}
+	case 2: // tight cluster around a positive mean
+		c := rng.Float64()*50 + 1
+		for i := range ys {
+			ys[i] = c + rng.NormFloat64()*1e-3
+		}
+	case 3: // small counts (the Count-aggregate regime)
+		for i := range ys {
+			ys[i] = float64(rng.Intn(10) + 1)
+		}
+	default: // wide scatter
+		for i := range ys {
+			ys[i] = rng.NormFloat64() * 100
+		}
+	}
+	return ys
+}
+
+// TestConstStatsMatchesReference: the one-pass sufficient-statistics
+// constant fit agrees with the elementwise reference within 1e-9 on both
+// the mean and the goodness-of-fit, across random regimes.
+func TestConstStatsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40) + 1
+		ys := randomObservations(rng, n)
+
+		var s ConstStats
+		for _, y := range ys {
+			s.Add(y)
+		}
+		got, err := s.Fit()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantMean, wantGoF, err := refFitConst(ys)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		if math.Abs(got.Params()[0]-wantMean) > 1e-9 {
+			t.Fatalf("trial %d: mean %g, reference %g (ys=%v)", trial, got.Params()[0], wantMean, ys)
+		}
+		if math.Abs(got.GoF()-wantGoF) > 1e-9 {
+			t.Fatalf("trial %d: gof %g, reference %g (ys=%v)", trial, got.GoF(), wantGoF, ys)
+		}
+	}
+}
+
+// TestConstStatsMinMax: the accumulated extremes equal the elementwise
+// extremes exactly — the fast path derives fragment deviation bounds
+// from them.
+func TestConstStatsMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		ys := randomObservations(rng, rng.Intn(30)+1)
+		var s ConstStats
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, y := range ys {
+			s.Add(y)
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+		if s.Min != lo || s.Max != hi {
+			t.Fatalf("trial %d: min/max (%g, %g), want (%g, %g)", trial, s.Min, s.Max, lo, hi)
+		}
+	}
+}
+
+// TestFitLinFlatMatchesReference: the flat-buffer OLS kernel agrees with
+// the slice-of-slices reference within 1e-9 on every coefficient and the
+// R² goodness-of-fit, with and without scratch reuse.
+func TestFitLinFlatMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var scr LinScratch
+	for trial := 0; trial < 2000; trial++ {
+		d := rng.Intn(3) + 1
+		n := rng.Intn(30) + d + 2
+		xs := make([][]float64, n)
+		flat := make([]float64, 0, n*d)
+		for r := range xs {
+			row := make([]float64, d)
+			for i := range row {
+				row[i] = rng.Float64()*100 - 50
+			}
+			xs[r] = row
+			flat = append(flat, row...)
+		}
+		ys := make([]float64, n)
+		for r := range ys {
+			pred := rng.Float64()
+			for i := 0; i < d; i++ {
+				pred += float64(i+1) * xs[r][i]
+			}
+			ys[r] = pred + rng.NormFloat64()*10
+		}
+
+		wantBeta, wantGoF, refErr := refFitLinear(xs, ys)
+		scratch := &scr
+		if trial%2 == 0 {
+			scratch = nil
+		}
+		got, err := FitLinFlat(flat, d, ys, scratch)
+		if (err != nil) != (refErr != nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs reference %v", trial, err, refErr)
+		}
+		if err != nil {
+			continue
+		}
+		gotBeta := got.Params()
+		if len(gotBeta) != len(wantBeta) {
+			t.Fatalf("trial %d: %d params, reference %d", trial, len(gotBeta), len(wantBeta))
+		}
+		for i := range gotBeta {
+			if math.Abs(gotBeta[i]-wantBeta[i]) > 1e-9 {
+				t.Fatalf("trial %d: β[%d] = %g, reference %g", trial, i, gotBeta[i], wantBeta[i])
+			}
+		}
+		if math.Abs(got.GoF()-wantGoF) > 1e-9 {
+			t.Fatalf("trial %d: gof %g, reference %g", trial, got.GoF(), wantGoF)
+		}
+	}
+}
+
+// TestFitLinFlatSingular: collinear predictors error identically to the
+// reference.
+func TestFitLinFlatSingular(t *testing.T) {
+	// Second predictor is 2× the first: XᵀX is singular.
+	flat := []float64{1, 2, 2, 4, 3, 6, 4, 8}
+	ys := []float64{1, 2, 3, 4}
+	if _, err := FitLinFlat(flat, 2, ys, nil); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+// FuzzConstStats cross-checks the sufficient-statistics fit against the
+// elementwise reference on fuzz-generated observation vectors.
+func FuzzConstStats(f *testing.F) {
+	f.Add(int64(1), 5)
+	f.Add(int64(42), 1)
+	f.Add(int64(-3), 17)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 1 || n > 200 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ys := randomObservations(rng, n)
+		var s ConstStats
+		for _, y := range ys {
+			s.Add(y)
+		}
+		got, err := s.Fit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMean, wantGoF, err := refFitConst(ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Params()[0]-wantMean) > 1e-9 || math.Abs(got.GoF()-wantGoF) > 1e-9 {
+			t.Fatalf("fit (%g, %g), reference (%g, %g)", got.Params()[0], got.GoF(), wantMean, wantGoF)
+		}
+	})
+}
