@@ -10,21 +10,26 @@ build:
 test:
 	$(GO) test ./...
 
-# The gate every PR must pass: vet, build, and the full suite under the
-# race detector (the parallel generator and sharded cache are only
-# meaningfully exercised with -race).
+# The gate every PR must pass: vet, build, the full suite under the
+# race detector (the parallel generator, sharded cache, and batch worker
+# pool are only meaningfully exercised with -race), and the fuzz seed
+# corpora as a smoke pass (fuzzing off — seeds only, so a corpus
+# regression fails fast and deterministically).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^Fuzz' ./...
 
 # Performance trajectory: the explanation worker-count sweep, the
 # GroupBy hot path, and the offline-mining fast path, plus the capebench
-# runs that write BENCH_explain.json and BENCH_mine.json.
+# runs that write BENCH_explain.json, BENCH_mine.json and
+# BENCH_batch.json.
 bench:
 	$(GO) test -bench 'BenchmarkGenOptParallel|BenchmarkGroupBy$$|BenchmarkARPMine|BenchmarkFitShared' -benchmem -run XXX ./...
 	$(GO) run ./cmd/capebench benchexplain
 	$(GO) run ./cmd/capebench benchmine
+	$(GO) run ./cmd/capebench benchbatch
 
 clean:
 	$(GO) clean ./...

@@ -31,6 +31,8 @@
 package cape
 
 import (
+	"errors"
+	"fmt"
 	"io"
 
 	"cape/internal/baseline"
@@ -220,6 +222,41 @@ func Explain(q Question, t *Table, patterns []*MinedPattern, opt ExplainOptions)
 // ExplainNaive generates explanations with the brute-force Algorithm 1.
 func ExplainNaive(q Question, t *Table, patterns []*MinedPattern, opt ExplainOptions) ([]Explanation, *ExplainStats, error) {
 	return explain.GenNaive(q, t, patterns, opt)
+}
+
+// BatchItem is the outcome of one question of a batch: its ranked
+// explanations and stats, or the per-item error that prevented them.
+type BatchItem = explain.BatchItem
+
+// ExplainBatch answers many questions over one relation and pattern set
+// in a single pass. Each question's output is byte-identical to calling
+// Explain on it alone, but the batch shares the relevant-pattern scan
+// across questions with the same (group-by, aggregate) signature, holds
+// every γ aggregate result in one group-by cache, and fans the
+// questions across opt.Parallelism workers. Results and stats align
+// positionally with qs. Questions that fail individually contribute a
+// nil row plus a wrapped, indexed error in the joined error; the other
+// questions still get answers. Use ExplainBatchItems for structured
+// per-item errors.
+func ExplainBatch(qs []Question, t *Table, patterns []*MinedPattern, opt ExplainOptions) ([][]Explanation, []*ExplainStats, error) {
+	items := explain.GenerateBatch(qs, t, patterns, opt)
+	expls := make([][]Explanation, len(items))
+	stats := make([]*ExplainStats, len(items))
+	var errs []error
+	for i, it := range items {
+		expls[i], stats[i] = it.Explanations, it.Stats
+		if it.Err != nil {
+			errs = append(errs, fmt.Errorf("question %d: %w", i, it.Err))
+		}
+	}
+	return expls, stats, errors.Join(errs...)
+}
+
+// ExplainBatchItems is ExplainBatch returning one BatchItem per
+// question, so callers (like the HTTP batch endpoint) can map each
+// question's error to a per-item status instead of a joined error.
+func ExplainBatchItems(qs []Question, t *Table, patterns []*MinedPattern, opt ExplainOptions) []BatchItem {
+	return explain.GenerateBatch(qs, t, patterns, opt)
 }
 
 // Explainer answers many questions over one relation and pattern set,

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cape/internal/engine"
+	"cape/internal/explain"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// batchSpec is one JSONL line of a question file — the same shape the
+// /v1/explain/batch endpoint takes per item.
+type batchSpec struct {
+	GroupBy   []string `json:"groupBy"`
+	Aggregate string   `json:"aggregate,omitempty"` // default count(*)
+	Tuple     []string `json:"tuple"`
+	Dir       string   `json:"dir"`
+}
+
+// cmdExplainBatch answers a whole JSONL file of questions in one batch,
+// sharing pattern scans and group-by results across them. Malformed or
+// unanswerable lines report per-item errors; the rest still run.
+func cmdExplainBatch(args []string) error {
+	fs := flag.NewFlagSet("explain-batch", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV dataset (required)")
+	questions := fs.String("questions", "", "JSONL question file, one {groupBy,aggregate,tuple,dir} object per line (required)")
+	patternsPath := fs.String("patterns", "", "patterns JSON from 'cape mine -o' (mines on the fly if empty)")
+	k := fs.Int("k", 10, "number of explanations per question")
+	numericAttrs := fs.String("numeric", "", "comma-separated attr=scale pairs for numeric distances, e.g. year=4")
+	jsonOut := fs.Bool("json", false, "emit the batch result as JSON")
+	opts, parallel := miningFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *questions == "" {
+		return fmt.Errorf("-data and -questions are required")
+	}
+	tab, err := engine.ReadCSVFile(*data)
+	if err != nil {
+		return err
+	}
+	specs, specErrs, err := readQuestionJSONL(*questions)
+	if err != nil {
+		return err
+	}
+
+	// Resolve specs to questions; decode and resolution failures become
+	// per-item errors so one bad line never sinks the batch.
+	itemErrs := specErrs
+	qs := make([]explain.UserQuestion, len(specs))
+	qIdx := []int{}
+	memo := map[string]*engine.Table{}
+	for i, spec := range specs {
+		if itemErrs[i] != nil {
+			continue
+		}
+		q, err := resolveSpec(tab, spec, memo)
+		if err != nil {
+			itemErrs[i] = err
+			continue
+		}
+		qs[i] = q
+		qIdx = append(qIdx, i)
+	}
+
+	var mined []*pattern.Mined
+	if *patternsPath != "" {
+		mined, err = pattern.ReadJSONFile(*patternsPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err := mining.ARPMine(tab, opts())
+		if err != nil {
+			return err
+		}
+		mined = res.Patterns
+		fmt.Fprintf(os.Stderr, "mined %d patterns on the fly\n", len(mined))
+	}
+	metric, err := parseMetric(*numericAttrs)
+	if err != nil {
+		return err
+	}
+
+	valid := make([]explain.UserQuestion, len(qIdx))
+	for j, i := range qIdx {
+		valid[j] = qs[i]
+	}
+	start := time.Now()
+	opt := explain.Options{K: *k, Metric: metric, Parallelism: *parallel}
+	batch := explain.GenerateBatch(valid, tab, mined, opt)
+	elapsed := time.Since(start)
+
+	items := make([]explain.BatchItem, len(specs))
+	for j, i := range qIdx {
+		items[i] = batch[j]
+	}
+	for i, e := range itemErrs {
+		if e != nil {
+			items[i] = explain.BatchItem{Err: e}
+		}
+	}
+	if *jsonOut {
+		return writeBatchJSON(os.Stdout, qs, items)
+	}
+	ok := 0
+	for _, it := range items {
+		if it.Err == nil {
+			ok++
+		}
+	}
+	fmt.Printf("%d/%d questions answered in %v\n", ok, len(items), elapsed.Round(time.Millisecond))
+	for i, it := range items {
+		if it.Err != nil {
+			fmt.Printf("\n[%d] error: %v\n", i, it.Err)
+			continue
+		}
+		fmt.Printf("\n[%d] %s\n", i, qs[i])
+		for j, e := range it.Explanations {
+			fmt.Printf("%3d. %s\n", j+1, e)
+		}
+	}
+	return nil
+}
+
+// readQuestionJSONL reads one batchSpec per non-blank line. Decode
+// failures are returned per line (aligned with specs); only I/O errors
+// abort.
+func readQuestionJSONL(path string) ([]batchSpec, []error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var specs []batchSpec
+	var errs []error
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var spec batchSpec
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			specs = append(specs, batchSpec{})
+			errs = append(errs, fmt.Errorf("line %d: %v", line, err))
+			continue
+		}
+		specs = append(specs, spec)
+		errs = append(errs, nil)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return specs, errs, nil
+}
+
+// resolveSpec validates one spec against the table and looks up its
+// aggregate value; memo caches the aggregate query results so specs
+// sharing a (group-by, aggregate) run one query.
+func resolveSpec(tab *engine.Table, spec batchSpec, memo map[string]*engine.Table) (explain.UserQuestion, error) {
+	var q explain.UserQuestion
+	if len(spec.GroupBy) == 0 || len(spec.Tuple) != len(spec.GroupBy) {
+		return q, fmt.Errorf("groupBy and tuple must be non-empty and the same length")
+	}
+	dir, err := explain.ParseDirection(spec.Dir)
+	if err != nil {
+		return q, err
+	}
+	agg, err := engine.ParseAggSpec(spec.Aggregate)
+	if err != nil {
+		return q, err
+	}
+	key := strings.Join(spec.GroupBy, "\x1f") + "\x1e" + agg.String()
+	grouped, ok := memo[key]
+	if !ok {
+		grouped, err = tab.GroupBy(spec.GroupBy, []engine.AggSpec{agg})
+		if err != nil {
+			return q, err
+		}
+		memo[key] = grouped
+	}
+	vals := make(value.Tuple, len(spec.Tuple))
+	for i, rv := range spec.Tuple {
+		vals[i] = value.Parse(rv)
+	}
+	for _, row := range grouped.Rows() {
+		if value.Tuple(row[:len(spec.GroupBy)]).Equal(vals) {
+			return explain.UserQuestion{
+				GroupBy: spec.GroupBy, Agg: agg, Values: vals,
+				AggValue: row[len(spec.GroupBy)], Dir: dir,
+			}, nil
+		}
+	}
+	return q, fmt.Errorf("tuple %v is not a result of the question query", spec.Tuple)
+}
+
+// writeBatchJSON renders the batch result machine-readably, mirroring
+// the /v1/explain/batch response shape.
+func writeBatchJSON(w io.Writer, qs []explain.UserQuestion, items []explain.BatchItem) error {
+	type entry struct {
+		Index        int            `json:"index"`
+		Question     string         `json:"question,omitempty"`
+		Error        string         `json:"error,omitempty"`
+		Explanations []string       `json:"explanations,omitempty"`
+		Narrations   []string       `json:"narrations,omitempty"`
+		Stats        *explain.Stats `json:"stats,omitempty"`
+	}
+	out := make([]entry, len(items))
+	for i, it := range items {
+		out[i].Index = i
+		if it.Err != nil {
+			out[i].Error = it.Err.Error()
+			continue
+		}
+		out[i].Question = qs[i].String()
+		out[i].Stats = it.Stats
+		for _, e := range it.Explanations {
+			out[i].Explanations = append(out[i].Explanations, e.String())
+			out[i].Narrations = append(out[i].Narrations, e.Narrate(qs[i]))
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -350,3 +350,98 @@ func TestCmdIntervene(t *testing.T) {
 		t.Error("missing -data should error")
 	}
 }
+
+// writeQuestionsJSONL materializes a question file with valid, invalid,
+// and malformed lines to exercise the per-item error path.
+func writeQuestionsJSONL(t *testing.T, lines []string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "questions.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdExplainBatch(t *testing.T) {
+	csv := writeExampleCSV(t)
+	questions := writeQuestionsJSONL(t, []string{
+		`{"groupBy":["author","venue","year"],"tuple":["AX","SIGKDD","2007"],"dir":"low"}`,
+		``, // blank lines are skipped
+		`{"groupBy":["author","venue","year"],"tuple":["AX","ICDE","2007"],"dir":"high"}`,
+		`{"groupBy":["author"],"tuple":["AX","extra"],"dir":"low"}`, // arity error
+		`{not json`, // malformed line
+	})
+	out, err := captureStdout(t, func() error {
+		return cmdExplainBatch([]string{
+			"-data", csv, "-questions", questions, "-k", "3",
+			"-theta", "0.5", "-localsupp", "3", "-lambda", "0.3", "-globalsupp", "2",
+			"-numeric", "year=4",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2/4 questions answered") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ICDE") {
+		t.Errorf("batch output missing the counterbalance:\n%s", out)
+	}
+	if !strings.Contains(out, "[2] error:") || !strings.Contains(out, "[3] error: line 5") {
+		t.Errorf("per-item errors missing:\n%s", out)
+	}
+}
+
+func TestCmdExplainBatchJSON(t *testing.T) {
+	csv := writeExampleCSV(t)
+	questions := writeQuestionsJSONL(t, []string{
+		`{"groupBy":["author","venue","year"],"tuple":["AX","SIGKDD","2007"],"dir":"low"}`,
+		`{"groupBy":["author","venue","year"],"tuple":["AX","SIGKDD","2007"],"dir":"sideways"}`,
+	})
+	out, err := captureStdout(t, func() error {
+		return cmdExplainBatch([]string{
+			"-data", csv, "-questions", questions, "-k", "2", "-json",
+			"-theta", "0.5", "-localsupp", "3", "-lambda", "0.3", "-globalsupp", "2",
+			"-numeric", "year=4",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []struct {
+		Index        int      `json:"index"`
+		Question     string   `json:"question"`
+		Error        string   `json:"error"`
+		Explanations []string `json:"explanations"`
+		Narrations   []string `json:"narrations"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("items = %d", len(parsed))
+	}
+	if len(parsed[0].Explanations) != 2 || parsed[0].Error != "" || parsed[0].Narrations[0] == "" {
+		t.Errorf("item 0 = %+v", parsed[0])
+	}
+	if parsed[1].Error == "" || len(parsed[1].Explanations) != 0 {
+		t.Errorf("item 1 should carry the bad-dir error: %+v", parsed[1])
+	}
+}
+
+func TestCmdExplainBatchErrors(t *testing.T) {
+	csv := writeExampleCSV(t)
+	cases := [][]string{
+		{},             // no data
+		{"-data", csv}, // no questions file
+		{"-data", csv, "-questions", "/nonexistent.jsonl"},
+		{"-data", "/nonexistent.csv", "-questions", "/nonexistent.jsonl"},
+		{"-data", csv, "-questions", csv, "-numeric", "year"}, // bad metric
+		{"-data", csv, "-questions", csv, "-patterns", "/nonexistent.json"},
+	}
+	for i, args := range cases {
+		if _, err := captureStdout(t, func() error { return cmdExplainBatch(args) }); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

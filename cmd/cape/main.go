@@ -9,6 +9,8 @@
 //	cape query    -data data.csv -q "SELECT venue, count(*) FROM data GROUP BY venue"
 //	cape explain  -data data.csv -groupby a,b,c -tuple v1,v2,v3 -dir low
 //	              [-patterns patterns.json | mining flags] [-k 10]
+//	cape explain-batch -data data.csv -questions questions.jsonl
+//	              [-patterns patterns.json | mining flags] [-k 10] [-json]
 //	cape baseline -data data.csv -groupby a,b,c -tuple v1,v2,v3 -dir low [-k 10]
 //
 // The mine/explain split mirrors the paper's architecture: pattern mining
@@ -34,6 +36,8 @@ func main() {
 		err = cmdMine(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
+	case "explain-batch":
+		err = cmdExplainBatch(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "generalize":
@@ -64,6 +68,7 @@ commands:
   mine      mine aggregate regression patterns from a CSV dataset
   query     run a SQL query against a CSV dataset
   explain   explain a surprising aggregate result with counterbalances
+  explain-batch  answer a JSONL file of questions in one shared-cache batch
   generalize  explanations by drill-up (same-direction coarser deviations)
   intervene squash a high outlier with provenance predicates (Scorpion-style)
   baseline  run the pattern-blind baseline explainer for comparison

@@ -49,7 +49,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig3c", "fig4", "fig5",
 		"fig6a", "fig6b", "fig6c", "fig7",
 		"table3", "table4", "table5", "table6", "table7", "userstudy",
-		"benchexplain", "benchmine",
+		"benchexplain", "benchmine", "benchbatch",
 	}
 	for _, name := range want {
 		e, ok := experiments[name]

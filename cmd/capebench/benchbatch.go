@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cape/internal/dataset"
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/exp"
+	"cape/internal/explain"
+	"cape/internal/mining"
+)
+
+// benchBatchSeries is one measured strategy in BENCH_batch.json.
+type benchBatchSeries struct {
+	Strategy string `json:"strategy"`
+	NsTotal  int64  `json:"nsTotal"`
+	NsPerQ   int64  `json:"nsPerQuestion"`
+}
+
+// benchBatchReport is the schema of BENCH_batch.json.
+type benchBatchReport struct {
+	Dataset          string           `json:"dataset"`
+	Rows             int              `json:"rows"`
+	CPUs             int              `json:"cpus"`
+	Patterns         int              `json:"patterns"`
+	Questions        int              `json:"questions"`
+	SequentialCold   benchBatchSeries `json:"sequentialCold"`
+	SequentialWarm   benchBatchSeries `json:"sequentialWarm"`
+	Batch            benchBatchSeries `json:"batch"`
+	SpeedupVsCold    float64          `json:"speedupVsCold"`
+	SpeedupVsWarm    float64          `json:"speedupVsWarm"`
+	ResultsIdentical bool             `json:"resultsIdentical"`
+}
+
+// runBenchBatch times a 16-question DBLP batch three ways: N sequential
+// cold GenOpt calls (what N independent /v1/explain-equivalent requests
+// cost without any sharing), N sequential calls through one warm
+// Explainer (PR 1's cache sharing but no cross-question planning), and
+// one ExplainBatch call (shared relevance scan, shared cache, question
+// fan-out). Each strategy takes the best of three runs, the batch
+// output is verified element-wise identical to the sequential answers,
+// and the numbers land in BENCH_batch.json.
+func runBenchBatch(full bool) error {
+	rows := 20000
+	numQ := 16
+	if full {
+		rows = 100000
+	}
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: rows, Seed: 3})
+	metric := distance.NewMetric().SetFunc("year", distance.Numeric{Scale: 4})
+	mined, err := mining.ARPMine(tab, mining.Options{
+		MaxPatternSize: 3,
+		Attributes:     []string{"author", "venue", "year"},
+		Thresholds:     lenientThresholds(),
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	})
+	if err != nil {
+		return err
+	}
+	questions, err := exp.RandomQuestions(tab, []string{"author", "venue", "year"},
+		engine.AggSpec{Func: engine.Count}, numQ, 99)
+	if err != nil {
+		return err
+	}
+	opt := explain.Options{K: 10, Metric: metric, Parallelism: runtime.NumCPU()}
+	report := benchBatchReport{
+		Dataset:   "dblp",
+		Rows:      rows,
+		CPUs:      runtime.NumCPU(),
+		Patterns:  len(mined.Patterns),
+		Questions: len(questions),
+	}
+	fmt.Printf("DBLP, D=%d, %d patterns, %d questions, GOMAXPROCS=%d\n\n",
+		rows, len(mined.Patterns), len(questions), runtime.GOMAXPROCS(0))
+
+	const reps = 3
+	best := func(run func() error) (time.Duration, error) {
+		bestD := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if err := run(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); r == 0 || d < bestD {
+				bestD = d
+			}
+		}
+		return bestD, nil
+	}
+	series := func(strategy string, d time.Duration) benchBatchSeries {
+		fmt.Printf("%-18s  %12s total  %12s per question\n", strategy,
+			d.Round(time.Millisecond),
+			(d / time.Duration(len(questions))).Round(100*time.Microsecond))
+		return benchBatchSeries{
+			Strategy: strategy,
+			NsTotal:  d.Nanoseconds(),
+			NsPerQ:   d.Nanoseconds() / int64(len(questions)),
+		}
+	}
+
+	// Reference answers, and the sequential-cold timing: every question
+	// pays its own relevance scan and group-by cache from scratch.
+	var want [][]explain.Explanation
+	dCold, err := best(func() error {
+		want = want[:0]
+		for _, q := range questions {
+			expls, _, err := explain.GenOpt(q, tab, mined.Patterns, opt)
+			if err != nil {
+				return err
+			}
+			want = append(want, expls)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	report.SequentialCold = series("sequential-cold", dCold)
+
+	// Sequential-warm: one Explainer shared across the loop (the PR 1
+	// server path) — cache sharing without batch planning. A fresh
+	// Explainer per rep keeps the first rep from pre-warming the rest.
+	dWarm, err := best(func() error {
+		ex := explain.NewExplainer(tab, mined.Patterns, opt)
+		for _, q := range questions {
+			if _, _, err := ex.Explain(q); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	report.SequentialWarm = series("sequential-warm", dWarm)
+
+	// The batch call, cold each rep like the cold loop it replaces.
+	var items []explain.BatchItem
+	dBatch, err := best(func() error {
+		items = explain.GenerateBatch(questions, tab, mined.Patterns, opt)
+		for i, it := range items {
+			if it.Err != nil {
+				return fmt.Errorf("batch question %d: %w", i, it.Err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	report.Batch = series("batch", dBatch)
+
+	// The speedup only counts if the answers are the same answers.
+	report.ResultsIdentical = true
+	for i := range questions {
+		if !sameExplanations(want[i], items[i].Explanations) {
+			report.ResultsIdentical = false
+			return fmt.Errorf("batch diverged from sequential on question %d", i)
+		}
+	}
+
+	report.SpeedupVsCold = float64(dCold) / float64(dBatch)
+	report.SpeedupVsWarm = float64(dWarm) / float64(dBatch)
+	fmt.Printf("\nbatch speedup: %.2fx vs sequential-cold, %.2fx vs sequential-warm (results identical)\n",
+		report.SpeedupVsCold, report.SpeedupVsWarm)
+
+	f, err := os.Create("BENCH_batch.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_batch.json")
+	return nil
+}
+
+// sameExplanations compares two ranked lists field by field.
+func sameExplanations(a, b []explain.Explanation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score || a[i].Distance != b[i].Distance ||
+			a[i].Deviation != b[i].Deviation || !a[i].Tuple.Equal(b[i].Tuple) ||
+			a[i].Relevant.Key() != b[i].Relevant.Key() || a[i].Refined.Key() != b[i].Refined.Key() {
+			return false
+		}
+	}
+	return true
+}

@@ -11,7 +11,8 @@
 //	capebench <experiment> [-full]
 //
 // Experiments: fig3a fig3b fig3c fig4 fig5 fig6a fig6b fig6c fig7
-// table3 table4 table5 table6 table7 userstudy benchexplain benchmine all
+// table3 table4 table5 table6 table7 userstudy benchexplain benchmine
+// benchbatch all
 //
 // -full runs the larger input sizes (slower; closer to the paper's
 // ranges).
@@ -47,6 +48,7 @@ var experiments = map[string]struct {
 	"userstudy":    {runUserStudy, "machine-checkable part of the Appendix-B user study"},
 	"benchexplain": {runBenchExplain, "parallel explanation generation sweep; writes BENCH_explain.json"},
 	"benchmine":    {runBenchMine, "offline mining fast-path benchmark vs recorded baseline; writes BENCH_mine.json"},
+	"benchbatch":   {runBenchBatch, "batch-of-N vs N sequential explanation calls; writes BENCH_batch.json"},
 }
 
 func usage() {

@@ -1,0 +1,193 @@
+package cape
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+)
+
+// TestGoldenExplainBatch pins the full /v1/explain/batch response for
+// the checked-in running-example question file — per-item statuses,
+// explanation ordering, and scores — end to end through the HTTP
+// handler. The file mixes valid questions, an exact duplicate, a bad
+// direction, and a tuple that is not a query result, so this locks the
+// per-item error contract alongside the rankings.
+func TestGoldenExplainBatch(t *testing.T) {
+	ts := httptest.NewServer(NewHTTPHandler())
+	defer ts.Close()
+
+	var csv bytes.Buffer
+	if err := RunningExample().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/tables?name=pub", "text/csv", &csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load table status = %d", resp.StatusCode)
+	}
+
+	mineBody := `{"table":"pub","maxPatternSize":3,"theta":0.5,"localSupport":3,"lambda":0.3,"globalSupport":2,"aggregates":["count"]}`
+	resp, err = http.Post(ts.URL+"/v1/mine", "application/json", bytes.NewReader([]byte(mineBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mined struct {
+		ID       string `json:"id"`
+		Patterns int    `json:"patterns"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&mined)
+	resp.Body.Close()
+	if err != nil || mined.ID == "" {
+		t.Fatalf("mine response: %v (id=%q)", err, mined.ID)
+	}
+	if mined.Patterns != 14 {
+		t.Errorf("mined patterns = %d, want 14", mined.Patterns)
+	}
+
+	// Assemble the batch body from the checked-in JSONL question file —
+	// the same file `cape explain-batch -questions` takes.
+	raw, err := os.ReadFile("testdata/questions_running_example.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var questions []json.RawMessage
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) > 0 {
+			questions = append(questions, json.RawMessage(line))
+		}
+	}
+	if len(questions) != 5 {
+		t.Fatalf("question file has %d lines, want 5", len(questions))
+	}
+	body, err := json.Marshal(map[string]interface{}{
+		"patterns": mined.ID, "k": 5,
+		"numeric":   map[string]float64{"year": 4},
+		"questions": questions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/explain/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Items []struct {
+			Index        int    `json:"index"`
+			Status       int    `json:"status"`
+			Question     string `json:"question"`
+			Error        string `json:"error"`
+			Explanations []struct {
+				Attrs []string `json:"attrs"`
+				Tuple []string `json:"tuple"`
+				Score float64  `json:"score"`
+			} `json:"explanations"`
+			Stats *struct {
+				RelevantPatterns int `json:"RelevantPatterns"`
+			} `json:"stats"`
+		} `json:"items"`
+		OK     int `json:"ok"`
+		Failed int `json:"failed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- Golden: envelope and per-item statuses ----
+	if out.OK != 3 || out.Failed != 2 || len(out.Items) != 5 {
+		t.Fatalf("ok=%d failed=%d items=%d, want 3/2/5", out.OK, out.Failed, len(out.Items))
+	}
+	wantStatus := []int{200, 200, 200, 400, 400}
+	for i, it := range out.Items {
+		if it.Index != i || it.Status != wantStatus[i] {
+			t.Errorf("item %d: index=%d status=%d, want index=%d status=%d",
+				i, it.Index, it.Status, i, wantStatus[i])
+		}
+	}
+	if q := out.Items[0].Question; q != "why is count(*) = 1 low for (author=AX, venue=SIGKDD, year=2007)?" {
+		t.Errorf("item 0 question = %q", q)
+	}
+	if e := out.Items[3].Error; e != `explain: unknown direction "sideways"` {
+		t.Errorf("item 3 error = %q", e)
+	}
+	if e := out.Items[4].Error; e != "tuple [NOBODY VLDB 1999] is not a result of the question query" {
+		t.Errorf("item 4 error = %q", e)
+	}
+
+	// ---- Golden: the SIGKDD-low rankings (the paper's running example),
+	// same values TestGoldenRunningExample locks for the library path ----
+	type golden struct {
+		tuple string
+		score string
+	}
+	render := func(item int) []golden {
+		var got []golden
+		for _, e := range out.Items[item].Explanations {
+			tuple := "("
+			for i, want := range []string{"author", "venue", "year"} {
+				if i > 0 {
+					tuple += ", "
+				}
+				for j, a := range e.Attrs {
+					if a == want {
+						tuple += e.Tuple[j]
+						break
+					}
+				}
+			}
+			got = append(got, golden{tuple + ")", fmt.Sprintf("%.2f", e.Score)})
+		}
+		return got
+	}
+	wantLow := []golden{
+		{"(AX, ICDE, 2007)", "6.35"},
+		{"(AX, SIGKDD, 2006)", "6.00"},
+		{"(AX, SIGKDD, 2008)", "6.00"},
+		{"(AX, ICDE, 2007)", "5.20"},
+		{"(AX, SIGKDD, 2006)", "4.16"},
+	}
+	for _, item := range []int{0, 2} { // item 2 is the exact duplicate
+		got := render(item)
+		if len(got) != len(wantLow) {
+			t.Fatalf("item %d: %d explanations, want %d", item, len(got), len(wantLow))
+		}
+		for i := range wantLow {
+			if got[i] != wantLow[i] {
+				t.Errorf("item %d rank %d = %+v, want %+v", item, i+1, got[i], wantLow[i])
+			}
+		}
+	}
+	if out.Items[0].Stats == nil || out.Items[0].Stats.RelevantPatterns != 11 {
+		t.Errorf("item 0 stats = %+v, want 11 relevant patterns", out.Items[0].Stats)
+	}
+
+	// ---- Golden: the ICDE-high rankings (the counterbalance viewed
+	// from the other side) ----
+	wantHigh := []golden{
+		{"(AX, SIGKDD, 2007)", "0.74"},
+		{"(AX, ICDE, 2006)", "0.59"},
+		{"(AX, ICDE, 2008)", "0.59"},
+		{"(AX, SIGKDD, 2007)", "0.58"},
+		{"(AX, SIGKDD, 2007)", "0.35"},
+	}
+	got := render(1)
+	if len(got) != len(wantHigh) {
+		t.Fatalf("item 1: %d explanations, want %d", len(got), len(wantHigh))
+	}
+	for i := range wantHigh {
+		if got[i] != wantHigh[i] {
+			t.Errorf("item 1 rank %d = %+v, want %+v", i+1, got[i], wantHigh[i])
+		}
+	}
+}

@@ -71,6 +71,28 @@ type AggSpec struct {
 	Arg  string
 }
 
+// ParseAggSpec parses a rendered aggregate expression of the form
+// "func(arg)" — the inverse of AggSpec.String. An empty string parses
+// to count(*); non-count aggregates require a non-star argument.
+func ParseAggSpec(s string) (AggSpec, error) {
+	if s == "" || s == "count(*)" {
+		return AggSpec{Func: Count}, nil
+	}
+	i := strings.IndexByte(s, '(')
+	if i <= 0 || s[len(s)-1] != ')' {
+		return AggSpec{}, fmt.Errorf("engine: aggregate %q must look like func(arg)", s)
+	}
+	f, err := ParseAggFunc(s[:i])
+	if err != nil {
+		return AggSpec{}, err
+	}
+	a := AggSpec{Func: f, Arg: s[i+1 : len(s)-1]}
+	if a.IsStar() && f != Count {
+		return AggSpec{}, fmt.Errorf("engine: %s requires an argument", f)
+	}
+	return a, nil
+}
+
 // String renders "func(arg)" — the output column name used by GroupBy.
 func (a AggSpec) String() string {
 	arg := a.Arg

@@ -1,0 +1,211 @@
+package explain
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cape/internal/dataset"
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// randomBatchTable builds a randomized publication-shaped relation whose
+// cardinalities vary per seed, so each round of the differential test
+// mines a different pattern set.
+func randomBatchTable(rng *rand.Rand, rows int) *engine.Table {
+	tab := engine.NewTable(engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "venue", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+	})
+	nAuthors := rng.Intn(10) + 3
+	nVenues := rng.Intn(4) + 2
+	nYears := rng.Intn(6) + 3
+	venues := []string{"KDD", "ICDE", "VLDB", "SIGMOD", "PODS"}
+	for i := 0; i < rows; i++ {
+		tab.MustAppend(value.Tuple{
+			value.NewString(string(rune('A' + rng.Intn(nAuthors)))),
+			value.NewString(venues[rng.Intn(nVenues)]),
+			value.NewInt(int64(2000 + rng.Intn(nYears))),
+		})
+	}
+	return tab
+}
+
+// randomBatch draws a question batch exercising everything the batch
+// planner shares and dedups: mixed directions, several group-by sets
+// (and permuted attribute orders of the same set), exact duplicates,
+// and invalid questions that must fail per item.
+func randomBatch(t *testing.T, rng *rand.Rand, tab *engine.Table, n int) []UserQuestion {
+	t.Helper()
+	groupBys := [][]string{
+		{"author", "venue", "year"},
+		{"venue", "author", "year"}, // permuted: same signature set
+		{"author", "year"},
+		{"venue", "year"},
+		{"author", "venue"},
+	}
+	var qs []UserQuestion
+	for len(qs) < n {
+		switch {
+		case len(qs) > 2 && rng.Intn(4) == 0:
+			// Exact duplicate of an earlier question.
+			qs = append(qs, qs[rng.Intn(len(qs))])
+		case len(qs) > 0 && rng.Intn(8) == 0:
+			// Invalid: duplicate group-by attribute fails Validate.
+			q := qs[rng.Intn(len(qs))]
+			bad := q
+			bad.GroupBy = append([]string{q.GroupBy[0]}, q.GroupBy...)
+			bad.Values = append(value.Tuple{q.Values[0]}, q.Values...)
+			qs = append(qs, bad)
+		default:
+			gb := groupBys[rng.Intn(len(groupBys))]
+			grouped, err := tab.GroupBy(gb, []engine.AggSpec{{Func: engine.Count}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := grouped.Row(rng.Intn(grouped.NumRows()))
+			dir := Low
+			if rng.Intn(2) == 1 {
+				dir = High
+			}
+			q, err := QuestionFromRow(gb, engine.AggSpec{Func: engine.Count}, row, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}
+
+// requireBatchMatchesSequential checks one batch result element-wise
+// against the sequential single-question path: identical explanations
+// (every field), identical errors, and identical deterministic stats.
+// candidatesExact says whether the batch ran with per-question
+// parallelism 1: only then are PrunedRefinements and Candidates
+// deterministic. Under parallel enumeration a stale bound can skip a
+// different set of refinements than the sequential loop, and each
+// skipped refinement also skips its candidate scan, so both counters
+// legitimately vary (the explanations never do).
+func requireBatchMatchesSequential(t *testing.T, label string, qs []UserQuestion, items []BatchItem,
+	candidatesExact bool, sequential func(UserQuestion) ([]Explanation, *Stats, error)) {
+	t.Helper()
+	if len(items) != len(qs) {
+		t.Fatalf("%s: %d items for %d questions", label, len(items), len(qs))
+	}
+	for i, q := range qs {
+		want, wantStats, wantErr := sequential(q)
+		got := items[i]
+		if (wantErr != nil) != (got.Err != nil) {
+			t.Fatalf("%s q%d: err = %v, sequential err = %v", label, i, got.Err, wantErr)
+		}
+		if wantErr != nil {
+			if got.Err.Error() != wantErr.Error() {
+				t.Errorf("%s q%d: err %q, sequential %q", label, i, got.Err, wantErr)
+			}
+			continue
+		}
+		requireIdentical(t, fmt.Sprintf("%s q%d", label, i), want, got.Explanations)
+		if got.Stats == nil {
+			t.Fatalf("%s q%d: nil stats", label, i)
+		}
+		if got.Stats.RelevantPatterns != wantStats.RelevantPatterns ||
+			got.Stats.RefinementPairs != wantStats.RefinementPairs ||
+			(candidatesExact && got.Stats.Candidates != wantStats.Candidates) {
+			t.Errorf("%s q%d: stats (rel=%d pairs=%d cand=%d) vs sequential (rel=%d pairs=%d cand=%d)",
+				label, i,
+				got.Stats.RelevantPatterns, got.Stats.RefinementPairs, got.Stats.Candidates,
+				wantStats.RelevantPatterns, wantStats.RefinementPairs, wantStats.Candidates)
+		}
+	}
+}
+
+// TestGenerateBatchEquivalenceRandomized is the differential property
+// test of the batch planner: across randomized tables, pattern sets and
+// batches (mixed directions, duplicates, permuted and differing
+// group-bys, invalid questions), GenerateBatch must be element-wise
+// identical to looping GenOpt — at batch parallelism 1 and >1.
+func TestGenerateBatchEquivalenceRandomized(t *testing.T) {
+	metric := distance.NewMetric().SetFunc("year", distance.Numeric{Scale: 4})
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomBatchTable(rng, 200+rng.Intn(300))
+		pats := mineLenient(t, tab, []string{"author", "venue", "year"})
+		qs := randomBatch(t, rng, tab, 8+rng.Intn(9))
+		sequential := func(q UserQuestion) ([]Explanation, *Stats, error) {
+			return GenOpt(q, tab, pats, Options{K: 5, Metric: metric, Parallelism: 1})
+		}
+		for _, par := range []int{1, 8} {
+			items := GenerateBatch(qs, tab, pats, Options{K: 5, Metric: metric, Parallelism: par})
+			requireBatchMatchesSequential(t,
+				fmt.Sprintf("seed %d par %d", seed, par), qs, items, par == 1, sequential)
+		}
+	}
+}
+
+// TestExplainerBatchEquivalence covers the warm-cache Explainer batch
+// path (the server's) against its own single-question path, including a
+// second batch over the already-warm cache.
+func TestExplainerBatchEquivalence(t *testing.T) {
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: 3000, Seed: 7})
+	pats := mineLenient(t, tab, []string{"author", "venue", "year"})
+	metric := distance.NewMetric().SetFunc("year", distance.Numeric{Scale: 4})
+	ex := NewExplainer(tab, pats, Options{K: 10, Metric: metric, Parallelism: 4})
+	qs := sampleQuestions(t, tab, []string{"author", "venue", "year"}, 6)
+	qs = append(qs, qs[0], qs[2]) // duplicates
+	sequential := func(q UserQuestion) ([]Explanation, *Stats, error) {
+		return GenOpt(q, tab, pats, Options{K: 10, Metric: metric, Parallelism: 1})
+	}
+	for round := 0; round < 2; round++ {
+		items := ex.ExplainBatch(qs)
+		requireBatchMatchesSequential(t, fmt.Sprintf("round %d", round), qs, items, false, sequential)
+	}
+}
+
+// TestGenerateBatchEdgeCases: empty batches, all-invalid batches, and
+// batches larger than the worker budget must all behave.
+func TestGenerateBatchEdgeCases(t *testing.T) {
+	tab := runningExample(t)
+	pats := minePatterns(t, tab)
+	opt := Options{K: 5, Metric: yearMetric(), Parallelism: 4}
+
+	if items := GenerateBatch(nil, tab, pats, opt); len(items) != 0 {
+		t.Errorf("empty batch returned %d items", len(items))
+	}
+
+	bad := UserQuestion{} // empty group-by: fails Validate
+	items := GenerateBatch([]UserQuestion{bad, bad}, tab, pats, opt)
+	for i, it := range items {
+		if it.Err == nil {
+			t.Errorf("item %d: invalid question did not error", i)
+		}
+	}
+
+	// One valid question fanned out far beyond the worker budget.
+	q := sigkddQuestion()
+	many := make([]UserQuestion, 40)
+	for i := range many {
+		many[i] = q
+	}
+	want, _, err := GenOpt(q, tab, pats, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items = GenerateBatch(many, tab, pats, opt)
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("item %d: %v", i, it.Err)
+		}
+		requireIdentical(t, fmt.Sprintf("dup %d", i), want, it.Explanations)
+		if it.Stats == nil {
+			t.Fatalf("item %d: nil stats", i)
+		}
+	}
+	// Duplicate stats must be private copies, not shared pointers.
+	if items[0].Stats == items[1].Stats {
+		t.Error("duplicate items share one Stats pointer")
+	}
+}

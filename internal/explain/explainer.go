@@ -51,7 +51,7 @@ func (e *Explainer) ExplainOpts(q UserQuestion, opt Options) ([]Explanation, *St
 	}
 	// Swap in the shared sharded cache.
 	g.lookup = e.cachedGrouped
-	expls, err := g.run(rel, e.patterns, stats)
+	expls, err := g.run(rel, stats)
 	if err != nil {
 		return nil, nil, err
 	}

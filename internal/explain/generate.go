@@ -33,9 +33,11 @@ type Options struct {
 	// 0 or 1 runs sequentially. Parallel runs return exactly the
 	// sequential explanation list — same scores, tuples, and order —
 	// because the top-k order is total and the shared score bound only
-	// ever under-prunes. Stats.PrunedRefinements may vary between runs
-	// (a stale bound lets a worker enumerate a pair a tighter schedule
-	// would have pruned); Candidates and the explanations do not.
+	// ever under-prunes. Stats.PrunedRefinements — and with it
+	// Candidates, since a skipped pair also skips its candidate scan —
+	// may vary between runs (a stale bound lets a worker enumerate a
+	// pair a tighter schedule would have pruned); the explanations,
+	// RelevantPatterns, and RefinementPairs do not.
 	Parallelism int
 }
 
@@ -92,6 +94,11 @@ type generator struct {
 	// the per-run cache, overridden by Explainer's shared cache. Must be
 	// safe for concurrent calls.
 	lookup func(pattern.Pattern) (*engine.Table, error)
+	// refine lists the mined patterns refining a relevant pattern;
+	// defaults to a linear scan of the run's pattern set, overridden by
+	// the batch planner's precomputed lists. Must be safe for concurrent
+	// calls.
+	refine func(*pattern.Mined) []*pattern.Mined
 }
 
 // Generate runs the optimized generator — the default entry point.
@@ -108,7 +115,7 @@ func GenNaive(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Op
 	}
 	tk := newTopK(g.opt.K)
 	for _, re := range rel {
-		for _, ref := range refinementsOf(re.mined, patterns) {
+		for _, ref := range g.refine(re.mined) {
 			stats.RefinementPairs++
 			if err := g.enumerate(re, ref, tk, stats); err != nil {
 				return nil, nil, err
@@ -132,7 +139,7 @@ func GenOpt(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Opti
 	if err != nil {
 		return nil, nil, err
 	}
-	expls, err := g.run(rel, patterns, stats)
+	expls, err := g.run(rel, stats)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -154,14 +161,14 @@ func sortRelevant(rel []relevantEntry, descending bool) {
 // run executes the bound-pruned search over the relevant patterns,
 // sequentially or — when opt.Parallelism asks for it — fanned across a
 // bounded worker pool.
-func (g *generator) run(rel []relevantEntry, patterns []*pattern.Mined, stats *Stats) ([]Explanation, error) {
+func (g *generator) run(rel []relevantEntry, stats *Stats) ([]Explanation, error) {
 	sortRelevant(rel, g.opt.DescendingNorm)
 	// Flatten the (P, P') pairs in visit order. Workers claim items in
 	// this same order, so parallel runs tighten the bound as early as the
 	// sequential loop does.
 	var items []workItem
 	for _, re := range rel {
-		for _, ref := range refinementsOf(re.mined, patterns) {
+		for _, ref := range g.refine(re.mined) {
 			items = append(items, workItem{re: re, ref: ref})
 		}
 	}
@@ -197,6 +204,7 @@ func prepare(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Opt
 	}
 	g := &generator{q: q, r: r, opt: opt.withDefaults(), cache: newGroupCache()}
 	g.lookup = g.grouped
+	g.refine = func(m *pattern.Mined) []*pattern.Mined { return refinementsOf(m, patterns) }
 	stats := &Stats{}
 	var rel []relevantEntry
 	for _, m := range patterns {

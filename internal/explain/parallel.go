@@ -63,9 +63,10 @@ func (s *sharedTopK) minScore() (float64, bool) {
 // claimed through an atomic cursor in the same ascending-NORM order the
 // sequential loop visits, so the shared bound tightens early and pruning
 // stays effective under concurrency. Per-worker Stats are summed at the
-// end; Candidates is exact, PrunedRefinements may vary run-to-run with
-// scheduling (a worker may enumerate a pair a faster schedule would have
-// pruned) without affecting the returned explanations.
+// end; PrunedRefinements — and Candidates, since a pruned pair skips its
+// candidate scan — may vary run-to-run with scheduling (a worker may
+// enumerate a pair a faster schedule would have pruned) without
+// affecting the returned explanations.
 func (g *generator) runParallel(items []workItem, stats *Stats, workers int) ([]Explanation, error) {
 	shared := newSharedTopK(g.opt.K)
 	var next atomic.Int64

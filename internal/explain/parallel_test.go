@@ -122,8 +122,9 @@ func TestGenOptParallelDeterminism(t *testing.T) {
 					t.Fatal(err)
 				}
 				requireIdentical(t, fmt.Sprintf("question %d", qi), seq, par)
-				// Candidates is exact under concurrency (only pruning
-				// varies with the bound's staleness).
+				// RefinementPairs is exact under concurrency; pruning
+				// (and the candidate scans it skips) varies with the
+				// bound's staleness.
 				if seqStats.RefinementPairs != parStats.RefinementPairs {
 					t.Errorf("question %d: refinement pairs %d vs %d",
 						qi, seqStats.RefinementPairs, parStats.RefinementPairs)

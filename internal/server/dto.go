@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"strings"
 
 	"cape/internal/distance"
 	"cape/internal/engine"
@@ -37,78 +38,99 @@ type ExplainRequest struct {
 // build validates the request against the table and produces the
 // question plus explanation options.
 func (r ExplainRequest) build(tab *engine.Table) (explain.UserQuestion, explain.Options, error) {
-	var q explain.UserQuestion
-	if len(r.GroupBy) == 0 || len(r.Tuple) != len(r.GroupBy) {
-		return q, explain.Options{}, fmt.Errorf("groupBy and tuple must be non-empty and the same length")
-	}
-	dir, err := explain.ParseDirection(r.Dir)
+	q, err := newQuestionBuilder(tab).build(QuestionSpec{
+		GroupBy: r.GroupBy, Aggregate: r.Aggregate, Tuple: r.Tuple, Dir: r.Dir,
+	})
 	if err != nil {
 		return q, explain.Options{}, err
 	}
-	agg := engine.AggSpec{Func: engine.Count}
-	if r.Aggregate != "" && r.Aggregate != "count(*)" {
-		var fn, arg string
-		if i := indexByte(r.Aggregate, '('); i > 0 && r.Aggregate[len(r.Aggregate)-1] == ')' {
-			fn, arg = r.Aggregate[:i], r.Aggregate[i+1:len(r.Aggregate)-1]
-		} else {
-			return q, explain.Options{}, fmt.Errorf("aggregate %q must look like func(arg)", r.Aggregate)
-		}
-		f, err := engine.ParseAggFunc(fn)
-		if err != nil {
-			return q, explain.Options{}, err
-		}
-		agg = engine.AggSpec{Func: f, Arg: arg}
-		if agg.IsStar() && f != engine.Count {
-			return q, explain.Options{}, fmt.Errorf("%s requires an argument", fn)
-		}
-	}
-
-	vals := make(value.Tuple, len(r.Tuple))
-	for i, raw := range r.Tuple {
-		vals[i] = value.Parse(raw)
-	}
-	grouped, err := tab.GroupBy(r.GroupBy, []engine.AggSpec{agg})
+	metric, err := buildMetric(r.Numeric, r.Weights)
 	if err != nil {
 		return q, explain.Options{}, err
-	}
-	found := false
-	for _, row := range grouped.Rows() {
-		if value.Tuple(row[:len(r.GroupBy)]).Equal(vals) {
-			q = explain.UserQuestion{
-				GroupBy: r.GroupBy, Agg: agg, Values: vals,
-				AggValue: row[len(r.GroupBy)], Dir: dir,
-			}
-			found = true
-			break
-		}
-	}
-	if !found {
-		return q, explain.Options{}, fmt.Errorf("tuple %v is not a result of the question query", r.Tuple)
-	}
-
-	metric := distance.NewMetric()
-	for attr, scale := range r.Numeric {
-		if scale <= 0 {
-			return q, explain.Options{}, fmt.Errorf("numeric scale for %q must be positive", attr)
-		}
-		metric.SetFunc(attr, distance.Numeric{Scale: scale})
-	}
-	for attr, weight := range r.Weights {
-		if weight < 0 {
-			return q, explain.Options{}, fmt.Errorf("weight for %q must be non-negative", attr)
-		}
-		metric.SetWeight(attr, weight)
 	}
 	return q, explain.Options{K: r.K, Metric: metric, Parallelism: r.Parallelism}, nil
 }
 
-func indexByte(s string, b byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == b {
-			return i
+// QuestionSpec is the wire form of one user question: the shape shared
+// by ExplainRequest (inline) and ExplainBatchRequest (one per item).
+type QuestionSpec struct {
+	GroupBy   []string `json:"groupBy"`
+	Aggregate string   `json:"aggregate,omitempty"` // e.g. "count(*)", "sum(x)"; default count(*)
+	Tuple     []string `json:"tuple"`
+	Dir       string   `json:"dir"`
+}
+
+// questionBuilder resolves question specs against one table. The
+// aggregate query results used to verify that each tuple is an actual
+// answer are memoized, so a batch of questions over the same group-by
+// runs that query once, not once per item.
+type questionBuilder struct {
+	tab  *engine.Table
+	memo map[string]*engine.Table
+}
+
+func newQuestionBuilder(tab *engine.Table) *questionBuilder {
+	return &questionBuilder{tab: tab, memo: make(map[string]*engine.Table)}
+}
+
+// build validates one spec and resolves its aggregate value from the
+// question query's result.
+func (b *questionBuilder) build(spec QuestionSpec) (explain.UserQuestion, error) {
+	var q explain.UserQuestion
+	if len(spec.GroupBy) == 0 || len(spec.Tuple) != len(spec.GroupBy) {
+		return q, fmt.Errorf("groupBy and tuple must be non-empty and the same length")
+	}
+	dir, err := explain.ParseDirection(spec.Dir)
+	if err != nil {
+		return q, err
+	}
+	agg, err := engine.ParseAggSpec(spec.Aggregate)
+	if err != nil {
+		return q, err
+	}
+
+	memoKey := strings.Join(spec.GroupBy, "\x1f") + "\x1e" + agg.String()
+	grouped, ok := b.memo[memoKey]
+	if !ok {
+		grouped, err = b.tab.GroupBy(spec.GroupBy, []engine.AggSpec{agg})
+		if err != nil {
+			return q, err
+		}
+		b.memo[memoKey] = grouped
+	}
+
+	vals := make(value.Tuple, len(spec.Tuple))
+	for i, raw := range spec.Tuple {
+		vals[i] = value.Parse(raw)
+	}
+	for _, row := range grouped.Rows() {
+		if value.Tuple(row[:len(spec.GroupBy)]).Equal(vals) {
+			return explain.UserQuestion{
+				GroupBy: spec.GroupBy, Agg: agg, Values: vals,
+				AggValue: row[len(spec.GroupBy)], Dir: dir,
+			}, nil
 		}
 	}
-	return -1
+	return q, fmt.Errorf("tuple %v is not a result of the question query", spec.Tuple)
+}
+
+// buildMetric turns the request's numeric-scale and weight maps into a
+// distance metric.
+func buildMetric(numeric, weights map[string]float64) (*distance.Metric, error) {
+	metric := distance.NewMetric()
+	for attr, scale := range numeric {
+		if scale <= 0 {
+			return nil, fmt.Errorf("numeric scale for %q must be positive", attr)
+		}
+		metric.SetFunc(attr, distance.Numeric{Scale: scale})
+	}
+	for attr, weight := range weights {
+		if weight < 0 {
+			return nil, fmt.Errorf("weight for %q must be non-negative", attr)
+		}
+		metric.SetWeight(attr, weight)
+	}
+	return metric, nil
 }
 
 // tableDTO renders a relation as column names plus stringified rows.

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cape/internal/dataset"
+)
+
+// fuzzServer builds one server with the running example loaded and
+// mined, shared across all fuzz iterations. The handler is exercised
+// in-process (no network), so a panic anywhere in decoding or per-item
+// mapping reaches the fuzzer instead of being swallowed by a transport.
+func fuzzServer(tb testing.TB) (*Server, string) {
+	tb.Helper()
+	s := New()
+	s.AddTable("pub", dataset.RunningExample())
+	body, err := json.Marshal(MineRequest{
+		Table: "pub", MaxPatternSize: 3,
+		Theta: 0.5, LocalSupport: 3, Lambda: 0.3, GlobalSupport: 2,
+		Aggregates: []string{"count"},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/mine", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		tb.Fatalf("mine status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out.ID == "" {
+		tb.Fatalf("mine response: %v %s", err, rec.Body)
+	}
+	return s, out.ID
+}
+
+// FuzzExplainBatchRequest feeds arbitrary bodies to POST
+// /v1/explain/batch and enforces the endpoint's error contract:
+// malformed JSON, arity mismatches, unknown directions, absurd sizes —
+// none may panic, and none may produce a whole-batch 500. Bad requests
+// fail with a request-level 4xx; bad questions inside a well-formed
+// request fail as per-item 400 entries in a 200 response.
+func FuzzExplainBatchRequest(f *testing.F) {
+	s, ps := fuzzServer(f)
+
+	valid := func(qs string) string {
+		return `{"patterns":"` + ps + `","k":3,"numeric":{"year":4},"questions":[` + qs + `]}`
+	}
+	seeds := []string{
+		valid(`{"groupBy":["author","venue","year"],"tuple":["AX","SIGKDD","2007"],"dir":"low"}`),
+		valid(`{"groupBy":["author","venue","year"],"tuple":["AX","ICDE","2007"],"dir":"high"},` +
+			`{"groupBy":["author"],"tuple":["AX","extra"],"dir":"low"}`), // arity mismatch item
+		valid(`{"groupBy":["author"],"tuple":["AX"],"dir":"sideways"}`),                    // unknown dir
+		valid(`{"groupBy":[],"tuple":[],"dir":"low"}`),                                     // empty group-by
+		valid(`{"groupBy":["author"],"tuple":["AX"],"dir":"low","aggregate":"sum"}`),       // malformed agg
+		valid(`{"groupBy":["author"],"tuple":["AX"],"dir":"low","aggregate":"median(x)"}`), // unknown agg
+		valid(`{"groupBy":["nope"],"tuple":["x"],"dir":"low"}`),                            // unknown attribute
+		`{"patterns":"` + ps + `","questions":[]}`,                                         // empty batch
+		`{"patterns":"ps-999","questions":[{"groupBy":["author"],"tuple":["AX"],"dir":"low"}]}`,
+		`{"patterns":"` + ps + `","k":-5,"questions":[{"groupBy":["author"],"tuple":["AX"],"dir":"low"}]}`,
+		`{"patterns":"` + ps + `","k":999999999,"questions":[{"groupBy":["author"],"tuple":["AX"],"dir":"low"}]}`,
+		`{"patterns":"` + ps + `","parallelism":-3,"questions":[{"groupBy":["author"],"tuple":["AX"],"dir":"low"}]}`,
+		`{"patterns":"` + ps + `","numeric":{"year":-1},"questions":[{"groupBy":["author"],"tuple":["AX"],"dir":"low"}]}`,
+		`{not json`,
+		`[]`,
+		`null`,
+		`{}`,
+		`{"bogus":1}`,
+		valid(`{"groupBy":["author"],"tuple":["AX"],"dir":"low"}`) + `trailing`,
+		`{"patterns":"` + ps + `","questions":"not-an-array"}`,
+		strings.Repeat(`[`, 2000),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/explain/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+
+		if rec.Code >= 500 {
+			t.Fatalf("whole-batch %d for body %q: %s", rec.Code, body, rec.Body)
+		}
+		var resp struct {
+			Items []struct {
+				Status int    `json:"status"`
+				Error  string `json:"error"`
+			} `json:"items"`
+			Error *string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("non-JSON response (%d) for body %q: %s", rec.Code, body, rec.Body)
+		}
+		switch {
+		case rec.Code == http.StatusOK:
+			if len(resp.Items) == 0 {
+				t.Fatalf("200 with no items for body %q: %s", body, rec.Body)
+			}
+			for i, it := range resp.Items {
+				if it.Status != http.StatusOK && it.Status != http.StatusBadRequest {
+					t.Fatalf("item %d status %d for body %q", i, it.Status, body)
+				}
+				if it.Status == http.StatusBadRequest && it.Error == "" {
+					t.Fatalf("item %d failed without an error message for body %q", i, body)
+				}
+			}
+		case rec.Code == http.StatusBadRequest || rec.Code == http.StatusNotFound:
+			if resp.Error == nil || *resp.Error == "" {
+				t.Fatalf("%d without an error message for body %q: %s", rec.Code, body, rec.Body)
+			}
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+	})
+}

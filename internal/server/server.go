@@ -10,6 +10,7 @@
 //	POST /v1/mine                    mine a pattern set, returns its id
 //	GET  /v1/patterns/{id}           inspect a mined pattern set
 //	POST /v1/explain                 top-k counterbalances for a question
+//	POST /v1/explain/batch           many questions in one pass, per-item status
 //	POST /v1/generalize              same-direction coarser deviations
 //	POST /v1/intervene               provenance-restricted intervention baseline
 //	POST /v1/baseline                the pattern-blind comparison method
@@ -95,6 +96,7 @@ func New() *Server {
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
 	mux.HandleFunc("GET /v1/patterns/{id}", s.handleGetPatterns)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/explain/batch", s.handleExplainBatch)
 	mux.HandleFunc("POST /v1/generalize", s.handleGeneralize)
 	mux.HandleFunc("POST /v1/intervene", s.handleIntervene)
 	mux.HandleFunc("POST /v1/baseline", s.handleBaseline)

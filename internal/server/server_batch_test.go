@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// batchResponse mirrors the /v1/explain/batch wire shape for decoding
+// in tests.
+type batchResponse struct {
+	Items []struct {
+		Index        int    `json:"index"`
+		Status       int    `json:"status"`
+		Question     string `json:"question"`
+		Error        string `json:"error"`
+		Explanations []struct {
+			Tuple []string `json:"tuple"`
+			Score float64  `json:"score"`
+		} `json:"explanations"`
+		Stats *struct {
+			RelevantPatterns int `json:"RelevantPatterns"`
+			Candidates       int `json:"Candidates"`
+		} `json:"stats"`
+	} `json:"items"`
+	OK     int `json:"ok"`
+	Failed int `json:"failed"`
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, req ExplainBatchRequest) (*http.Response, batchResponse) {
+	t.Helper()
+	resp, raw := doJSON(t, "POST", ts.URL+"/v1/explain/batch", req)
+	var out batchResponse
+	buf, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func sigkddSpec() QuestionSpec {
+	return QuestionSpec{
+		GroupBy: []string{"author", "venue", "year"},
+		Tuple:   []string{"AX", "SIGKDD", "2007"},
+		Dir:     "low",
+	}
+}
+
+// TestExplainBatchEndpoint: a mixed batch returns HTTP 200 with
+// per-item statuses — good questions answered, bad ones carrying their
+// own 400 items, duplicates answered identically.
+func TestExplainBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadRunningExample(t, ts)
+	ps := mineExample(t, ts)
+
+	req := ExplainBatchRequest{
+		Patterns: ps,
+		K:        5,
+		Numeric:  map[string]float64{"year": 4},
+		Questions: []QuestionSpec{
+			sigkddSpec(),
+			{GroupBy: []string{"author", "venue", "year"}, Tuple: []string{"AX", "ICDE", "2007"}, Dir: "high"},
+			sigkddSpec(), // duplicate of item 0
+			{GroupBy: []string{"author"}, Tuple: []string{"AX", "extra"}, Dir: "low"},                                // arity
+			{GroupBy: []string{"author", "venue", "year"}, Tuple: []string{"AX", "SIGKDD", "2007"}, Dir: "sideways"}, // bad dir
+			{GroupBy: []string{"author", "venue", "year"}, Tuple: []string{"NOBODY", "X", "1900"}, Dir: "low"},       // not a result
+		},
+	}
+	resp, out := postBatch(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	if out.OK != 3 || out.Failed != 3 || len(out.Items) != 6 {
+		t.Fatalf("ok=%d failed=%d items=%d", out.OK, out.Failed, len(out.Items))
+	}
+	for _, i := range []int{0, 1, 2} {
+		it := out.Items[i]
+		if it.Status != http.StatusOK || it.Error != "" || len(it.Explanations) == 0 || it.Stats == nil {
+			t.Errorf("item %d = %+v", i, it)
+		}
+	}
+	for _, i := range []int{3, 4, 5} {
+		it := out.Items[i]
+		if it.Status != http.StatusBadRequest || it.Error == "" || len(it.Explanations) != 0 {
+			t.Errorf("item %d should be a per-item 400: %+v", i, it)
+		}
+	}
+	// The SIGKDD-low question must surface the ICDE 2007 counterbalance.
+	found := false
+	for _, e := range out.Items[0].Explanations {
+		if strings.Contains(strings.Join(e.Tuple, ","), "ICDE") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("item 0 missing the ICDE counterbalance: %+v", out.Items[0])
+	}
+	// Duplicate items answer identically.
+	if fmt.Sprint(out.Items[0].Explanations) != fmt.Sprint(out.Items[2].Explanations) {
+		t.Error("duplicate question answered differently")
+	}
+}
+
+// TestExplainBatchMatchesSingle: every batch item must equal the
+// /v1/explain answer for the same question — the endpoint-level
+// differential check.
+func TestExplainBatchMatchesSingle(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadRunningExample(t, ts)
+	ps := mineExample(t, ts)
+
+	specs := []QuestionSpec{
+		sigkddSpec(),
+		{GroupBy: []string{"author", "venue", "year"}, Tuple: []string{"AX", "ICDE", "2007"}, Dir: "high"},
+		{GroupBy: []string{"author", "year"}, Tuple: []string{"AX", "2007"}, Dir: "low"},
+	}
+	_, out := postBatch(t, ts, ExplainBatchRequest{
+		Patterns: ps, K: 5, Numeric: map[string]float64{"year": 4}, Questions: specs,
+	})
+	for i, spec := range specs {
+		resp, single := doJSON(t, "POST", ts.URL+"/v1/explain", ExplainRequest{
+			Patterns: ps, K: 5, Numeric: map[string]float64{"year": 4},
+			GroupBy: spec.GroupBy, Tuple: spec.Tuple, Dir: spec.Dir,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("single explain %d status = %d", i, resp.StatusCode)
+		}
+		buf, _ := json.Marshal(single["explanations"])
+		var singleExpls []struct {
+			Tuple []string `json:"tuple"`
+			Score float64  `json:"score"`
+		}
+		if err := json.Unmarshal(buf, &singleExpls); err != nil {
+			t.Fatal(err)
+		}
+		got := out.Items[i].Explanations
+		if len(got) != len(singleExpls) {
+			t.Fatalf("question %d: batch %d explanations, single %d", i, len(got), len(singleExpls))
+		}
+		for j := range got {
+			if got[j].Score != singleExpls[j].Score || strings.Join(got[j].Tuple, ",") != strings.Join(singleExpls[j].Tuple, ",") {
+				t.Errorf("question %d rank %d: batch %v/%g vs single %v/%g",
+					i, j, got[j].Tuple, got[j].Score, singleExpls[j].Tuple, singleExpls[j].Score)
+			}
+		}
+	}
+}
+
+// TestExplainBatchErrors covers the whole-request failure modes that do
+// return a non-200: empty batches, oversized batches, unknown pattern
+// sets, bad metrics, malformed bodies.
+func TestExplainBatchErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadRunningExample(t, ts)
+	ps := mineExample(t, ts)
+
+	cases := []struct {
+		name   string
+		req    interface{}
+		status int
+	}{
+		{"no questions", ExplainBatchRequest{Patterns: ps}, http.StatusBadRequest},
+		{"unknown pattern set", ExplainBatchRequest{Patterns: "ps-999", Questions: []QuestionSpec{sigkddSpec()}}, http.StatusNotFound},
+		{"bad metric", ExplainBatchRequest{Patterns: ps, Questions: []QuestionSpec{sigkddSpec()},
+			Numeric: map[string]float64{"year": -1}}, http.StatusBadRequest},
+		{"unknown field", map[string]interface{}{"patterns": ps, "bogus": 1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, _ := doJSON(t, "POST", ts.URL+"/v1/explain/batch", tc.req)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+
+	over := ExplainBatchRequest{Patterns: ps}
+	for i := 0; i <= maxBatchQuestions; i++ {
+		over.Questions = append(over.Questions, sigkddSpec())
+	}
+	resp, _ := doJSON(t, "POST", ts.URL+"/v1/explain/batch", over)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestExplainBatchConcurrentStress posts many overlapping batches from
+// concurrent goroutines against one pattern set. Every response must be
+// identical to the reference answer computed up front — proving the
+// shared explainer cache cannot be poisoned across batches — and with
+// -race this doubles as the batch path's data-race check.
+func TestExplainBatchConcurrentStress(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadRunningExample(t, ts)
+	ps := mineExample(t, ts)
+
+	// Two overlapping batch shapes plus per-item errors in flight.
+	reqs := []ExplainBatchRequest{
+		{Patterns: ps, K: 5, Numeric: map[string]float64{"year": 4}, Questions: []QuestionSpec{
+			sigkddSpec(),
+			{GroupBy: []string{"author", "venue", "year"}, Tuple: []string{"AX", "ICDE", "2007"}, Dir: "high"},
+			{GroupBy: []string{"author"}, Tuple: []string{"AX"}, Dir: "sideways"},
+		}},
+		{Patterns: ps, K: 5, Numeric: map[string]float64{"year": 4}, Questions: []QuestionSpec{
+			{GroupBy: []string{"author", "year"}, Tuple: []string{"AX", "2007"}, Dir: "low"},
+			sigkddSpec(),
+		}},
+	}
+	// Canonical JSON comparison: the decoded struct holds a Stats
+	// pointer, whose address would make fmt.Sprint differ per response.
+	// Candidates is zeroed first — at the server's default parallelism a
+	// stale score bound can skip a different set of refinements (and
+	// their candidate scans) per run; everything else must be
+	// byte-stable.
+	canon := func(out batchResponse) (string, error) {
+		for _, it := range out.Items {
+			if it.Stats != nil {
+				it.Stats.Candidates = 0
+			}
+		}
+		buf, err := json.Marshal(out)
+		return string(buf), err
+	}
+	want := make([]string, len(reqs))
+	for i, req := range reqs {
+		_, out := postBatch(t, ts, req)
+		s, err := canon(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = s
+	}
+
+	// Goroutine-safe poster: test helpers call t.Fatal, which must stay
+	// on the test goroutine, so the workers report over a channel.
+	post := func(req ExplainBatchRequest) (batchResponse, error) {
+		var out batchResponse
+		var body bytes.Buffer
+		if err := json.NewEncoder(&body).Encode(req); err != nil {
+			return out, err
+		}
+		resp, err := http.Post(ts.URL+"/v1/explain/batch", "application/json", &body)
+		if err != nil {
+			return out, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return out, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return out, json.NewDecoder(resp.Body).Decode(&out)
+	}
+
+	const clients = 12
+	const rounds = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*rounds)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (c + r) % len(reqs)
+				out, err := post(reqs[i])
+				if err != nil {
+					errCh <- fmt.Errorf("client %d round %d: %v", c, r, err)
+					return
+				}
+				got, err := canon(out)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got != want[i] {
+					errCh <- fmt.Errorf("client %d round %d: response drifted:\n got %s\nwant %s", c, r, got, want[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -85,6 +85,21 @@ func (s *Session) Explain(q Question, opt ExplainOptions) ([]Explanation, *Expla
 	return Explain(q, s.table, s.patterns, opt)
 }
 
+// ExplainBatch answers a batch of questions in one pass, sharing the
+// relevant-pattern scan and group-by results across the batch. Each
+// question's answer is identical to Session.Explain on it alone;
+// results align positionally with qs and per-question failures are
+// wrapped with their index in the joined error.
+func (s *Session) ExplainBatch(qs []Question, opt ExplainOptions) ([][]Explanation, []*ExplainStats, error) {
+	if s.patterns == nil {
+		return nil, nil, errors.New("cape: Mine must run before ExplainBatch (or install patterns with SetPatterns)")
+	}
+	if opt.Metric == nil {
+		opt.Metric = s.metric
+	}
+	return ExplainBatch(qs, s.table, s.patterns, opt)
+}
+
 // Ask is a convenience wrapper that builds the question from its parts,
 // verifies the tuple is an actual result of the aggregate query, and
 // explains it.
