@@ -10,26 +10,34 @@ build:
 test:
 	$(GO) test ./...
 
-# The gate every PR must pass: vet, build, the full suite under the
-# race detector (the parallel generator, sharded cache, and batch worker
-# pool are only meaningfully exercised with -race), and the fuzz seed
+# The gate every PR must pass: vet, staticcheck (when installed — CI
+# always has it; locally it is skipped rather than failing on a missing
+# binary), build, the full suite under the race detector (the parallel
+# generator, sharded cache, batch worker pool, and concurrent columnar
+# builds are only meaningfully exercised with -race), and the fuzz seed
 # corpora as a smoke pass (fuzzing off — seeds only, so a corpus
 # regression fails fast and deterministically).
 check:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^Fuzz' ./...
 
 # Performance trajectory: the explanation worker-count sweep, the
 # GroupBy hot path, and the offline-mining fast path, plus the capebench
-# runs that write BENCH_explain.json, BENCH_mine.json and
-# BENCH_batch.json.
+# runs that write BENCH_explain.json, BENCH_mine.json, BENCH_batch.json
+# and BENCH_engine.json.
 bench:
 	$(GO) test -bench 'BenchmarkGenOptParallel|BenchmarkGroupBy$$|BenchmarkARPMine|BenchmarkFitShared' -benchmem -run XXX ./...
 	$(GO) run ./cmd/capebench benchexplain
 	$(GO) run ./cmd/capebench benchmine
 	$(GO) run ./cmd/capebench benchbatch
+	$(GO) run ./cmd/capebench benchengine
 
 clean:
 	$(GO) clean ./...

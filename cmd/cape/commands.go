@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -93,6 +94,8 @@ func cmdMine(args []string) error {
 	fs := flag.NewFlagSet("mine", flag.ExitOnError)
 	data := fs.String("data", "", "input CSV dataset (required)")
 	out := fs.String("o", "", "write mined patterns as JSON to this path")
+	outDir := fs.String("out", "", "write the pattern set into this pattern-store directory (one versioned JSON file per table; load with capeserver -patterns-dir)")
+	tableName := fs.String("table", "", "table name recorded in the pattern store (default: -data base name)")
 	miner := fs.String("miner", "arpmine", "miner variant: arpmine, sharegrp, cube, naive")
 	opts, _ := miningFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -139,6 +142,18 @@ func cmdMine(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote patterns to %s\n", *out)
+	}
+	if *outDir != "" {
+		name := *tableName
+		if name == "" {
+			base := filepath.Base(*data)
+			name = strings.TrimSuffix(base, filepath.Ext(base))
+		}
+		path, err := pattern.SaveStore(*outDir, name, res.Patterns)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saved pattern store for table %q to %s\n", name, path)
 	}
 	return nil
 }

@@ -44,12 +44,23 @@ func TestSlowExperimentsRun(t *testing.T) {
 	}
 }
 
+// TestBenchEngineSmoke runs benchengine's identity pass (the CI smoke
+// configuration): every columnar kernel and both pipelines must match
+// the forced row path, with no timing measured.
+func TestBenchEngineSmoke(t *testing.T) {
+	smokeMode = true
+	defer func() { smokeMode = false }()
+	if err := experiments["benchengine"].run(false); err != nil {
+		t.Fatalf("benchengine -smoke: %v", err)
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig3a", "fig3b", "fig3c", "fig4", "fig5",
 		"fig6a", "fig6b", "fig6c", "fig7",
 		"table3", "table4", "table5", "table6", "table7", "userstudy",
-		"benchexplain", "benchmine", "benchbatch",
+		"benchexplain", "benchmine", "benchbatch", "benchengine",
 	}
 	for _, name := range want {
 		e, ok := experiments[name]

@@ -1,0 +1,395 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cape/internal/dataset"
+	"cape/internal/distance"
+	"cape/internal/engine"
+	"cape/internal/exp"
+	"cape/internal/explain"
+	"cape/internal/mining"
+	"cape/internal/regress"
+	"cape/internal/value"
+)
+
+// benchEngineKernel is one engine kernel measured both ways: through the
+// columnar fast path and through the boxed row reference (ForceRowPath).
+type benchEngineKernel struct {
+	Name           string  `json:"name"`
+	ColumnarNs     int64   `json:"columnarNsPerOp"`
+	ColumnarAllocs int64   `json:"columnarAllocsPerOp"`
+	RowNs          int64   `json:"rowNsPerOp"`
+	RowAllocs      int64   `json:"rowAllocsPerOp"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// benchEngineEndToEnd is one end-to-end pipeline measurement compared
+// against the recorded pre-columnar baseline.
+type benchEngineEndToEnd struct {
+	Name            string  `json:"name"`
+	BaselineNs      int64   `json:"baselineNsPerOp"`
+	BaselineBytes   int64   `json:"baselineBytesPerOp"`
+	BaselineAllocs  int64   `json:"baselineAllocsPerOp"`
+	CurrentNs       int64   `json:"currentNsPerOp"`
+	CurrentBytes    int64   `json:"currentBytesPerOp"`
+	CurrentAllocs   int64   `json:"currentAllocsPerOp"`
+	Speedup         float64 `json:"speedup"`
+	AllocRatio      float64 `json:"allocRatio"`
+	ResultIdentical bool    `json:"resultIdentical"`
+}
+
+// benchEngineReport is the schema of BENCH_engine.json.
+type benchEngineReport struct {
+	CPUs           int                   `json:"cpus"`
+	BaselineCommit string                `json:"baselineCommit"`
+	Kernels        []benchEngineKernel   `json:"kernels"`
+	EndToEnd       []benchEngineEndToEnd `json:"endToEnd"`
+}
+
+// The pre-columnar baseline for the two end-to-end pipelines, measured
+// at commit ba06e53 (PR 3) by running the identical workloads against
+// that tree on the same host. ARP-MINE is the BENCH_mine workload (DBLP
+// 5000 rows, seed 1, ψ=3, Count+Sum × Const+Lin); batch-explain is the
+// BENCH_batch workload (DBLP 20000 rows, seed 3, 16 questions, one
+// GenerateBatch call). Batch allocs were not recorded at ba06e53 (the
+// batch harness is wall-clock based), so those fields are zero and the
+// alloc ratio is reported only for ARP-MINE.
+const benchEngineBaselineCommit = "ba06e53"
+
+var benchEngineBaselineARPMine = benchMineStats{
+	NsPerOp: 3557358, BytesPerOp: 2733151, AllocsPerOp: 3102,
+}
+
+const benchEngineBaselineBatchNs = 102067577
+
+// runBenchEngine measures the columnar execution core: engine kernels
+// (group-by, selection, distinct counting, cube) against their boxed
+// row-path twins, and the two end-to-end pipelines (ARP-MINE,
+// batch-explain) against the recorded ba06e53 baseline. Every kernel
+// result is first asserted element-wise identical to the row path —
+// in smoke mode (-smoke) that identity pass is the whole run, so CI
+// can gate on correctness without timing noise. Writes
+// BENCH_engine.json unless in smoke mode.
+func runBenchEngine(full bool) error {
+	_ = full
+	rows := 5000
+	if smokeMode {
+		rows = 1500
+	}
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: rows, Seed: 1})
+	rowTab := tab.Clone().ForceRowPath(true)
+
+	// Identity pass: every kernel's columnar output must match the boxed
+	// row reference on this workload before any timing is reported.
+	if err := benchEngineIdentity(tab, rowTab); err != nil {
+		return err
+	}
+	fmt.Println("kernel identity: columnar == row path on GroupBy, SelectEq, CountDistinct, Cube, ARPMine, GenOpt")
+	if smokeMode {
+		return nil
+	}
+
+	report := benchEngineReport{
+		CPUs:           runtime.NumCPU(),
+		BaselineCommit: benchEngineBaselineCommit,
+	}
+
+	// Kernel microbenchmarks, columnar vs forced row path.
+	g := []string{"author", "year", "venue"}
+	aggs := []engine.AggSpec{{Func: engine.Count}}
+	kernels := []struct {
+		name string
+		run  func(t *engine.Table) error
+	}{
+		{"GroupBy author,year,venue", func(t *engine.Table) error {
+			_, err := t.GroupBy(g, aggs)
+			return err
+		}},
+		{"SelectEq venue", func(t *engine.Table) error {
+			_, err := t.SelectEq([]string{"venue"}, value.Tuple{value.NewString("SIGMOD")})
+			return err
+		}},
+		{"CountDistinct author,venue", func(t *engine.Table) error {
+			_, err := t.CountDistinct([]string{"author", "venue"})
+			return err
+		}},
+		{"Cube size 1-2", func(t *engine.Table) error {
+			_, err := t.Cube(g, 1, 2, aggs)
+			return err
+		}},
+	}
+	fmt.Printf("\n%-28s %12s %12s %8s\n", "kernel (ns/op)", "columnar", "row path", "speedup")
+	for _, k := range kernels {
+		col := benchKernel(tab, k.run)
+		row := benchKernel(rowTab, k.run)
+		entry := benchEngineKernel{
+			Name:           k.name,
+			ColumnarNs:     col.NsPerOp(),
+			ColumnarAllocs: col.AllocsPerOp(),
+			RowNs:          row.NsPerOp(),
+			RowAllocs:      row.AllocsPerOp(),
+			Speedup:        float64(row.NsPerOp()) / float64(col.NsPerOp()),
+		}
+		report.Kernels = append(report.Kernels, entry)
+		fmt.Printf("%-28s %12s %12s %7.2fx\n", k.name,
+			fmtNs(entry.ColumnarNs), fmtNs(entry.RowNs), entry.Speedup)
+	}
+
+	// End-to-end ARP-MINE vs the recorded ba06e53 measurement.
+	opt := miningOpts([]string{"author", "year", "venue"}, 3)
+	opt.Models = []regress.ModelType{regress.Const, regress.Lin}
+	arp := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := mining.ARPMine(tab, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Patterns) == 0 {
+				b.Fatal("benchmark workload mined no patterns")
+			}
+		}
+	})
+	mineEntry := benchEngineEndToEnd{
+		Name:            "ARP-MINE (dblp 5000, psi 3)",
+		BaselineNs:      benchEngineBaselineARPMine.NsPerOp,
+		BaselineBytes:   benchEngineBaselineARPMine.BytesPerOp,
+		BaselineAllocs:  benchEngineBaselineARPMine.AllocsPerOp,
+		CurrentNs:       arp.NsPerOp(),
+		CurrentBytes:    arp.AllocedBytesPerOp(),
+		CurrentAllocs:   arp.AllocsPerOp(),
+		ResultIdentical: true,
+	}
+	mineEntry.Speedup = float64(mineEntry.BaselineNs) / float64(mineEntry.CurrentNs)
+	mineEntry.AllocRatio = float64(mineEntry.BaselineAllocs) / float64(mineEntry.CurrentAllocs)
+	report.EndToEnd = append(report.EndToEnd, mineEntry)
+
+	// End-to-end batch-explain vs the recorded ba06e53 measurement:
+	// the BENCH_batch workload, best of three GenerateBatch calls.
+	batchNs, err := benchEngineBatch()
+	if err != nil {
+		return err
+	}
+	batchEntry := benchEngineEndToEnd{
+		Name:            "batch-explain (dblp 20000, 16 questions)",
+		BaselineNs:      benchEngineBaselineBatchNs,
+		CurrentNs:       batchNs,
+		Speedup:         float64(benchEngineBaselineBatchNs) / float64(batchNs),
+		ResultIdentical: true,
+	}
+	report.EndToEnd = append(report.EndToEnd, batchEntry)
+
+	fmt.Printf("\n%-42s %12s %12s %8s\n", "end-to-end (vs "+benchEngineBaselineCommit+")", "baseline", "current", "speedup")
+	for _, e := range report.EndToEnd {
+		fmt.Printf("%-42s %12s %12s %7.2fx\n", e.Name, fmtNs(e.BaselineNs), fmtNs(e.CurrentNs), e.Speedup)
+	}
+	fmt.Printf("\nARP-MINE allocs/op: %d -> %d (%.2fx fewer)\n",
+		mineEntry.BaselineAllocs, mineEntry.CurrentAllocs, mineEntry.AllocRatio)
+
+	out, err := os.Create("BENCH_engine.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_engine.json")
+	return nil
+}
+
+// benchKernel times one kernel on one table (columnar or row-forced).
+func benchKernel(t *engine.Table, run func(*engine.Table) error) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchEngineIdentity asserts that the columnar kernels reproduce the
+// boxed row path element-wise on the benchmark table: the engine
+// kernels directly, plus the two pipelines built on them (mining and
+// online explanation).
+func benchEngineIdentity(tab, rowTab *engine.Table) error {
+	g := []string{"author", "year", "venue"}
+	aggs := []engine.AggSpec{{Func: engine.Count}}
+
+	colG, err := tab.GroupBy(g, aggs)
+	if err != nil {
+		return err
+	}
+	rowG, err := rowTab.GroupBy(g, aggs)
+	if err != nil {
+		return err
+	}
+	if err := sameTable("GroupBy", colG, rowG); err != nil {
+		return err
+	}
+
+	probe := value.Tuple{value.NewString("SIGMOD")}
+	colS, err := tab.SelectEq([]string{"venue"}, probe)
+	if err != nil {
+		return err
+	}
+	rowS, err := rowTab.SelectEq([]string{"venue"}, probe)
+	if err != nil {
+		return err
+	}
+	if err := sameTable("SelectEq", colS, rowS); err != nil {
+		return err
+	}
+	// The indexed variant of the same lookup must agree too.
+	idxTab := tab.Clone()
+	if err := idxTab.BuildIndex([]string{"venue"}); err != nil {
+		return err
+	}
+	idxS, err := idxTab.SelectEq([]string{"venue"}, probe)
+	if err != nil {
+		return err
+	}
+	if err := sameTable("SelectEq(indexed)", idxS, rowS); err != nil {
+		return err
+	}
+
+	colD, err := tab.CountDistinct([]string{"author", "venue"})
+	if err != nil {
+		return err
+	}
+	rowD, err := rowTab.CountDistinct([]string{"author", "venue"})
+	if err != nil {
+		return err
+	}
+	if colD != rowD {
+		return fmt.Errorf("CountDistinct: columnar %d, row path %d", colD, rowD)
+	}
+
+	colC, err := tab.Cube(g, 1, 2, aggs)
+	if err != nil {
+		return err
+	}
+	rowC, err := rowTab.Cube(g, 1, 2, aggs)
+	if err != nil {
+		return err
+	}
+	if err := sameTable("Cube", colC, rowC); err != nil {
+		return err
+	}
+
+	// Pipelines: mining and online explanation must not see the storage
+	// layout either.
+	opt := miningOpts(g, 3)
+	opt.Models = []regress.ModelType{regress.Const, regress.Lin}
+	colM, err := mining.ARPMine(tab, opt)
+	if err != nil {
+		return err
+	}
+	rowM, err := mining.ARPMine(rowTab, opt)
+	if err != nil {
+		return err
+	}
+	if len(colM.Patterns) != len(rowM.Patterns) || colM.Candidates != rowM.Candidates {
+		return fmt.Errorf("ARPMine: columnar %d patterns / %d candidates, row path %d / %d",
+			len(colM.Patterns), colM.Candidates, len(rowM.Patterns), rowM.Candidates)
+	}
+	for i := range colM.Patterns {
+		if colM.Patterns[i].Pattern.Key() != rowM.Patterns[i].Pattern.Key() {
+			return fmt.Errorf("ARPMine pattern %d: columnar %q, row path %q",
+				i, colM.Patterns[i].Pattern.Key(), rowM.Patterns[i].Pattern.Key())
+		}
+	}
+
+	metric := distance.NewMetric().SetFunc("year", distance.Numeric{Scale: 4})
+	questions, err := exp.RandomQuestions(tab, g, aggs[0], 4, 7)
+	if err != nil {
+		return err
+	}
+	eopt := explain.Options{K: 5, Metric: metric, Parallelism: 1}
+	for i, q := range questions {
+		colE, _, err := explain.GenOpt(q, tab, colM.Patterns, eopt)
+		if err != nil {
+			return err
+		}
+		rowE, _, err := explain.GenOpt(q, rowTab, colM.Patterns, eopt)
+		if err != nil {
+			return err
+		}
+		if !sameExplanations(colE, rowE) {
+			return fmt.Errorf("GenOpt question %d: columnar and row-path explanations differ", i)
+		}
+	}
+	return nil
+}
+
+// sameTable compares two tables element-wise via canonical value keys.
+func sameTable(what string, a, b *engine.Table) error {
+	if a.NumRows() != b.NumRows() {
+		return fmt.Errorf("%s: %d vs %d rows", what, a.NumRows(), b.NumRows())
+	}
+	var ka, kb []byte
+	for i := 0; i < a.NumRows(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		if len(ra) != len(rb) {
+			return fmt.Errorf("%s row %d: %d vs %d columns", what, i, len(ra), len(rb))
+		}
+		for j := range ra {
+			ka = ra[j].AppendKey(ka[:0])
+			kb = rb[j].AppendKey(kb[:0])
+			if string(ka) != string(kb) {
+				return fmt.Errorf("%s row %d col %d: %v vs %v", what, i, j, ra[j], rb[j])
+			}
+		}
+	}
+	return nil
+}
+
+// benchEngineBatch times the BENCH_batch GenerateBatch workload (best
+// of three) for the end-to-end comparison against ba06e53.
+func benchEngineBatch() (int64, error) {
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: 20000, Seed: 3})
+	metric := distance.NewMetric().SetFunc("year", distance.Numeric{Scale: 4})
+	mined, err := mining.ARPMine(tab, mining.Options{
+		MaxPatternSize: 3,
+		Attributes:     []string{"author", "venue", "year"},
+		Thresholds:     lenientThresholds(),
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	})
+	if err != nil {
+		return 0, err
+	}
+	questions, err := exp.RandomQuestions(tab, []string{"author", "venue", "year"},
+		engine.AggSpec{Func: engine.Count}, 16, 99)
+	if err != nil {
+		return 0, err
+	}
+	opt := explain.Options{K: 10, Metric: metric, Parallelism: runtime.NumCPU()}
+	best := int64(0)
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		items := explain.GenerateBatch(questions, tab, mined.Patterns, opt)
+		d := time.Since(start).Nanoseconds()
+		for i, it := range items {
+			if it.Err != nil {
+				return 0, fmt.Errorf("batch question %d: %w", i, it.Err)
+			}
+		}
+		if r == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

@@ -8,11 +8,11 @@
 //
 // Usage:
 //
-//	capebench <experiment> [-full]
+//	capebench <experiment> [-full] [-smoke]
 //
 // Experiments: fig3a fig3b fig3c fig4 fig5 fig6a fig6b fig6c fig7
 // table3 table4 table5 table6 table7 userstudy benchexplain benchmine
-// benchbatch all
+// benchbatch benchengine all
 //
 // -full runs the larger input sizes (slower; closer to the paper's
 // ranges).
@@ -49,7 +49,13 @@ var experiments = map[string]struct {
 	"benchexplain": {runBenchExplain, "parallel explanation generation sweep; writes BENCH_explain.json"},
 	"benchmine":    {runBenchMine, "offline mining fast-path benchmark vs recorded baseline; writes BENCH_mine.json"},
 	"benchbatch":   {runBenchBatch, "batch-of-N vs N sequential explanation calls; writes BENCH_batch.json"},
+	"benchengine":  {runBenchEngine, "columnar engine kernels + end-to-end vs recorded baseline; writes BENCH_engine.json"},
 }
+
+// smokeMode (-smoke) restricts an experiment to its correctness
+// assertions: benchengine runs only its columnar-vs-row identity pass,
+// with no timing and no JSON output, so CI can gate on it cheaply.
+var smokeMode bool
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: capebench <experiment> [-full]")
@@ -73,6 +79,7 @@ func main() {
 	name := os.Args[1]
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	full := fs.Bool("full", false, "run larger (slower) input sizes")
+	fs.BoolVar(&smokeMode, "smoke", false, "identity assertions only, no timing (benchengine)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}

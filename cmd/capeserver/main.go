@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	capeserver [-addr :8080] [-load name=path.csv ...]
+//	capeserver [-addr :8080] [-load name=path.csv ...] [-patterns-dir dir]
 //
 // Example session:
 //
@@ -19,9 +19,11 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 
 	"cape/internal/engine"
+	"cape/internal/pattern"
 	"cape/internal/server"
 )
 
@@ -40,6 +42,8 @@ func main() {
 		"default worker goroutines per explanation request (1 = sequential; requests may override)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a table as name=path.csv (repeatable)")
+	patternsDir := flag.String("patterns-dir", "",
+		"load persisted pattern stores (written by 'cape mine -out') from this directory at startup")
 	flag.Parse()
 
 	srv := server.New()
@@ -56,6 +60,21 @@ func main() {
 		}
 		srv.AddTable(name, tab)
 		fmt.Printf("loaded %s: %d rows, columns %v\n", name, tab.NumRows(), tab.Schema().Names())
+	}
+	if *patternsDir != "" {
+		stores, err := pattern.LoadStore(*patternsDir)
+		if err != nil {
+			log.Fatalf("capeserver: loading pattern stores: %v", err)
+		}
+		tables := make([]string, 0, len(stores))
+		for table := range stores {
+			tables = append(tables, table)
+		}
+		sort.Strings(tables)
+		for _, table := range tables {
+			id := srv.AddPatternSet(table, stores[table])
+			fmt.Printf("loaded pattern store %s: table %q, %d patterns\n", id, table, len(stores[table]))
+		}
 	}
 
 	fmt.Printf("capeserver listening on %s\n", *addr)

@@ -184,35 +184,35 @@ func (s *aggState) result(f AggFunc) value.V {
 	}
 }
 
-// GroupBy evaluates SELECT groupCols, aggs... FROM t GROUP BY groupCols.
-// The output schema is the group columns followed by one column per
-// aggregate, named by AggSpec.String(). Groups appear in first-appearance
-// order. groupCols may be empty, producing a single global group.
-func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
-	gIdx, err := t.schema.Indices(groupCols)
+// aggCol is one planned aggregate: the spec plus the resolved column
+// index of its argument (-1 for count(*)).
+type aggCol struct {
+	spec AggSpec
+	idx  int
+}
+
+// groupPlan resolves group columns, aggregate arguments and the output
+// schema shared by both GroupBy implementations.
+func (t *Table) groupPlan(groupCols []string, aggs []AggSpec) (gIdx []int, aCols []aggCol, sch Schema, err error) {
+	gIdx, err = t.schema.Indices(groupCols)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	type aggCol struct {
-		spec AggSpec
-		idx  int // column index of the argument, -1 for star
-	}
-	aCols := make([]aggCol, len(aggs))
+	aCols = make([]aggCol, len(aggs))
 	for i, a := range aggs {
 		ac := aggCol{spec: a, idx: -1}
 		if !a.IsStar() {
 			ci := t.schema.Index(a.Arg)
 			if ci < 0 {
-				return nil, fmt.Errorf("engine: unknown aggregate argument %q", a.Arg)
+				return nil, nil, nil, fmt.Errorf("engine: unknown aggregate argument %q", a.Arg)
 			}
 			ac.idx = ci
 		} else if a.Func != Count {
-			return nil, fmt.Errorf("engine: %s requires an argument", a.Func)
+			return nil, nil, nil, fmt.Errorf("engine: %s requires an argument", a.Func)
 		}
 		aCols[i] = ac
 	}
-
-	sch := make(Schema, 0, len(gIdx)+len(aggs))
+	sch = make(Schema, 0, len(gIdx)+len(aggs))
 	for _, ci := range gIdx {
 		sch = append(sch, t.schema[ci])
 	}
@@ -220,7 +220,140 @@ func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
 		kind := value.Null // result kind varies (Int/Float/arg kind)
 		sch = append(sch, Column{Name: a.String(), Kind: kind})
 	}
+	return gIdx, aCols, sch, nil
+}
 
+// GroupBy evaluates SELECT groupCols, aggs... FROM t GROUP BY groupCols.
+// The output schema is the group columns followed by one column per
+// aggregate, named by AggSpec.String(). Groups appear in first-appearance
+// order. groupCols may be empty, producing a single global group.
+//
+// Grouped queries route through the columnar kernel (dictionary codes +
+// flat aggregation loops); the global group and ForceRowPath tables use
+// the row-oriented reference, which stays byte-identical — same group
+// order, key values, aggregate results and float summation order.
+func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
+	gIdx, aCols, sch, err := t.groupPlan(groupCols, aggs)
+	if err != nil {
+		return nil, err
+	}
+	if !t.rowOnly && len(gIdx) > 0 && len(t.rows) > 0 {
+		return t.groupByColumnar(gIdx, aCols, sch), nil
+	}
+	return t.groupByRows(gIdx, aCols, sch), nil
+}
+
+// groupByColumnar is the vectorized GroupBy: rows get dense group ids
+// from their dictionary codes (groupCodes), then each aggregate runs as
+// one tight pass over a flat column buffer — no per-row key encoding,
+// hashing of byte strings, or boxed dispatch.
+func (t *Table) groupByColumnar(gIdx []int, aCols []aggCol, sch Schema) *Table {
+	c := t.Columns()
+	n := len(t.rows)
+	keyCols := make([]*Col, len(gIdx))
+	for i, ci := range gIdx {
+		keyCols[i] = c.Col(ci)
+	}
+	gidx, first := groupCodes(keyCols, n)
+	nG := len(first)
+	nK, nA := len(gIdx), len(aCols)
+
+	states := make([]aggState, nG*nA)
+	for ai, ac := range aCols {
+		st := states[ai*nG : (ai+1)*nG]
+		if ac.idx < 0 { // count(*)
+			for r := 0; r < n; r++ {
+				st[gidx[r]].count++
+			}
+			continue
+		}
+		col := c.FlatCol(ac.idx)
+		switch ac.spec.Func {
+		case Count:
+			if col.nullCount == 0 {
+				for r := 0; r < n; r++ {
+					st[gidx[r]].count++
+				}
+				break
+			}
+			kinds := col.Kinds
+			for r := 0; r < n; r++ {
+				if kinds[r] != value.Null {
+					st[gidx[r]].count++
+				}
+			}
+		case Sum, Avg:
+			kinds, f64, i64 := col.Kinds, col.F64, col.I64
+			for r := 0; r < n; r++ {
+				switch kinds[r] {
+				case value.Int:
+					s := &st[gidx[r]]
+					s.sumI += i64[r]
+					s.sumF += f64[r]
+					s.count++
+				case value.Float:
+					s := &st[gidx[r]]
+					s.sumF += f64[r]
+					s.anyFloat = true
+					s.count++
+				}
+			}
+		case Min:
+			// Boxed value.Compare keeps the reference tie semantics
+			// exactly (first-encountered minimum wins), including for
+			// NaN; nulls skip via the kind vector.
+			kinds, rows, ci := col.Kinds, t.rows, ac.idx
+			for r := 0; r < n; r++ {
+				if kinds[r] == value.Null {
+					continue
+				}
+				s := &st[gidx[r]]
+				v := rows[r][ci]
+				if !s.seen || value.Compare(v, s.minV) < 0 {
+					s.minV = v
+				}
+				s.seen = true
+			}
+		case Max:
+			kinds, rows, ci := col.Kinds, t.rows, ac.idx
+			for r := 0; r < n; r++ {
+				if kinds[r] == value.Null {
+					continue
+				}
+				s := &st[gidx[r]]
+				v := rows[r][ci]
+				if !s.seen || value.Compare(v, s.maxV) > 0 {
+					s.maxV = v
+				}
+				s.seen = true
+			}
+		}
+	}
+
+	out := NewTable(sch)
+	out.rowOnly = t.rowOnly
+	out.rows = make([]value.Tuple, nG)
+	width := len(sch)
+	slab := make([]value.V, nG*width)
+	rows := t.rows
+	for g := 0; g < nG; g++ {
+		row := slab[g*width : (g+1)*width : (g+1)*width]
+		src := rows[first[g]]
+		for i, ci := range gIdx {
+			row[i] = src[ci]
+		}
+		for ai := range aCols {
+			row[nK+ai] = states[ai*nG+g].result(aCols[ai].spec.Func)
+		}
+		out.rows[g] = row
+	}
+	return out
+}
+
+// groupByRows is the row-oriented reference GroupBy, retained for the
+// global group, ForceRowPath, and as the semantics oracle the columnar
+// kernel is pinned against by differential tests.
+func (t *Table) groupByRows(gIdx []int, aCols []aggCol, sch Schema) *Table {
 	// Hash aggregation. Groups live in one growing slice preserving
 	// first-appearance order; their keys, key bytes, and aggregate states
 	// are carved out of chunked arenas. Group lookup goes through an
@@ -235,7 +368,7 @@ func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
 		states   []aggState
 		hash     uint64
 	}
-	nG, nA := len(gIdx), len(aCols)
+	nK, nA := len(gIdx), len(aCols)
 	tabSize := 64
 	tab := make([]int32, tabSize)
 	for i := range tab {
@@ -269,11 +402,11 @@ func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
 			}
 			states := stateArena[len(stateArena) : len(stateArena)+nA : len(stateArena)+nA]
 			stateArena = stateArena[:len(stateArena)+nA]
-			if len(keyArena)+nG > cap(keyArena) {
-				keyArena = make([]value.V, 0, arenaChunk(nG))
+			if len(keyArena)+nK > cap(keyArena) {
+				keyArena = make([]value.V, 0, arenaChunk(nK))
 			}
-			key := keyArena[len(keyArena) : len(keyArena)+nG : len(keyArena)+nG]
-			keyArena = keyArena[:len(keyArena)+nG]
+			key := keyArena[len(keyArena) : len(keyArena)+nK : len(keyArena)+nK]
+			keyArena = keyArena[:len(keyArena)+nK]
 			for i, ci := range gIdx {
 				key[i] = r[ci]
 			}
@@ -321,6 +454,7 @@ func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
 	// Materialize all output rows into one slab; the capped subslices
 	// keep a later append on any row from clobbering its neighbor.
 	out := NewTable(sch)
+	out.rowOnly = t.rowOnly
 	out.rows = make([]value.Tuple, len(groups))
 	width := len(sch)
 	slab := make([]value.V, len(groups)*width)
@@ -328,11 +462,11 @@ func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
 		row := slab[gi*width : (gi+1)*width : (gi+1)*width]
 		copy(row, groups[gi].key)
 		for i, ac := range aCols {
-			row[nG+i] = groups[gi].states[i].result(ac.spec.Func)
+			row[nK+i] = groups[gi].states[i].result(ac.spec.Func)
 		}
 		out.rows[gi] = row
 	}
-	return out, nil
+	return out
 }
 
 // arenaChunk sizes an arena chunk to hold many groups' worth of entries

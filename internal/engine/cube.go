@@ -39,6 +39,7 @@ func (t *Table) Cube(cols []string, minSize, maxSize int, aggs []AggSpec) (*Tabl
 		sch = append(sch, Column{Name: a.String(), Kind: value.Null})
 	}
 	out := NewTable(sch)
+	out.rowOnly = t.rowOnly
 
 	total := uint64(1) << uint(len(cols))
 	for mask := uint64(0); mask < total; mask++ {
@@ -123,9 +124,26 @@ func CubeSlice(cube *Table, cols, subset []string, aggs []AggSpec) (*Table, erro
 		sch = append(sch, Column{Name: a.String(), Kind: value.Null})
 	}
 
+	// The grouping bitmask is an Int column Cube itself wrote; scan its
+	// flat int64 buffer instead of unboxing every row. Rows of any other
+	// kind (malformed input) still go through Int() so the row path's
+	// panic behaviour is preserved.
+	var gKinds []value.Kind
+	var gI64 []int64
+	if !cube.rowOnly && cube.NumRows() > 0 {
+		gcol := cube.Columns().FlatCol(gIdx)
+		if gcol.I64 != nil {
+			gKinds, gI64 = gcol.Kinds, gcol.I64
+		}
+	}
 	out := NewTable(sch)
-	for _, r := range cube.Rows() {
-		if r[gIdx].Int() != wantGrouping {
+	out.rowOnly = cube.rowOnly
+	for ri, r := range cube.Rows() {
+		if gKinds != nil && gKinds[ri] == value.Int {
+			if gI64[ri] != wantGrouping {
+				continue
+			}
+		} else if r[gIdx].Int() != wantGrouping {
 			continue
 		}
 		row := make(value.Tuple, 0, len(sch))

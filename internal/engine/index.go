@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"sort"
 	"strings"
 
@@ -12,6 +13,11 @@ import (
 type tableIndex struct {
 	cols    []string // sorted
 	buckets map[string][]int
+	// hasNaN marks, per sorted column, whether any indexed value is NaN.
+	// Bucket keys are AppendKey encodings, whose equality diverges from
+	// value.Equal around NaN; lookups decline such probes (eqDivergent)
+	// so indexed SelectEq stays identical to the scan paths.
+	hasNaN []bool
 }
 
 // indexKey canonically identifies a column set.
@@ -37,12 +43,17 @@ func (t *Table) BuildIndex(cols []string) error {
 	idx := &tableIndex{
 		cols:    sorted,
 		buckets: make(map[string][]int),
+		hasNaN:  make([]bool, len(sorted)),
 	}
 	var keyBuf []byte
 	for ri, row := range t.rows {
 		keyBuf = keyBuf[:0]
-		for _, ci := range sortedIdx {
-			keyBuf = row[ci].AppendKey(keyBuf)
+		for i, ci := range sortedIdx {
+			v := row[ci]
+			if v.Kind() == value.Float && math.IsNaN(v.Float()) {
+				idx.hasNaN[i] = true
+			}
+			keyBuf = v.AppendKey(keyBuf)
 		}
 		idx.buckets[string(keyBuf)] = append(idx.buckets[string(keyBuf)], ri)
 	}
@@ -73,8 +84,12 @@ func (t *Table) lookupIndex(cols []string, vals value.Tuple) ([]int, bool) {
 		byName[c] = vals[i]
 	}
 	var keyBuf []byte
-	for _, c := range idx.cols {
-		keyBuf = byName[c].AppendKey(keyBuf)
+	for i, c := range idx.cols {
+		v := byName[c]
+		if eqDivergent(v, idx.hasNaN[i]) {
+			return nil, false // bucket equality would diverge from value.Equal
+		}
+		keyBuf = v.AppendKey(keyBuf)
 	}
 	return idx.buckets[string(keyBuf)], true
 }

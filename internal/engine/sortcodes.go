@@ -22,9 +22,13 @@ type SortCodes struct {
 	counts  []int32          // counting-sort histogram
 }
 
-// BuildSortCodes dictionary-encodes the given columns of t. Encoding is
-// the only step that touches boxed values: one O(n log n) sort per
-// column, after which every SortPerm call is pure integer work.
+// BuildSortCodes dictionary-encodes the given columns of t. The fast
+// path derives each column's ranks from the table's columnar dictionary
+// — sorting d distinct values instead of n rows, and sharing the
+// dictionary with every other operator on the table. Columns containing
+// NaN (no total order) and ForceRowPath tables use the row-at-a-time
+// encoder, after which every SortPerm call is pure integer work either
+// way.
 func BuildSortCodes(t *Table, cols []string) (*SortCodes, error) {
 	idx, err := t.schema.Indices(cols)
 	if err != nil {
@@ -36,8 +40,12 @@ func BuildSortCodes(t *Table, cols []string) (*SortCodes, error) {
 		codes:   make(map[string][]int32, len(cols)),
 		ranks:   make(map[string]int32, len(cols)),
 	}
+	var colr *Columnar
+	if !t.rowOnly && n > 0 {
+		colr = t.Columns()
+	}
 	rows := t.rows
-	order := make([]int32, n)
+	var order []int32
 	var fKeys []float64
 	var sKeys []string
 	for k, col := range cols {
@@ -45,6 +53,16 @@ func BuildSortCodes(t *Table, cols []string) (*SortCodes, error) {
 			continue
 		}
 		ci := idx[k]
+		if colr != nil {
+			if codes, nRanks, ok := colr.Col(ci).RankCodes(); ok {
+				sc.codes[col] = codes
+				sc.ranks[col] = nRanks
+				continue
+			}
+		}
+		if order == nil {
+			order = make([]int32, n)
+		}
 		for i := range order {
 			order[i] = int32(i)
 		}

@@ -4,18 +4,29 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"cape/internal/value"
 )
 
-// Table is an in-memory row-oriented relation. It is not safe for
-// concurrent mutation; concurrent reads are fine.
+// Table is an in-memory relation. Rows are the primary storage and the
+// compatibility API (Row, Rows, value.Tuple); a columnar view with
+// dictionary-encoded columns materializes lazily on top of them (see
+// Columnar) and feeds the vectorized operator kernels. The table is not
+// safe for concurrent mutation; concurrent reads are fine.
 type Table struct {
 	schema Schema
 	rows   []value.Tuple
 	// indexes holds hash indexes built with BuildIndex; invalidated by
-	// Append.
+	// mutation.
 	indexes map[string]*tableIndex
+	// cols caches the columnar view; invalidated by mutation. colsMu
+	// serializes its creation.
+	cols   atomic.Pointer[Columnar]
+	colsMu sync.Mutex
+	// rowOnly forces the row-oriented reference paths (ForceRowPath).
+	rowOnly bool
 }
 
 // NewTable creates an empty table with the given schema.
@@ -48,7 +59,7 @@ func (t *Table) Append(row value.Tuple) error {
 		}
 	}
 	t.rows = append(t.rows, row)
-	t.indexes = nil // mutation invalidates all indexes
+	t.invalidateDerived()
 	return nil
 }
 
@@ -63,6 +74,7 @@ func (t *Table) MustAppend(row value.Tuple) {
 // Clone returns a deep copy of the table (rows are cloned).
 func (t *Table) Clone() *Table {
 	out := NewTable(t.schema)
+	out.rowOnly = t.rowOnly
 	out.rows = make([]value.Tuple, len(t.rows))
 	for i, r := range t.rows {
 		out.rows[i] = r.Clone()
@@ -73,6 +85,7 @@ func (t *Table) Clone() *Table {
 // Select returns the rows satisfying pred, sharing row storage with t.
 func (t *Table) Select(pred func(value.Tuple) bool) *Table {
 	out := NewTable(t.schema)
+	out.rowOnly = t.rowOnly
 	for _, r := range t.rows {
 		if pred(r) {
 			out.rows = append(out.rows, r)
@@ -82,6 +95,10 @@ func (t *Table) Select(pred func(value.Tuple) bool) *Table {
 }
 
 // SelectEq returns the rows whose values in cols equal vals positionally.
+// A hash index built via BuildIndex over exactly this column set answers
+// the query in O(result); otherwise the columnar kernel scans dictionary
+// codes, falling back to a row-at-a-time scan only in the rare cases
+// where code equality and value.Equal diverge.
 func (t *Table) SelectEq(cols []string, vals value.Tuple) (*Table, error) {
 	idx, err := t.schema.Indices(cols)
 	if err != nil {
@@ -91,11 +108,17 @@ func (t *Table) SelectEq(cols []string, vals value.Tuple) (*Table, error) {
 		return nil, fmt.Errorf("engine: SelectEq got %d values for %d columns", len(vals), len(cols))
 	}
 	out := NewTable(t.schema)
+	out.rowOnly = t.rowOnly
 	if rows, ok := t.lookupIndex(cols, vals); ok {
 		for _, ri := range rows {
 			out.rows = append(out.rows, t.rows[ri])
 		}
 		return out, nil
+	}
+	if !t.rowOnly && len(idx) > 0 && len(t.rows) > 0 {
+		if done := t.selectEqColumnar(out, idx, vals); done {
+			return out, nil
+		}
 	}
 	for _, r := range t.rows {
 		match := true
@@ -112,6 +135,63 @@ func (t *Table) SelectEq(cols []string, vals value.Tuple) (*Table, error) {
 	return out, nil
 }
 
+// selectEqColumnar appends matching rows to out by comparing dictionary
+// codes. It reports false when the query must use the row-scan
+// reference instead: dictionary codes are AppendKey equality classes,
+// which coincide with value.Equal's Compare classes except when NaN is
+// involved (NaN compares equal to every numeric) or a queried value sits
+// at magnitude ≥ 2^53, where float rounding can make AppendKey-distinct
+// integers Compare-equal.
+func (t *Table) selectEqColumnar(out *Table, idx []int, vals value.Tuple) bool {
+	c := t.Columns()
+	want := make([]int32, 0, len(idx))
+	codeCols := make([][]int32, 0, len(idx))
+	miss := false
+	for i, ci := range idx {
+		v := vals[i]
+		col := c.Col(ci)
+		if eqDivergent(v, col.hasNaN) {
+			return false
+		}
+		code, ok := col.CodeOf(v)
+		if !ok {
+			// Value absent from the dictionary: no row can match (the
+			// divergent cases were excluded above). Keep checking the
+			// remaining columns for fallback conditions before deciding.
+			miss = true
+			continue
+		}
+		want = append(want, code)
+		codeCols = append(codeCols, col.Codes)
+	}
+	if miss {
+		return true // empty result
+	}
+	n := len(t.rows)
+	if len(codeCols) == 1 {
+		codes, w := codeCols[0], want[0]
+		for r := 0; r < n; r++ {
+			if codes[r] == w {
+				out.rows = append(out.rows, t.rows[r])
+			}
+		}
+		return true
+	}
+	for r := 0; r < n; r++ {
+		match := true
+		for j, codes := range codeCols {
+			if codes[r] != want[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out.rows = append(out.rows, t.rows[r])
+		}
+	}
+	return true
+}
+
 // Project returns a table with only the named columns, preserving
 // duplicates and row order.
 func (t *Table) Project(cols []string) (*Table, error) {
@@ -124,6 +204,7 @@ func (t *Table) Project(cols []string) (*Table, error) {
 		sch[i] = t.schema[ci]
 	}
 	out := NewTable(sch)
+	out.rowOnly = t.rowOnly
 	out.rows = make([]value.Tuple, len(t.rows))
 	for ri, r := range t.rows {
 		row := make(value.Tuple, len(idx))
@@ -147,6 +228,25 @@ func (t *Table) DistinctProject(cols []string) (*Table, error) {
 		sch[i] = t.schema[ci]
 	}
 	out := NewTable(sch)
+	out.rowOnly = t.rowOnly
+	if !t.rowOnly && len(idx) > 0 && len(t.rows) > 0 {
+		c := t.Columns()
+		keyCols := make([]*Col, len(idx))
+		for i, ci := range idx {
+			keyCols[i] = c.Col(ci)
+		}
+		_, first := groupCodes(keyCols, len(t.rows))
+		out.rows = make([]value.Tuple, len(first))
+		for g, fr := range first {
+			r := t.rows[fr]
+			row := make(value.Tuple, len(idx))
+			for i, ci := range idx {
+				row[i] = r[ci]
+			}
+			out.rows[g] = row
+		}
+		return out, nil
+	}
 	seen := make(map[string]struct{})
 	var keyBuf []byte
 	for _, r := range t.rows {
@@ -168,10 +268,25 @@ func (t *Table) DistinctProject(cols []string) (*Table, error) {
 }
 
 // CountDistinct counts the distinct combinations of the named columns.
+// Distinctness is AppendKey equality — the same classes the dictionary
+// codes identify — so the columnar path counts codes: O(1) per column
+// already encoded, one grouping pass for multi-column sets.
 func (t *Table) CountDistinct(cols []string) (int, error) {
 	idx, err := t.schema.Indices(cols)
 	if err != nil {
 		return 0, err
+	}
+	if !t.rowOnly && len(idx) > 0 && len(t.rows) > 0 {
+		c := t.Columns()
+		if len(idx) == 1 {
+			return len(c.Col(idx[0]).Dict), nil
+		}
+		keyCols := make([]*Col, len(idx))
+		for i, ci := range idx {
+			keyCols[i] = c.Col(ci)
+		}
+		_, first := groupCodes(keyCols, len(t.rows))
+		return len(first), nil
 	}
 	seen := make(map[string]struct{})
 	var keyBuf []byte
@@ -186,12 +301,15 @@ func (t *Table) CountDistinct(cols []string) (int, error) {
 }
 
 // SortBy sorts the table in place by the given columns ascending (using
-// value.Compare ordering). The sort is stable.
+// value.Compare ordering). The sort is stable. Reordering rows
+// invalidates derived caches (indexes and the columnar view), which
+// store row positions.
 func (t *Table) SortBy(cols []string) error {
 	idx, err := t.schema.Indices(cols)
 	if err != nil {
 		return err
 	}
+	t.invalidateDerived()
 	sort.SliceStable(t.rows, func(a, b int) bool {
 		ra, rb := t.rows[a], t.rows[b]
 		for _, ci := range idx {
@@ -209,6 +327,7 @@ func (t *Table) SortBy(cols []string) error {
 // reordered).
 func (t *Table) Sorted(cols []string) (*Table, error) {
 	out := NewTable(t.schema)
+	out.rowOnly = t.rowOnly
 	out.rows = make([]value.Tuple, len(t.rows))
 	copy(out.rows, t.rows)
 	if err := out.SortBy(cols); err != nil {

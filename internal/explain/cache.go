@@ -26,6 +26,13 @@ const cacheShards = 16
 // the first caller's result instead of recomputing it. (A single-mutex
 // map would both serialize every lookup and let two concurrent misses
 // each run the full aggregation.)
+//
+// Cached tables are columnar carriers: the engine caches each table's
+// dictionary-encoded columnar view on the table itself (built lazily,
+// safe to build and read concurrently), so every question enumerating
+// the same grouping — in this run or, through the Explainer's shared
+// cache, any later one — reuses one set of code vectors and flat
+// buffers instead of re-encoding.
 type groupCache struct {
 	shards [cacheShards]cacheShard
 

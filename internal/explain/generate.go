@@ -37,7 +37,11 @@ type Options struct {
 	// Candidates, since a skipped pair also skips its candidate scan —
 	// may vary between runs (a stale bound lets a worker enumerate a
 	// pair a tighter schedule would have pruned); the explanations,
-	// RelevantPatterns, and RefinementPairs do not.
+	// RelevantPatterns, and RefinementPairs do not. At Parallelism 1
+	// every counter is exactly reproducible, and independent of whether
+	// enumerate scans dictionary codes or boxed rows: the columnar scan
+	// counts candidates row-for-row like the reference (a dictionary
+	// miss still counts the full grouped result).
 	Parallelism int
 }
 
@@ -383,9 +387,26 @@ func (g *generator) enumerate(re relevantEntry, ref *pattern.Mined, sink explSin
 		tOnAttrs, _ = g.q.Project(attrs)
 	}
 
-	qDist := g.q.DistTuple()
-	fragRef := make(value.Tuple, len(fRefIdx))
-	for _, row := range grouped.Rows() {
+	sc := candScan{
+		g: g, re: re, ref: ref, p: p, pRef: pRef,
+		attrs: attrs, attrIdx: attrIdx, fRefIdx: fRefIdx, vIdx: vIdx,
+		aggIdx: aggIdx, sameSchema: sameSchema, tOnAttrs: tOnAttrs,
+		qDist:   g.q.DistTuple(),
+		fragRef: make(value.Tuple, len(fRefIdx)),
+		sink:    sink,
+	}
+
+	rows := grouped.Rows()
+	if !grouped.RowPathForced() && len(rows) > 0 {
+		if g.enumerateColumnar(grouped, fIdx, &sc, stats) {
+			return nil
+		}
+	}
+
+	// Boxed reference scan: also the fallback when dictionary-code
+	// equality would diverge from value.Equal on a fragment value (NaN,
+	// magnitudes past the float-exact integer range).
+	for _, row := range rows {
 		stats.Candidates++
 		// Condition 4: t'[F] = t[F].
 		match := true
@@ -398,62 +419,169 @@ func (g *generator) enumerate(re relevantEntry, ref *pattern.Mined, sink explSin
 		if !match {
 			continue
 		}
-		// Condition 3: P' holds locally on t'[F'].
-		for i, ci := range fRefIdx {
-			fragRef[i] = row[ci]
+		y, numeric := row[aggIdx].AsFloat()
+		sc.offer(row, 0, y, numeric)
+	}
+	return nil
+}
+
+// enumerateColumnar is enumerate's vectorized scan: the t'[F] = t[F]
+// match compares dictionary codes, and the aggregate and predictor
+// values come from the columnar view's flat buffers. It reports false
+// when any fragment value is code-divergent (EqCode) and the boxed
+// reference loop must run instead. Candidate counting matches the
+// reference exactly: every row of the grouped result is one candidate,
+// even when a dictionary miss proves no row can match.
+func (g *generator) enumerateColumnar(grouped *engine.Table, fIdx []int, sc *candScan, stats *Stats) bool {
+	cols := grouped.Columns()
+	n := grouped.NumRows()
+	want := make([]int32, 0, len(fIdx))
+	codeCols := make([][]int32, 0, len(fIdx))
+	miss := false
+	for i, ci := range fIdx {
+		code, ok, divergent := cols.Col(ci).EqCode(sc.re.frag[i])
+		if divergent {
+			return false
 		}
-		lm, ok := ref.Local(fragRef)
 		if !ok {
+			miss = true
 			continue
 		}
-		// Condition 5: deviation opposite to the question direction.
-		aggVal := row[aggIdx]
-		y, numeric := aggVal.AsFloat()
-		if !numeric {
+		want = append(want, code)
+		codeCols = append(codeCols, cols.Col(ci).Codes)
+	}
+	if miss {
+		stats.Candidates += n
+		return true
+	}
+	agg := cols.FlatCol(sc.aggIdx)
+	sc.vF64 = make([][]float64, len(sc.vIdx))
+	sc.vNum = make([][]bool, len(sc.vIdx))
+	for i, ci := range sc.vIdx {
+		fc := cols.FlatCol(ci)
+		sc.vF64[i], sc.vNum[i] = fc.F64, fc.Num
+	}
+	sc.vScratch = make([]float64, len(sc.vIdx))
+	rows := grouped.Rows()
+	for r := 0; r < n; r++ {
+		stats.Candidates++
+		match := true
+		for j, codes := range codeCols {
+			if codes[r] != want[j] {
+				match = false
+				break
+			}
+		}
+		if !match {
 			continue
 		}
-		vVals := make(value.Tuple, len(vIdx))
-		for i, ci := range vIdx {
+		sc.offer(rows[r], r, agg.F64[r], agg.Num[r])
+	}
+	return true
+}
+
+// candScan carries the per-enumerate state shared by the boxed and
+// columnar scans, so both evaluate Definition 7 conditions 3–5
+// identically for each row that matches t'[F] = t[F].
+type candScan struct {
+	g          *generator
+	re         relevantEntry
+	ref        *pattern.Mined
+	p, pRef    pattern.Pattern
+	attrs      []string
+	attrIdx    []int
+	fRefIdx    []int
+	vIdx       []int
+	aggIdx     int
+	sameSchema bool
+	tOnAttrs   value.Tuple
+	qDist      distance.Tuple
+	fragRef    value.Tuple // scratch, refilled per row
+	sink       explSink
+
+	// Flat predictor buffers; nil on the boxed path, where predictors
+	// are encoded from the row (identical values by the FlatCol
+	// contract: F64/Num agree with AsFloat everywhere).
+	vF64     [][]float64
+	vNum     [][]bool
+	vScratch []float64
+}
+
+// offer evaluates conditions 3–5 for one candidate row already matching
+// t'[F] = t[F] and offers the resulting explanation to the sink. ri is
+// the row's position in the grouped table (used only by the flat
+// predictor reads); y/numeric is the row's aggregate value as AsFloat
+// reports it.
+func (sc *candScan) offer(row value.Tuple, ri int, y float64, numeric bool) {
+	// Condition 3: P' holds locally on t'[F'].
+	for i, ci := range sc.fRefIdx {
+		sc.fragRef[i] = row[ci]
+	}
+	lm, ok := sc.ref.Local(sc.fragRef)
+	if !ok {
+		return
+	}
+	// Condition 5: deviation opposite to the question direction.
+	if !numeric {
+		return
+	}
+	var pred float64
+	if sc.vF64 != nil {
+		allNum := true
+		for i := range sc.vF64 {
+			if !sc.vNum[i][ri] {
+				allNum = false
+				break
+			}
+			sc.vScratch[i] = sc.vF64[i][ri]
+		}
+		if allNum {
+			pred = lm.Model.Predict(sc.vScratch)
+		} else {
+			pred = lm.Model.Predict(nil)
+		}
+	} else {
+		vVals := make(value.Tuple, len(sc.vIdx))
+		for i, ci := range sc.vIdx {
 			vVals[i] = row[ci]
 		}
-		var pred float64
 		if enc, ok := pattern.EncodePredictors(vVals); ok {
 			pred = lm.Model.Predict(enc)
 		} else {
 			pred = lm.Model.Predict(nil)
 		}
-		dev := y - pred
-		if (g.q.Dir == Low && dev <= 0) || (g.q.Dir == High && dev >= 0) {
-			continue
-		}
-		// Condition 4 second half: t' ≠ t for same-schema tuples.
-		tup := make(value.Tuple, len(attrs))
-		for i, ci := range attrIdx {
-			tup[i] = row[ci]
-		}
-		if sameSchema && tup.Equal(tOnAttrs) {
-			continue
-		}
-
-		e := Explanation{
-			Relevant:  p,
-			Refined:   pRef,
-			Attrs:     attrs,
-			Tuple:     tup.Clone(),
-			AggValue:  aggVal,
-			Predicted: pred,
-			Deviation: dev,
-			Norm:      re.norm,
-		}
-		e.Distance = g.opt.Metric.Distance(qDist, e.DistTuple())
-		isLow := 1.0
-		if g.q.Dir == High {
-			isLow = -1
-		}
-		e.Score = dev * isLow / (e.Distance*re.norm + g.opt.Epsilon)
-		sink.offer(e)
 	}
-	return nil
+	dev := y - pred
+	g := sc.g
+	if (g.q.Dir == Low && dev <= 0) || (g.q.Dir == High && dev >= 0) {
+		return
+	}
+	// Condition 4 second half: t' ≠ t for same-schema tuples.
+	tup := make(value.Tuple, len(sc.attrs))
+	for i, ci := range sc.attrIdx {
+		tup[i] = row[ci]
+	}
+	if sc.sameSchema && tup.Equal(sc.tOnAttrs) {
+		return
+	}
+
+	e := Explanation{
+		Relevant:  sc.p,
+		Refined:   sc.pRef,
+		Attrs:     sc.attrs,
+		Tuple:     tup.Clone(),
+		AggValue:  row[sc.aggIdx],
+		Predicted: pred,
+		Deviation: dev,
+		Norm:      sc.re.norm,
+	}
+	e.Distance = g.opt.Metric.Distance(sc.qDist, e.DistTuple())
+	isLow := 1.0
+	if g.q.Dir == High {
+		isLow = -1
+	}
+	e.Score = dev * isLow / (e.Distance*sc.re.norm + g.opt.Epsilon)
+	sc.sink.offer(e)
 }
 
 // grouped returns (and caches) γ_{F'∪V, agg}(R) for a refined pattern.

@@ -66,7 +66,10 @@ func (s *sharedTopK) minScore() (float64, bool) {
 // end; PrunedRefinements — and Candidates, since a pruned pair skips its
 // candidate scan — may vary run-to-run with scheduling (a worker may
 // enumerate a pair a faster schedule would have pruned) without
-// affecting the returned explanations.
+// affecting the returned explanations. Scheduling is the only source of
+// that variance: for every pair that does get enumerated, the columnar
+// and boxed scans count candidates identically (see enumerate), so the
+// storage path never shows up in Stats.
 func (g *generator) runParallel(items []workItem, stats *Stats, workers int) ([]Explanation, error) {
 	shared := newSharedTopK(g.opt.K)
 	var next atomic.Int64

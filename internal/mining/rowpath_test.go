@@ -1,0 +1,115 @@
+package mining
+
+import (
+	"testing"
+
+	"cape/internal/pattern"
+)
+
+// requireResultsIdentical deep-compares two mining results: counters,
+// pattern order, and every local model field with exact float equality.
+func requireResultsIdentical(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Candidates != got.Candidates || want.SkippedByFD != got.SkippedByFD {
+		t.Fatalf("%s: counters %d/%d vs %d/%d",
+			label, want.Candidates, want.SkippedByFD, got.Candidates, got.SkippedByFD)
+	}
+	if len(want.Patterns) != len(got.Patterns) {
+		t.Fatalf("%s: %d vs %d patterns", label, len(want.Patterns), len(got.Patterns))
+	}
+	for i := range want.Patterns {
+		w, g := want.Patterns[i], got.Patterns[i]
+		if w.Pattern.Key() != g.Pattern.Key() {
+			t.Fatalf("%s: pattern %d key %q vs %q", label, i, w.Pattern.Key(), g.Pattern.Key())
+		}
+		if w.NumFragments != g.NumFragments || w.NumSupported != g.NumSupported ||
+			w.Confidence != g.Confidence ||
+			w.MaxPosDev != g.MaxPosDev || w.MaxNegDev != g.MaxNegDev {
+			t.Fatalf("%s: pattern %q global stats differ", label, w.Pattern.Key())
+		}
+		if len(w.Locals) != len(g.Locals) {
+			t.Fatalf("%s: pattern %q has %d vs %d locals",
+				label, w.Pattern.Key(), len(w.Locals), len(g.Locals))
+		}
+		for key, wl := range w.Locals {
+			gl, ok := g.Locals[key]
+			if !ok {
+				t.Fatalf("%s: pattern %q missing fragment %q", label, w.Pattern.Key(), key)
+			}
+			requireLocalsIdentical(t, label, w.Pattern.Key(), key, wl, gl)
+		}
+	}
+}
+
+func requireLocalsIdentical(t *testing.T, label, pat, frag string, w, g *pattern.LocalModel) {
+	t.Helper()
+	if !w.Frag.Equal(g.Frag) || w.Support != g.Support ||
+		w.MaxPosDev != g.MaxPosDev || w.MaxNegDev != g.MaxNegDev ||
+		w.Model.GoF() != g.Model.GoF() {
+		t.Fatalf("%s: pattern %q fragment %q local model differs", label, pat, frag)
+	}
+	wp, gp := w.Model.Params(), g.Model.Params()
+	if len(wp) != len(gp) {
+		t.Fatalf("%s: pattern %q fragment %q param arity differs", label, pat, frag)
+	}
+	for i := range wp {
+		if wp[i] != gp[i] {
+			t.Fatalf("%s: pattern %q fragment %q param %d: %v vs %v",
+				label, pat, frag, i, wp[i], gp[i])
+		}
+	}
+}
+
+// TestMiningRowPathEquivalence pins the whole columnar mining pipeline
+// (group-by kernels, sort codes, shared fitter inputs) bit-for-bit to
+// the row-oriented reference: mining a ForceRowPath clone must produce
+// identical patterns, local model parameters, and Stats counters.
+func TestMiningRowPathEquivalence(t *testing.T) {
+	tab := testTable(t, 500)
+	rowTab := tab.Clone().ForceRowPath(true)
+	for _, useFDs := range []bool{false, true} {
+		opt := lenientOpts()
+		opt.UseFDs = useFDs
+		want, err := ARPMine(rowTab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ARPMine(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireResultsIdentical(t, "ARPMine", want, got)
+	}
+
+	opt := lenientOpts()
+	want, err := ShareGrp(rowTab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ShareGrp(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultsIdentical(t, "ShareGrp", want, got)
+}
+
+// TestMiningStatsDeterministicSequential: at Parallelism 1 the columnar
+// kernels must make every repeated run identical — Candidates and
+// SkippedByFD exactly, plus every pattern and local model — so the
+// counters reported by the benchmarks and the server are reproducible.
+func TestMiningStatsDeterministicSequential(t *testing.T) {
+	tab := testTable(t, 500)
+	opt := lenientOpts()
+	opt.Parallelism = 1
+	first, err := ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := ARPMine(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireResultsIdentical(t, "repeat run", first, again)
+	}
+}

@@ -10,35 +10,36 @@ import (
 )
 
 // SharedFitter evaluates pattern candidates over one grouped table,
-// columnar: every aggregate column is decoded to a flat float64 slice
-// once at construction, predictor columns are decoded lazily and cached,
-// and each Fit call scans fragment runs of a sorted row permutation as
-// subslices with reusable scratch buffers. Nothing is re-boxed into
+// columnar: aggregate and predictor observations come straight from the
+// engine's columnar view (flat float64 buffers plus numeric masks, built
+// once per table and shared with every other operator), and each Fit
+// call scans fragment runs of a sorted row permutation as subslices with
+// reusable scratch buffers. Nothing is re-decoded or re-boxed into
 // value.Tuple rows, no per-fragment observation slices are allocated,
 // and thresholds are validated once — this is the offline-mining hot
 // path behind ARPMine, ShareGrp, and CubeMine.
 //
 // A SharedFitter is not safe for concurrent use; miners construct one
-// per grouped table inside their per-attribute-set workers.
+// per grouped table inside their per-attribute-set workers. (The
+// underlying engine.Columnar is itself safe to share.)
 type SharedFitter struct {
 	grouped *engine.Table
+	cols    *engine.Columnar
 	aggs    []engine.AggSpec
 	models  []regress.ModelType
 	th      Thresholds
 	hasLin  bool
 
-	aggVal [][]float64 // [agg][row]: decoded aggregate observation
-	aggOK  [][]bool    // [agg][row]: observation numeric?
-
-	colVal map[int][]float64 // predictor decode cache, by column index
-	colOK  map[int][]bool
+	aggVal [][]float64 // [agg][row]: aggregate observation (engine buffer)
+	aggOK  [][]bool    // [agg][row]: observation numeric? (engine buffer)
 
 	// Scratch reused across fragments and Fit calls.
-	ys    []float64
-	xs    []float64
-	stats regress.ConstStats
-	lin   regress.LinScratch
-	cands []candState
+	ys     []float64
+	xs     []float64
+	keyBuf []byte
+	stats  regress.ConstStats
+	lin    regress.LinScratch
+	cands  []candState
 }
 
 // candState tracks one (aggregate, model) candidate across the fragment
@@ -50,9 +51,10 @@ type candState struct {
 	numFrag int
 }
 
-// NewSharedFitter validates the thresholds once and decodes every
-// aggregate column of grouped into flat float64 slices. grouped must
-// contain one column per aggregate in aggs, named engine.AggSpec.String().
+// NewSharedFitter validates the thresholds once and binds the aggregate
+// columns of grouped to the engine's flat columnar buffers (built on
+// first use, cached on the table). grouped must contain one column per
+// aggregate in aggs, named engine.AggSpec.String().
 func NewSharedFitter(grouped *engine.Table, aggs []engine.AggSpec,
 	models []regress.ModelType, th Thresholds) (*SharedFitter, error) {
 
@@ -62,50 +64,36 @@ func NewSharedFitter(grouped *engine.Table, aggs []engine.AggSpec,
 	sch := grouped.Schema()
 	sf := &SharedFitter{
 		grouped: grouped,
+		cols:    grouped.Columns(),
 		aggs:    aggs,
 		models:  models,
 		th:      th,
 		aggVal:  make([][]float64, len(aggs)),
 		aggOK:   make([][]bool, len(aggs)),
-		colVal:  make(map[int][]float64),
-		colOK:   make(map[int][]bool),
 	}
 	for _, m := range models {
 		if m == regress.Lin {
 			sf.hasLin = true
 		}
 	}
-	rows := grouped.Rows()
 	for i, a := range aggs {
 		ci := sch.Index(a.String())
 		if ci < 0 {
 			return nil, fmt.Errorf("pattern: sorted input missing aggregate column %q", a.String())
 		}
-		vals := make([]float64, len(rows))
-		oks := make([]bool, len(rows))
-		for r, row := range rows {
-			vals[r], oks[r] = row[ci].AsFloat()
-		}
-		sf.aggVal[i] = vals
-		sf.aggOK[i] = oks
+		col := sf.cols.FlatCol(ci)
+		sf.aggVal[i] = col.F64
+		sf.aggOK[i] = col.Num
 	}
 	return sf, nil
 }
 
-// predictorCol decodes (and caches) one predictor column.
+// predictorCol returns the engine's flat view of one predictor column
+// (F64 is 0 and Num false exactly where AsFloat would decline, so the
+// semantics match the previous per-fitter decode).
 func (sf *SharedFitter) predictorCol(ci int) ([]float64, []bool) {
-	if vals, ok := sf.colVal[ci]; ok {
-		return vals, sf.colOK[ci]
-	}
-	rows := sf.grouped.Rows()
-	vals := make([]float64, len(rows))
-	oks := make([]bool, len(rows))
-	for r, row := range rows {
-		vals[r], oks[r] = row[ci].AsFloat()
-	}
-	sf.colVal[ci] = vals
-	sf.colOK[ci] = oks
-	return vals, oks
+	col := sf.cols.FlatCol(ci)
+	return col.F64, col.Num
 }
 
 // Fit evaluates, in a single scan, every (aggregate, model) candidate
@@ -300,12 +288,14 @@ func (sf *SharedFitter) flushFragment(cands []candState, fIdx []int,
 			if tm != nil {
 				t0 = time.Now()
 			}
-			var model regress.Model
+			// Fit without materializing a Model: most fragments fail the
+			// GoF threshold, and the rejects must not allocate.
+			var gof, cmean float64
 			var ferr error
 			if isLin {
-				model, ferr = regress.FitLinFlat(xs[:n*d], d, ys, &sf.lin)
+				gof, ferr = regress.FitLinInto(xs[:n*d], d, ys, &sf.lin)
 			} else {
-				model, ferr = sf.stats.Fit()
+				cmean, gof, ferr = sf.stats.FitParams()
 			}
 			if tm != nil {
 				tm.Regression += time.Since(t0)
@@ -313,8 +303,14 @@ func (sf *SharedFitter) flushFragment(cands []candState, fIdx []int,
 			if ferr != nil {
 				continue // singular fit etc.: pattern does not hold here
 			}
-			if model.GoF() < sf.th.Theta {
+			if gof < sf.th.Theta {
 				continue
+			}
+			var model regress.Model
+			if isLin {
+				model = sf.lin.Model(gof)
+			} else {
+				model = regress.NewConst(cmean, gof)
 			}
 			if frag == nil {
 				rows := sf.grouped.Rows()
@@ -323,7 +319,8 @@ func (sf *SharedFitter) flushFragment(cands []candState, fIdx []int,
 				for i, ci := range fIdx {
 					frag[i] = first[ci]
 				}
-				fragKey = frag.Key()
+				sf.keyBuf = frag.AppendKey(sf.keyBuf[:0])
+				fragKey = string(sf.keyBuf)
 			}
 			lm := &LocalModel{Frag: frag, Model: model, Support: n}
 			if isLin {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"cape/internal/engine"
 	"cape/internal/regress"
@@ -38,8 +39,11 @@ type jsonMined struct {
 	Locals       []jsonLocal `json:"locals"`
 }
 
-// WriteJSON serializes mined patterns (with their local models) to w.
-func WriteJSON(w io.Writer, patterns []*Mined) error {
+// toJSON converts mined patterns to the wire representation. Local
+// models are emitted in sorted fragment-key order, so the same pattern
+// set always serializes to the same bytes (the Locals map itself has no
+// order) — which keeps persisted pattern stores diffable.
+func toJSON(patterns []*Mined) []jsonMined {
 	out := make([]jsonMined, 0, len(patterns))
 	for _, m := range patterns {
 		jm := jsonMined{
@@ -54,7 +58,13 @@ func WriteJSON(w io.Writer, patterns []*Mined) error {
 			MaxPosDev:    m.MaxPosDev,
 			MaxNegDev:    m.MaxNegDev,
 		}
-		for _, lm := range m.Locals {
+		keys := make([]string, 0, len(m.Locals))
+		for k := range m.Locals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			lm := m.Locals[k]
 			jm.Locals = append(jm.Locals, jsonLocal{
 				Frag:      lm.Frag,
 				Params:    lm.Model.Params(),
@@ -66,9 +76,14 @@ func WriteJSON(w io.Writer, patterns []*Mined) error {
 		}
 		out = append(out, jm)
 	}
+	return out
+}
+
+// WriteJSON serializes mined patterns (with their local models) to w.
+func WriteJSON(w io.Writer, patterns []*Mined) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return enc.Encode(toJSON(patterns))
 }
 
 // ReadJSON deserializes mined patterns written by WriteJSON.
@@ -77,6 +92,11 @@ func ReadJSON(r io.Reader) ([]*Mined, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("pattern: decoding patterns JSON: %w", err)
 	}
+	return fromJSON(in)
+}
+
+// fromJSON rebuilds mined patterns from the wire representation.
+func fromJSON(in []jsonMined) ([]*Mined, error) {
 	out := make([]*Mined, 0, len(in))
 	for i, jm := range in {
 		aggFunc, err := engine.ParseAggFunc(jm.Agg)

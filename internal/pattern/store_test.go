@@ -1,0 +1,172 @@
+package pattern
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStoreRoundTrip: SaveStore → LoadStore must reproduce the pattern
+// set exactly, per table, and the directory listing form must agree
+// with loading the file directly.
+func TestStoreRoundTrip(t *testing.T) {
+	patterns := minedForJSON(t)
+	dir := t.TempDir()
+	path, err := SaveStore(dir, "pub", patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir || !strings.HasSuffix(path, ".patterns.json") {
+		t.Fatalf("store path = %q", path)
+	}
+
+	table, back, err := LoadStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "pub" {
+		t.Fatalf("table = %q", table)
+	}
+	requireSamePatterns(t, patterns, back)
+
+	all, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("LoadStore returned %d tables", len(all))
+	}
+	requireSamePatterns(t, patterns, all["pub"])
+}
+
+// requireSamePatterns compares pattern sets the same way the JSON
+// round-trip test does: keys, counters, and every local model.
+func requireSamePatterns(t *testing.T, want, got []*Mined) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%d vs %d patterns", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Pattern.Key() != g.Pattern.Key() {
+			t.Fatalf("pattern %d key %q vs %q", i, w.Pattern.Key(), g.Pattern.Key())
+		}
+		if w.NumFragments != g.NumFragments || w.NumSupported != g.NumSupported ||
+			w.Confidence != g.Confidence {
+			t.Errorf("pattern %q counters differ", w.Pattern.Key())
+		}
+		if len(w.Locals) != len(g.Locals) {
+			t.Fatalf("pattern %q: %d vs %d locals", w.Pattern.Key(), len(w.Locals), len(g.Locals))
+		}
+		for k, wl := range w.Locals {
+			gl, ok := g.Locals[k]
+			if !ok {
+				t.Fatalf("pattern %q lost fragment %v", w.Pattern.Key(), wl.Frag)
+			}
+			if gl.Support != wl.Support || gl.Model.GoF() != wl.Model.GoF() ||
+				gl.Model.Predict(nil) != wl.Model.Predict(nil) {
+				t.Errorf("pattern %q fragment %v differs", w.Pattern.Key(), wl.Frag)
+			}
+		}
+	}
+}
+
+// TestStoreDeterministicBytes: saving the same set twice must produce
+// byte-identical files (sorted local models), so stores diff cleanly.
+func TestStoreDeterministicBytes(t *testing.T) {
+	patterns := minedForJSON(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	pathA, err := SaveStore(dirA, "pub", patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathB, err := SaveStore(dirB, "pub", patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("two saves of the same pattern set produced different bytes")
+	}
+}
+
+// TestStoreOverwriteAndMultipleTables: a re-save replaces the table's
+// file, and unrelated tables coexist in one directory.
+func TestStoreOverwriteAndMultipleTables(t *testing.T) {
+	patterns := minedForJSON(t)
+	dir := t.TempDir()
+	if _, err := SaveStore(dir, "pub", patterns); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveStore(dir, "pub", patterns); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveStore(dir, "crime", nil); err != nil {
+		t.Fatal(err)
+	}
+	// A stray non-store file must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	all, err := LoadStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("LoadStore returned %d tables, want 2", len(all))
+	}
+	if len(all["pub"]) != len(patterns) || len(all["crime"]) != 0 {
+		t.Fatalf("tables = pub:%d crime:%d", len(all["pub"]), len(all["crime"]))
+	}
+}
+
+// TestStoreRejectsBadInput: unusable table names, future versions, and
+// files claiming a duplicate table must all error.
+func TestStoreRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, ".hidden"} {
+		if _, err := SaveStore(dir, bad, nil); err == nil {
+			t.Errorf("table name %q accepted", bad)
+		}
+	}
+
+	future := storeFile{Version: StoreVersion + 1, Table: "pub"}
+	data, _ := json.Marshal(future)
+	path := filepath.Join(dir, "pub.patterns.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadStoreFile(path); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("future version load: err = %v", err)
+	}
+	if _, err := LoadStore(dir); err == nil {
+		t.Error("LoadStore accepted a future-version file")
+	}
+
+	// Two files claiming one table: detectable only via LoadStore.
+	okFile := storeFile{Version: StoreVersion, Table: "pub"}
+	data, _ = json.Marshal(okFile)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "alias.patterns.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStore(dir); err == nil || !strings.Contains(err.Error(), "duplicates") {
+		t.Errorf("duplicate table load: err = %v", err)
+	}
+
+	if _, err := LoadStore(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing directory accepted")
+	}
+}

@@ -36,24 +36,27 @@ func (s *ConstStats) Add(y float64) {
 // Reset clears the statistics for reuse.
 func (s *ConstStats) Reset() { *s = ConstStats{} }
 
-// Fit builds the Const model from the accumulated statistics. The mean
-// is Σy/n; the fit is perfect exactly when min = max = mean (min = max
-// alone is not enough: for a constant sample whose mean rounds away from
-// the constant, the historical elementwise check y ≠ mean declared the
-// fit imperfect, and this must too). Otherwise the Pearson statistic is
-// expanded as χ² = (Σy² − 2·mean·Σy + n·mean²)/mean (clamped at 0
-// against catastrophic cancellation) and converted to a p-value with n−1
-// degrees of freedom, as in the slice-based fit.
-func (s *ConstStats) Fit() (Model, error) {
+// FitParams computes the Const fit from the accumulated statistics
+// without materializing a Model, so hot paths that discard most fits
+// (goodness-of-fit below threshold) allocate nothing for the rejects.
+// The mean is Σy/n; the fit is perfect exactly when min = max = mean
+// (min = max alone is not enough: for a constant sample whose mean
+// rounds away from the constant, the historical elementwise check
+// y ≠ mean declared the fit imperfect, and this must too). Otherwise
+// the Pearson statistic is expanded as χ² = (Σy² − 2·mean·Σy +
+// n·mean²)/mean (clamped at 0 against catastrophic cancellation) and
+// converted to a p-value with n−1 degrees of freedom, as in the
+// slice-based fit.
+func (s *ConstStats) FitParams() (mean, gof float64, err error) {
 	if s.N == 0 {
-		return nil, ErrEmpty
+		return 0, 0, ErrEmpty
 	}
-	mean := s.Sum / float64(s.N)
+	mean = s.Sum / float64(s.N)
 	if s.Min == s.Max && s.Min == mean {
-		return &constModel{mean: mean, gof: 1}, nil
+		return mean, 1, nil
 	}
 	if mean <= 0 {
-		return &constModel{mean: mean, gof: 0}, nil
+		return mean, 0, nil
 	}
 	chi2 := (s.SumSq - 2*mean*s.Sum + float64(s.N)*mean*mean) / mean
 	if chi2 < 0 {
@@ -65,16 +68,33 @@ func (s *ConstStats) Fit() (Model, error) {
 	}
 	p, err := stats.ChiSquareSF(chi2, dof)
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
-	return &constModel{mean: mean, gof: stats.Clamp01(p)}, nil
+	return mean, stats.Clamp01(p), nil
 }
 
-// LinScratch holds the normal-equation buffers FitLinFlat reuses across
+// Fit builds the Const model from the accumulated statistics (see
+// FitParams for the arithmetic).
+func (s *ConstStats) Fit() (Model, error) {
+	mean, gof, err := s.FitParams()
+	if err != nil {
+		return nil, err
+	}
+	return &constModel{mean: mean, gof: gof}, nil
+}
+
+// NewConst materializes the Const model described by FitParams output.
+func NewConst(mean, gof float64) Model {
+	return &constModel{mean: mean, gof: gof}
+}
+
+// LinScratch holds the normal-equation buffers FitLinInto reuses across
 // calls, so a mining run fitting thousands of fragments performs no
 // per-fit matrix allocation. The zero value is ready to use.
 type LinScratch struct {
 	xtx, xty []float64
+	beta     []float64 // solution of the latest FitLinInto call
+	betaN    int
 }
 
 func (s *LinScratch) grow(p int) (xtx, xty []float64) {
@@ -94,32 +114,28 @@ func (s *LinScratch) grow(p int) (xtx, xty []float64) {
 	return xtx, xty
 }
 
-// FitLinFlat fits ordinary least squares with an intercept over
+// FitLinInto fits ordinary least squares with an intercept over
 // n = len(ys) observations whose predictor vectors are stored row-major
 // in x with stride d (len(x) = n·d). It accumulates XᵀX and Xᵀy in a
 // single pass over the flat buffer — no [][]float64 is ever built — and
 // solves the normal equations by Gaussian elimination with partial
-// pivoting. scr may be nil; passing one reuses its buffers. The returned
-// model retains no scratch memory. The arithmetic (accumulation order,
-// pivoting, R² residual pass) is identical to the historical
-// slice-of-slices implementation, so fits agree bit for bit.
-func FitLinFlat(x []float64, d int, ys []float64, scr *LinScratch) (Model, error) {
+// pivoting, leaving the coefficients in scr (valid until the next call)
+// and returning only the R² goodness of fit: nothing is allocated, so
+// callers that reject most fits pay for a Model (scr.Model) only on the
+// fits they keep. The arithmetic (accumulation order, pivoting, R²
+// residual pass) is identical to the historical slice-of-slices
+// implementation, so fits agree bit for bit.
+func FitLinInto(x []float64, d int, ys []float64, scr *LinScratch) (gof float64, err error) {
 	n := len(ys)
 	if n == 0 {
-		return nil, ErrEmpty
+		return 0, ErrEmpty
 	}
 	if d < 0 || len(x) != n*d {
-		return nil, ErrShape
+		return 0, ErrShape
 	}
 	p := d + 1 // intercept + predictors
 
-	var xtx, xty []float64
-	if scr != nil {
-		xtx, xty = scr.grow(p)
-	} else {
-		xtx = make([]float64, p*p)
-		xty = make([]float64, p)
-	}
+	xtx, xty := scr.grow(p)
 	for r := 0; r < n; r++ {
 		row := x[r*d : r*d+d]
 		y := ys[r]
@@ -144,12 +160,18 @@ func FitLinFlat(x []float64, d int, ys []float64, scr *LinScratch) (Model, error
 		}
 	}
 
-	beta, err := solveFlat(xtx, xty, p)
-	if err != nil {
-		return nil, err
+	if cap(scr.beta) < p {
+		scr.beta = make([]float64, p)
+	}
+	beta := scr.beta[:p]
+	scr.betaN = p
+	if err := solveFlat(xtx, xty, p, beta); err != nil {
+		return 0, err
 	}
 
-	m := &linearModel{beta: beta}
+	// The residual pass evaluates predictions through the same method the
+	// materialized model will use, so GoF and Predict agree bit for bit.
+	m := linearModel{beta: beta}
 	var ssRes float64
 	for r := 0; r < n; r++ {
 		e := ys[r] - m.Predict(x[r*d:r*d+d])
@@ -158,21 +180,43 @@ func FitLinFlat(x []float64, d int, ys []float64, scr *LinScratch) (Model, error
 	ssTot := stats.SumSquaredDev(ys)
 	switch {
 	case ssTot == 0 && ssRes <= 1e-18:
-		m.gof = 1
+		gof = 1
 	case ssTot == 0:
-		m.gof = 0
+		gof = 0
 	default:
-		m.gof = stats.Clamp01(1 - ssRes/ssTot)
+		gof = stats.Clamp01(1 - ssRes/ssTot)
 	}
-	return m, nil
+	return gof, nil
+}
+
+// Model materializes the solution of the most recent successful
+// FitLinInto call as a linear Model with the given goodness of fit. The
+// coefficients are copied out of the scratch.
+func (s *LinScratch) Model(gof float64) Model {
+	return &linearModel{beta: append([]float64(nil), s.beta[:s.betaN]...), gof: gof}
+}
+
+// FitLinFlat is FitLinInto plus materialization: it fits and returns the
+// Model. scr may be nil; passing one reuses its buffers. The returned
+// model retains no scratch memory.
+func FitLinFlat(x []float64, d int, ys []float64, scr *LinScratch) (Model, error) {
+	var local LinScratch
+	if scr == nil {
+		scr = &local
+	}
+	gof, err := FitLinInto(x, d, ys, scr)
+	if err != nil {
+		return nil, err
+	}
+	return scr.Model(gof), nil
 }
 
 // solveFlat solves the n×n system A·x = b where a is row-major, using
-// Gaussian elimination with partial pivoting. a and b are modified in
-// place (they are scratch); the returned solution is freshly allocated.
+// Gaussian elimination with partial pivoting, writing the solution into
+// x (length n). a and b are modified in place (they are scratch).
 // Returns ErrSingular when a pivot is numerically zero (collinear
 // predictors or fewer distinct points than coefficients).
-func solveFlat(a []float64, b []float64, n int) ([]float64, error) {
+func solveFlat(a []float64, b []float64, n int, x []float64) error {
 	for col := 0; col < n; col++ {
 		pivot := col
 		maxAbs := math.Abs(a[col*n+col])
@@ -182,7 +226,7 @@ func solveFlat(a []float64, b []float64, n int) ([]float64, error) {
 			}
 		}
 		if maxAbs < 1e-12 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if pivot != col {
 			pr, cr := a[pivot*n:pivot*n+n], a[col*n:col*n+n]
@@ -203,7 +247,6 @@ func solveFlat(a []float64, b []float64, n int) ([]float64, error) {
 			b[r] -= factor * b[col]
 		}
 	}
-	x := make([]float64, n)
 	for r := n - 1; r >= 0; r-- {
 		sum := b[r]
 		for c := r + 1; c < n; c++ {
@@ -211,5 +254,5 @@ func solveFlat(a []float64, b []float64, n int) ([]float64, error) {
 		}
 		x[r] = sum / a[r*n+r]
 	}
-	return x, nil
+	return nil
 }

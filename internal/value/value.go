@@ -223,14 +223,20 @@ func (t Tuple) Clone() Tuple {
 	return out
 }
 
+// AppendKey appends the canonical byte encoding of the whole tuple (the
+// Key bytes) to dst and returns the extended slice, so hot paths can
+// amortize one buffer across many keys.
+func (t Tuple) AppendKey(dst []byte) []byte {
+	for _, v := range t {
+		dst = v.AppendKey(dst)
+	}
+	return dst
+}
+
 // Key returns the canonical byte encoding of the whole tuple, suitable
 // for use as a map key via string conversion.
 func (t Tuple) Key() string {
-	var buf []byte
-	for _, v := range t {
-		buf = v.AppendKey(buf)
-	}
-	return string(buf)
+	return string(t.AppendKey(nil))
 }
 
 // Equal reports element-wise equality of two tuples.
