@@ -30,14 +30,15 @@ check:
 
 # Performance trajectory: the explanation worker-count sweep, the
 # GroupBy hot path, and the offline-mining fast path, plus the capebench
-# runs that write BENCH_explain.json, BENCH_mine.json, BENCH_batch.json
-# and BENCH_engine.json.
+# runs that write BENCH_explain.json, BENCH_mine.json, BENCH_batch.json,
+# BENCH_engine.json and BENCH_incr.json.
 bench:
 	$(GO) test -bench 'BenchmarkGenOptParallel|BenchmarkGroupBy$$|BenchmarkARPMine|BenchmarkFitShared' -benchmem -run XXX ./...
 	$(GO) run ./cmd/capebench benchexplain
 	$(GO) run ./cmd/capebench benchmine
 	$(GO) run ./cmd/capebench benchbatch
 	$(GO) run ./cmd/capebench benchengine
+	$(GO) run ./cmd/capebench benchincr
 
 clean:
 	$(GO) clean ./...

@@ -122,8 +122,9 @@ func cmdMine(args []string) error {
 	default:
 		return fmt.Errorf("unknown miner %q", *miner)
 	}
+	opt := opts()
 	start := time.Now()
-	res, err := run(tab, opts())
+	res, err := run(tab, opt)
 	if err != nil {
 		return err
 	}
@@ -149,7 +150,17 @@ func cmdMine(args []string) error {
 			base := filepath.Base(*data)
 			name = strings.TrimSuffix(base, filepath.Ext(base))
 		}
-		path, err := pattern.SaveStore(*outDir, name, res.Patterns)
+		// Stamp the store with the source table's shape so loaders can
+		// detect staleness, and record the mining spec so `cape append`
+		// and /v1/append can rebuild a maintainer for the set. FD-pruned
+		// runs have no reconstructible spec and persist stamp-only.
+		stamp := &pattern.StoreStamp{Epoch: tab.Epoch(), Rows: tab.NumRows()}
+		spec, specErr := mining.SpecFor(tab, opt)
+		if specErr != nil {
+			spec = nil
+			fmt.Printf("note: store will not be append-maintainable: %v\n", specErr)
+		}
+		path, err := pattern.SaveStoreStamped(*outDir, name, res.Patterns, stamp, spec)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@
 //
 //	cape generate -dataset dblp|crime -rows N [-attrs A] [-seed S] -o data.csv
 //	cape mine     -data data.csv [mining flags] [-o patterns.json]
+//	cape append   -data data.csv -rows rows.jsonl -patterns-dir dir [-o grown.csv]
 //	cape query    -data data.csv -q "SELECT venue, count(*) FROM data GROUP BY venue"
 //	cape explain  -data data.csv -groupby a,b,c -tuple v1,v2,v3 -dir low
 //	              [-patterns patterns.json | mining flags] [-k 10]
@@ -34,6 +35,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "mine":
 		err = cmdMine(os.Args[2:])
+	case "append":
+		err = cmdAppend(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
 	case "explain-batch":
@@ -66,6 +69,7 @@ func usage() {
 commands:
   generate  produce a synthetic DBLP or Crime CSV dataset
   mine      mine aggregate regression patterns from a CSV dataset
+  append    fold JSONL rows into a dataset and its mined pattern store
   query     run a SQL query against a CSV dataset
   explain   explain a surprising aggregate result with counterbalances
   explain-batch  answer a JSONL file of questions in one shared-cache batch

@@ -55,12 +55,24 @@ func TestBenchEngineSmoke(t *testing.T) {
 	}
 }
 
+// TestBenchIncrSmoke runs benchincr's identity pass (the CI smoke
+// configuration): after every append batch the maintained pattern set
+// must serialize byte-identical to a cold re-mine of the grown table.
+func TestBenchIncrSmoke(t *testing.T) {
+	smokeMode = true
+	defer func() { smokeMode = false }()
+	if err := experiments["benchincr"].run(false); err != nil {
+		t.Fatalf("benchincr -smoke: %v", err)
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig3a", "fig3b", "fig3c", "fig4", "fig5",
 		"fig6a", "fig6b", "fig6c", "fig7",
 		"table3", "table4", "table5", "table6", "table7", "userstudy",
 		"benchexplain", "benchmine", "benchbatch", "benchengine",
+		"benchincr",
 	}
 	for _, name := range want {
 		e, ok := experiments[name]

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cape/internal/dataset"
+	"cape/internal/engine"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/regress"
+	"cape/internal/value"
+)
+
+// benchIncrReport is the schema of BENCH_incr.json.
+type benchIncrReport struct {
+	Dataset   string `json:"dataset"`
+	Rows      int    `json:"rows"`
+	BatchRows int    `json:"batchRows"`
+	Steps     int    `json:"steps"`
+	Psi       int    `json:"psi"`
+	CPUs      int    `json:"cpus"`
+	// MaintainerBuildNs is the one-time cost of the initial full fit
+	// that seeds the retained statistics (paid once per serving process,
+	// amortized over every subsequent append).
+	MaintainerBuildNs int64 `json:"maintainerBuildNs"`
+	// IncrementalNsPerBatch is the mean cost of folding one append batch
+	// into the maintained set (AppendRows + delta routing + re-fits).
+	IncrementalNsPerBatch int64 `json:"incrementalNsPerBatch"`
+	// RemineNsPerBatch is the mean cost of the status quo ante: a full
+	// ARPMine over the grown table after each batch.
+	RemineNsPerBatch int64   `json:"remineNsPerBatch"`
+	Speedup          float64 `json:"speedup"`
+	// Identical reports that after every batch the maintained pattern
+	// set serialized byte-identical to the cold re-mine.
+	Identical bool `json:"identical"`
+}
+
+// runBenchIncr measures incremental pattern maintenance against the only
+// alternative a live system had before it: a full re-mine on every
+// append. The workload is the BENCH_mine DBLP table (5000 rows, seed 1,
+// ψ=3, Count+Sum × Const+Lin) receiving 1% append batches; after every
+// batch the maintained set is asserted byte-identical to a cold ARPMine
+// of the grown table before any timing is reported. In -smoke mode the
+// identity pass (smaller table) is the whole run: no timing, no JSON.
+func runBenchIncr(full bool) error {
+	_ = full
+	rows, steps := 5000, 10
+	if smokeMode {
+		rows, steps = 800, 3
+	}
+	batch := rows / 100 // 1% append batches
+	total := rows + steps*batch
+	src := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: total, Seed: 1})
+
+	// Base table plus a twin: the maintainer owns one, the re-mine
+	// comparator the other, so both sides see identical row streams.
+	incTab := engine.NewTable(src.Schema())
+	mineTab := engine.NewTable(src.Schema())
+	if err := incTab.AppendRows(src.Rows()[:rows]); err != nil {
+		return err
+	}
+	if err := mineTab.AppendRows(src.Rows()[:rows]); err != nil {
+		return err
+	}
+	batches := make([][]value.Tuple, steps)
+	for i := range batches {
+		batches[i] = src.Rows()[rows+i*batch : rows+(i+1)*batch]
+	}
+
+	opt := miningOpts([]string{"author", "year", "venue"}, 3)
+	opt.Models = []regress.ModelType{regress.Const, regress.Lin}
+
+	buildStart := time.Now()
+	m, err := mining.NewMaintainer(incTab, opt)
+	if err != nil {
+		return err
+	}
+	buildNs := time.Since(buildStart).Nanoseconds()
+
+	var incNs, mineNs int64
+	for i, b := range batches {
+		t0 := time.Now()
+		if err := m.Apply(b); err != nil {
+			return err
+		}
+		incNs += time.Since(t0).Nanoseconds()
+
+		if err := mineTab.AppendRows(b); err != nil {
+			return err
+		}
+		t0 = time.Now()
+		res, err := mining.ARPMine(mineTab, opt)
+		if err != nil {
+			return err
+		}
+		mineNs += time.Since(t0).Nanoseconds()
+
+		var got, want bytes.Buffer
+		if err := pattern.WriteJSON(&got, m.Patterns()); err != nil {
+			return err
+		}
+		if err := pattern.WriteJSON(&want, res.Patterns); err != nil {
+			return err
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			return fmt.Errorf("batch %d: maintained set diverges from cold re-mine", i)
+		}
+	}
+	fmt.Printf("identity: maintained set == cold re-mine after every one of %d batches (%d rows each)\n",
+		steps, batch)
+	if smokeMode {
+		return nil
+	}
+
+	report := benchIncrReport{
+		Dataset: "dblp", Rows: rows, BatchRows: batch, Steps: steps, Psi: 3,
+		CPUs:                  runtime.NumCPU(),
+		MaintainerBuildNs:     buildNs,
+		IncrementalNsPerBatch: incNs / int64(steps),
+		RemineNsPerBatch:      mineNs / int64(steps),
+		Identical:             true,
+	}
+	report.Speedup = float64(report.RemineNsPerBatch) / float64(report.IncrementalNsPerBatch)
+
+	fmt.Printf("\nDBLP %d rows, %d append batches of %d rows (1%%), ψ=3, count+sum × const+lin\n",
+		rows, steps, batch)
+	fmt.Printf("%-34s %12s\n", "maintainer build (once)", fmtNs(report.MaintainerBuildNs))
+	fmt.Printf("%-34s %12s\n", "incremental maintain per batch", fmtNs(report.IncrementalNsPerBatch))
+	fmt.Printf("%-34s %12s\n", "full re-mine per batch", fmtNs(report.RemineNsPerBatch))
+	fmt.Printf("%-34s %11.2fx\n", "speedup", report.Speedup)
+
+	out, err := os.Create("BENCH_incr.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_incr.json")
+	return nil
+}

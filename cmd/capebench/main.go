@@ -12,7 +12,7 @@
 //
 // Experiments: fig3a fig3b fig3c fig4 fig5 fig6a fig6b fig6c fig7
 // table3 table4 table5 table6 table7 userstudy benchexplain benchmine
-// benchbatch benchengine all
+// benchbatch benchengine benchincr all
 //
 // -full runs the larger input sizes (slower; closer to the paper's
 // ranges).
@@ -50,11 +50,13 @@ var experiments = map[string]struct {
 	"benchmine":    {runBenchMine, "offline mining fast-path benchmark vs recorded baseline; writes BENCH_mine.json"},
 	"benchbatch":   {runBenchBatch, "batch-of-N vs N sequential explanation calls; writes BENCH_batch.json"},
 	"benchengine":  {runBenchEngine, "columnar engine kernels + end-to-end vs recorded baseline; writes BENCH_engine.json"},
+	"benchincr":    {runBenchIncr, "incremental pattern maintenance vs full re-mine on append; writes BENCH_incr.json"},
 }
 
 // smokeMode (-smoke) restricts an experiment to its correctness
-// assertions: benchengine runs only its columnar-vs-row identity pass,
-// with no timing and no JSON output, so CI can gate on it cheaply.
+// assertions: benchengine runs only its columnar-vs-row identity pass
+// and benchincr only its maintained-vs-remined identity pass, with no
+// timing and no JSON output, so CI can gate on them cheaply.
 var smokeMode bool
 
 func usage() {

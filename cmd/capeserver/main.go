@@ -19,7 +19,6 @@ import (
 	"log"
 	"net/http"
 	"runtime"
-	"sort"
 	"strings"
 
 	"cape/internal/engine"
@@ -62,18 +61,24 @@ func main() {
 		fmt.Printf("loaded %s: %d rows, columns %v\n", name, tab.NumRows(), tab.Schema().Names())
 	}
 	if *patternsDir != "" {
-		stores, err := pattern.LoadStore(*patternsDir)
+		entries, err := pattern.LoadStoreEntries(*patternsDir)
 		if err != nil {
 			log.Fatalf("capeserver: loading pattern stores: %v", err)
 		}
-		tables := make([]string, 0, len(stores))
-		for table := range stores {
-			tables = append(tables, table)
-		}
-		sort.Strings(tables)
-		for _, table := range tables {
-			id := srv.AddPatternSet(table, stores[table])
-			fmt.Printf("loaded pattern store %s: table %q, %d patterns\n", id, table, len(stores[table]))
+		for _, entry := range entries {
+			id, warning := srv.AddPatternSetEntry(entry)
+			freshness := "fresh"
+			switch {
+			case entry.Stamp == nil:
+				freshness = "un-stamped (legacy store; staleness undetectable)"
+			case warning != "":
+				freshness = "stale"
+			}
+			fmt.Printf("loaded pattern store %s: table %q, %d patterns, %s\n",
+				id, entry.Table, len(entry.Patterns), freshness)
+			if warning != "" {
+				log.Printf("capeserver: WARNING: %s", warning)
+			}
 		}
 	}
 

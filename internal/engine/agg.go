@@ -184,6 +184,36 @@ func (s *aggState) result(f AggFunc) value.V {
 	}
 }
 
+// AggAccum is the exported face of one aggregate accumulator: the exact
+// fold GroupBy runs per group, resumable across appends. Feeding it the
+// argument values of a group's rows in row order and calling Result
+// yields a value bitwise identical to GroupBy over those rows — the
+// float sum is accumulated in the same order, the Int-vs-Float result
+// kind follows the same anyFloat rule — which is what lets incremental
+// pattern maintenance extend retained group aggregates instead of
+// recomputing them (appended rows always land at the table tail, so the
+// fold order of old rows never changes).
+type AggAccum struct {
+	spec AggSpec
+	st   aggState
+}
+
+// NewAggAccum returns an empty accumulator for the given aggregate.
+func NewAggAccum(spec AggSpec) AggAccum {
+	return AggAccum{spec: spec}
+}
+
+// Add folds one row's argument value. For count(*) pass any value
+// (including NULL); it is counted regardless.
+func (a *AggAccum) Add(v value.V) {
+	a.st.add(v, a.spec.Func, a.spec.IsStar())
+}
+
+// Result returns the aggregate over everything folded so far.
+func (a *AggAccum) Result() value.V {
+	return a.st.result(a.spec.Func)
+}
+
 // aggCol is one planned aggregate: the spec plus the resolved column
 // index of its argument (-1 for count(*)).
 type aggCol struct {

@@ -278,8 +278,9 @@ func TestSortCodesColumnarDifferential(t *testing.T) {
 	}
 }
 
-// TestColumnarInvalidation pins the cache rules: Append and SortBy must
-// drop the columnar view (and indexes), so later queries see new rows.
+// TestColumnarInvalidation pins the cache rules: Append extends the
+// columnar view in place (same Columnar, new rows visible), while SortBy
+// drops it (and indexes), so later queries always see current rows.
 func TestColumnarInvalidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	tab := randomTable(rng, 50, 2)
@@ -288,8 +289,11 @@ func TestColumnarInvalidation(t *testing.T) {
 	}
 	before := tab.Columns()
 	tab.MustAppend(value.Tuple{value.NewString("fresh"), value.NewInt(99)})
-	if tab.Columns() == before {
-		t.Fatal("Append did not invalidate the columnar view")
+	if tab.Columns() != before {
+		t.Fatal("Append must extend the columnar view in place, not drop it")
+	}
+	if tab.Columns().NumRows() != 51 {
+		t.Fatalf("extended columnar view has %d rows, want 51", tab.Columns().NumRows())
 	}
 	got, err := tab.SelectEq([]string{"c0"}, value.Tuple{value.NewString("fresh")})
 	if err != nil {

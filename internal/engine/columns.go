@@ -289,8 +289,11 @@ func (t *Table) Columns() *Columnar {
 }
 
 // invalidateDerived drops caches derived from row storage (hash indexes
-// and the columnar view); every mutation of t.rows must call it.
+// and the columnar view) and advances the epoch; every reordering
+// mutation of t.rows must call it. Appends instead go through
+// extendDerived, which grows the caches in place.
 func (t *Table) invalidateDerived() {
+	t.epoch++
 	t.indexes = nil
 	t.cols.Store(nil)
 }

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cape/internal/value"
+)
+
+// extendTable builds a table whose second column is untyped so append
+// batches can introduce new kinds (first Int, NULL, NaN) into the tail.
+func extendTable(t *testing.T) *Table {
+	t.Helper()
+	tab := NewTable(Schema{
+		{Name: "a", Kind: value.String},
+		{Name: "b", Kind: value.Null}, // untyped
+		{Name: "c", Kind: value.Int},
+	})
+	rows := []value.Tuple{
+		{value.NewString("x"), value.NewFloat(1.5), value.NewInt(10)},
+		{value.NewString("y"), value.NewFloat(2.5), value.NewInt(20)},
+		{value.NewString("x"), value.NewNull(), value.NewInt(30)},
+		{value.NewString("z"), value.NewString("s"), value.NewInt(40)},
+	}
+	if err := tab.AppendRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// requireColIdentical compares every field of an extended column against
+// a from-scratch rebuild, including the unexported null bitmap, lookup
+// map, NaN flag, and rank table.
+func requireColIdentical(t *testing.T, label string, got, want *Col) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Kinds, want.Kinds) {
+		t.Errorf("%s: Kinds %v vs %v", label, got.Kinds, want.Kinds)
+	}
+	if !reflect.DeepEqual(got.Num, want.Num) {
+		t.Errorf("%s: Num %v vs %v", label, got.Num, want.Num)
+	}
+	// Bit-level float equality: DeepEqual treats NaN as unequal to itself.
+	if len(got.F64) != len(want.F64) {
+		t.Errorf("%s: F64 len %d vs %d", label, len(got.F64), len(want.F64))
+	} else {
+		for i := range got.F64 {
+			if math.Float64bits(got.F64[i]) != math.Float64bits(want.F64[i]) {
+				t.Errorf("%s: F64[%d] %v vs %v", label, i, got.F64[i], want.F64[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.I64, want.I64) {
+		t.Errorf("%s: I64 %v vs %v", label, got.I64, want.I64)
+	}
+	if !reflect.DeepEqual(got.Codes, want.Codes) {
+		t.Errorf("%s: Codes %v vs %v", label, got.Codes, want.Codes)
+	}
+	if len(got.Dict) != len(want.Dict) {
+		t.Errorf("%s: Dict len %d vs %d", label, len(got.Dict), len(want.Dict))
+	} else {
+		for i := range got.Dict {
+			gk := got.Dict[i].AppendKey(nil)
+			wk := want.Dict[i].AppendKey(nil)
+			if string(gk) != string(wk) {
+				t.Errorf("%s: Dict[%d] %v vs %v", label, i, got.Dict[i], want.Dict[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.lookup, want.lookup) {
+		t.Errorf("%s: lookup %v vs %v", label, got.lookup, want.lookup)
+	}
+	if !reflect.DeepEqual(got.nulls, want.nulls) {
+		t.Errorf("%s: nulls %v vs %v", label, got.nulls, want.nulls)
+	}
+	if got.nullCount != want.nullCount {
+		t.Errorf("%s: nullCount %d vs %d", label, got.nullCount, want.nullCount)
+	}
+	if got.hasNaN != want.hasNaN {
+		t.Errorf("%s: hasNaN %v vs %v", label, got.hasNaN, want.hasNaN)
+	}
+	if !reflect.DeepEqual(got.ranks, want.ranks) || got.numRanks != want.numRanks {
+		t.Errorf("%s: ranks %v/%d vs %v/%d", label, got.ranks, got.numRanks, want.ranks, want.numRanks)
+	}
+}
+
+// TestColumnarExtendIdenticalToRebuild pins the core extension contract:
+// after an append, every built column (dictionary and flat tiers) is
+// field-for-field identical to building it from scratch over the longer
+// row slice — new dictionary codes in first-appearance order, lazily
+// allocated I64, grown null bitmaps, rebuilt ranks.
+func TestColumnarExtendIdenticalToRebuild(t *testing.T) {
+	batches := [][]value.Tuple{
+		// New dictionary value in a, NULL in b.
+		{
+			{value.NewString("w"), value.NewNull(), value.NewInt(50)},
+			{value.NewString("x"), value.NewFloat(3.5), value.NewInt(60)},
+		},
+		// First Int in b: the I64 buffer must materialize lazily with
+		// zero backfill, exactly as a rebuild would allocate it.
+		{
+			{value.NewString("y"), value.NewInt(7), value.NewInt(70)},
+		},
+		// Repeat keys only: dictionary must not grow, ranks unchanged.
+		{
+			{value.NewString("x"), value.NewInt(7), value.NewInt(10)},
+		},
+	}
+
+	tab := extendTable(t)
+	cols := tab.Columns()
+	for ci := range tab.Schema() {
+		cols.Col(ci) // materialize the dictionary tier
+	}
+	flatTab := extendTable(t)
+	flats := flatTab.Columns()
+	for ci := range flatTab.Schema() {
+		flats.FlatCol(ci) // materialize only the flat tier
+	}
+
+	for bi, batch := range batches {
+		if err := tab.AppendRows(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := flatTab.AppendRows(batch); err != nil {
+			t.Fatal(err)
+		}
+		for ci, sc := range tab.Schema() {
+			got := cols.Col(ci)
+			want := buildCol(tab.Rows(), ci, true)
+			requireColIdentical(t, sc.Name+" dict batch "+string(rune('0'+bi)), got, want)
+
+			gotFlat := flats.FlatCol(ci)
+			wantFlat := buildCol(flatTab.Rows(), ci, false)
+			requireColIdentical(t, sc.Name+" flat batch "+string(rune('0'+bi)), gotFlat, wantFlat)
+		}
+	}
+}
+
+// TestColumnarExtendNaN pins the rank teardown: a NaN arriving in the
+// tail of a previously rank-ordered column must nil the ranks, exactly
+// like a rebuild that sees the NaN.
+func TestColumnarExtendNaN(t *testing.T) {
+	tab := extendTable(t)
+	cols := tab.Columns()
+	b := cols.Col(1)
+	if b.ranks == nil {
+		t.Fatal("precondition: column b should have ranks before NaN")
+	}
+	if err := tab.Append(value.Tuple{
+		value.NewString("x"), value.NewFloat(math.NaN()), value.NewInt(80),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := cols.Col(1)
+	want := buildCol(tab.Rows(), 1, true)
+	requireColIdentical(t, "b after NaN", got, want)
+	if got.ranks != nil || !got.hasNaN {
+		t.Errorf("NaN tail must clear ranks and set hasNaN: ranks=%v hasNaN=%v", got.ranks, got.hasNaN)
+	}
+}
+
+// TestEpochSemantics pins the epoch counter: one tick per Append call,
+// one per non-empty AppendRows batch, one per SortBy; empty batches are
+// no-ops; Clone carries the source's epoch.
+func TestEpochSemantics(t *testing.T) {
+	tab := extendTable(t) // one AppendRows batch
+	if e := tab.Epoch(); e != 1 {
+		t.Fatalf("epoch after initial batch = %d, want 1", e)
+	}
+	tab.MustAppend(value.Tuple{value.NewString("q"), value.NewNull(), value.NewInt(1)})
+	if e := tab.Epoch(); e != 2 {
+		t.Fatalf("epoch after Append = %d, want 2", e)
+	}
+	if err := tab.AppendRows(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e := tab.Epoch(); e != 2 {
+		t.Fatalf("epoch after empty AppendRows = %d, want 2 (no-op)", e)
+	}
+	if err := tab.AppendRows([]value.Tuple{
+		{value.NewString("r"), value.NewNull(), value.NewInt(2)},
+		{value.NewString("s"), value.NewNull(), value.NewInt(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e := tab.Epoch(); e != 3 {
+		t.Fatalf("epoch after batch AppendRows = %d, want 3", e)
+	}
+	clone := tab.Clone()
+	if clone.Epoch() != tab.Epoch() {
+		t.Fatalf("clone epoch = %d, want %d", clone.Epoch(), tab.Epoch())
+	}
+	if err := tab.SortBy([]string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	if e := tab.Epoch(); e != 4 {
+		t.Fatalf("epoch after SortBy = %d, want 4", e)
+	}
+	if clone.Epoch() != 3 {
+		t.Fatalf("clone epoch changed with source: %d", clone.Epoch())
+	}
+}
+
+// TestAppendRowsValidation pins atomicity: a batch with one bad row is
+// rejected entirely, leaving rows, derived caches, and epoch untouched.
+func TestAppendRowsValidation(t *testing.T) {
+	tab := extendTable(t)
+	before := tab.Epoch()
+	n := tab.NumRows()
+	err := tab.AppendRows([]value.Tuple{
+		{value.NewString("ok"), value.NewNull(), value.NewInt(1)},
+		{value.NewInt(9), value.NewNull(), value.NewInt(2)}, // kind mismatch in a
+	})
+	if err == nil {
+		t.Fatal("batch with invalid row must be rejected")
+	}
+	if tab.NumRows() != n || tab.Epoch() != before {
+		t.Fatalf("rejected batch mutated table: rows %d→%d epoch %d→%d", n, tab.NumRows(), before, tab.Epoch())
+	}
+}

@@ -30,8 +30,9 @@ func indexKey(cols []string) string {
 // BuildIndex constructs (and retains) a hash index over the given
 // columns, accelerating subsequent SelectEq calls on exactly that column
 // set. Building is O(rows); each indexed SelectEq then costs O(result)
-// instead of a full scan. Any Append invalidates all indexes. Build
-// indexes before sharing the table across goroutines.
+// instead of a full scan. Appends extend all indexes in place;
+// reordering mutations (SortBy) invalidate them. Build indexes before
+// sharing the table across goroutines.
 func (t *Table) BuildIndex(cols []string) error {
 	if _, err := t.schema.Indices(cols); err != nil {
 		return err

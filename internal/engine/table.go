@@ -18,11 +18,16 @@ import (
 type Table struct {
 	schema Schema
 	rows   []value.Tuple
-	// indexes holds hash indexes built with BuildIndex; invalidated by
-	// mutation.
+	// epoch counts mutations (Append, AppendRows, SortBy). Consumers that
+	// cache anything derived from the table — explanation caches, mined
+	// pattern sets, persisted stores — record the epoch they saw and
+	// compare it later to detect staleness instead of guessing.
+	epoch uint64
+	// indexes holds hash indexes built with BuildIndex; extended in place
+	// by appends, invalidated by reordering mutations.
 	indexes map[string]*tableIndex
-	// cols caches the columnar view; invalidated by mutation. colsMu
-	// serializes its creation.
+	// cols caches the columnar view; extended in place by appends,
+	// invalidated by reordering mutations. colsMu serializes its creation.
 	cols   atomic.Pointer[Columnar]
 	colsMu sync.Mutex
 	// rowOnly forces the row-oriented reference paths (ForceRowPath).
@@ -46,9 +51,15 @@ func (t *Table) Row(i int) value.Tuple { return t.rows[i] }
 // Rows returns the backing row slice (callers must not mutate it).
 func (t *Table) Rows() []value.Tuple { return t.rows }
 
-// Append adds a row. The arity must match the schema, and each value must
-// match the column kind unless the column is untyped or the value is NULL.
-func (t *Table) Append(row value.Tuple) error {
+// Epoch returns the table's mutation counter. It starts at 0 and
+// increments once per mutating call (Append, AppendRows, SortBy), so two
+// reads returning the same epoch bracket a window with no mutations.
+func (t *Table) Epoch() uint64 { return t.epoch }
+
+// validateRow checks one row against the schema: matching arity, and each
+// value matching the column kind unless the column is untyped or the
+// value is NULL.
+func (t *Table) validateRow(row value.Tuple) error {
 	if len(row) != len(t.schema) {
 		return fmt.Errorf("engine: arity mismatch: row has %d values, schema %d columns", len(row), len(t.schema))
 	}
@@ -58,8 +69,41 @@ func (t *Table) Append(row value.Tuple) error {
 			return fmt.Errorf("engine: column %q expects %s, got %s", t.schema[i].Name, want, v.Kind())
 		}
 	}
+	return nil
+}
+
+// Append adds a row. The arity must match the schema, and each value must
+// match the column kind unless the column is untyped or the value is NULL.
+// Hash indexes and the columnar view are extended in place for the new
+// row, so an append costs O(indexed columns + encoded columns), not a
+// rebuild.
+func (t *Table) Append(row value.Tuple) error {
+	if err := t.validateRow(row); err != nil {
+		return err
+	}
+	oldLen := len(t.rows)
 	t.rows = append(t.rows, row)
-	t.invalidateDerived()
+	t.extendDerived(oldLen)
+	return nil
+}
+
+// AppendRows appends a batch of rows atomically: every row is validated
+// before any is appended, so a bad row in the middle of a batch leaves
+// the table untouched. Derived structures (hash indexes, the columnar
+// view) are extended in place once for the whole batch, and the epoch
+// advances by exactly one.
+func (t *Table) AppendRows(rows []value.Tuple) error {
+	for i, row := range rows {
+		if err := t.validateRow(row); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	oldLen := len(t.rows)
+	t.rows = append(t.rows, rows...)
+	t.extendDerived(oldLen)
 	return nil
 }
 
@@ -71,10 +115,13 @@ func (t *Table) MustAppend(row value.Tuple) {
 	}
 }
 
-// Clone returns a deep copy of the table (rows are cloned).
+// Clone returns a deep copy of the table (rows are cloned). The clone
+// carries the source's epoch, so staleness checks against a snapshot
+// taken before cloning still line up.
 func (t *Table) Clone() *Table {
 	out := NewTable(t.schema)
 	out.rowOnly = t.rowOnly
+	out.epoch = t.epoch
 	out.rows = make([]value.Tuple, len(t.rows))
 	for i, r := range t.rows {
 		out.rows[i] = r.Clone()

@@ -267,7 +267,7 @@ func TestIndexedSelectEqMatchesScan(t *testing.T) {
 	}
 }
 
-func TestIndexInvalidatedByAppend(t *testing.T) {
+func TestIndexExtendedByAppend(t *testing.T) {
 	tab := pubTable(t)
 	cols := []string{"author"}
 	if err := tab.BuildIndex(cols); err != nil {
@@ -277,16 +277,43 @@ func TestIndexInvalidatedByAppend(t *testing.T) {
 		value.NewString("AX"), value.NewString("P99"),
 		value.NewInt(2006), value.NewString("VLDB"),
 	})
-	if tab.HasIndex(cols) {
-		t.Fatal("index must be invalidated by Append")
+	if !tab.HasIndex(cols) {
+		t.Fatal("index must survive Append (extended in place)")
 	}
-	// Post-append lookups fall back to scanning and see the new row.
+	// Post-append lookups go through the extended index and see both the
+	// old rows and the new one.
 	got, err := tab.SelectEq(cols, value.Tuple{value.NewString("AX")})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.NumRows() != 6 {
 		t.Errorf("AX rows after append = %d, want 6", got.NumRows())
+	}
+	// A brand-new key lands in a fresh bucket.
+	tab.MustAppend(value.Tuple{
+		value.NewString("NEW"), value.NewString("P100"),
+		value.NewInt(2007), value.NewString("KDD"),
+	})
+	got, err = tab.SelectEq(cols, value.Tuple{value.NewString("NEW")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 1 {
+		t.Errorf("NEW rows after append = %d, want 1", got.NumRows())
+	}
+}
+
+func TestIndexInvalidatedBySortBy(t *testing.T) {
+	tab := pubTable(t)
+	cols := []string{"author"}
+	if err := tab.BuildIndex(cols); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SortBy([]string{"year"}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.HasIndex(cols) {
+		t.Fatal("index must be invalidated by SortBy")
 	}
 }
 

@@ -40,7 +40,7 @@ type BatchItem struct {
 func GenerateBatch(qs []UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) []BatchItem {
 	cache := newGroupCache()
 	lookup := func(p pattern.Pattern) (*engine.Table, error) {
-		return cache.get(groupKey(p), func() (*engine.Table, error) {
+		return cache.get(groupKey(p), r.Epoch(), func() (*engine.Table, error) {
 			return r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
 		})
 	}

@@ -48,9 +48,14 @@ type cacheShard struct {
 }
 
 // cacheEntry is one in-flight or completed computation. ready is closed
-// when tab/err are valid.
+// when tab/err are valid. epoch is the source-table epoch the result was
+// (or is being) computed at: a lookup at a newer epoch treats the entry
+// as stale and recomputes, so appends invalidate cached groupings lazily
+// and per grouping — untouched groupings keep their warm results until
+// actually requested.
 type cacheEntry struct {
 	ready chan struct{}
+	epoch uint64
 	tab   *engine.Table
 	err   error
 }
@@ -74,19 +79,25 @@ func (c *groupCache) shardFor(key string) *cacheShard {
 	return &c.shards[h%cacheShards]
 }
 
-// get returns the table cached under key, running compute on the first
-// request. Concurrent callers of the same key block until that single
-// computation finishes and share its result. A failed computation is
-// not cached: in-flight waiters observe the error, later callers retry.
-func (c *groupCache) get(key string, compute func() (*engine.Table, error)) (*engine.Table, error) {
+// get returns the table cached under key at the given source epoch,
+// running compute on the first request. Concurrent callers of the same
+// key block until that single computation finishes and share its
+// result. A failed computation is not cached: in-flight waiters observe
+// the error, later callers retry. An entry computed at an older epoch
+// is stale — the caller recomputes and replaces it; readers that raced
+// onto the old entry before the epoch advanced still get the old
+// result, which is correct for the data they were reading. (The server
+// excludes appends from in-flight reads, so mixed epochs never overlap
+// there.)
+func (c *groupCache) get(key string, epoch uint64, compute func() (*engine.Table, error)) (*engine.Table, error) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
-	if e, ok := sh.entries[key]; ok {
+	if e, ok := sh.entries[key]; ok && e.epoch == epoch {
 		sh.mu.Unlock()
 		<-e.ready
 		return e.tab, e.err
 	}
-	e := &cacheEntry{ready: make(chan struct{})}
+	e := &cacheEntry{ready: make(chan struct{}), epoch: epoch}
 	sh.entries[key] = e
 	sh.mu.Unlock()
 
@@ -96,7 +107,9 @@ func (c *groupCache) get(key string, compute func() (*engine.Table, error)) (*en
 	e.tab, e.err = compute()
 	if e.err != nil {
 		sh.mu.Lock()
-		delete(sh.entries, key)
+		if sh.entries[key] == e {
+			delete(sh.entries, key)
+		}
 		sh.mu.Unlock()
 	}
 	close(e.ready)

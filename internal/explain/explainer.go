@@ -84,9 +84,21 @@ func (e *Explainer) CachedGroupings() int {
 	return e.cache.len()
 }
 
+// SetPatterns swaps the pattern set the explainer answers from — the
+// maintenance path after an append updates patterns without discarding
+// the group-by cache (entries invalidate themselves lazily, per
+// grouping, via the table epoch). The caller must exclude concurrent
+// Explain calls while swapping, as the server's append path does.
+func (e *Explainer) SetPatterns(patterns []*pattern.Mined) {
+	e.patterns = patterns
+}
+
 // cachedGrouped is the shared, sharded variant of generator.grouped.
+// Results are stamped with the relation's epoch: after an append, each
+// grouping recomputes on its next use, while groupings the questions
+// never revisit cost nothing.
 func (e *Explainer) cachedGrouped(p pattern.Pattern) (*engine.Table, error) {
-	return e.cache.get(groupKey(p), func() (*engine.Table, error) {
+	return e.cache.get(groupKey(p), e.r.Epoch(), func() (*engine.Table, error) {
 		return e.r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
 	})
 }

@@ -590,7 +590,7 @@ func (sc *candScan) offer(row value.Tuple, ri int, y float64, numeric bool) {
 // groupings compute them concurrently while duplicates are computed
 // once.
 func (g *generator) grouped(p pattern.Pattern) (*engine.Table, error) {
-	return g.cache.get(groupKey(p), func() (*engine.Table, error) {
+	return g.cache.get(groupKey(p), g.r.Epoch(), func() (*engine.Table, error) {
 		return g.r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
 	})
 }

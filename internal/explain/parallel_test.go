@@ -220,20 +220,49 @@ func TestExplainerSingleflight(t *testing.T) {
 func TestGroupCacheErrorNotCached(t *testing.T) {
 	c := newGroupCache()
 	boom := fmt.Errorf("boom")
-	if _, err := c.get("k", func() (*engine.Table, error) { return nil, boom }); err != boom {
+	if _, err := c.get("k", 1, func() (*engine.Table, error) { return nil, boom }); err != boom {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if n := c.len(); n != 0 {
 		t.Fatalf("failed computation cached (%d entries)", n)
 	}
 	want := engine.NewTable(engine.Schema{{Name: "a", Kind: value.Int}})
-	got, err := c.get("k", func() (*engine.Table, error) { return want, nil })
+	got, err := c.get("k", 1, func() (*engine.Table, error) { return want, nil })
 	if err != nil || got != want {
 		t.Fatalf("retry after error failed: %v, %v", got, err)
 	}
 	// Now a hit: compute must not run again.
-	got, err = c.get("k", func() (*engine.Table, error) { return nil, boom })
+	got, err = c.get("k", 1, func() (*engine.Table, error) { return nil, boom })
 	if err != nil || got != want {
 		t.Fatalf("cached hit failed: %v, %v", got, err)
+	}
+}
+
+// TestGroupCacheEpochStaleness: an entry computed at an older epoch is
+// recomputed on the next lookup at a newer epoch; matching epochs hit.
+func TestGroupCacheEpochStaleness(t *testing.T) {
+	c := newGroupCache()
+	old := engine.NewTable(engine.Schema{{Name: "a", Kind: value.Int}})
+	fresh := engine.NewTable(engine.Schema{{Name: "a", Kind: value.Int}})
+	got, err := c.get("k", 1, func() (*engine.Table, error) { return old, nil })
+	if err != nil || got != old {
+		t.Fatalf("initial compute: %v, %v", got, err)
+	}
+	// Same epoch: cached result, compute must not run.
+	got, err = c.get("k", 1, func() (*engine.Table, error) { t.Fatal("recomputed at same epoch"); return nil, nil })
+	if err != nil || got != old {
+		t.Fatalf("same-epoch hit: %v, %v", got, err)
+	}
+	// Newer epoch: the stale entry is replaced.
+	got, err = c.get("k", 2, func() (*engine.Table, error) { return fresh, nil })
+	if err != nil || got != fresh {
+		t.Fatalf("stale entry not recomputed: %v, %v", got, err)
+	}
+	got, err = c.get("k", 2, func() (*engine.Table, error) { t.Fatal("recomputed at same epoch"); return nil, nil })
+	if err != nil || got != fresh {
+		t.Fatalf("post-refresh hit: %v, %v", got, err)
+	}
+	if n := c.len(); n != 1 {
+		t.Fatalf("cache holds %d entries, want 1", n)
 	}
 }

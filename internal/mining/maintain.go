@@ -1,0 +1,524 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"cape/internal/engine"
+	"cape/internal/pattern"
+	"cape/internal/regress"
+	"cape/internal/value"
+)
+
+// Maintainer keeps a mined pattern set fresh under appends. It retains,
+// for every grouping attribute set the miner would consider, the group
+// aggregation state (engine.AggAccum per aggregate per group) and, for
+// every (F, V) split, the fragment membership of each group — so an
+// appended batch of rows costs O(batch × groupings) routing plus a
+// re-fit of only the fragments whose groups changed, instead of the
+// full group-sort-fit pipeline over the whole table.
+//
+// The maintained set is pinned byte-identical to a cold ARPMine run
+// (without FD pruning) over the same rows:
+//
+//   - Appended rows land at the table tail, so folding them onto the
+//     retained accumulators reproduces GroupBy's per-group fold order
+//     bit for bit, and new groups enter in first-appearance order —
+//     exactly where a re-run's grouped table would place them.
+//   - Each fragment keeps its groups in the miner's observation order:
+//     sorted by the predictor sequence of the sort order that first
+//     tested the split (value.Compare ranks, ties by grouped-row
+//     index — the engine's permutation sorts are stable). Re-fitting
+//     folds observations through the same ConstStats / FitLinInto
+//     kernels in the same order, so float arithmetic agrees exactly.
+//
+// Float sums are order-sensitive, which is why touched fragments are
+// re-fit from their (retained, ordered) group aggregates rather than
+// stat-merged; the mergeable regress.ConstStats.Merge / LinStats exist
+// for callers that can accept reassociated sums. See DESIGN.md §11.
+//
+// Precondition (shared with the engine's sort and index kernels): the
+// grouping attributes contain no NaN, no −0.0-vs-+0.0 mixes, and no
+// integers ≥ 2⁵³, where canonical-key equality diverges from
+// value.Compare equality. Aggregate observations are unrestricted.
+//
+// A Maintainer is not safe for concurrent use.
+type Maintainer struct {
+	tab    *engine.Table
+	opt    Options
+	synced int    // rows folded so far
+	epoch  uint64 // table epoch at last CatchUp
+	cands  int    // ARPMine-parity candidate count
+	gsets  []*gSet
+
+	// Scratch reused across fragment re-fits.
+	ys     []float64
+	xs     []float64
+	keyBuf []byte
+	stats  regress.ConstStats
+	lin    regress.LinScratch
+}
+
+// gSet is the retained state of one grouping attribute set.
+type gSet struct {
+	attrs  []string
+	colIdx []int // table column per attr
+	aggs   []engine.AggSpec
+	aggIdx []int // table column per aggregate argument (-1 for star)
+	hasLin bool
+
+	groups  []*mGroup // first-appearance order == grouped-row index
+	lookup  map[string]int32
+	splits  []*mSplit
+	touched []int32 // groups touched by the current batch
+}
+
+// mGroup is one group: its key values (from the group's first row, the
+// same representative GroupBy emits) and resumable aggregate state.
+type mGroup struct {
+	key     value.Tuple
+	accs    []engine.AggAccum
+	touched bool
+	fresh   bool // created by the current batch
+}
+
+// mSplit is one (F, V) split of a grouping set.
+type mSplit struct {
+	f, v []string // sorted, as Pattern carries them
+	fPos []int    // positions into gSet.attrs, sorted-F order
+	vPos []int    // positions into gSet.attrs, sorted-V order
+	// seqPos orders observations within a fragment: the predictor
+	// attributes in the order of the sort order that first tested this
+	// split, exactly as the miner's permutation sort left them.
+	seqPos []int
+	frags  map[string]*mFrag
+	dirty  []*mFrag
+	cands  []*mCand
+}
+
+// mFrag is one fragment of a split: the groups it contains, in
+// observation order, plus the per-aggregate support flag that feeds the
+// λ denominator.
+type mFrag struct {
+	key       string
+	groups    []int32
+	supported []bool // per aggregate: numeric and |groups| ≥ δ
+	dirty     bool
+}
+
+// mCand is one (aggregate, model) candidate of a split.
+type mCand struct {
+	p      pattern.Pattern
+	agg    int
+	model  regress.ModelType
+	locals map[string]*pattern.LocalModel
+}
+
+// NewMaintainer builds the retained mining state for tab under opt and
+// performs the initial full fit; Patterns then equals ARPMine(tab, opt).
+// FD pruning is not maintainable (an FD detected on a prefix of the data
+// can be violated by later rows, silently changing which candidates were
+// skipped), so opt.UseFDs is rejected.
+func NewMaintainer(tab *engine.Table, opt Options) (*Maintainer, error) {
+	opt, err := opt.withDefaults(tab)
+	if err != nil {
+		return nil, err
+	}
+	if opt.UseFDs {
+		return nil, fmt.Errorf("mining: FD pruning is not supported by the incremental maintainer")
+	}
+	m := &Maintainer{tab: tab, opt: opt}
+	attrPos := func(attrs []string, a string) int {
+		for i, b := range attrs {
+			if b == a {
+				return i
+			}
+		}
+		return -1
+	}
+	for size := 2; size <= opt.MaxPatternSize && size <= len(opt.Attributes); size++ {
+		for _, g := range combinations(opt.Attributes, size) {
+			aggs := aggSpecsFor(tab, opt.AggFuncs, g)
+			gs := &gSet{
+				attrs:  g,
+				aggs:   aggs,
+				aggIdx: make([]int, len(aggs)),
+				lookup: make(map[string]int32),
+			}
+			gs.colIdx, err = tab.Schema().Indices(g)
+			if err != nil {
+				return nil, err
+			}
+			for i, a := range aggs {
+				gs.aggIdx[i] = -1
+				if !a.IsStar() {
+					gs.aggIdx[i] = tab.Schema().Index(a.Arg)
+				}
+			}
+			// Replicate the miner's split enumeration: iterate the sort-
+			// order cover and keep, per (F, V) pair, the predictor sequence
+			// of the first order that tests it.
+			tested := make(map[string]bool)
+			for _, s := range sortOrderCover(g) {
+				for k := 1; k < len(s); k++ {
+					f, v := s[:k], s[k:]
+					pk := pairKey(f, v)
+					if tested[pk] {
+						continue
+					}
+					tested[pk] = true
+					m.cands += len(aggs) * len(opt.Models)
+					sp := &mSplit{
+						f:     pattern.SortedCopy(f),
+						v:     pattern.SortedCopy(v),
+						frags: make(map[string]*mFrag),
+					}
+					for _, a := range sp.f {
+						sp.fPos = append(sp.fPos, attrPos(g, a))
+					}
+					for _, a := range sp.v {
+						sp.vPos = append(sp.vPos, attrPos(g, a))
+					}
+					for _, a := range v {
+						sp.seqPos = append(sp.seqPos, attrPos(g, a))
+					}
+					for ai, a := range aggs {
+						for _, mt := range opt.Models {
+							p := pattern.Pattern{F: sp.f, V: sp.v, Agg: a, Model: mt}
+							if err := p.Validate(); err != nil {
+								return nil, err
+							}
+							if mt == regress.Lin {
+								gs.hasLin = true
+							}
+							sp.cands = append(sp.cands, &mCand{
+								p: p, agg: ai, model: mt,
+								locals: make(map[string]*pattern.LocalModel),
+							})
+						}
+					}
+					gs.splits = append(gs.splits, sp)
+				}
+			}
+			m.gsets = append(m.gsets, gs)
+		}
+	}
+	if err := m.CatchUp(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Table returns the table the maintainer tracks.
+func (m *Maintainer) Table() *engine.Table { return m.tab }
+
+// Synced returns the number of table rows folded into the retained
+// state, and the table epoch observed at that point.
+func (m *Maintainer) Synced() (rows int, epoch uint64) { return m.synced, m.epoch }
+
+// Candidates reports the ARPMine-equivalent candidate count: every
+// (F, V, aggregate, model) combination the enumeration examines.
+func (m *Maintainer) Candidates() int { return m.cands }
+
+// Options returns the normalized mining options the maintainer runs
+// with.
+func (m *Maintainer) Options() Options { return m.opt }
+
+// Apply appends rows to the table and folds them into the pattern set.
+func (m *Maintainer) Apply(rows []value.Tuple) error {
+	if err := m.tab.AppendRows(rows); err != nil {
+		return err
+	}
+	return m.CatchUp()
+}
+
+// CatchUp folds any table rows appended since the last sync (by this
+// maintainer or by other appenders) and re-fits the touched fragments.
+// Rows already folded must not have been reordered or rewritten; only
+// appends are maintainable.
+func (m *Maintainer) CatchUp() error {
+	rows := m.tab.Rows()
+	if len(rows) < m.synced {
+		return fmt.Errorf("mining: table shrank from %d to %d rows; maintainer state is stale", m.synced, len(rows))
+	}
+	batch := rows[m.synced:]
+	if len(batch) == 0 {
+		m.epoch = m.tab.Epoch()
+		return nil
+	}
+	for _, gs := range m.gsets {
+		m.foldBatch(gs, batch)
+		for _, sp := range gs.splits {
+			m.routeTouched(gs, sp)
+			for _, fr := range sp.dirty {
+				m.refit(gs, sp, fr)
+				fr.dirty = false
+			}
+			sp.dirty = sp.dirty[:0]
+		}
+		for _, gi := range gs.touched {
+			gs.groups[gi].touched = false
+			gs.groups[gi].fresh = false
+		}
+		gs.touched = gs.touched[:0]
+	}
+	m.synced = len(rows)
+	m.epoch = m.tab.Epoch()
+	return nil
+}
+
+// foldBatch routes each batch row to its group (creating new groups in
+// first-appearance order) and folds it into the aggregate accumulators.
+func (m *Maintainer) foldBatch(gs *gSet, batch []value.Tuple) {
+	for _, row := range batch {
+		m.keyBuf = m.keyBuf[:0]
+		for _, ci := range gs.colIdx {
+			m.keyBuf = row[ci].AppendKey(m.keyBuf)
+		}
+		gi, ok := gs.lookup[string(m.keyBuf)]
+		if !ok {
+			gi = int32(len(gs.groups))
+			key := make(value.Tuple, len(gs.colIdx))
+			for i, ci := range gs.colIdx {
+				key[i] = row[ci]
+			}
+			grp := &mGroup{key: key, accs: make([]engine.AggAccum, len(gs.aggs)), fresh: true}
+			for ai, a := range gs.aggs {
+				grp.accs[ai] = engine.NewAggAccum(a)
+			}
+			gs.groups = append(gs.groups, grp)
+			gs.lookup[string(m.keyBuf)] = gi
+		}
+		grp := gs.groups[gi]
+		if !grp.touched {
+			grp.touched = true
+			gs.touched = append(gs.touched, gi)
+		}
+		for ai := range gs.aggs {
+			var arg value.V
+			if ci := gs.aggIdx[ai]; ci >= 0 {
+				arg = row[ci]
+			}
+			grp.accs[ai].Add(arg)
+		}
+	}
+}
+
+// routeTouched maps every touched group to its fragment in sp, inserting
+// fresh groups at their observation-order position, and collects the
+// dirty fragments.
+func (m *Maintainer) routeTouched(gs *gSet, sp *mSplit) {
+	for _, gi := range gs.touched {
+		grp := gs.groups[gi]
+		m.keyBuf = m.keyBuf[:0]
+		for _, p := range sp.fPos {
+			m.keyBuf = grp.key[p].AppendKey(m.keyBuf)
+		}
+		fr, ok := sp.frags[string(m.keyBuf)]
+		if !ok {
+			fr = &mFrag{key: string(m.keyBuf), supported: make([]bool, len(gs.aggs))}
+			sp.frags[fr.key] = fr
+		}
+		if grp.fresh {
+			// Insert at the observation-order position: predictor-sequence
+			// values under value.Compare, ties after (the fresh group's
+			// grouped-row index is larger than every existing one's).
+			pos := sort.Search(len(fr.groups), func(i int) bool {
+				return obsLess(gs, sp, gi, fr.groups[i])
+			})
+			fr.groups = append(fr.groups, 0)
+			copy(fr.groups[pos+1:], fr.groups[pos:])
+			fr.groups[pos] = gi
+		}
+		if !fr.dirty {
+			fr.dirty = true
+			sp.dirty = append(sp.dirty, fr)
+		}
+	}
+}
+
+// obsLess orders groups within a fragment: by the split's predictor
+// sequence under value.Compare, then by grouped-row index — the order
+// the miner's stable permutation sort visits them in.
+func obsLess(gs *gSet, sp *mSplit, a, b int32) bool {
+	ka, kb := gs.groups[a].key, gs.groups[b].key
+	for _, p := range sp.seqPos {
+		if c := value.Compare(ka[p], kb[p]); c != 0 {
+			return c < 0
+		}
+	}
+	return a < b
+}
+
+// numFloat mirrors the engine's flat column decode: the float64 payload
+// of a numeric value, declined otherwise.
+func numFloat(v value.V) (float64, bool) {
+	switch v.Kind() {
+	case value.Int:
+		return float64(v.Int()), true
+	case value.Float:
+		return v.Float(), true
+	}
+	return 0, false
+}
+
+// refit re-evaluates every candidate of sp on fragment fr, replicating
+// SharedFitter.flushFragment over the fragment's groups in observation
+// order: same gather order, same ConstStats / FitLinInto arithmetic,
+// same threshold gates — so the resulting local models are bitwise
+// those of a cold re-mine.
+func (m *Maintainer) refit(gs *gSet, sp *mSplit, fr *mFrag) {
+	n := len(fr.groups)
+	d := len(sp.v)
+
+	numericX := true
+	xs := m.xs[:0]
+	if gs.hasLin {
+	gather:
+		for _, gi := range fr.groups {
+			key := gs.groups[gi].key
+			for _, p := range sp.vPos {
+				f, ok := numFloat(key[p])
+				if !ok {
+					numericX = false
+					break gather
+				}
+				xs = append(xs, f)
+			}
+		}
+		m.xs = xs
+	}
+
+	var frag value.Tuple
+	nModels := len(m.opt.Models)
+	for ai := range gs.aggs {
+		numericY := true
+		m.stats.Reset()
+		ys := m.ys[:0]
+		for _, gi := range fr.groups {
+			y, ok := numFloat(gs.groups[gi].accs[ai].Result())
+			if !ok {
+				numericY = false
+				break
+			}
+			m.stats.Add(y)
+			ys = append(ys, y)
+		}
+		m.ys = ys
+		fr.supported[ai] = numericY && n >= m.opt.Thresholds.LocalSupport
+
+		for mi := 0; mi < nModels; mi++ {
+			cs := sp.cands[ai*nModels+mi]
+			if !fr.supported[ai] {
+				delete(cs.locals, fr.key)
+				continue
+			}
+			isLin := cs.model == regress.Lin
+			if isLin && !numericX {
+				delete(cs.locals, fr.key)
+				continue
+			}
+			var gof, cmean float64
+			var ferr error
+			if isLin {
+				gof, ferr = regress.FitLinInto(xs[:n*d], d, ys, &m.lin)
+			} else {
+				cmean, gof, ferr = m.stats.FitParams()
+			}
+			if ferr != nil || gof < m.opt.Thresholds.Theta {
+				delete(cs.locals, fr.key)
+				continue
+			}
+			var model regress.Model
+			if isLin {
+				model = m.lin.Model(gof)
+			} else {
+				model = regress.NewConst(cmean, gof)
+			}
+			if frag == nil {
+				first := gs.groups[fr.groups[0]].key
+				frag = make(value.Tuple, len(sp.fPos))
+				for i, p := range sp.fPos {
+					frag[i] = first[p]
+				}
+			}
+			lm := &pattern.LocalModel{Frag: frag, Model: model, Support: n}
+			if isLin {
+				for i, y := range ys {
+					dev := y - model.Predict(xs[i*d:(i+1)*d])
+					if dev > lm.MaxPosDev {
+						lm.MaxPosDev = dev
+					}
+					if dev < lm.MaxNegDev {
+						lm.MaxNegDev = dev
+					}
+				}
+			} else {
+				mean := model.Predict(nil)
+				if dev := m.stats.Max - mean; dev > 0 {
+					lm.MaxPosDev = dev
+				}
+				if dev := m.stats.Min - mean; dev < 0 {
+					lm.MaxNegDev = dev
+				}
+			}
+			cs.locals[fr.key] = lm
+		}
+	}
+}
+
+// Patterns assembles the globally-holding pattern set from the retained
+// state: the same Definition-4 gates, counters, and deviation extremes
+// a cold ARPMine run computes, sorted by pattern key. The returned
+// Mined values are fresh (maps copied); the LocalModels are shared but
+// immutable — re-fits replace them, never mutate.
+func (m *Maintainer) Patterns() []*pattern.Mined {
+	th := m.opt.Thresholds
+	var out []*pattern.Mined
+	for _, gs := range m.gsets {
+		for _, sp := range gs.splits {
+			numSupp := make([]int, len(gs.aggs))
+			for _, fr := range sp.frags {
+				for ai, s := range fr.supported {
+					if s {
+						numSupp[ai]++
+					}
+				}
+			}
+			for _, cs := range sp.cands {
+				good := len(cs.locals)
+				if good == 0 || numSupp[cs.agg] == 0 {
+					continue
+				}
+				if good < th.GlobalSupport {
+					continue
+				}
+				conf := float64(good) / float64(numSupp[cs.agg])
+				if conf < th.Lambda {
+					continue
+				}
+				mined := &pattern.Mined{
+					Pattern:      cs.p,
+					Locals:       make(map[string]*pattern.LocalModel, good),
+					NumFragments: len(sp.frags),
+					NumSupported: numSupp[cs.agg],
+					Confidence:   conf,
+				}
+				for k, lm := range cs.locals {
+					mined.Locals[k] = lm
+					if lm.MaxPosDev > mined.MaxPosDev {
+						mined.MaxPosDev = lm.MaxPosDev
+					}
+					if lm.MaxNegDev < mined.MaxNegDev {
+						mined.MaxNegDev = lm.MaxNegDev
+					}
+				}
+				out = append(out, mined)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Pattern.Key() < out[j].Pattern.Key()
+	})
+	return out
+}

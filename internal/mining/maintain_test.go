@@ -1,0 +1,230 @@
+package mining
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// patternsJSON serializes a pattern set through the store's canonical
+// encoder — the byte-equality oracle the pattern store persists.
+func patternsJSON(t testing.TB, ps []*pattern.Mined) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pattern.WriteJSON(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// requireSameAsRemine pins the maintainer's set byte-identical to a cold
+// ARPMine run over the maintainer's current table contents.
+func requireSameAsRemine(t *testing.T, label string, m *Maintainer, opt Options) {
+	t.Helper()
+	cold, err := ARPMine(m.Table(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Candidates(); got != cold.Candidates {
+		t.Errorf("%s: maintainer candidates = %d, re-mine = %d", label, got, cold.Candidates)
+	}
+	gotJSON := patternsJSON(t, m.Patterns())
+	wantJSON := patternsJSON(t, cold.Patterns)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("%s: maintained set diverges from re-mine\nmaintained: %s\nre-mined: %s",
+			label, gotJSON, wantJSON)
+	}
+}
+
+// TestMaintainerMatchesInitialMine: a fresh maintainer's set equals a
+// cold mine of the same table, byte for byte.
+func TestMaintainerMatchesInitialMine(t *testing.T) {
+	tab := testTable(t, 300)
+	opt := lenientOpts()
+	m, err := NewMaintainer(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameAsRemine(t, "initial", m, opt)
+	if got := len(m.Patterns()); got == 0 {
+		t.Fatal("test fixture mined no patterns; the identity check is vacuous")
+	}
+	rows, epoch := m.Synced()
+	if rows != tab.NumRows() || epoch != tab.Epoch() {
+		t.Errorf("synced (%d, %d), want (%d, %d)", rows, epoch, tab.NumRows(), tab.Epoch())
+	}
+}
+
+// TestMaintainerRejectsFDs: FD pruning depends on prefix-of-the-data
+// facts and is not maintainable.
+func TestMaintainerRejectsFDs(t *testing.T) {
+	opt := lenientOpts()
+	opt.UseFDs = true
+	if _, err := NewMaintainer(testTable(t, 50), opt); err == nil {
+		t.Fatal("UseFDs must be rejected")
+	}
+}
+
+// TestMaintainerAppendStream drives a deterministic append stream over
+// the planted-trend fixture: every batch lands new rows in existing
+// fragments, creates new groups, and crosses the δ threshold upward as
+// small groups accumulate rows. After each batch the maintained set is
+// pinned byte-identical to a cold re-mine.
+func TestMaintainerAppendStream(t *testing.T) {
+	tab := testTable(t, 200)
+	opt := lenientOpts()
+	m, err := NewMaintainer(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	authors := []string{"a1", "a2", "a3", "a4", "a5", "a6"} // a6 is new
+	venues := []string{"KDD", "ICDE", "VLDB", "WWW"}        // WWW is new
+	for batch := 0; batch < 5; batch++ {
+		nRows := 1 + rng.Intn(20)
+		rows := make([]value.Tuple, nRows)
+		for i := range rows {
+			rows[i] = value.Tuple{
+				value.NewString(authors[rng.Intn(len(authors))]),
+				value.NewString(venues[rng.Intn(len(venues))]),
+				value.NewInt(int64(2000 + rng.Intn(8))),
+				value.NewInt(int64(rng.Intn(30))),
+			}
+		}
+		if err := m.Apply(rows); err != nil {
+			t.Fatal(err)
+		}
+		requireSameAsRemine(t, "batch "+string(rune('0'+batch)), m, opt)
+	}
+}
+
+// TestMaintainerRandomizedStreams is the differential property suite:
+// randomized tables and append streams — including brand-new dictionary
+// values, NULL aggregate payloads (the untyped score column), fragments
+// crossing δ in both directions effectively (new fragments born below
+// support, old ones growing past it), and single-row batches — pin
+// maintainer output == full re-mine at every step.
+func TestMaintainerRandomizedStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential stream suite is slow")
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		tab := engine.NewTable(engine.Schema{
+			{Name: "author", Kind: value.String},
+			{Name: "venue", Kind: value.String},
+			{Name: "year", Kind: value.Int},
+			{Name: "score", Kind: value.Null}, // untyped: Int, Float, NULL mix
+		})
+		genRow := func() value.Tuple {
+			var score value.V
+			switch rng.Intn(4) {
+			case 0:
+				score = value.NewNull()
+			case 1:
+				score = value.NewFloat(math.Floor(rng.Float64()*1000)/8 + 0.5)
+			default:
+				score = value.NewInt(int64(rng.Intn(40)))
+			}
+			return value.Tuple{
+				value.NewString(string(rune('A' + rng.Intn(6+int(seed))))),
+				value.NewString([]string{"KDD", "ICDE", "VLDB", "SIGMOD"}[rng.Intn(2+rng.Intn(3))]),
+				value.NewInt(int64(2000 + rng.Intn(5))),
+				score,
+			}
+		}
+		for i := 0; i < 80+rng.Intn(120); i++ {
+			tab.MustAppend(genRow())
+		}
+		opt := lenientOpts()
+		m, err := NewMaintainer(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameAsRemine(t, "seed init", m, opt)
+		for batch := 0; batch < 4; batch++ {
+			rows := make([]value.Tuple, 1+rng.Intn(30))
+			for i := range rows {
+				rows[i] = genRow()
+			}
+			if err := m.Apply(rows); err != nil {
+				t.Fatal(err)
+			}
+			requireSameAsRemine(t, "seed stream", m, opt)
+		}
+	}
+}
+
+// TestMaintainerCatchUpExternalAppend: rows appended directly to the
+// table (not through Apply) are folded by CatchUp — the server's path,
+// where one append serves several maintained sets.
+func TestMaintainerCatchUpExternalAppend(t *testing.T) {
+	tab := testTable(t, 150)
+	opt := lenientOpts()
+	m, err := NewMaintainer(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.MustAppend(value.Tuple{
+		value.NewString("a2"), value.NewString("KDD"),
+		value.NewInt(2003), value.NewInt(12),
+	})
+	if err := m.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameAsRemine(t, "external append", m, opt)
+
+	// CatchUp with nothing new is a no-op that still refreshes the epoch.
+	if err := m.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	rows, epoch := m.Synced()
+	if rows != tab.NumRows() || epoch != tab.Epoch() {
+		t.Errorf("synced (%d, %d) after no-op CatchUp, want (%d, %d)",
+			rows, epoch, tab.NumRows(), tab.Epoch())
+	}
+}
+
+// TestMaintainerDeterminism: two maintainers fed the same stream yield
+// identical bytes.
+func TestMaintainerDeterminism(t *testing.T) {
+	opt := lenientOpts()
+	build := func() []byte {
+		tab := testTable(t, 200)
+		m, err := NewMaintainer(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := []value.Tuple{
+			{value.NewString("a9"), value.NewString("KDD"), value.NewInt(2001), value.NewInt(5)},
+			{value.NewString("a1"), value.NewString("VLDB"), value.NewInt(2002), value.NewInt(7)},
+		}
+		if err := m.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		return patternsJSON(t, m.Patterns())
+	}
+	if a, b := build(), build(); !bytes.Equal(a, b) {
+		t.Fatal("maintainer output is not deterministic")
+	}
+}
+
+// TestMaintainerShrunkTable: a table that lost rows since the last sync
+// is unrecoverable and must be reported.
+func TestMaintainerShrunkTable(t *testing.T) {
+	tab := testTable(t, 50)
+	m, err := NewMaintainer(tab, lenientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := testTable(t, 10)
+	m.tab = small // simulate external truncation
+	if err := m.CatchUp(); err == nil {
+		t.Fatal("CatchUp on a shrunk table must error")
+	}
+}

@@ -1,0 +1,75 @@
+package mining
+
+import (
+	"fmt"
+	"strings"
+
+	"cape/internal/engine"
+	"cape/internal/pattern"
+	"cape/internal/regress"
+)
+
+// Conversions between mining.Options and the pattern store's StoreSpec
+// envelope field. A stamped store that carries a spec records everything
+// needed to rebuild an equivalent mining configuration — and therefore a
+// Maintainer able to fold future appends into the persisted set — without
+// the store format importing this package.
+
+// SpecFor renders the normalized mining options for tab as a store spec.
+// FD-pruned runs have no spec (an FD detected on a prefix of the data can
+// be violated by later rows, so the candidate set is not reconstructible
+// from parameters alone): callers should persist such stores stamp-only.
+func SpecFor(tab *engine.Table, opt Options) (*pattern.StoreSpec, error) {
+	opt, err := opt.withDefaults(tab)
+	if err != nil {
+		return nil, err
+	}
+	if opt.UseFDs {
+		return nil, fmt.Errorf("mining: FD-pruned runs have no reconstructible store spec")
+	}
+	spec := &pattern.StoreSpec{
+		MaxPatternSize: opt.MaxPatternSize,
+		Attributes:     append([]string(nil), opt.Attributes...),
+		Theta:          opt.Thresholds.Theta,
+		LocalSupport:   opt.Thresholds.LocalSupport,
+		Lambda:         opt.Thresholds.Lambda,
+		GlobalSupport:  opt.Thresholds.GlobalSupport,
+	}
+	for _, f := range opt.AggFuncs {
+		spec.Aggregates = append(spec.Aggregates, f.String())
+	}
+	for _, m := range opt.Models {
+		spec.Models = append(spec.Models, strings.ToLower(m.String()))
+	}
+	return spec, nil
+}
+
+// OptionsFromSpec rebuilds mining options from a store spec, inverting
+// SpecFor.
+func OptionsFromSpec(spec *pattern.StoreSpec) (Options, error) {
+	opt := Options{
+		MaxPatternSize: spec.MaxPatternSize,
+		Attributes:     append([]string(nil), spec.Attributes...),
+		Thresholds: pattern.Thresholds{
+			Theta:         spec.Theta,
+			LocalSupport:  spec.LocalSupport,
+			Lambda:        spec.Lambda,
+			GlobalSupport: spec.GlobalSupport,
+		},
+	}
+	for _, a := range spec.Aggregates {
+		f, err := engine.ParseAggFunc(a)
+		if err != nil {
+			return opt, fmt.Errorf("mining: store spec: %w", err)
+		}
+		opt.AggFuncs = append(opt.AggFuncs, f)
+	}
+	for _, m := range spec.Models {
+		mt, err := regress.ParseModelType(m)
+		if err != nil {
+			return opt, fmt.Errorf("mining: store spec: %w", err)
+		}
+		opt.Models = append(opt.Models, mt)
+	}
+	return opt, nil
+}

@@ -1,0 +1,64 @@
+package mining
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSpecRoundTrip: Options → StoreSpec → Options must reproduce the
+// normalized mining configuration, so a maintainer rebuilt from a
+// persisted spec runs with exactly the parameters the store was mined
+// under.
+func TestSpecRoundTrip(t *testing.T) {
+	tab := testTable(t, 60)
+	opt := lenientOpts()
+	spec, err := SpecFor(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := OptionsFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := opt.withDefaults(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backNorm, err := back.withDefaults(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(norm, backNorm) {
+		t.Errorf("round trip diverged:\n  orig: %+v\n  back: %+v", norm, backNorm)
+	}
+}
+
+// TestSpecForRejectsFDs: FD-pruned candidate sets are not parameter-
+// reconstructible.
+func TestSpecForRejectsFDs(t *testing.T) {
+	opt := lenientOpts()
+	opt.UseFDs = true
+	if _, err := SpecFor(testTable(t, 30), opt); err == nil {
+		t.Fatal("SpecFor must reject UseFDs")
+	}
+}
+
+// TestOptionsFromSpecBadNames: unknown aggregate or model names error
+// instead of silently dropping.
+func TestOptionsFromSpecBadNames(t *testing.T) {
+	tab := testTable(t, 30)
+	spec, err := SpecFor(tab, lenientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *spec
+	bad.Aggregates = []string{"median"}
+	if _, err := OptionsFromSpec(&bad); err == nil {
+		t.Fatal("unknown aggregate must error")
+	}
+	bad = *spec
+	bad.Models = []string{"cubic"}
+	if _, err := OptionsFromSpec(&bad); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}

@@ -1,0 +1,109 @@
+package pattern
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStampedStoreRoundTrip: SaveStoreStamped → LoadStoreEntry /
+// LoadStoreEntries must reproduce the patterns, stamp, and spec.
+func TestStampedStoreRoundTrip(t *testing.T) {
+	patterns := minedForJSON(t)
+	stamp := &StoreStamp{Epoch: 7, Rows: 5000}
+	spec := &StoreSpec{
+		MaxPatternSize: 3,
+		Attributes:     []string{"author", "venue", "year"},
+		Theta:          0.5, LocalSupport: 3, Lambda: 0.5, GlobalSupport: 2,
+		Aggregates: []string{"count", "sum"},
+		Models:     []string{"const", "linear"},
+	}
+	dir := t.TempDir()
+	path, err := SaveStoreStamped(dir, "pub", patterns, stamp, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entry, err := LoadStoreEntry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Table != "pub" {
+		t.Fatalf("table = %q", entry.Table)
+	}
+	requireSamePatterns(t, patterns, entry.Patterns)
+	if !reflect.DeepEqual(entry.Stamp, stamp) {
+		t.Fatalf("stamp = %+v, want %+v", entry.Stamp, stamp)
+	}
+	if !reflect.DeepEqual(entry.Spec, spec) {
+		t.Fatalf("spec = %+v, want %+v", entry.Spec, spec)
+	}
+
+	entries, err := LoadStoreEntries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Table != "pub" || entries[0].Stamp == nil {
+		t.Fatalf("LoadStoreEntries = %+v", entries)
+	}
+
+	// The stamped file still loads through the legacy reader (unknown
+	// fields are ignored), so older builds can read new stores.
+	table, back, err := LoadStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "pub" {
+		t.Fatalf("legacy reader table = %q", table)
+	}
+	requireSamePatterns(t, patterns, back)
+}
+
+// TestStampedStoreLoadsLegacyFiles: a store written by SaveStore (no
+// stamp, no spec) loads through the stamped reader with nil fields.
+func TestStampedStoreLoadsLegacyFiles(t *testing.T) {
+	patterns := minedForJSON(t)
+	dir := t.TempDir()
+	if _, err := SaveStore(dir, "pub", patterns); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadStoreEntries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	e := entries[0]
+	if e.Stamp != nil || e.Spec != nil {
+		t.Fatalf("legacy store produced stamp %+v spec %+v", e.Stamp, e.Spec)
+	}
+	requireSamePatterns(t, patterns, e.Patterns)
+}
+
+// TestStampedStoreNilStamp: saving with nil stamp/spec omits the fields
+// entirely — byte-compatible with the legacy writer.
+func TestStampedStoreNilStamp(t *testing.T) {
+	patterns := minedForJSON(t)
+	dir := t.TempDir()
+	if _, err := SaveStoreStamped(dir, "a", patterns, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveStore(dir, "b", patterns); err != nil {
+		t.Fatal(err)
+	}
+	read := func(name string) string {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	a := strings.Replace(read("a.patterns.json"), `"table": "a"`, `"table": "b"`, 1)
+	if b := read("b.patterns.json"); a != b {
+		t.Fatalf("nil-stamped file differs from legacy writer:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,178 @@
+package regress
+
+import "cape/internal/stats"
+
+// Mergeable sufficient statistics for delta pattern maintenance.
+//
+// ConstStats.Merge and LinStats combine statistics accumulated over
+// disjoint row ranges. Counts, mins, maxes, and the normal-equation
+// moment matrices merge exactly; the float sums (Σy, Σy², XᵀX, Xᵀy)
+// reassociate, so a merged fit is algebraically identical to a
+// one-pass fit but may differ in the last float64 bits. Callers that
+// need bitwise agreement with a cold fit — the incremental Maintainer
+// pinning byte-identical pattern stores — must instead re-fold touched
+// fragments in row order through ConstStats.Add / FitLinInto; callers
+// that only need statistical agreement (distributed or out-of-order
+// accumulation) can merge.
+
+// Merge folds the statistics of other (accumulated over rows disjoint
+// from s's) into s, as if s had also seen other's observations.
+func (s *ConstStats) Merge(other ConstStats) {
+	if other.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = other
+		return
+	}
+	if other.Min < s.Min {
+		s.Min = other.Min
+	}
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	s.N += other.N
+	s.Sum += other.Sum
+	s.SumSq += other.SumSq
+}
+
+// LinStats accumulates the sufficient statistics of an intercepted
+// least-squares fit over d predictors: n, XᵀX, Xᵀy (with the intercept
+// column folded in), and Σy² for the R² computation. Two LinStats over
+// disjoint row ranges merge by element-wise addition, making the linear
+// fit maintainable under appends without retaining observations.
+type LinStats struct {
+	D     int // number of predictors (excluding intercept)
+	N     int
+	XtX   []float64 // (d+1)×(d+1) row-major; upper triangle accumulated
+	XtY   []float64 // d+1
+	SumY  float64
+	SumY2 float64
+}
+
+// NewLinStats returns empty statistics for d predictors.
+func NewLinStats(d int) *LinStats {
+	p := d + 1
+	return &LinStats{D: d, XtX: make([]float64, p*p), XtY: make([]float64, p)}
+}
+
+// Reset clears the statistics for reuse with the same predictor count.
+func (s *LinStats) Reset() {
+	s.N = 0
+	s.SumY = 0
+	s.SumY2 = 0
+	for i := range s.XtX {
+		s.XtX[i] = 0
+	}
+	for i := range s.XtY {
+		s.XtY[i] = 0
+	}
+}
+
+// Add folds one observation with predictor vector x (length D) and
+// response y, accumulating upper-triangle products exactly like
+// FitLinInto's one-pass loop.
+func (s *LinStats) Add(x []float64, y float64) {
+	p := s.D + 1
+	s.N++
+	s.XtX[0]++
+	for j := 1; j < p; j++ {
+		s.XtX[j] += x[j-1]
+	}
+	s.XtY[0] += y
+	for i := 1; i < p; i++ {
+		xi := x[i-1]
+		base := i * p
+		for j := i; j < p; j++ {
+			s.XtX[base+j] += xi * x[j-1]
+		}
+		s.XtY[i] += xi * y
+	}
+	s.SumY += y
+	s.SumY2 += y * y
+}
+
+// Merge folds other (same D, disjoint rows) into s element-wise.
+func (s *LinStats) Merge(other *LinStats) error {
+	if s.D != other.D {
+		return ErrShape
+	}
+	s.N += other.N
+	for i := range s.XtX {
+		s.XtX[i] += other.XtX[i]
+	}
+	for i := range s.XtY {
+		s.XtY[i] += other.XtY[i]
+	}
+	s.SumY += other.SumY
+	s.SumY2 += other.SumY2
+	return nil
+}
+
+// FitParams solves the normal equations from the accumulated moments and
+// returns the coefficients (intercept first) and R². Unlike FitLinInto
+// there is no residual pass — ssRes is expanded from the moments as
+// yᵀy − 2βᵀXᵀy + βᵀXᵀXβ and ssTot as Σy² − n·ȳ², each clamped at 0
+// against cancellation — so the result is algebraically equal to, but
+// not bitwise interchangeable with, a slice-based fit.
+func (s *LinStats) FitParams() (beta []float64, gof float64, err error) {
+	if s.N == 0 {
+		return nil, 0, ErrEmpty
+	}
+	p := s.D + 1
+	// solveFlat scribbles on its inputs; keep the accumulated moments.
+	a := make([]float64, p*p)
+	copy(a, s.XtX)
+	for i := 1; i < p; i++ {
+		for j := 0; j < i; j++ {
+			a[i*p+j] = a[j*p+i]
+		}
+	}
+	b := make([]float64, p)
+	copy(b, s.XtY)
+	beta = make([]float64, p)
+	if err := solveFlat(a, b, p, beta); err != nil {
+		return nil, 0, err
+	}
+
+	ssRes := s.SumY2
+	for i := 0; i < p; i++ {
+		ssRes -= 2 * beta[i] * s.XtY[i]
+	}
+	// Add stores only the upper triangle; read symmetrically.
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			k := i*p + j
+			if j < i {
+				k = j*p + i
+			}
+			ssRes += beta[i] * beta[j] * s.XtX[k]
+		}
+	}
+	if ssRes < 0 {
+		ssRes = 0
+	}
+	mean := s.SumY / float64(s.N)
+	ssTot := s.SumY2 - float64(s.N)*mean*mean
+	if ssTot < 0 {
+		ssTot = 0
+	}
+	switch {
+	case ssTot == 0 && ssRes <= 1e-18:
+		gof = 1
+	case ssTot == 0:
+		gof = 0
+	default:
+		gof = stats.Clamp01(1 - ssRes/ssTot)
+	}
+	return beta, gof, nil
+}
+
+// Fit materializes the linear Model described by FitParams output.
+func (s *LinStats) Fit() (Model, error) {
+	beta, gof, err := s.FitParams()
+	if err != nil {
+		return nil, err
+	}
+	return &linearModel{beta: beta, gof: gof}, nil
+}

@@ -1,0 +1,164 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func near(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestConstStatsMerge pins the merge algebra: N/Min/Max combine exactly,
+// the float sums reassociate (equal to a one-pass fold up to rounding),
+// and merging with an empty side is the identity.
+func TestConstStatsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ys := make([]float64, 257)
+	for i := range ys {
+		ys[i] = rng.NormFloat64()*3 + 10
+	}
+	for _, cut := range []int{0, 1, 100, 256, 257} {
+		var whole, left, right ConstStats
+		for _, y := range ys {
+			whole.Add(y)
+		}
+		for _, y := range ys[:cut] {
+			left.Add(y)
+		}
+		for _, y := range ys[cut:] {
+			right.Add(y)
+		}
+		left.Merge(right)
+		if left.N != whole.N || left.Min != whole.Min || left.Max != whole.Max {
+			t.Fatalf("cut %d: exact fields diverge: %+v vs %+v", cut, left, whole)
+		}
+		if !near(left.Sum, whole.Sum, 1e-12) || !near(left.SumSq, whole.SumSq, 1e-12) {
+			t.Fatalf("cut %d: sums diverge: %+v vs %+v", cut, left, whole)
+		}
+		mMean, mGof, err := left.FitParams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wMean, wGof, err := whole.FitParams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !near(mMean, wMean, 1e-12) || !near(mGof, wGof, 1e-9) {
+			t.Fatalf("cut %d: fit diverges: (%v,%v) vs (%v,%v)", cut, mMean, mGof, wMean, wGof)
+		}
+	}
+}
+
+// TestLinStatsMatchesFitLin pins that the moment-based fit agrees with
+// the residual-pass fit on the same data, within floating tolerance.
+func TestLinStatsMatchesFitLin(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, d = 300, 2
+	xs := make([]float64, n*d)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Float64() * 10
+		x1 := rng.Float64() * 5
+		xs[i*d], xs[i*d+1] = x0, x1
+		ys[i] = 3 + 2*x0 - 1.5*x1 + rng.NormFloat64()*0.1
+	}
+	st := NewLinStats(d)
+	for i := 0; i < n; i++ {
+		st.Add(xs[i*d:(i+1)*d], ys[i])
+	}
+	beta, gof, err := st.FitParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FitLinFlat(xs, d, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range ref.Params() {
+		if !near(beta[i], b, 1e-9) {
+			t.Fatalf("beta[%d] = %v, reference %v", i, beta[i], b)
+		}
+	}
+	if !near(gof, ref.GoF(), 1e-9) {
+		t.Fatalf("gof = %v, reference %v", gof, ref.GoF())
+	}
+	m, err := st.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{1, 1}); !near(got, beta[0]+beta[1]+beta[2], 1e-12) {
+		t.Fatalf("materialized model predicts %v", got)
+	}
+}
+
+// TestLinStatsMerge pins that merging disjoint halves equals the
+// one-pass accumulation up to rounding, and that shape mismatches and
+// degenerate systems surface the usual errors.
+func TestLinStatsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n, d = 128, 1
+	xs := make([]float64, n*d)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i)
+		ys[i] = 5 + 0.25*xs[i] + rng.NormFloat64()
+	}
+	whole := NewLinStats(d)
+	left := NewLinStats(d)
+	right := NewLinStats(d)
+	for i := 0; i < n; i++ {
+		whole.Add(xs[i*d:(i+1)*d], ys[i])
+		if i < n/3 {
+			left.Add(xs[i*d:(i+1)*d], ys[i])
+		} else {
+			right.Add(xs[i*d:(i+1)*d], ys[i])
+		}
+	}
+	if err := left.Merge(right); err != nil {
+		t.Fatal(err)
+	}
+	if left.N != whole.N {
+		t.Fatalf("merged N = %d, want %d", left.N, whole.N)
+	}
+	mb, mg, err := left.FitParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, wg, err := whole.FitParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mb {
+		if !near(mb[i], wb[i], 1e-9) {
+			t.Fatalf("beta[%d]: merged %v vs whole %v", i, mb[i], wb[i])
+		}
+	}
+	if !near(mg, wg, 1e-9) {
+		t.Fatalf("gof: merged %v vs whole %v", mg, wg)
+	}
+
+	if err := left.Merge(NewLinStats(d + 1)); err != ErrShape {
+		t.Fatalf("dimension mismatch: got %v, want ErrShape", err)
+	}
+	empty := NewLinStats(d)
+	if _, _, err := empty.FitParams(); err != ErrEmpty {
+		t.Fatalf("empty fit: got %v, want ErrEmpty", err)
+	}
+	deg := NewLinStats(d)
+	deg.Add([]float64{2}, 1) // one point cannot determine two coefficients
+	if _, _, err := deg.FitParams(); err != ErrSingular {
+		t.Fatalf("degenerate fit: got %v, want ErrSingular", err)
+	}
+
+	reset := NewLinStats(d)
+	reset.Add([]float64{1}, 2)
+	reset.Reset()
+	if reset.N != 0 || reset.SumY != 0 || reset.XtX[0] != 0 {
+		t.Fatalf("Reset left state behind: %+v", reset)
+	}
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"cape/internal/engine"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// Live maintenance: POST /v1/append applies a batch of rows to a loaded
+// table and folds them into every pattern set mined over it, so the
+// offline phase keeps up with arriving data instead of going silently
+// stale. GET /v1 reports the freshness of every set against its table's
+// current epoch/row count. See DESIGN.md §11.
+
+// AddPatternSetEntry registers a pattern set loaded from a stamped store
+// file (the capeserver -patterns-dir startup path) and returns its
+// assigned ID plus a human-readable staleness warning — empty when the
+// store's stamp matches the loaded table (or when the store predates
+// stamping, where divergence is undetectable).
+func (s *Server) AddPatternSetEntry(entry *pattern.StoreEntry) (id, warning string) {
+	locals := 0
+	for _, m := range entry.Patterns {
+		locals += len(m.Locals)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	ps := &patternSet{
+		ID:       "ps-" + strconv.Itoa(s.nextID),
+		Table:    entry.Table,
+		Count:    len(entry.Patterns),
+		Locals:   locals,
+		patterns: entry.Patterns,
+		stamp:    entry.Stamp,
+		spec:     entry.Spec,
+	}
+	s.patterns[ps.ID] = ps
+
+	tab, ok := s.tables[entry.Table]
+	switch {
+	case !ok:
+		warning = fmt.Sprintf("pattern store for table %q: table is not loaded; staleness unknown", entry.Table)
+	case entry.Stamp == nil:
+		// Legacy un-stamped store: loads as before, divergence undetectable.
+	case entry.Stamp.Rows != tab.NumRows() || entry.Stamp.Epoch != tab.Epoch():
+		warning = fmt.Sprintf(
+			"pattern store for table %q is STALE: mined at rows=%d epoch=%d, table has rows=%d epoch=%d — explanations may not reflect current data (POST /v1/append or re-mine to refresh)",
+			entry.Table, entry.Stamp.Rows, entry.Stamp.Epoch, tab.NumRows(), tab.Epoch())
+	}
+	return ps.ID, warning
+}
+
+// AppendRequest is the body of POST /v1/append. Each row is a JSON array
+// with one element per table column; elements are raw scalars (string,
+// number, null) or the kind-tagged object form the engine marshals.
+type AppendRequest struct {
+	Table string              `json:"table"`
+	Rows  [][]json.RawMessage `json:"rows"`
+}
+
+// appendSetStatus reports what an append did to one pattern set.
+type appendSetStatus struct {
+	ID string `json:"id"`
+	// Status is "maintained" (the set now reflects the table including
+	// the appended rows) or "stale" (the set could not be maintained;
+	// Reason says why).
+	Status   string `json:"status"`
+	Patterns int    `json:"patterns"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// handleAppend applies a batch of rows and catches up every pattern set
+// mined over the table. ServeHTTP already holds the appendMu write lock,
+// so no explanation, query, or mine is in flight: tables and explainer
+// pattern sets mutate in place safely, and the lazily epoch-checked
+// group-by caches invalidate only the groupings a later request actually
+// revisits.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req AppendRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	tab, ok := s.table(req.Table)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown table %q", req.Table)
+		return
+	}
+	rows := make([]value.Tuple, len(req.Rows))
+	for i, raw := range req.Rows {
+		t, err := value.ParseJSONTuple(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "row %d: %v", i, err)
+			return
+		}
+		rows[i] = t
+	}
+	// AppendRows validates the whole batch before appending anything, so
+	// a bad row leaves the table, its indexes, and its columnar view
+	// untouched.
+	if err := tab.AppendRows(rows); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	var sets []*patternSet
+	for _, ps := range s.patterns {
+		if ps.Table == req.Table {
+			sets = append(sets, ps)
+		}
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i].ID < sets[j].ID })
+
+	statuses := make([]appendSetStatus, 0, len(sets))
+	for _, ps := range sets {
+		statuses = append(statuses, s.maintainSet(ps, tab))
+	}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"table":       req.Table,
+		"appended":    len(rows),
+		"rows":        tab.NumRows(),
+		"epoch":       tab.Epoch(),
+		"patternSets": statuses,
+	})
+}
+
+// maintainSet folds the table's current rows into one pattern set,
+// building its maintainer on first use (or after the table was replaced)
+// and swapping the maintained patterns into the set and its warm
+// explainer. Caller holds s.mu and the appendMu write lock.
+func (s *Server) maintainSet(ps *patternSet, tab *engine.Table) appendSetStatus {
+	st := appendSetStatus{ID: ps.ID, Status: "stale", Patterns: ps.Count}
+	if ps.spec == nil {
+		st.Reason = "no mining spec recorded (legacy or FD-pruned store); re-mine to refresh"
+		return st
+	}
+	if ps.maintainer == nil || ps.maintainer.Table() != tab {
+		opt, err := mining.OptionsFromSpec(ps.spec)
+		if err != nil {
+			st.Reason = err.Error()
+			return st
+		}
+		// NewMaintainer runs over the table as it stands now — including
+		// the batch just appended — so a set whose store was already
+		// stale at load is healed here, not perpetuated.
+		m, err := mining.NewMaintainer(tab, opt)
+		if err != nil {
+			st.Reason = err.Error()
+			return st
+		}
+		ps.maintainer = m
+	} else if err := ps.maintainer.CatchUp(); err != nil {
+		st.Reason = err.Error()
+		return st
+	}
+
+	maintained := ps.maintainer.Patterns()
+	locals := 0
+	for _, m := range maintained {
+		locals += len(m.Locals)
+	}
+	ps.patterns = maintained
+	ps.Count = len(maintained)
+	ps.Locals = locals
+	ps.stamp = &pattern.StoreStamp{Epoch: tab.Epoch(), Rows: tab.NumRows()}
+	if e, ok := s.explainers[ps.ID]; ok && e.table == tab {
+		// The warm explainer keeps its sharded group-by cache; entries
+		// recompute lazily when a request reads them at the new epoch.
+		e.ex.SetPatterns(maintained)
+	}
+	st.Status = "maintained"
+	st.Patterns = ps.Count
+	return st
+}
+
+// handleStatus reports every loaded table and pattern set with live
+// freshness: a set is stale when its recorded stamp no longer matches
+// its table's epoch/row count (or the table is gone); sets from
+// un-stamped legacy stores report stamped=false, staleness unknown.
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	type tableStatus struct {
+		Name  string `json:"name"`
+		Rows  int    `json:"rows"`
+		Epoch uint64 `json:"epoch"`
+	}
+	type setStatus struct {
+		ID           string `json:"id"`
+		Table        string `json:"table"`
+		Patterns     int    `json:"patterns"`
+		Stamped      bool   `json:"stamped"`
+		Maintainable bool   `json:"maintainable"`
+		Stale        bool   `json:"stale"`
+		Reason       string `json:"reason,omitempty"`
+	}
+	s.mu.RLock()
+	tables := make([]tableStatus, 0, len(s.tables))
+	for name, t := range s.tables {
+		tables = append(tables, tableStatus{Name: name, Rows: t.NumRows(), Epoch: t.Epoch()})
+	}
+	sets := make([]setStatus, 0, len(s.patterns))
+	for _, ps := range s.patterns {
+		st := setStatus{
+			ID: ps.ID, Table: ps.Table, Patterns: ps.Count,
+			Stamped: ps.stamp != nil, Maintainable: ps.spec != nil,
+		}
+		tab, ok := s.tables[ps.Table]
+		switch {
+		case !ok:
+			st.Stale = true
+			st.Reason = fmt.Sprintf("table %q is not loaded", ps.Table)
+		case ps.stamp == nil:
+			// Undetectable; Stamped=false carries the caveat.
+		case ps.stamp.Rows != tab.NumRows() || ps.stamp.Epoch != tab.Epoch():
+			st.Stale = true
+			st.Reason = fmt.Sprintf("set reflects rows=%d epoch=%d, table has rows=%d epoch=%d",
+				ps.stamp.Rows, ps.stamp.Epoch, tab.NumRows(), tab.Epoch())
+		}
+		sets = append(sets, st)
+	}
+	s.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	sort.Slice(sets, func(i, j int) bool { return sets[i].ID < sets[j].ID })
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"tables":      tables,
+		"patternSets": sets,
+	})
+}

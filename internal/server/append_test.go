@@ -1,0 +1,334 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"cape/internal/dataset"
+	"cape/internal/engine"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/regress"
+	"cape/internal/value"
+)
+
+// appendRows is the JSON-shaped batch used across these tests; it
+// matches the running-example schema (author, venue, year).
+func appendBody(rows ...[]interface{}) map[string]interface{} {
+	return map[string]interface{}{"table": "pub", "rows": rows}
+}
+
+// exampleMiningOpts mirrors mineExample's MineRequest, so a cold
+// ARPMine under these options is the ground truth for what a maintained
+// /v1/mine set must equal.
+func exampleMiningOpts() mining.Options {
+	return mining.Options{
+		MaxPatternSize: 3,
+		Thresholds: pattern.Thresholds{
+			Theta: 0.5, LocalSupport: 3, Lambda: 0.3, GlobalSupport: 2,
+		},
+		AggFuncs: []engine.AggFunc{engine.Count},
+		Models:   []regress.ModelType{regress.Const, regress.Lin},
+	}
+}
+
+func explainExample(t *testing.T, url, id string) interface{} {
+	t.Helper()
+	resp, out := doJSON(t, "POST", url+"/v1/explain", ExplainRequest{
+		Patterns: id,
+		GroupBy:  []string{"author", "venue", "year"},
+		Tuple:    []string{"AX", "SIGKDD", "2007"},
+		Dir:      "low",
+		K:        5,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain status = %d: %v", resp.StatusCode, out)
+	}
+	return out["explanations"]
+}
+
+// requireSetEquals pins a registered pattern set byte-identical to a
+// cold re-mine over the given table under the set's own recorded spec.
+func requireSetEquals(t *testing.T, s *Server, id string, tab *engine.Table) {
+	t.Helper()
+	s.mu.RLock()
+	ps := s.patterns[id]
+	s.mu.RUnlock()
+	if ps == nil {
+		t.Fatalf("no pattern set %s", id)
+	}
+	opt, err := mining.OptionsFromSpec(ps.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mining.ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := pattern.WriteJSON(&got, ps.patterns); err != nil {
+		t.Fatal(err)
+	}
+	if err := pattern.WriteJSON(&want, res.Patterns); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("maintained set %s diverges from cold re-mine:\n%s\nvs\n%s", id, &got, &want)
+	}
+}
+
+// TestAppendMaintainsPatternSet is the core endpoint contract: POST
+// /v1/append grows the table, reports "maintained" for its mined set,
+// and leaves the set byte-identical to a full re-mine over the grown
+// table — with explanations to match.
+func TestAppendMaintainsPatternSet(t *testing.T) {
+	s, ts := newTestServer(t)
+	loadRunningExample(t, ts)
+	id := mineExample(t, ts)
+	explainExample(t, ts.URL, id) // warm the group-by cache pre-append
+
+	resp, out := doJSON(t, "POST", ts.URL+"/v1/append", appendBody(
+		[]interface{}{"AX", "VLDB", 2008},
+		[]interface{}{"NEW", "SIGKDD", 2009},
+		[]interface{}{"AY", "ICDE", 2005},
+	))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %d: %v", resp.StatusCode, out)
+	}
+	if out["appended"].(float64) != 3 || out["rows"].(float64) != 153 {
+		t.Errorf("append response = %v", out)
+	}
+	sets := out["patternSets"].([]interface{})
+	if len(sets) != 1 {
+		t.Fatalf("patternSets = %v", sets)
+	}
+	st := sets[0].(map[string]interface{})
+	if st["id"] != id || st["status"] != "maintained" {
+		t.Errorf("set status = %v", st)
+	}
+
+	grown := dataset.RunningExample()
+	if err := grown.AppendRows([]value.Tuple{
+		{value.NewString("AX"), value.NewString("VLDB"), value.NewInt(2008)},
+		{value.NewString("NEW"), value.NewString("SIGKDD"), value.NewInt(2009)},
+		{value.NewString("AY"), value.NewString("ICDE"), value.NewInt(2005)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	requireSetEquals(t, s, id, grown)
+
+	// The cached explainer must answer from the maintained patterns and
+	// a recomputed (epoch-invalidated) group-by: identical to a fresh
+	// server that loaded the grown table and mined from scratch.
+	_, ts2 := newTestServer(t)
+	var csv bytes.Buffer
+	if err := grown.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts2.URL+"/v1/tables?name=pub", "text/csv", &csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	id2 := mineExample(t, ts2)
+	got := explainExample(t, ts.URL, id)
+	want := explainExample(t, ts2.URL, id2)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-append explanations diverge from fresh server:\n%v\nvs\n%v", got, want)
+	}
+}
+
+// TestAppendAtomicOnBadRows pins that a batch with any invalid row is
+// rejected with 400 and leaves the table, its epoch, and its pattern
+// sets untouched.
+func TestAppendAtomicOnBadRows(t *testing.T) {
+	s, ts := newTestServer(t)
+	loadRunningExample(t, ts)
+	id := mineExample(t, ts)
+	s.mu.RLock()
+	before := s.patterns[id].patterns
+	epoch := s.tables["pub"].Epoch()
+	s.mu.RUnlock()
+
+	cases := []map[string]interface{}{
+		// Arity mismatch in the second row: nothing from the batch lands.
+		appendBody([]interface{}{"AX", "VLDB", 2008}, []interface{}{"short"}),
+		// Booleans have no value kind; the parse error precedes any append.
+		appendBody([]interface{}{"AX", "VLDB", true}),
+		{"table": "ghost", "rows": [][]interface{}{{"x"}}},
+	}
+	wants := []int{http.StatusBadRequest, http.StatusBadRequest, http.StatusNotFound}
+	for i, body := range cases {
+		resp, _ := doJSON(t, "POST", ts.URL+"/v1/append", body)
+		if resp.StatusCode != wants[i] {
+			t.Errorf("case %d: status = %d, want %d", i, resp.StatusCode, wants[i])
+		}
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.tables["pub"].NumRows() != 150 || s.tables["pub"].Epoch() != epoch {
+		t.Errorf("table mutated by rejected appends: rows=%d epoch=%d",
+			s.tables["pub"].NumRows(), s.tables["pub"].Epoch())
+	}
+	if &s.patterns[id].patterns[0] != &before[0] {
+		t.Error("pattern set replaced by rejected append")
+	}
+}
+
+// TestStatusReportsStaleness exercises GET /v1 across the three
+// freshness states: a fresh mined set, a stamped-but-stale store entry,
+// and a legacy un-stamped one.
+func TestStatusReportsStaleness(t *testing.T) {
+	s, ts := newTestServer(t)
+	loadRunningExample(t, ts)
+	freshID := mineExample(t, ts)
+
+	tab := dataset.RunningExample()
+	opt := exampleMiningOpts()
+	res, err := mining.ARPMine(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := mining.SpecFor(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleID, warning := s.AddPatternSetEntry(&pattern.StoreEntry{
+		Table: "pub", Patterns: res.Patterns,
+		Stamp: &pattern.StoreStamp{Epoch: 10, Rows: 10},
+		Spec:  spec,
+	})
+	if warning == "" {
+		t.Error("stale entry registered without warning")
+	}
+	legacyID, warning := s.AddPatternSetEntry(&pattern.StoreEntry{
+		Table: "pub", Patterns: res.Patterns,
+	})
+	if warning != "" {
+		t.Errorf("legacy un-stamped entry warned: %q", warning)
+	}
+	orphanID, warning := s.AddPatternSetEntry(&pattern.StoreEntry{
+		Table: "nosuch", Patterns: res.Patterns,
+	})
+	if warning == "" {
+		t.Error("entry for unloaded table registered without warning")
+	}
+
+	resp, out := doJSON(t, "GET", ts.URL+"/v1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	tables := out["tables"].([]interface{})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %v", tables)
+	}
+	pub := tables[0].(map[string]interface{})
+	if pub["name"] != "pub" || pub["rows"].(float64) != 150 {
+		t.Errorf("table status = %v", pub)
+	}
+
+	byID := map[string]map[string]interface{}{}
+	for _, raw := range out["patternSets"].([]interface{}) {
+		st := raw.(map[string]interface{})
+		byID[st["id"].(string)] = st
+	}
+	check := func(id string, stamped, maintainable, stale bool) {
+		t.Helper()
+		st := byID[id]
+		if st == nil {
+			t.Fatalf("set %s missing from status", id)
+		}
+		if st["stamped"] != stamped || st["maintainable"] != maintainable || st["stale"] != stale {
+			t.Errorf("set %s status = %v, want stamped=%v maintainable=%v stale=%v",
+				id, st, stamped, maintainable, stale)
+		}
+		if stale && st["reason"] == "" {
+			t.Errorf("stale set %s has no reason", id)
+		}
+	}
+	check(freshID, true, true, false)
+	check(staleID, true, true, true)
+	check(legacyID, false, false, false)
+	check(orphanID, false, false, true)
+}
+
+// TestAppendHealsStaleStore pins the healing path: a store that was
+// already stale when loaded is rebuilt from the live table on the first
+// append, after which it equals a cold re-mine and reports fresh.
+func TestAppendHealsStaleStore(t *testing.T) {
+	s, ts := newTestServer(t)
+	tab := dataset.RunningExample()
+	s.AddTable("pub", tab)
+
+	// Mine over a truncated copy so the stored patterns genuinely differ
+	// from what the full table would yield.
+	small := engine.NewTable(tab.Schema())
+	if err := small.AppendRows(tab.Rows()[:80]); err != nil {
+		t.Fatal(err)
+	}
+	opt := exampleMiningOpts()
+	res, err := mining.ARPMine(small, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := mining.SpecFor(small, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, warning := s.AddPatternSetEntry(&pattern.StoreEntry{
+		Table: "pub", Patterns: res.Patterns,
+		Stamp: &pattern.StoreStamp{Epoch: small.Epoch(), Rows: small.NumRows()},
+		Spec:  spec,
+	})
+	if warning == "" {
+		t.Fatal("stale store loaded without warning")
+	}
+
+	resp, out := doJSON(t, "POST", ts.URL+"/v1/append",
+		appendBody([]interface{}{"AX", "VLDB", 2008}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %d: %v", resp.StatusCode, out)
+	}
+	st := out["patternSets"].([]interface{})[0].(map[string]interface{})
+	if st["id"] != id || st["status"] != "maintained" {
+		t.Fatalf("set status = %v", st)
+	}
+	requireSetEquals(t, s, id, tab)
+
+	_, out = doJSON(t, "GET", ts.URL+"/v1", nil)
+	sets := out["patternSets"].([]interface{})
+	if sst := sets[0].(map[string]interface{}); sst["stale"] != false {
+		t.Errorf("healed set still stale: %v", sst)
+	}
+}
+
+// TestAppendSkipsUnmaintainableSets pins that a legacy set with no spec
+// survives an append untouched and is reported "stale" with a reason.
+func TestAppendSkipsUnmaintainableSets(t *testing.T) {
+	s, ts := newTestServer(t)
+	tab := dataset.RunningExample()
+	s.AddTable("pub", tab)
+	res, err := mining.ARPMine(tab, exampleMiningOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.AddPatternSetEntry(&pattern.StoreEntry{Table: "pub", Patterns: res.Patterns})
+
+	resp, out := doJSON(t, "POST", ts.URL+"/v1/append",
+		appendBody([]interface{}{"AX", "VLDB", 2008}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %d: %v", resp.StatusCode, out)
+	}
+	st := out["patternSets"].([]interface{})[0].(map[string]interface{})
+	if st["id"] != id || st["status"] != "stale" || st["reason"] == "" {
+		t.Errorf("unmaintainable set status = %v", st)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.patterns[id].patterns) != len(res.Patterns) {
+		t.Error("unmaintainable set was mutated")
+	}
+}

@@ -4,8 +4,10 @@
 // an interactive endpoint). The API is JSON over REST:
 //
 //	GET  /healthz                    liveness probe
+//	GET  /v1                         status: tables, pattern sets, staleness
 //	GET  /v1/tables                  list loaded tables
 //	POST /v1/tables?name=pub         load a CSV body as a table
+//	POST /v1/append                  append rows to a table, maintain its pattern sets
 //	POST /v1/query                   run a SQL query
 //	POST /v1/mine                    mine a pattern set, returns its id
 //	GET  /v1/patterns/{id}           inspect a mined pattern set
@@ -42,6 +44,14 @@ import (
 type Server struct {
 	mux *http.ServeMux
 
+	// appendMu serializes table mutation against every other request:
+	// /v1/append takes the write side for its whole run (append rows,
+	// catch maintainers up, swap pattern sets), all other requests take
+	// the read side. This is what lets appends mutate tables and
+	// explainer pattern sets in place — no explanation, query, or mine
+	// is ever in flight across an epoch change.
+	appendMu sync.RWMutex
+
 	mu       sync.RWMutex
 	tables   map[string]*engine.Table
 	patterns map[string]*patternSet
@@ -75,6 +85,16 @@ type patternSet struct {
 	Locals   int         `json:"localModels"`
 	Options  MineRequest `json:"options"`
 	patterns []*pattern.Mined
+	// stamp records the source table's epoch/rows when the set was mined
+	// or last maintained; nil for legacy (unstamped) stores, where
+	// staleness is undetectable.
+	stamp *pattern.StoreStamp
+	// spec records the mining parameters when they are reconstructible
+	// (non-FD runs); a set with a spec is append-maintainable.
+	spec *pattern.StoreSpec
+	// maintainer folds appended rows into the set; built lazily on the
+	// first append that touches the set's table.
+	maintainer *mining.Maintainer
 }
 
 // New returns a ready-to-serve Server.
@@ -90,8 +110,11 @@ func New() *Server {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v1", s.handleStatus)
+	mux.HandleFunc("GET /v1/{$}", s.handleStatus)
 	mux.HandleFunc("GET /v1/tables", s.handleListTables)
 	mux.HandleFunc("POST /v1/tables", s.handleLoadTable)
+	mux.HandleFunc("POST /v1/append", s.handleAppend)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
 	mux.HandleFunc("GET /v1/patterns/{id}", s.handleGetPatterns)
@@ -104,9 +127,17 @@ func New() *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Append requests run exclusively;
+// everything else shares the read side of appendMu (see the field doc).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
+	if r.Method == http.MethodPost && strings.TrimSuffix(r.URL.Path, "/") == "/v1/append" {
+		s.appendMu.Lock()
+		defer s.appendMu.Unlock()
+	} else {
+		s.appendMu.RLock()
+		defer s.appendMu.RUnlock()
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -259,6 +290,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	for _, m := range res.Patterns {
 		locals += len(m.Locals)
 	}
+	// Stamp the set with the table shape it was mined at, and keep the
+	// mining spec when reconstructible (non-FD), so /v1/append can build
+	// a maintainer and fold future rows into this set.
+	stamp := &pattern.StoreStamp{Epoch: tab.Epoch(), Rows: tab.NumRows()}
+	spec, _ := mining.SpecFor(tab, opt)
 	s.mu.Lock()
 	s.nextID++
 	ps := &patternSet{
@@ -268,6 +304,8 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		Locals:   locals,
 		Options:  req,
 		patterns: res.Patterns,
+		stamp:    stamp,
+		spec:     spec,
 	}
 	s.patterns[ps.ID] = ps
 	s.mu.Unlock()
@@ -305,13 +343,17 @@ func (s *Server) handleGetPatterns(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.RLock()
 	ps, ok := s.patterns[id]
+	var mined []*pattern.Mined
+	if ok {
+		mined = ps.patterns
+	}
 	s.mu.RUnlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown pattern set %q", id)
 		return
 	}
-	out := make([]patternDTO, 0, len(ps.patterns))
-	for _, m := range ps.patterns {
+	out := make([]patternDTO, 0, len(mined))
+	for _, m := range mined {
 		out = append(out, newPatternDTO(m))
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{

@@ -1,0 +1,64 @@
+package value
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// ParseJSON decodes one JSON token into a V, accepting both the
+// kind-tagged object form this package marshals ({"k":"int","i":3})
+// and raw JSON scalars, so append payloads can be written by hand:
+// a JSON string becomes a String, null becomes NULL, and a number
+// becomes an Int when it is written as an integer (no fraction or
+// exponent) and a Float otherwise — mirroring Parse's treatment of
+// text input.
+func ParseJSON(raw json.RawMessage) (V, error) {
+	data := bytes.TrimSpace(raw)
+	if len(data) == 0 {
+		return V{}, fmt.Errorf("value: empty JSON value")
+	}
+	switch data[0] {
+	case '{':
+		var v V
+		if err := json.Unmarshal(data, &v); err != nil {
+			return V{}, err
+		}
+		return v, nil
+	case '"':
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return V{}, err
+		}
+		return NewString(s), nil
+	case 'n':
+		if string(data) == "null" {
+			return NewNull(), nil
+		}
+	case 't', 'f':
+		return V{}, fmt.Errorf("value: booleans are not supported")
+	default:
+		// A number literal. Integer syntax → Int, otherwise Float.
+		if i, err := strconv.ParseInt(string(data), 10, 64); err == nil {
+			return NewInt(i), nil
+		}
+		if f, err := strconv.ParseFloat(string(data), 64); err == nil {
+			return NewFloat(f), nil
+		}
+	}
+	return V{}, fmt.Errorf("value: cannot decode JSON value %s", data)
+}
+
+// ParseJSONTuple decodes a JSON array of values via ParseJSON.
+func ParseJSONTuple(raws []json.RawMessage) (Tuple, error) {
+	out := make(Tuple, len(raws))
+	for i, raw := range raws {
+		v, err := ParseJSON(raw)
+		if err != nil {
+			return nil, fmt.Errorf("element %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package value
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestParseJSON(t *testing.T) {
+	cases := []struct {
+		in   string
+		want V
+		err  bool
+	}{
+		{in: `"hi"`, want: NewString("hi")},
+		{in: `null`, want: NewNull()},
+		{in: `42`, want: NewInt(42)},
+		{in: `-7`, want: NewInt(-7)},
+		{in: `2.5`, want: NewFloat(2.5)},
+		{in: `1e3`, want: NewFloat(1000)},
+		{in: ` 3 `, want: NewInt(3)},
+		{in: `{"k":"int","i":9}`, want: NewInt(9)},
+		{in: `{"k":"float","f":1.5}`, want: NewFloat(1.5)},
+		{in: `{"k":"string","s":"x"}`, want: NewString("x")},
+		{in: `{"k":"null"}`, want: NewNull()},
+		{in: `true`, err: true},
+		{in: `[1]`, err: true},
+		{in: ``, err: true},
+		{in: `{"k":"ghost"}`, err: true},
+	}
+	for _, c := range cases {
+		got, err := ParseJSON(json.RawMessage(c.in))
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseJSON(%q): expected error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseJSON(%q): %v", c.in, err)
+			continue
+		}
+		if !Equal(got, c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("ParseJSON(%q) = %v (%s), want %v (%s)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestParseJSONTuple(t *testing.T) {
+	raws := []json.RawMessage{
+		json.RawMessage(`"a"`), json.RawMessage(`1`), json.RawMessage(`null`),
+	}
+	tup, err := ParseJSONTuple(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Tuple{NewString("a"), NewInt(1), NewNull()}
+	if !tup.Equal(want) {
+		t.Fatalf("tuple = %v, want %v", tup, want)
+	}
+	if _, err := ParseJSONTuple([]json.RawMessage{json.RawMessage(`true`)}); err == nil {
+		t.Fatal("bad element must error")
+	}
+}
