@@ -27,11 +27,12 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^Fuzz' ./...
+	$(GO) run ./cmd/capebench benchscale -smoke
 
 # Performance trajectory: the explanation worker-count sweep, the
 # GroupBy hot path, and the offline-mining fast path, plus the capebench
 # runs that write BENCH_explain.json, BENCH_mine.json, BENCH_batch.json,
-# BENCH_engine.json and BENCH_incr.json.
+# BENCH_engine.json, BENCH_incr.json and BENCH_scale.json.
 bench:
 	$(GO) test -bench 'BenchmarkGenOptParallel|BenchmarkGroupBy$$|BenchmarkARPMine|BenchmarkFitShared' -benchmem -run XXX ./...
 	$(GO) run ./cmd/capebench benchexplain
@@ -39,6 +40,7 @@ bench:
 	$(GO) run ./cmd/capebench benchbatch
 	$(GO) run ./cmd/capebench benchengine
 	$(GO) run ./cmd/capebench benchincr
+	$(GO) run ./cmd/capebench benchscale
 
 clean:
 	$(GO) clean ./...

@@ -109,7 +109,7 @@ func cmdMine(args []string) error {
 		return err
 	}
 
-	var run func(*engine.Table, mining.Options) (*mining.Result, error)
+	var run func(engine.Relation, mining.Options) (*mining.Result, error)
 	switch *miner {
 	case "arpmine":
 		run = mining.ARPMine

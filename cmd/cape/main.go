@@ -5,6 +5,7 @@
 // Usage:
 //
 //	cape generate -dataset dblp|crime -rows N [-attrs A] [-seed S] -o data.csv
+//	cape convert  -data data.csv -o data.seg
 //	cape mine     -data data.csv [mining flags] [-o patterns.json]
 //	cape append   -data data.csv -rows rows.jsonl -patterns-dir dir [-o grown.csv]
 //	cape query    -data data.csv -q "SELECT venue, count(*) FROM data GROUP BY venue"
@@ -33,6 +34,8 @@ func main() {
 	switch os.Args[1] {
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "mine":
 		err = cmdMine(os.Args[2:])
 	case "append":
@@ -68,6 +71,7 @@ func usage() {
 
 commands:
   generate  produce a synthetic DBLP or Crime CSV dataset
+  convert   stream a CSV dataset into a compressed columnar segment file
   mine      mine aggregate regression patterns from a CSV dataset
   append    fold JSONL rows into a dataset and its mined pattern store
   query     run a SQL query against a CSV dataset

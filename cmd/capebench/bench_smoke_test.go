@@ -66,13 +66,25 @@ func TestBenchIncrSmoke(t *testing.T) {
 	}
 }
 
+// TestBenchScaleSmoke runs benchscale's identity pass (the CI smoke
+// configuration): all four miners over mmap'd segment files must
+// serialize byte-identical pattern sets to the same miners over the
+// dense in-memory table.
+func TestBenchScaleSmoke(t *testing.T) {
+	smokeMode = true
+	defer func() { smokeMode = false }()
+	if err := experiments["benchscale"].run(false); err != nil {
+		t.Fatalf("benchscale -smoke: %v", err)
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig3a", "fig3b", "fig3c", "fig4", "fig5",
 		"fig6a", "fig6b", "fig6c", "fig7",
 		"table3", "table4", "table5", "table6", "table7", "userstudy",
 		"benchexplain", "benchmine", "benchbatch", "benchengine",
-		"benchincr",
+		"benchincr", "benchscale",
 	}
 	for _, name := range want {
 		e, ok := experiments[name]

@@ -83,7 +83,7 @@ func runExplSweep(tab *engine.Table, attrs []string, questionAttrs []string,
 		subset := subsetByLocalCount(mined.Patterns, target)
 		np := localPatternCount(subset)
 
-		timeGen := func(gen func(explain.UserQuestion, *engine.Table, []*pattern.Mined, explain.Options) ([]explain.Explanation, *explain.Stats, error)) (time.Duration, int, error) {
+		timeGen := func(gen func(explain.UserQuestion, engine.Relation, []*pattern.Mined, explain.Options) ([]explain.Explanation, *explain.Stats, error)) (time.Duration, int, error) {
 			start := time.Now()
 			pruned := 0
 			for _, q := range questions {

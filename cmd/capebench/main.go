@@ -8,11 +8,11 @@
 //
 // Usage:
 //
-//	capebench <experiment> [-full] [-smoke]
+//	capebench <experiment> [-full] [-smoke] [-cpuprofile f] [-memprofile f]
 //
 // Experiments: fig3a fig3b fig3c fig4 fig5 fig6a fig6b fig6c fig7
 // table3 table4 table5 table6 table7 userstudy benchexplain benchmine
-// benchbatch benchengine benchincr all
+// benchbatch benchengine benchincr benchscale all
 //
 // -full runs the larger input sizes (slower; closer to the paper's
 // ranges).
@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 )
 
@@ -51,12 +53,14 @@ var experiments = map[string]struct {
 	"benchbatch":   {runBenchBatch, "batch-of-N vs N sequential explanation calls; writes BENCH_batch.json"},
 	"benchengine":  {runBenchEngine, "columnar engine kernels + end-to-end vs recorded baseline; writes BENCH_engine.json"},
 	"benchincr":    {runBenchIncr, "incremental pattern maintenance vs full re-mine on append; writes BENCH_incr.json"},
+	"benchscale":   {runBenchScale, "Figure-4 miner comparison at 250K-6.5M rows, mmap'd segments vs dense table; writes BENCH_scale.json"},
 }
 
 // smokeMode (-smoke) restricts an experiment to its correctness
-// assertions: benchengine runs only its columnar-vs-row identity pass
-// and benchincr only its maintained-vs-remined identity pass, with no
-// timing and no JSON output, so CI can gate on them cheaply.
+// assertions: benchengine runs only its columnar-vs-row identity pass,
+// benchincr only its maintained-vs-remined identity pass, and
+// benchscale only its segment-vs-dense identity pass at a small size,
+// with no timing and no JSON output, so CI can gate on them cheaply.
 var smokeMode bool
 
 func usage() {
@@ -81,9 +85,40 @@ func main() {
 	name := os.Args[1]
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	full := fs.Bool("full", false, "run larger (slower) input sizes")
-	fs.BoolVar(&smokeMode, "smoke", false, "identity assertions only, no timing (benchengine)")
+	fs.BoolVar(&smokeMode, "smoke", false, "identity assertions only, no timing (benchengine, benchincr, benchscale)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capebench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "capebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "capebench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "capebench: %v\n", err)
+			}
+		}()
 	}
 
 	run := func(n string) {

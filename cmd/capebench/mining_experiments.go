@@ -26,7 +26,7 @@ func miningOpts(attrs []string, psi int) mining.Options {
 	}
 }
 
-type minerFunc func(*engine.Table, mining.Options) (*mining.Result, error)
+type minerFunc func(engine.Relation, mining.Options) (*mining.Result, error)
 
 var miners = []struct {
 	name string
@@ -38,7 +38,7 @@ var miners = []struct {
 	{"ARP-MINE", mining.ARPMine},
 }
 
-func timeMiner(run minerFunc, tab *engine.Table, opt mining.Options) (time.Duration, *mining.Result, error) {
+func timeMiner(run minerFunc, tab engine.Relation, opt mining.Options) (time.Duration, *mining.Result, error) {
 	start := time.Now()
 	res, err := run(tab, opt)
 	return time.Since(start), res, err

@@ -76,15 +76,10 @@ var crimeTypeNames = []string{
 	"Homicide", "Arson", "Gambling", "Trespass", "Stalking",
 }
 
-// GenerateCrime produces a synthetic crime-report relation. Each
-// (type, community) pair has a yearly incident rate that is constant or
-// drifts linearly over the years; months modulate the rate seasonally.
-// Rows carry derived geographic attributes respecting the FDs above, so
-// the Appendix-D optimizations have real dependencies to find.
-func GenerateCrime(cfg CrimeConfig) *engine.Table {
+// CrimeSchema returns the schema GenerateCrime and StreamCrime produce
+// for cfg.
+func CrimeSchema(cfg CrimeConfig) engine.Schema {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
 	attrs := crimeAttrOrder[:cfg.NumAttrs]
 	sch := make(engine.Schema, len(attrs))
 	for i, a := range attrs {
@@ -94,8 +89,40 @@ func GenerateCrime(cfg CrimeConfig) *engine.Table {
 		}
 		sch[i] = engine.Column{Name: a, Kind: kind}
 	}
-	tab := engine.NewTable(sch)
+	return sch
+}
 
+// GenerateCrime produces a synthetic crime-report relation. Each
+// (type, community) pair has a yearly incident rate that is constant or
+// drifts linearly over the years; months modulate the rate seasonally.
+// Rows carry derived geographic attributes respecting the FDs above, so
+// the Appendix-D optimizations have real dependencies to find.
+func GenerateCrime(cfg CrimeConfig) *engine.Table {
+	tab := engine.NewTable(CrimeSchema(cfg))
+	err := StreamCrime(cfg, 0, func(batch []value.Tuple) error {
+		return tab.AppendRows(batch)
+	})
+	if err != nil {
+		panic("dataset: crime generation failed: " + err.Error())
+	}
+	return tab
+}
+
+// StreamCrime generates exactly the rows of GenerateCrime(cfg) — the
+// same pseudo-random stream, byte for byte — delivering them to fn in
+// batches of at most batchSize rows (0 means a default batch). Memory is
+// bounded by one batch: the batch slice is reused between calls, but the
+// row tuples are fresh, so fn may retain them (a Table append or a
+// SegmentWriter both work). This is how million-row benchmark tables are
+// written to segment files without ever materializing the relation.
+func StreamCrime(cfg CrimeConfig, batchSize int, fn func(batch []value.Tuple) error) error {
+	cfg = cfg.withDefaults()
+	if batchSize <= 0 {
+		batchSize = 8192
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	attrs := crimeAttrOrder[:cfg.NumAttrs]
 	years := cfg.EndYear - cfg.StartYear + 1
 
 	// Per (type, community) trend model.
@@ -119,7 +146,16 @@ func GenerateCrime(cfg CrimeConfig) *engine.Table {
 
 	blocksPerCommunity := 40
 
-	emit := func(ti, ci, year, month int) {
+	batch := make([]value.Tuple, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := fn(batch)
+		batch = batch[:0]
+		return err
+	}
+	emit := func(ti, ci, year, month int) error {
 		blockIdx := rng.Intn(blocksPerCommunity)
 		district := ci / 3 // community → district
 		row := make(value.Tuple, 0, len(attrs))
@@ -156,10 +192,18 @@ func GenerateCrime(cfg CrimeConfig) *engine.Table {
 				row = append(row, value.NewInt(int64(rng.Intn(24))))
 			}
 		}
-		tab.MustAppend(row)
+		batch = append(batch, row)
+		if len(batch) == batchSize {
+			return flush()
+		}
+		return nil
 	}
 
-	for tab.NumRows() < cfg.Rows {
+	// The emitted-row counter drives every loop bound (never the
+	// consumer's state), so the rng call sequence — and therefore the row
+	// stream — is identical for every batch size.
+	emitted := 0
+	for emitted < cfg.Rows {
 		ti := rng.Intn(cfg.NumTypes)
 		ci := rng.Intn(cfg.NumCommunities)
 		tr := trends[ti*cfg.NumCommunities+ci]
@@ -171,9 +215,12 @@ func GenerateCrime(cfg CrimeConfig) *engine.Table {
 			rate = 0.05
 		}
 		n := poisson(rng, rate)
-		for i := 0; i < n && tab.NumRows() < cfg.Rows; i++ {
-			emit(ti, ci, year, month)
+		for i := 0; i < n && emitted < cfg.Rows; i++ {
+			if err := emit(ti, ci, year, month); err != nil {
+				return err
+			}
+			emitted++
 		}
 	}
-	return tab
+	return flush()
 }

@@ -51,6 +51,16 @@ var dblpVenueNames = []string{
 	"EDBT", "WSDM", "WWW", "NIPS", "ICML", "AAAI", "IJCAI", "TODS",
 }
 
+// DBLPSchema returns the schema GenerateDBLP and StreamDBLP produce.
+func DBLPSchema() engine.Schema {
+	return engine.Schema{
+		{Name: "author", Kind: value.String},
+		{Name: "pubid", Kind: value.String},
+		{Name: "year", Kind: value.Int},
+		{Name: "venue", Kind: value.String},
+	}
+}
+
 // GenerateDBLP produces a synthetic Pub relation. Each author has an
 // active career window, a home set of 2–4 venues, and a per-venue yearly
 // publication rate that is either constant or drifts linearly — the two
@@ -58,15 +68,27 @@ var dblpVenueNames = []string{
 // (author, venue, year) are Poisson draws around the modeled rate, so
 // mined patterns hold with realistic, imperfect goodness-of-fit.
 func GenerateDBLP(cfg DBLPConfig) *engine.Table {
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	tab := engine.NewTable(engine.Schema{
-		{Name: "author", Kind: value.String},
-		{Name: "pubid", Kind: value.String},
-		{Name: "year", Kind: value.Int},
-		{Name: "venue", Kind: value.String},
+	tab := engine.NewTable(DBLPSchema())
+	err := StreamDBLP(cfg, 0, func(batch []value.Tuple) error {
+		return tab.AppendRows(batch)
 	})
+	if err != nil {
+		panic("dataset: dblp generation failed: " + err.Error())
+	}
+	return tab
+}
+
+// StreamDBLP generates exactly the rows of GenerateDBLP(cfg) — the same
+// pseudo-random stream, byte for byte — delivering them to fn in batches
+// of at most batchSize rows (0 means a default batch). The batch slice
+// is reused between calls but the row tuples are fresh, so fn may retain
+// them; memory stays bounded by one batch regardless of cfg.Rows.
+func StreamDBLP(cfg DBLPConfig, batchSize int, fn func(batch []value.Tuple) error) error {
+	cfg = cfg.withDefaults()
+	if batchSize <= 0 {
+		batchSize = 8192
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	venues := make([]string, cfg.NumVenues)
 	for i := range venues {
@@ -77,10 +99,24 @@ func GenerateDBLP(cfg DBLPConfig) *engine.Table {
 		}
 	}
 
+	batch := make([]value.Tuple, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := fn(batch)
+		batch = batch[:0]
+		return err
+	}
+
 	years := cfg.EndYear - cfg.StartYear + 1
 	pubSeq := 0
 	authorSeq := 0
-	for tab.NumRows() < cfg.Rows {
+	// The emitted-row counter replaces the consumer's row count in every
+	// loop bound, keeping the rng call sequence — and therefore the row
+	// stream — identical for every batch size.
+	emitted := 0
+	for emitted < cfg.Rows {
 		authorSeq++
 		author := fmt.Sprintf("A%04d", authorSeq)
 		// Career window inside [StartYear, EndYear].
@@ -103,7 +139,7 @@ func GenerateDBLP(cfg DBLPConfig) *engine.Table {
 		}
 		base := cfg.AvgPubsPerAuthorYear * (0.5 + rng.Float64())
 
-		for dy := 0; dy < careerLen && tab.NumRows() < cfg.Rows; dy++ {
+		for dy := 0; dy < careerLen && emitted < cfg.Rows; dy++ {
 			year := first + dy
 			for rank, vi := range home {
 				rate := base / float64(rank+1)
@@ -117,17 +153,23 @@ func GenerateDBLP(cfg DBLPConfig) *engine.Table {
 					rate = 0
 				}
 				n := poisson(rng, rate)
-				for i := 0; i < n && tab.NumRows() < cfg.Rows; i++ {
+				for i := 0; i < n && emitted < cfg.Rows; i++ {
 					pubSeq++
-					tab.MustAppend(value.Tuple{
+					batch = append(batch, value.Tuple{
 						value.NewString(author),
 						value.NewString(fmt.Sprintf("P%07d", pubSeq)),
 						value.NewInt(int64(year)),
 						value.NewString(venues[vi]),
 					})
+					emitted++
+					if len(batch) == batchSize {
+						if err := flush(); err != nil {
+							return err
+						}
+					}
 				}
 			}
 		}
 	}
-	return tab
+	return flush()
 }

@@ -268,6 +268,9 @@ func (t *Table) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
 		return nil, err
 	}
 	if !t.rowOnly && len(gIdx) > 0 && len(t.rows) > 0 {
+		if out := t.groupByCompressed(gIdx, aCols, sch); out != nil {
+			return out, nil
+		}
 		return t.groupByColumnar(gIdx, aCols, sch), nil
 	}
 	return t.groupByRows(gIdx, aCols, sch), nil

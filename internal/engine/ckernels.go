@@ -1,0 +1,501 @@
+package engine
+
+import (
+	"encoding/binary"
+
+	"cape/internal/value"
+)
+
+// Compressed kernels: GroupBy, SelectEq, CountDistinct and
+// DistinctProject evaluated directly over CompressedCol run streams,
+// without decoding codes to dense slices or touching boxed rows except
+// to materialize results. The kernels are multi-part — a part is one
+// physically contiguous slab of rows (a sealed segment, or a Table's
+// row storage) — so one implementation serves both the in-memory
+// compressed dispatch (one part) and SegTable (segments + tail),
+// while group identity, group order, aggregate fold order and result
+// values stay byte-identical to the row/columnar reference paths:
+//
+//   - Group ids are assigned in global first-appearance row order.
+//     Cross-part identity goes through the canonical AppendKey bytes of
+//     the dictionary values, the same equality classes the reference
+//     paths group by.
+//   - Aggregates fold runs in global row order. Run-level shortcuts are
+//     used only where bitwise exact: count += runLen, sumI += v·runLen
+//     (integer arithmetic), one dictionary Compare per run for Min/Max.
+//     The float sum is accumulated by repeated per-row adds so the
+//     summation order matches the reference fold exactly.
+//   - Min/Max store the value of the run's first row (via part.val), the
+//     same value the per-row reference keeps, with the same
+//     first-encountered-wins tie rule (strict Compare).
+//
+// NaN dictionaries are rejected by the dispatchers before kernels run
+// (see EqCode/eqDivergent); 2^53 probes fall back in SelectEq exactly
+// like the columnar path.
+
+// compPart is one contiguous slab of rows presented to the compressed
+// kernels: per-key and per-aggregate compressed column views plus an
+// accessor for materializing individual values (group representatives,
+// Min/Max results). Slot s addresses key column s for s < nK and
+// aggregate s-nK otherwise.
+type compPart struct {
+	n    int
+	keys []*CompressedCol
+	aggs []*CompressedCol // nil entry ⇔ count(*)
+	val  func(row, slot int) value.V
+}
+
+// partRef addresses one row of one part.
+type partRef struct {
+	part int32
+	row  int32
+}
+
+// groupAssign tracks the global group table across parts. Group keys are
+// the AppendKey bytes of the key values; per part, combinations of local
+// dictionary codes memoize their global id so the byte encoding runs
+// once per (part, combination), not per run.
+type groupAssign struct {
+	nK     int
+	global map[string]int32
+	firsts []partRef
+	keyBuf []byte
+
+	// Per-part memo, reset by beginPart: a direct remap array for a
+	// single key column, a code-tuple map otherwise.
+	part    *compPart
+	partIdx int32
+	remap   []int32
+	combos  map[string]int32
+	tupBuf  []byte
+}
+
+func newGroupAssign(nK int) *groupAssign {
+	return &groupAssign{nK: nK, global: make(map[string]int32)}
+}
+
+func (ga *groupAssign) beginPart(p *compPart, idx int32) {
+	ga.part = p
+	ga.partIdx = idx
+	if ga.nK == 1 {
+		d := len(p.keys[0].dict)
+		if cap(ga.remap) < d {
+			ga.remap = make([]int32, d)
+		}
+		ga.remap = ga.remap[:d]
+		for i := range ga.remap {
+			ga.remap[i] = -1
+		}
+		return
+	}
+	ga.combos = make(map[string]int32, 64)
+}
+
+// assign resolves the global group id of a run starting at local row
+// with the given key codes.
+func (ga *groupAssign) assign(codes []int32, row int32) int32 {
+	if ga.nK == 1 {
+		if g := ga.remap[codes[0]]; g >= 0 {
+			return g
+		}
+		g := ga.assignSlow(codes, row)
+		ga.remap[codes[0]] = g
+		return g
+	}
+	tup := ga.tupBuf[:0]
+	for _, c := range codes {
+		tup = binary.LittleEndian.AppendUint32(tup, uint32(c))
+	}
+	ga.tupBuf = tup
+	if g, ok := ga.combos[string(tup)]; ok {
+		return g
+	}
+	g := ga.assignSlow(codes, row)
+	ga.combos[string(tup)] = g
+	return g
+}
+
+func (ga *groupAssign) assignSlow(codes []int32, row int32) int32 {
+	key := ga.keyBuf[:0]
+	for k, c := range codes {
+		key = ga.part.keys[k].dict[c].AppendKey(key)
+	}
+	ga.keyBuf = key
+	if g, ok := ga.global[string(key)]; ok {
+		return g
+	}
+	g := int32(len(ga.firsts))
+	ga.global[string(key)] = g
+	ga.firsts = append(ga.firsts, partRef{part: ga.partIdx, row: row})
+	return g
+}
+
+// groupByCompressedParts evaluates GroupBy over the concatenation of
+// parts. nK is the number of group columns; aCols carries the aggregate
+// specs (aggCol.idx is unused here — part.aggs already resolved the
+// argument columns). The output matches the reference GroupBy bitwise.
+func groupByCompressedParts(parts []*compPart, nK int, aCols []aggCol, sch Schema) *Table {
+	nA := len(aCols)
+	ga := newGroupAssign(nK)
+	var states []aggState // laid out [gid*nA+ai]
+
+	kcur := make([]runCur, nK)
+	acur := make([]runCur, nA)
+	codes := make([]int32, nK)
+	for pi, p := range parts {
+		if p.n == 0 {
+			continue
+		}
+		ga.beginPart(p, int32(pi))
+		for k := 0; k < nK; k++ {
+			kcur[k].init(p.keys[k])
+		}
+		for ai := 0; ai < nA; ai++ {
+			if p.aggs[ai] != nil {
+				acur[ai].init(p.aggs[ai])
+			}
+		}
+		n := int32(p.n)
+		for pos := int32(0); pos < n; {
+			segEnd := n
+			for k := 0; k < nK; k++ {
+				kcur[k].seek(pos)
+				if kcur[k].end < segEnd {
+					segEnd = kcur[k].end
+				}
+				codes[k] = kcur[k].code
+			}
+			gid := ga.assign(codes, pos)
+			if int(gid)*nA >= len(states) {
+				states = append(states, make([]aggState, nA)...)
+			}
+			base := int(gid) * nA
+			for ai := 0; ai < nA; ai++ {
+				cc := p.aggs[ai]
+				if cc == nil { // count(*)
+					states[base+ai].count += int64(segEnd - pos)
+					continue
+				}
+				cur := &acur[ai]
+				for q := pos; q < segEnd; {
+					cur.seek(q)
+					e := cur.end
+					if e > segEnd {
+						e = segEnd
+					}
+					foldCompressedRun(&states[base+ai], aCols[ai].spec.Func, cc,
+						cur.code, int(e-q), p, int(q), nK+ai)
+					q = e
+				}
+			}
+			pos = segEnd
+		}
+	}
+
+	nG := len(ga.firsts)
+	out := NewTable(sch)
+	out.rows = make([]value.Tuple, nG)
+	width := len(sch)
+	slab := make([]value.V, nG*width)
+	for g := 0; g < nG; g++ {
+		row := slab[g*width : (g+1)*width : (g+1)*width]
+		fr := ga.firsts[g]
+		p := parts[fr.part]
+		for k := 0; k < nK; k++ {
+			row[k] = p.val(int(fr.row), k)
+		}
+		for ai := 0; ai < nA; ai++ {
+			row[nK+ai] = states[g*nA+ai].result(aCols[ai].spec.Func)
+		}
+		out.rows[g] = row
+	}
+	return out
+}
+
+// foldCompressedRun folds one equal-code run of an aggregate argument
+// into an aggState, reproducing the per-row reference fold exactly.
+// firstRow is the part-local row where the run starts; slot addresses
+// the argument column in part.val.
+func foldCompressedRun(st *aggState, f AggFunc, cc *CompressedCol,
+	code int32, k int, p *compPart, firstRow, slot int) {
+
+	kind := cc.dictKind[code]
+	switch f {
+	case Count:
+		if kind != value.Null {
+			st.count += int64(k)
+		}
+	case Sum, Avg:
+		switch kind {
+		case value.Int:
+			st.sumI += int64(k) * cc.dictI64[code]
+			st.count += int64(k)
+			// sumF feeds the result only via Avg or a later anyFloat;
+			// the per-row adds keep its summation order identical to the
+			// reference when it does.
+			if f == Avg || cc.hasFloat {
+				fv := cc.dictF64[code]
+				for j := 0; j < k; j++ {
+					st.sumF += fv
+				}
+			}
+		case value.Float:
+			fv := cc.dictF64[code]
+			for j := 0; j < k; j++ {
+				st.sumF += fv
+			}
+			st.anyFloat = true
+			st.count += int64(k)
+		}
+	case Min:
+		if kind == value.Null {
+			return
+		}
+		if !st.seen || value.Compare(cc.dict[code], st.minV) < 0 {
+			st.minV = p.val(firstRow, slot)
+		}
+		st.seen = true
+	case Max:
+		if kind == value.Null {
+			return
+		}
+		if !st.seen || value.Compare(cc.dict[code], st.maxV) > 0 {
+			st.maxV = p.val(firstRow, slot)
+		}
+		st.seen = true
+	}
+}
+
+// countGroupsParts counts distinct key combinations across parts — the
+// grouping walk of groupByCompressedParts without aggregate state.
+func countGroupsParts(parts []*compPart, nK int) int {
+	ga := newGroupAssign(nK)
+	kcur := make([]runCur, nK)
+	codes := make([]int32, nK)
+	for pi, p := range parts {
+		if p.n == 0 {
+			continue
+		}
+		ga.beginPart(p, int32(pi))
+		for k := 0; k < nK; k++ {
+			kcur[k].init(p.keys[k])
+		}
+		n := int32(p.n)
+		for pos := int32(0); pos < n; {
+			segEnd := n
+			for k := 0; k < nK; k++ {
+				kcur[k].seek(pos)
+				if kcur[k].end < segEnd {
+					segEnd = kcur[k].end
+				}
+				codes[k] = kcur[k].code
+			}
+			ga.assign(codes, pos)
+			pos = segEnd
+		}
+	}
+	return len(ga.firsts)
+}
+
+// distinctParts returns the first-appearance partRef of every distinct
+// key combination across parts, in first-appearance order.
+func distinctParts(parts []*compPart, nK int) []partRef {
+	ga := newGroupAssign(nK)
+	kcur := make([]runCur, nK)
+	codes := make([]int32, nK)
+	for pi, p := range parts {
+		if p.n == 0 {
+			continue
+		}
+		ga.beginPart(p, int32(pi))
+		for k := 0; k < nK; k++ {
+			kcur[k].init(p.keys[k])
+		}
+		n := int32(p.n)
+		for pos := int32(0); pos < n; {
+			segEnd := n
+			for k := 0; k < nK; k++ {
+				kcur[k].seek(pos)
+				if kcur[k].end < segEnd {
+					segEnd = kcur[k].end
+				}
+				codes[k] = kcur[k].code
+			}
+			ga.assign(codes, pos)
+			pos = segEnd
+		}
+	}
+	return ga.firsts
+}
+
+// selectEqPlanParts resolves an equality probe against every part's
+// dictionaries. It returns, per part, the wanted code of each probed
+// column. divergent reports that code comparison cannot answer
+// value.Equal for this probe (the caller must use a boxed scan);
+// otherwise parts whose entry is nil cannot contain a match.
+func selectEqPlanParts(parts []*compPart, vals value.Tuple) (want [][]int32, divergent bool) {
+	want = make([][]int32, len(parts))
+	for pi, p := range parts {
+		w := make([]int32, len(vals))
+		miss := false
+		for i, v := range vals {
+			code, ok, div := p.keys[i].EqCode(v)
+			if div {
+				return nil, true
+			}
+			if !ok {
+				miss = true
+				continue
+			}
+			w[i] = code
+		}
+		if !miss {
+			want[pi] = w
+		}
+	}
+	return want, false
+}
+
+// compressedPart assembles the single compPart of an in-memory Table
+// for a query touching key columns gIdx and aggregate columns aCols.
+// ok is false unless every touched column has a current compressed view
+// covering exactly the live row count — the staleness check that keeps
+// a view built before an append from serving the longer table.
+func (t *Table) compressedPart(gIdx []int, aCols []aggCol) (*compPart, bool) {
+	c := t.cols.Load()
+	if c == nil {
+		return nil, false
+	}
+	n := len(t.rows)
+	p := &compPart{n: n}
+	p.keys = make([]*CompressedCol, len(gIdx))
+	for i, ci := range gIdx {
+		cc := c.Compressed(ci)
+		if cc == nil || cc.n != n {
+			return nil, false
+		}
+		p.keys[i] = cc
+	}
+	p.aggs = make([]*CompressedCol, len(aCols))
+	for i, ac := range aCols {
+		if ac.idx < 0 {
+			continue
+		}
+		cc := c.Compressed(ac.idx)
+		if cc == nil || cc.n != n {
+			return nil, false
+		}
+		p.aggs[i] = cc
+	}
+	rows := t.rows
+	nK := len(gIdx)
+	p.val = func(row, slot int) value.V {
+		if slot < nK {
+			return rows[row][gIdx[slot]]
+		}
+		return rows[row][aCols[slot-nK].idx]
+	}
+	return p, true
+}
+
+// groupByCompressed runs GroupBy over the table's compressed views,
+// returning nil when any touched column lacks a current view (the
+// caller then uses the columnar kernel). Some aggregate/column pairs
+// also decline — see aggDeclinesCompressed.
+func (t *Table) groupByCompressed(gIdx []int, aCols []aggCol, sch Schema) *Table {
+	part, ok := t.compressedPart(gIdx, aCols)
+	if !ok {
+		return nil
+	}
+	for i, ac := range aCols {
+		if aggDeclinesCompressed(ac.spec.Func, part.aggs[i]) {
+			return nil
+		}
+	}
+	return groupByCompressedParts([]*compPart{part}, len(gIdx), aCols, sch)
+}
+
+// aggDeclinesCompressed reports whether folding spec f over cc must be
+// left to the per-row reference: Min/Max over a NaN-containing column
+// (NaN compares equal to every numeric, so first-encounter tie-breaking
+// is load-bearing), and Sum/Avg over a mixed-kind column (the fold reads
+// kinds from the dictionary, but the result's Int-vs-Float kind depends
+// on the actual per-row kinds).
+func aggDeclinesCompressed(f AggFunc, cc *CompressedCol) bool {
+	if cc == nil {
+		return false
+	}
+	switch f {
+	case Min, Max:
+		return cc.hasNaN
+	case Sum, Avg:
+		return cc.mixedKind
+	}
+	return false
+}
+
+// selectEqCompressed answers SelectEq from the compressed views,
+// appending matching rows to out. It reports false when the query
+// cannot be served compressed — missing/stale views, or a probe where
+// code equality diverges from value.Equal — in which case out is
+// untouched and the caller falls through to the columnar/row paths.
+func (t *Table) selectEqCompressed(out *Table, idx []int, vals value.Tuple) bool {
+	part, ok := t.compressedPart(idx, nil)
+	if !ok {
+		return false
+	}
+	want, divergent := selectEqPlanParts([]*compPart{part}, vals)
+	if divergent {
+		return false
+	}
+	if want[0] == nil {
+		return true // some probed value absent from a dictionary: no rows
+	}
+	rows := t.rows
+	selectEqRuns(part, want[0], func(lo, hi int32) {
+		out.rows = append(out.rows, rows[lo:hi]...)
+	})
+	return true
+}
+
+// countDistinctCompressed answers CountDistinct from the compressed
+// views (ok=false when any view is missing or stale).
+func (t *Table) countDistinctCompressed(idx []int) (int, bool) {
+	part, ok := t.compressedPart(idx, nil)
+	if !ok {
+		return 0, false
+	}
+	if len(idx) == 1 {
+		return len(part.keys[0].dict), true
+	}
+	return countGroupsParts([]*compPart{part}, len(idx)), true
+}
+
+// selectEqRuns walks the merged key runs of one part and emits the
+// half-open local row ranges where every probed column carries its
+// wanted code.
+func selectEqRuns(p *compPart, want []int32, emit func(lo, hi int32)) {
+	nK := len(want)
+	kcur := make([]runCur, nK)
+	for k := 0; k < nK; k++ {
+		kcur[k].init(p.keys[k])
+	}
+	n := int32(p.n)
+	for pos := int32(0); pos < n; {
+		segEnd := n
+		match := true
+		for k := 0; k < nK; k++ {
+			kcur[k].seek(pos)
+			if kcur[k].end < segEnd {
+				segEnd = kcur[k].end
+			}
+			if kcur[k].code != want[k] {
+				match = false
+			}
+		}
+		if match {
+			emit(pos, segEnd)
+		}
+		pos = segEnd
+	}
+}

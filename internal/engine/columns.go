@@ -27,6 +27,11 @@ type Columnar struct {
 	mu    sync.Mutex // serializes column builds (misses only)
 	cols  []atomic.Pointer[Col]
 	flats []atomic.Pointer[Col]
+	// comp caches opt-in compressed views (Table.CompressColumns).
+	// Appends drop them atomically (see extendColumnar) — a compressed
+	// view is immutable, so unlike cols/flats it cannot be extended in
+	// place — and kernels double-check NumRows before trusting one.
+	comp []atomic.Pointer[CompressedCol]
 }
 
 // NumRows reports the number of rows in the snapshot.
@@ -247,6 +252,43 @@ func (c *Col) RankCodes() ([]int32, int32, bool) {
 	return out, c.numRanks, true
 }
 
+// Compressed returns the cached compressed view of column ci, or nil
+// when none has been built (CompressColumns) or an append dropped it.
+// Callers must additionally check NumRows against the live table before
+// use; the kernels' dispatchers do.
+func (c *Columnar) Compressed(ci int) *CompressedCol {
+	if c.comp == nil {
+		return nil
+	}
+	return c.comp[ci].Load()
+}
+
+// CompressColumns builds compressed views (run-length or bit-packed
+// dictionary codes, see CompressedCol) of the named columns — all
+// columns when none are named — and caches them on the columnar view.
+// Compressed views are strictly opt-in: operators use them only when
+// every column a query touches has a current view, so default Table
+// behaviour is unchanged. An append invalidates the views (they are
+// immutable, sealed encodings); re-calling CompressColumns rebuilds
+// them over the longer table.
+func (t *Table) CompressColumns(cols ...string) error {
+	if len(cols) == 0 {
+		cols = t.schema.Names()
+	}
+	idx, err := t.schema.Indices(cols)
+	if err != nil {
+		return err
+	}
+	c := t.Columns()
+	for _, ci := range idx {
+		col := c.Col(ci)
+		cc := compressCodes(col.Codes, col.Dict)
+		cc.markMixedKinds(col.Kinds, col.Codes)
+		c.comp[ci].Store(cc)
+	}
+	return nil
+}
+
 // maxExactFloat bounds the range in which AppendKey equality classes
 // and value.Compare equality classes coincide for numerics: at
 // magnitude ≥ 2^53, AppendKey-distinct integers can round to the same
@@ -283,6 +325,7 @@ func (t *Table) Columns() *Columnar {
 		rows:  t.rows,
 		cols:  make([]atomic.Pointer[Col], len(t.schema)),
 		flats: make([]atomic.Pointer[Col], len(t.schema)),
+		comp:  make([]atomic.Pointer[CompressedCol], len(t.schema)),
 	}
 	t.cols.Store(c)
 	return c

@@ -1,0 +1,367 @@
+package engine
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync"
+
+	"cape/internal/value"
+)
+
+// CompressedCol is a compressed encoding of one dictionary-coded column:
+// the per-row int32 codes of a Col re-expressed as run-length runs or as
+// bit-packed words, next to the shared dictionary. Kernels that group,
+// filter, or aggregate consume it through a runCur — a cursor yielding
+// maximal equal-code runs in row order — so their cost scales with the
+// number of runs (RLE) or with a sequential unpack (bit-packed), never
+// with boxed per-row dispatch, and the code payload of an on-disk
+// segment column can stay mmap'd instead of being decoded into dense
+// heap slices.
+//
+// Nulls need no separate bitmap here: NULL is a dictionary value like
+// any other, so nullCode marks the code kernels must treat as NULL
+// (compare Col, whose flat buffers carry an explicit bitmap). All fields
+// are immutable after construction; a CompressedCol is safe for
+// concurrent use.
+type CompressedCol struct {
+	n    int
+	dict []value.V
+
+	// Dictionary metadata decoded once so aggregate folds never touch
+	// boxed values: kind, numeric payloads, and the flags the dispatch
+	// rules check.
+	dictKind []value.Kind
+	dictF64  []float64
+	dictI64  []int64
+	nullCode int32 // dictionary code of NULL, -1 when the column has none
+	hasNaN   bool
+	hasFloat bool // any Float value in the dictionary (sumF shortcuts)
+	// mixedKind records that some row's kind differs from its dictionary
+	// representative's — possible because AppendKey folds Int(k) and the
+	// integral Float(k) into one class. Sum/Avg folds read kinds from the
+	// dictionary, so dispatchers decline mixed columns (segment columns
+	// are canonicalized and never mixed).
+	mixedKind bool
+
+	// Exactly one of the three encodings is populated:
+	//   RLE:   runEnds[i] is the exclusive end row of run i, whose code
+	//          is runCodes[i].
+	//   PACK:  codes bit-packed LSB-first into little-endian 64-bit
+	//          words (bitWidth bits each); packed may view mmap'd bytes.
+	//   DENSE: a zero-copy view over a Col's Codes slice (used for the
+	//          uncompressed tail of a SegTable).
+	runEnds  []int32
+	runCodes []int32
+	packed   []byte
+	bitWidth uint32
+	dense    []int32
+
+	lookupOnce sync.Once
+	lookup     map[string]int32 // AppendKey bytes → code, built lazily
+}
+
+// Encoding names for introspection (cape convert reporting, tests).
+const (
+	encRLE   = 1
+	encPack  = 2
+	encDense = 3
+)
+
+func (cc *CompressedCol) encoding() int {
+	switch {
+	case cc.runEnds != nil:
+		return encRLE
+	case cc.packed != nil:
+		return encPack
+	default:
+		return encDense
+	}
+}
+
+// EncodingName reports the storage encoding ("rle", "bitpack", "dense").
+func (cc *CompressedCol) EncodingName() string {
+	switch cc.encoding() {
+	case encRLE:
+		return "rle"
+	case encPack:
+		return "bitpack"
+	default:
+		return "dense"
+	}
+}
+
+// NumRows reports the number of rows the column covers. Kernels compare
+// it against the live table length before trusting a cached view — the
+// epoch check that keeps a stale compressed view from ever serving a
+// query after an append.
+func (cc *CompressedCol) NumRows() int { return cc.n }
+
+// NumRuns reports the stored run count (RLE only; 0 otherwise).
+func (cc *CompressedCol) NumRuns() int { return len(cc.runEnds) }
+
+// Dict returns the dictionary (callers must not mutate it).
+func (cc *CompressedCol) Dict() []value.V { return cc.dict }
+
+// HasNaN reports whether any dictionary value is NaN, in which case code
+// equality diverges from value.Equal and kernels must fall back.
+func (cc *CompressedCol) HasNaN() bool { return cc.hasNaN }
+
+// buildDictMeta decodes the dictionary into flat lookup arrays.
+func (cc *CompressedCol) buildDictMeta() {
+	d := len(cc.dict)
+	cc.dictKind = make([]value.Kind, d)
+	cc.dictF64 = make([]float64, d)
+	cc.dictI64 = make([]int64, d)
+	cc.nullCode = -1
+	for i, v := range cc.dict {
+		k := v.Kind()
+		cc.dictKind[i] = k
+		switch k {
+		case value.Int:
+			iv := v.Int()
+			cc.dictI64[i] = iv
+			cc.dictF64[i] = float64(iv)
+		case value.Float:
+			f := v.Float()
+			cc.dictF64[i] = f
+			cc.hasFloat = true
+			if f != f {
+				cc.hasNaN = true
+			}
+		case value.Null:
+			cc.nullCode = int32(i)
+		}
+	}
+}
+
+// CodeOf returns the dictionary code of v under AppendKey equality, or
+// ok=false when v does not occur in the column.
+func (cc *CompressedCol) CodeOf(v value.V) (int32, bool) {
+	cc.lookupOnce.Do(func() {
+		m := make(map[string]int32, len(cc.dict))
+		var buf []byte
+		for i, dv := range cc.dict {
+			buf = dv.AppendKey(buf[:0])
+			if _, dup := m[string(buf)]; !dup {
+				m[string(buf)] = int32(i)
+			}
+		}
+		cc.lookup = m
+	})
+	var buf [24]byte
+	code, ok := cc.lookup[string(v.AppendKey(buf[:0]))]
+	return code, ok
+}
+
+// EqCode resolves an equality probe like Col.EqCode: divergent means
+// code comparison cannot answer value.Equal for this probe and the
+// caller must fall back to a boxed scan.
+func (cc *CompressedCol) EqCode(v value.V) (code int32, ok, divergent bool) {
+	if eqDivergent(v, cc.hasNaN) {
+		return 0, false, true
+	}
+	code, ok = cc.CodeOf(v)
+	return code, ok, false
+}
+
+// CodeAt returns the code of row i: direct for DENSE and PACK, a binary
+// search over run ends for RLE. Intended for sparse random access (row
+// materialization, group representatives); sequential consumers use a
+// runCur.
+func (cc *CompressedCol) CodeAt(i int) int32 {
+	switch {
+	case cc.dense != nil:
+		return cc.dense[i]
+	case cc.packed != nil:
+		return cc.unpack(i)
+	default:
+		lo, hi := 0, len(cc.runEnds)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if int(cc.runEnds[mid]) <= i {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return cc.runCodes[lo]
+	}
+}
+
+// ValueAt returns the dictionary value of row i.
+func (cc *CompressedCol) ValueAt(i int) value.V { return cc.dict[cc.CodeAt(i)] }
+
+// unpack decodes one bit-packed code. Codes are packed LSB-first into
+// little-endian 64-bit words; a code may straddle two words.
+func (cc *CompressedCol) unpack(i int) int32 {
+	bw := uint(cc.bitWidth)
+	bitPos := uint64(i) * uint64(bw)
+	w := (bitPos >> 6) << 3
+	off := uint(bitPos & 63)
+	lo := binary.LittleEndian.Uint64(cc.packed[w:]) >> off
+	if off+bw > 64 {
+		lo |= binary.LittleEndian.Uint64(cc.packed[w+8:]) << (64 - off)
+	}
+	return int32(lo & (1<<bw - 1))
+}
+
+// packCodes bit-packs codes into little-endian words of bw bits each.
+func packCodes(codes []int32, bw uint32) []byte {
+	words := (uint64(len(codes))*uint64(bw) + 63) / 64
+	out := make([]byte, words*8)
+	var acc uint64
+	var accBits uint
+	w := 0
+	for _, c := range codes {
+		acc |= uint64(uint32(c)) << accBits
+		accBits += uint(bw)
+		for accBits >= 64 {
+			binary.LittleEndian.PutUint64(out[w:], acc)
+			w += 8
+			accBits -= 64
+			if accBits > 0 {
+				acc = uint64(uint32(c)) >> (uint(bw) - accBits)
+			} else {
+				acc = 0
+			}
+		}
+	}
+	if accBits > 0 {
+		binary.LittleEndian.PutUint64(out[w:], acc)
+	}
+	return out
+}
+
+// bitWidthFor returns the packed width for a dictionary of d entries
+// (at least 1 bit so zero-length codes never occur).
+func bitWidthFor(d int) uint32 {
+	if d <= 1 {
+		return 1
+	}
+	return uint32(bits.Len32(uint32(d - 1)))
+}
+
+// rleRuns run-length encodes codes.
+func rleRuns(codes []int32) (ends, runs []int32) {
+	for i := 0; i < len(codes); {
+		c := codes[i]
+		j := i + 1
+		for j < len(codes) && codes[j] == c {
+			j++
+		}
+		ends = append(ends, int32(j))
+		runs = append(runs, c)
+		i = j
+	}
+	return ends, runs
+}
+
+// compressCodes builds a CompressedCol from dense codes and their
+// dictionary, choosing the smaller of RLE and bit-packed storage (the
+// tie goes to RLE, whose cursor is cheaper).
+func compressCodes(codes []int32, dict []value.V) *CompressedCol {
+	cc := &CompressedCol{n: len(codes), dict: dict}
+	cc.buildDictMeta()
+	ends, runs := rleRuns(codes)
+	bw := bitWidthFor(len(dict))
+	rleBytes := len(ends) * 8
+	packBytes := (len(codes)*int(bw) + 63) / 64 * 8
+	if rleBytes <= packBytes {
+		cc.runEnds, cc.runCodes = ends, runs
+	} else {
+		cc.bitWidth = bw
+		cc.packed = packCodes(codes, bw)
+	}
+	return cc
+}
+
+// denseView wraps a Col's dense codes as a CompressedCol without copying
+// the code payload — the representation SegTable uses for its
+// uncompressed tail so every kernel consumes one cursor type.
+func denseView(col *Col) *CompressedCol {
+	cc := &CompressedCol{n: len(col.Codes), dict: col.Dict, dense: col.Codes}
+	cc.buildDictMeta()
+	cc.markMixedKinds(col.Kinds, col.Codes)
+	return cc
+}
+
+// markMixedKinds sets mixedKind when any row's kind differs from its
+// dictionary representative's kind.
+func (cc *CompressedCol) markMixedKinds(kinds []value.Kind, codes []int32) {
+	for r, k := range kinds {
+		if k != cc.dictKind[codes[r]] {
+			cc.mixedKind = true
+			return
+		}
+	}
+}
+
+// RunCursor iterates the maximal equal-code runs of a CompressedCol in
+// row order — the exported face of the kernels' internal cursor, used by
+// consumers outside the engine (pattern.SharedFitter intersects
+// partition columns' runs to find fragment boundaries without touching
+// rows). Seek positions must be non-decreasing.
+type RunCursor struct{ c runCur }
+
+// Init binds the cursor to a column and resets it.
+func (rc *RunCursor) Init(cc *CompressedCol) { rc.c.init(cc) }
+
+// Seek advances to the run covering row pos and returns the run's
+// dictionary code and exclusive end row.
+func (rc *RunCursor) Seek(pos int32) (code, end int32) {
+	rc.c.seek(pos)
+	return rc.c.code, rc.c.end
+}
+
+// runCur is a cursor over the maximal equal-code runs of a CompressedCol
+// in row order. After seek(pos), code is the code of row pos and end is
+// the first row after pos with a different code (or n). PACK and DENSE
+// encodings synthesize runs by coalescing adjacent equal codes during
+// the sequential decode.
+type runCur struct {
+	cc   *CompressedCol
+	idx  int   // next RLE run to load
+	end  int32 // exclusive end of the current run
+	code int32
+}
+
+func (c *runCur) init(cc *CompressedCol) {
+	c.cc = cc
+	c.idx = 0
+	c.end = 0
+	c.code = -1
+}
+
+// seek advances the cursor so that its current run covers row pos.
+// pos must be non-decreasing across calls.
+func (c *runCur) seek(pos int32) {
+	if pos < c.end {
+		return
+	}
+	cc := c.cc
+	if cc.runEnds != nil {
+		for c.idx < len(cc.runEnds) && cc.runEnds[c.idx] <= pos {
+			c.idx++
+		}
+		c.end = cc.runEnds[c.idx]
+		c.code = cc.runCodes[c.idx]
+		c.idx++
+		return
+	}
+	n := int32(cc.n)
+	if cc.dense != nil {
+		code := cc.dense[pos]
+		e := pos + 1
+		for e < n && cc.dense[e] == code {
+			e++
+		}
+		c.code, c.end = code, e
+		return
+	}
+	code := cc.unpack(int(pos))
+	e := pos + 1
+	for e < n && cc.unpack(int(e)) == code {
+		e++
+	}
+	c.code, c.end = code, e
+}

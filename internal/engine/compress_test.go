@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cape/internal/value"
+)
+
+// These tests pin the compressed kernels (CompressColumns dispatch) to
+// the row-oriented reference exactly like the columnar differential
+// suite: same tables, same queries, byte-identical results. The
+// compressed paths additionally cross-check against the plain columnar
+// path so a divergence is attributable.
+
+// compressedClone returns a clone of tab with compressed views over all
+// columns.
+func compressedClone(t *testing.T, tab *Table) *Table {
+	t.Helper()
+	c := tab.Clone()
+	if err := c.CompressColumns(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompressedColRoundTrip(t *testing.T) {
+	cases := [][]int32{
+		nil,
+		{0},
+		{0, 0, 0, 0, 0}, // single-value run
+		{0, 1, 0, 1, 0, 1},
+		{2, 2, 1, 1, 0, 0, 2},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(300)
+		d := 1 + rng.Intn(9)
+		codes := make([]int32, n)
+		for i := range codes {
+			if rng.Intn(4) == 0 && i > 0 {
+				codes[i] = codes[i-1] // encourage runs
+			} else {
+				codes[i] = int32(rng.Intn(d))
+			}
+		}
+		cases = append(cases, codes)
+	}
+	for ci, codes := range cases {
+		maxCode := int32(-1)
+		for _, c := range codes {
+			if c > maxCode {
+				maxCode = c
+			}
+		}
+		dict := make([]value.V, maxCode+1)
+		for i := range dict {
+			dict[i] = value.NewInt(int64(i))
+		}
+		cc := compressCodes(codes, dict)
+		if cc.NumRows() != len(codes) {
+			t.Fatalf("case %d: NumRows %d != %d", ci, cc.NumRows(), len(codes))
+		}
+		// Random access.
+		for i, want := range codes {
+			if got := cc.CodeAt(i); got != want {
+				t.Fatalf("case %d (%s): CodeAt(%d) = %d, want %d", ci, cc.EncodingName(), i, got, want)
+			}
+		}
+		// Sequential run cursor must cover every row with the right code
+		// and strictly advancing run ends.
+		var cur runCur
+		cur.init(cc)
+		for pos := int32(0); pos < int32(len(codes)); pos = cur.end {
+			cur.seek(pos)
+			if cur.end <= pos {
+				t.Fatalf("case %d: run end %d did not advance past %d", ci, cur.end, pos)
+			}
+			for r := pos; r < cur.end; r++ {
+				if codes[r] != cur.code {
+					t.Fatalf("case %d: run code %d at row %d, want %d", ci, cur.code, r, codes[r])
+				}
+			}
+		}
+		// The alternative encoding must agree too.
+		alt := &CompressedCol{n: len(codes), dict: dict}
+		alt.buildDictMeta()
+		if cc.encoding() == encRLE {
+			alt.bitWidth = bitWidthFor(len(dict))
+			alt.packed = packCodes(codes, alt.bitWidth)
+		} else {
+			alt.runEnds, alt.runCodes = rleRuns(codes)
+		}
+		for i, want := range codes {
+			if got := alt.CodeAt(i); got != want {
+				t.Fatalf("case %d (%s alt): CodeAt(%d) = %d, want %d", ci, alt.EncodingName(), i, got, want)
+			}
+		}
+	}
+}
+
+func TestPackRunsMatchesPackCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		d := 1 + rng.Intn(1000)
+		codes := make([]int32, n)
+		for i := range codes {
+			codes[i] = int32(rng.Intn(d))
+		}
+		bw := bitWidthFor(d)
+		dense := packCodes(codes, bw)
+		ends, runs := rleRuns(codes)
+		fromRuns := packRuns(ends, runs, bw)
+		if len(dense) != len(fromRuns) {
+			t.Fatalf("trial %d: packed lengths differ: %d != %d", trial, len(dense), len(fromRuns))
+		}
+		for i := range dense {
+			if dense[i] != fromRuns[i] {
+				t.Fatalf("trial %d: packed bytes differ at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestGroupByCompressedDifferential(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng, rng.Intn(200), 2+rng.Intn(3))
+		comp := compressedClone(t, tab)
+		ref := tab.Clone().ForceRowPath(true)
+		for trial := 0; trial < 4; trial++ {
+			cols := randomCols(rng, tab, 1+rng.Intn(3))
+			aggs := randomAggs(rng, tab)
+			got, err := comp.GroupBy(cols, aggs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.GroupBy(cols, aggs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tablesIdentical(t, got, want,
+				fmt.Sprintf("seed %d compressed GroupBy(%v, %v)", seed, cols, aggs))
+			col, err := tab.GroupBy(cols, aggs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tablesIdentical(t, got, col,
+				fmt.Sprintf("seed %d compressed-vs-columnar GroupBy(%v, %v)", seed, cols, aggs))
+		}
+	}
+}
+
+func TestSelectEqCompressedDifferential(t *testing.T) {
+	pathological := []value.V{
+		value.NewNull(),
+		value.NewFloat(math.NaN()),
+		value.NewInt(1 << 53),
+		value.NewInt(1<<53 + 1),
+		value.NewFloat(float64(int64(1) << 53)),
+		value.NewFloat(2.5),
+		value.NewString("absent"),
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng, rng.Intn(150), 2+rng.Intn(3))
+		comp := compressedClone(t, tab)
+		ref := tab.Clone().ForceRowPath(true)
+		for trial := 0; trial < 8; trial++ {
+			cols := randomCols(rng, tab, 1+rng.Intn(2))
+			vals := make(value.Tuple, len(cols))
+			for i, c := range cols {
+				if tab.NumRows() > 0 && rng.Intn(3) > 0 {
+					ci := tab.Schema().Index(c)
+					vals[i] = tab.Row(rng.Intn(tab.NumRows()))[ci]
+				} else {
+					vals[i] = pathological[rng.Intn(len(pathological))]
+				}
+			}
+			got, err := comp.SelectEq(cols, vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.SelectEq(cols, vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tablesIdentical(t, got, want,
+				fmt.Sprintf("seed %d compressed SelectEq(%v, %s)", seed, cols, vals))
+		}
+	}
+}
+
+func TestCountDistinctCompressedDifferential(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng, rng.Intn(150), 2+rng.Intn(3))
+		comp := compressedClone(t, tab)
+		ref := tab.Clone().ForceRowPath(true)
+		for trial := 0; trial < 4; trial++ {
+			cols := randomCols(rng, tab, 1+rng.Intn(3))
+			got, err := comp.CountDistinct(cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.CountDistinct(cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed %d compressed CountDistinct(%v): got %d, want %d", seed, cols, got, want)
+			}
+		}
+	}
+}
+
+func TestCubeCompressedDifferential(t *testing.T) {
+	aggs := []AggSpec{{Func: Count}, {Func: Sum, Arg: "c0"}, {Func: Avg, Arg: "c1"}}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng, rng.Intn(80), 3)
+		comp := compressedClone(t, tab)
+		ref := tab.Clone().ForceRowPath(true)
+		cols := []string{"c0", "c1", "c2"}
+		got, err := comp.Cube(cols, 0, 3, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Cube(cols, 0, 3, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tablesIdentical(t, got, want, fmt.Sprintf("seed %d compressed Cube", seed))
+	}
+}
+
+// TestStaleCompressedViewInvalidation is the satellite-1 regression: a
+// compressed view built before an append must never serve the longer
+// table. Appends drop the views; queries issued in between fall back to
+// the (extended-in-place) columnar path and see every row.
+func TestStaleCompressedViewInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tab := randomTable(rng, 120, 3)
+	if err := tab.CompressColumns(); err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"c0"}
+	aggs := []AggSpec{{Func: Count}, {Func: Sum, Arg: "c1"}}
+	before, err := tab.GroupBy(cols, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.NumRows() == 0 {
+		t.Fatal("empty grouped result")
+	}
+
+	// Append a batch; the compressed views must be invalidated (not
+	// silently reused at their old length).
+	batch := make([]value.Tuple, 40)
+	for i := range batch {
+		row := make(value.Tuple, 3)
+		for c := range row {
+			row[c] = randomValue(rng)
+		}
+		batch[i] = row
+	}
+	if err := tab.AppendRows(batch); err != nil {
+		t.Fatal(err)
+	}
+	c := tab.Columns()
+	for ci := range tab.Schema() {
+		if cc := c.Compressed(ci); cc != nil && cc.NumRows() != tab.NumRows() {
+			t.Fatalf("column %d: stale compressed view (%d rows) survived append to %d rows",
+				ci, cc.NumRows(), tab.NumRows())
+		}
+	}
+
+	ref := tab.Clone().ForceRowPath(true)
+	got, err := tab.GroupBy(cols, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.GroupBy(cols, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesIdentical(t, got, want, "post-append GroupBy")
+
+	// Rebuilding the views over the longer table works and agrees.
+	if err := tab.CompressColumns(); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := tab.GroupBy(cols, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesIdentical(t, got2, want, "recompressed GroupBy")
+}
+
+func FuzzCompressedKernels(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(3), uint8(1))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, n, k uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng, int(n), 2+int(k%3))
+		comp := compressedClone(t, tab)
+		ref := tab.Clone().ForceRowPath(true)
+		cols := randomCols(rng, tab, 1+int(k%2))
+		aggs := randomAggs(rng, tab)
+
+		got, err := comp.GroupBy(cols, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.GroupBy(cols, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tablesIdentical(t, got, want, "fuzz compressed GroupBy")
+
+		if tab.NumRows() > 0 {
+			ci := tab.Schema().Index(cols[0])
+			val := tab.Row(rng.Intn(tab.NumRows()))[ci]
+			gotS, err := comp.SelectEq(cols[:1], value.Tuple{val})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantS, err := ref.SelectEq(cols[:1], value.Tuple{val})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tablesIdentical(t, gotS, wantS, "fuzz compressed SelectEq")
+		}
+	})
+}

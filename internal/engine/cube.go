@@ -20,13 +20,21 @@ const GroupingColumn = "grouping"
 // optimization: one (expensive) query whose materialized result serves
 // every pattern candidate.
 func (t *Table) Cube(cols []string, minSize, maxSize int, aggs []AggSpec) (*Table, error) {
+	return cubeOver(t, t.rowOnly, cols, minSize, maxSize, aggs)
+}
+
+// cubeOver is the shared CUBE loop: one GroupBy per subset, results
+// unioned with rolled-up columns as NULL plus the grouping bitmask. Any
+// Relation serves; each grouping routes through the source's own
+// GroupBy dispatch (columnar, compressed, or segment-backed).
+func cubeOver(r Relation, rowOnly bool, cols []string, minSize, maxSize int, aggs []AggSpec) (*Table, error) {
 	if minSize < 0 || maxSize > len(cols) || minSize > maxSize {
 		return nil, fmt.Errorf("engine: invalid cube size bounds [%d, %d] for %d columns", minSize, maxSize, len(cols))
 	}
 	if len(cols) > 62 {
 		return nil, fmt.Errorf("engine: cube over %d columns exceeds bitmask width", len(cols))
 	}
-	if _, err := t.schema.Indices(cols); err != nil {
+	if _, err := r.Schema().Indices(cols); err != nil {
 		return nil, err
 	}
 
@@ -39,7 +47,7 @@ func (t *Table) Cube(cols []string, minSize, maxSize int, aggs []AggSpec) (*Tabl
 		sch = append(sch, Column{Name: a.String(), Kind: value.Null})
 	}
 	out := NewTable(sch)
-	out.rowOnly = t.rowOnly
+	out.rowOnly = rowOnly
 
 	total := uint64(1) << uint(len(cols))
 	for mask := uint64(0); mask < total; mask++ {
@@ -53,7 +61,7 @@ func (t *Table) Cube(cols []string, minSize, maxSize int, aggs []AggSpec) (*Tabl
 				subset = append(subset, c)
 			}
 		}
-		part, err := t.GroupBy(subset, aggs)
+		part, err := r.GroupBy(subset, aggs)
 		if err != nil {
 			return nil, err
 		}

@@ -68,6 +68,12 @@ func (t *Table) extendColumnar(oldLen int) {
 		if col := c.flats[ci].Load(); col != nil {
 			col.extend(t.rows, ci, oldLen, false)
 		}
+		// Compressed views are sealed encodings; drop rather than extend.
+		// The atomic store means a concurrent reader sees either the old
+		// (shorter, row-count-checked) view or none, never a torn one.
+		if c.comp != nil {
+			c.comp[ci].Store(nil)
+		}
 	}
 }
 

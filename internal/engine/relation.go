@@ -1,0 +1,59 @@
+package engine
+
+import "cape/internal/value"
+
+// Relation is the query surface the mining and explanation layers need
+// from a base relation: the five operators the paper's algorithms are
+// built from, plus schema/size/staleness introspection. Both the
+// in-memory Table and the segment-backed SegTable implement it, so
+// miners and explainers run unchanged over tables larger than RAM.
+//
+// Operator results are always in-memory *Tables: grouped results,
+// selections and projections are bounded by attribute domains or
+// selectivity, not base-table size, which is what makes mining over a
+// mmap'd base relation practical.
+type Relation interface {
+	Schema() Schema
+	NumRows() int
+	// Epoch counts mutations; equal epochs bracket a window with no
+	// mutations, which caches use for staleness checks.
+	Epoch() uint64
+	GroupBy(groupCols []string, aggs []AggSpec) (*Table, error)
+	SelectEq(cols []string, vals value.Tuple) (*Table, error)
+	CountDistinct(cols []string) (int, error)
+	DistinctProject(cols []string) (*Table, error)
+	Cube(cols []string, minSize, maxSize int, aggs []AggSpec) (*Table, error)
+}
+
+// RowScanner streams rows of a half-open range in row order. The tuple
+// passed to fn may be reused between calls; callers that retain values
+// must copy them (value.V copies are cheap and safe — string payloads
+// are immutable).
+type RowScanner interface {
+	ScanRows(lo, hi int, fn func(row value.Tuple) error) error
+}
+
+// MutableRelation is a Relation that accepts appends and supports
+// streaming row access — what incremental maintenance (mining.Maintainer)
+// requires of its base table.
+type MutableRelation interface {
+	Relation
+	RowScanner
+	AppendRows(rows []value.Tuple) error
+}
+
+var (
+	_ MutableRelation = (*Table)(nil)
+	_ MutableRelation = (*SegTable)(nil)
+)
+
+// ScanRows implements RowScanner for Table: rows are passed as stored
+// (not copied; the usual Table sharing contract applies).
+func (t *Table) ScanRows(lo, hi int, fn func(row value.Tuple) error) error {
+	for _, r := range t.rows[lo:hi] {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

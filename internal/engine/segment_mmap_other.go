@@ -1,0 +1,15 @@
+//go:build !unix
+
+package engine
+
+import "os"
+
+// mapFile reads path into memory on platforms without mmap support; the
+// segment reader is agnostic to whether its bytes are mapped or heap.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

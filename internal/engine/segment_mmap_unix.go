@@ -1,0 +1,32 @@
+//go:build unix
+
+package engine
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the bytes plus an unmap
+// closer. Empty files return a nil mapping (mmap of length 0 fails on
+// some platforms).
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(st.Size())
+	if size == 0 {
+		return nil, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

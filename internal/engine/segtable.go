@@ -1,0 +1,434 @@
+package engine
+
+import (
+	"fmt"
+
+	"cape/internal/value"
+)
+
+// SegTable is a relation stored as a sequence of sealed, immutable
+// columnar segments (typically mmap'd from segment files) followed by
+// one uncompressed in-memory tail that absorbs appends. Row order is
+// segments in order, then the tail — appends land at the global end, so
+// the incremental-maintenance invariants (group fold order, fragment
+// observation order) carry over from Table unchanged.
+//
+// Queries run on the compressed kernels directly over segment runs plus
+// a zero-copy dense view of the tail; results are byte-identical to
+// loading the same rows into a Table (for kind-pure columns; see the
+// dictionary-canonicalization note in segment.go). Sealed segments are
+// never mutated: Compact seals the current tail into a new in-memory
+// segment and resets the tail, leaving row order untouched.
+//
+// SegTable is not safe for concurrent mutation; concurrent reads are
+// fine (same contract as Table).
+type SegTable struct {
+	schema Schema
+	segs   []*Segment
+	tail   *Table
+	sealed int // rows across segs
+	epoch  uint64
+}
+
+// NewSegTable creates an empty segment table with the given schema.
+func NewSegTable(schema Schema) *SegTable {
+	return &SegTable{schema: schema.Clone(), tail: NewTable(schema)}
+}
+
+// NewSegTableFromSegments assembles a table from sealed segments, whose
+// schemas must agree.
+func NewSegTableFromSegments(segs ...*Segment) (*SegTable, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("engine: no segments")
+	}
+	st := NewSegTable(segs[0].Schema())
+	for _, s := range segs {
+		if err := st.AddSegment(s); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// OpenSegTable opens the segment files at paths (validating checksums)
+// and assembles them into one table. Close releases the mappings.
+func OpenSegTable(paths ...string) (*SegTable, error) {
+	var segs []*Segment
+	for _, p := range paths {
+		s, err := OpenSegment(p)
+		if err != nil {
+			for _, prev := range segs {
+				prev.Close()
+			}
+			return nil, err
+		}
+		segs = append(segs, s)
+	}
+	return NewSegTableFromSegments(segs...)
+}
+
+// Schema returns the table's schema (callers must not mutate it).
+func (st *SegTable) Schema() Schema { return st.schema }
+
+// NumRows reports the total row count (sealed segments + tail).
+func (st *SegTable) NumRows() int { return st.sealed + st.tail.NumRows() }
+
+// NumSegments reports how many sealed segments back the table.
+func (st *SegTable) NumSegments() int { return len(st.segs) }
+
+// TailRows reports how many rows sit in the uncompressed tail.
+func (st *SegTable) TailRows() int { return st.tail.NumRows() }
+
+// Epoch returns the mutation counter (AppendRows, AddSegment, Compact).
+func (st *SegTable) Epoch() uint64 { return st.epoch }
+
+// AddSegment appends a sealed segment. To preserve row order it is only
+// legal while the tail is empty (segments always precede tail rows);
+// Compact first if appends have landed.
+func (st *SegTable) AddSegment(seg *Segment) error {
+	if !st.schema.Equal(seg.Schema()) {
+		return fmt.Errorf("engine: segment schema mismatch")
+	}
+	if st.tail.NumRows() > 0 {
+		return fmt.Errorf("engine: cannot add a segment behind a non-empty tail (Compact first)")
+	}
+	st.segs = append(st.segs, seg)
+	st.sealed += seg.NumRows()
+	st.epoch++
+	return nil
+}
+
+// AppendRows appends a batch to the uncompressed tail — sealed segments
+// are immutable and never touched by appends. Validation and atomicity
+// match Table.AppendRows.
+func (st *SegTable) AppendRows(rows []value.Tuple) error {
+	if err := st.tail.AppendRows(rows); err != nil {
+		return err
+	}
+	if len(rows) > 0 {
+		st.epoch++
+	}
+	return nil
+}
+
+// Append appends one row to the tail.
+func (st *SegTable) Append(row value.Tuple) error {
+	if err := st.tail.Append(row); err != nil {
+		return err
+	}
+	st.epoch++
+	return nil
+}
+
+// Compact seals the current tail into a new in-memory segment and
+// resets the tail. Row order is unchanged (the tail's rows were already
+// last), so derived state keyed to row positions — retained aggregates,
+// fragment membership — stays valid across a compaction.
+func (st *SegTable) Compact() error {
+	n := st.tail.NumRows()
+	if n == 0 {
+		return nil
+	}
+	w := NewSegmentWriter(st.schema)
+	if err := w.AppendRows(st.tail.Rows()); err != nil {
+		return err
+	}
+	st.segs = append(st.segs, w.Segment())
+	st.sealed += n
+	st.tail = NewTable(st.schema)
+	st.epoch++
+	return nil
+}
+
+// Close releases every mmap'd segment. The table must not be used
+// afterwards.
+func (st *SegTable) Close() error {
+	var first error
+	for _, s := range st.segs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	st.segs = nil
+	return first
+}
+
+// ScanRows streams rows [lo, hi) in row order. Tuples materialized from
+// segments are reused between calls — fn must copy any value it
+// retains (tail rows are passed as stored, per the Table contract).
+func (st *SegTable) ScanRows(lo, hi int, fn func(row value.Tuple) error) error {
+	if lo < 0 || hi > st.NumRows() || lo > hi {
+		return fmt.Errorf("engine: ScanRows range [%d, %d) out of bounds", lo, hi)
+	}
+	buf := make(value.Tuple, 0, len(st.schema))
+	base := 0
+	for _, seg := range st.segs {
+		n := seg.NumRows()
+		s, e := lo-base, hi-base
+		if s < n && e > 0 {
+			if s < 0 {
+				s = 0
+			}
+			if e > n {
+				e = n
+			}
+			for r := s; r < e; r++ {
+				buf = seg.AppendRowAt(r, buf[:0])
+				if err := fn(buf); err != nil {
+					return err
+				}
+			}
+		}
+		base += n
+	}
+	s, e := lo-base, hi-base
+	rows := st.tail.Rows()
+	if s < len(rows) && e > 0 {
+		if s < 0 {
+			s = 0
+		}
+		for _, r := range rows[s:e] {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parts assembles the compressed-kernel parts for a query over key
+// columns gIdx and aggregate columns aCols: one part per sealed segment
+// (columns served straight from the segment, bit-packed payloads
+// mmap'd) plus, when non-empty, a zero-copy dense view of the tail.
+func (st *SegTable) parts(gIdx []int, aCols []aggCol) []*compPart {
+	nK := len(gIdx)
+	out := make([]*compPart, 0, len(st.segs)+1)
+	for _, seg := range st.segs {
+		p := &compPart{n: seg.NumRows()}
+		p.keys = make([]*CompressedCol, nK)
+		for i, ci := range gIdx {
+			p.keys[i] = seg.Col(ci)
+		}
+		p.aggs = make([]*CompressedCol, len(aCols))
+		for i, ac := range aCols {
+			if ac.idx >= 0 {
+				p.aggs[i] = seg.Col(ac.idx)
+			}
+		}
+		cols := seg.cols
+		p.val = func(row, slot int) value.V {
+			var cc *CompressedCol
+			if slot < nK {
+				cc = cols[gIdx[slot]]
+			} else {
+				cc = cols[aCols[slot-nK].idx]
+			}
+			return cc.dict[cc.CodeAt(row)]
+		}
+		out = append(out, p)
+	}
+	if st.tail.NumRows() > 0 {
+		c := st.tail.Columns()
+		p := &compPart{n: st.tail.NumRows()}
+		p.keys = make([]*CompressedCol, nK)
+		for i, ci := range gIdx {
+			p.keys[i] = denseView(c.Col(ci))
+		}
+		p.aggs = make([]*CompressedCol, len(aCols))
+		for i, ac := range aCols {
+			if ac.idx >= 0 {
+				p.aggs[i] = denseView(c.Col(ac.idx))
+			}
+		}
+		rows := st.tail.Rows()
+		p.val = func(row, slot int) value.V {
+			if slot < nK {
+				return rows[row][gIdx[slot]]
+			}
+			return rows[row][aCols[slot-nK].idx]
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// materialize decodes the whole table into an in-memory Table — the
+// correctness fallback for queries the compressed kernels decline (NaN
+// Min/Max, divergent equality probes). It costs full decode + row
+// memory and is expected to be rare.
+func (st *SegTable) materialize() *Table {
+	out := NewTable(st.schema)
+	rows := make([]value.Tuple, 0, st.NumRows())
+	width := len(st.schema)
+	for _, seg := range st.segs {
+		n := seg.NumRows()
+		slab := make(value.Tuple, 0, n*width)
+		for r := 0; r < n; r++ {
+			slab = seg.AppendRowAt(r, slab)
+			rows = append(rows, slab[len(slab)-width:len(slab):len(slab)])
+		}
+	}
+	rows = append(rows, st.tail.Rows()...)
+	out.rows = rows
+	return out
+}
+
+// GroupBy evaluates the grouped aggregation over all segments and the
+// tail via the compressed kernels; output is byte-identical to Table
+// GroupBy over the same rows (group order, key values, aggregate
+// results, float summation order).
+func (st *SegTable) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) {
+	gIdx, aCols, sch, err := st.groupPlan(groupCols, aggs)
+	if err != nil {
+		return nil, err
+	}
+	parts := st.parts(gIdx, aCols)
+	for _, p := range parts {
+		for i, ac := range aCols {
+			if aggDeclinesCompressed(ac.spec.Func, p.aggs[i]) {
+				return st.materialize().GroupBy(groupCols, aggs)
+			}
+		}
+	}
+	return groupByCompressedParts(parts, len(gIdx), aCols, sch), nil
+}
+
+// groupPlan mirrors Table.groupPlan over the SegTable's schema.
+func (st *SegTable) groupPlan(groupCols []string, aggs []AggSpec) ([]int, []aggCol, Schema, error) {
+	gIdx, err := st.schema.Indices(groupCols)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	aCols := make([]aggCol, len(aggs))
+	for i, a := range aggs {
+		ac := aggCol{spec: a, idx: -1}
+		if !a.IsStar() {
+			ci := st.schema.Index(a.Arg)
+			if ci < 0 {
+				return nil, nil, nil, fmt.Errorf("engine: unknown aggregate argument %q", a.Arg)
+			}
+			ac.idx = ci
+		} else if a.Func != Count {
+			return nil, nil, nil, fmt.Errorf("engine: %s requires an argument", a.Func)
+		}
+		aCols[i] = ac
+	}
+	sch := make(Schema, 0, len(gIdx)+len(aggs))
+	for _, ci := range gIdx {
+		sch = append(sch, st.schema[ci])
+	}
+	for _, a := range aggs {
+		sch = append(sch, Column{Name: a.String(), Kind: value.Null})
+	}
+	return gIdx, aCols, sch, nil
+}
+
+// SelectEq returns the rows whose values in cols equal vals, in row
+// order, materialized into an in-memory Table.
+func (st *SegTable) SelectEq(cols []string, vals value.Tuple) (*Table, error) {
+	idx, err := st.schema.Indices(cols)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != len(cols) {
+		return nil, fmt.Errorf("engine: SelectEq got %d values for %d columns", len(vals), len(cols))
+	}
+	if len(idx) == 0 || st.NumRows() == 0 {
+		return st.materialize().SelectEq(cols, vals)
+	}
+	parts := st.parts(idx, nil)
+	want, divergent := selectEqPlanParts(parts, vals)
+	if divergent {
+		return st.materialize().SelectEq(cols, vals)
+	}
+	out := NewTable(st.schema)
+	width := len(st.schema)
+	for pi, p := range parts {
+		if want[pi] == nil {
+			continue
+		}
+		if pi < len(st.segs) {
+			seg := st.segs[pi]
+			selectEqRuns(p, want[pi], func(lo, hi int32) {
+				slab := make(value.Tuple, 0, int(hi-lo)*width)
+				for r := lo; r < hi; r++ {
+					slab = seg.AppendRowAt(int(r), slab)
+					out.rows = append(out.rows, slab[len(slab)-width:len(slab):len(slab)])
+				}
+			})
+		} else {
+			rows := st.tail.Rows()
+			selectEqRuns(p, want[pi], func(lo, hi int32) {
+				out.rows = append(out.rows, rows[lo:hi]...)
+			})
+		}
+	}
+	return out, nil
+}
+
+// CountDistinct counts distinct combinations of the named columns under
+// AppendKey equality. A single column unions the part dictionaries
+// (O(distinct values), no row walk); multi-column sets walk merged runs.
+func (st *SegTable) CountDistinct(cols []string) (int, error) {
+	idx, err := st.schema.Indices(cols)
+	if err != nil {
+		return 0, err
+	}
+	if len(idx) == 0 || st.NumRows() == 0 {
+		return st.materialize().CountDistinct(cols)
+	}
+	if len(idx) == 1 {
+		parts := st.parts(idx, nil)
+		if len(parts) == 1 {
+			return len(parts[0].keys[0].dict), nil
+		}
+		seen := make(map[string]struct{})
+		var buf []byte
+		for _, p := range parts {
+			for _, v := range p.keys[0].dict {
+				buf = v.AppendKey(buf[:0])
+				seen[string(buf)] = struct{}{}
+			}
+		}
+		return len(seen), nil
+	}
+	return countGroupsParts(st.parts(idx, nil), len(idx)), nil
+}
+
+// DistinctProject returns the distinct combinations of the named
+// columns in first-appearance order.
+func (st *SegTable) DistinctProject(cols []string) (*Table, error) {
+	idx, err := st.schema.Indices(cols)
+	if err != nil {
+		return nil, err
+	}
+	sch := make(Schema, len(idx))
+	for i, ci := range idx {
+		sch[i] = st.schema[ci]
+	}
+	out := NewTable(sch)
+	if len(idx) == 0 || st.NumRows() == 0 {
+		return st.materialize().DistinctProject(cols)
+	}
+	parts := st.parts(idx, nil)
+	firsts := distinctParts(parts, len(idx))
+	out.rows = make([]value.Tuple, len(firsts))
+	width := len(idx)
+	slab := make([]value.V, len(firsts)*width)
+	for g, fr := range firsts {
+		row := slab[g*width : (g+1)*width : (g+1)*width]
+		p := parts[fr.part]
+		for k := 0; k < width; k++ {
+			row[k] = p.val(int(fr.row), k)
+		}
+		out.rows[g] = row
+	}
+	return out, nil
+}
+
+// Cube evaluates the aggregation for every subset of cols within the
+// size bounds, exactly like Table.Cube, with each grouping served by
+// the compressed GroupBy.
+func (st *SegTable) Cube(cols []string, minSize, maxSize int, aggs []AggSpec) (*Table, error) {
+	return cubeOver(st, false, cols, minSize, maxSize, aggs)
+}

@@ -163,6 +163,9 @@ func (t *Table) SelectEq(cols []string, vals value.Tuple) (*Table, error) {
 		return out, nil
 	}
 	if !t.rowOnly && len(idx) > 0 && len(t.rows) > 0 {
+		if t.selectEqCompressed(out, idx, vals) {
+			return out, nil
+		}
 		if done := t.selectEqColumnar(out, idx, vals); done {
 			return out, nil
 		}
@@ -324,6 +327,9 @@ func (t *Table) CountDistinct(cols []string) (int, error) {
 		return 0, err
 	}
 	if !t.rowOnly && len(idx) > 0 && len(t.rows) > 0 {
+		if cnt, ok := t.countDistinctCompressed(idx); ok {
+			return cnt, nil
+		}
 		c := t.Columns()
 		if len(idx) == 1 {
 			return len(c.Col(idx[0]).Dict), nil

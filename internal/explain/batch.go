@@ -37,7 +37,7 @@ type BatchItem struct {
 //
 // Questions that fail validation (or error during generation) yield a
 // per-item Err without affecting the other items.
-func GenerateBatch(qs []UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) []BatchItem {
+func GenerateBatch(qs []UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options) []BatchItem {
 	cache := newGroupCache()
 	lookup := func(p pattern.Pattern) (*engine.Table, error) {
 		return cache.get(groupKey(p), r.Epoch(), func() (*engine.Table, error) {
@@ -172,7 +172,7 @@ func questionKey(q UserQuestion) string {
 
 // runBatch executes the planner + worker pool over validated options.
 // opt must already have defaults applied.
-func runBatch(qs []UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options,
+func runBatch(qs []UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options,
 	lookup func(pattern.Pattern) (*engine.Table, error)) []BatchItem {
 
 	items := make([]BatchItem, len(qs))
@@ -259,7 +259,7 @@ func runBatch(qs []UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt
 // Semantics are exactly prepare+run: the structural prefilter only
 // skips patterns Definition 5 would reject anyway, and g.relevant
 // re-derives the per-question parts unchanged.
-func (bp *batchPlan) explainOne(q UserQuestion, r *engine.Table, opt Options,
+func (bp *batchPlan) explainOne(q UserQuestion, r engine.Relation, opt Options,
 	lookup func(pattern.Pattern) (*engine.Table, error)) ([]Explanation, *Stats, error) {
 
 	if err := q.Validate(); err != nil {

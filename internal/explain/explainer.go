@@ -15,7 +15,7 @@ import (
 // suppression (N concurrent questions needing the same grouping compute
 // it once). It is safe for concurrent use.
 type Explainer struct {
-	r        *engine.Table
+	r        engine.Relation
 	patterns []*pattern.Mined
 	opt      Options
 	cache    *groupCache
@@ -24,7 +24,7 @@ type Explainer struct {
 // NewExplainer builds an explainer over the relation and mined patterns.
 // The options supply defaults for every question; ExplainOpts' per-call
 // options override fields that are set.
-func NewExplainer(r *engine.Table, patterns []*pattern.Mined, opt Options) *Explainer {
+func NewExplainer(r engine.Relation, patterns []*pattern.Mined, opt Options) *Explainer {
 	return &Explainer{
 		r:        r,
 		patterns: patterns,

@@ -65,7 +65,7 @@ func (g Generalization) String() string {
 // compares the question's coarser aggregate against the pattern's local
 // model and reports deviations in the question's direction, strongest
 // relative deviation first.
-func Generalize(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) ([]Generalization, error) {
+func Generalize(q UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options) ([]Generalization, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}

@@ -91,7 +91,7 @@ type relevantEntry struct {
 // safe for concurrent use — a generator may be driven by many workers.
 type generator struct {
 	q     UserQuestion
-	r     *engine.Table
+	r     engine.Relation
 	opt   Options
 	cache *groupCache // grouped result per refined pattern
 	// lookup resolves γ_{F'∪V, agg}(R) for a refined pattern; defaults to
@@ -106,13 +106,13 @@ type generator struct {
 }
 
 // Generate runs the optimized generator — the default entry point.
-func Generate(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
+func Generate(q UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
 	return GenOpt(q, r, patterns, opt)
 }
 
 // GenNaive is Algorithm 1: test every candidate tuple of every refinement
 // of every relevant pattern, maintaining a top-k heap.
-func GenNaive(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
+func GenNaive(q UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
 	g, rel, stats, err := prepare(q, r, patterns, opt)
 	if err != nil {
 		return nil, nil, err
@@ -138,7 +138,7 @@ func GenNaive(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Op
 // cannot beat the current k-th best score. With opt.Parallelism > 1 the
 // (P, P') pairs are fanned across a worker pool; the result is identical
 // to the sequential run.
-func GenOpt(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
+func GenOpt(q UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options) ([]Explanation, *Stats, error) {
 	g, rel, stats, err := prepare(q, r, patterns, opt)
 	if err != nil {
 		return nil, nil, err
@@ -202,7 +202,7 @@ func (g *generator) run(rel []relevantEntry, stats *Stats) ([]Explanation, error
 
 // prepare validates inputs and finds the relevant patterns with their
 // NORM factors.
-func prepare(q UserQuestion, r *engine.Table, patterns []*pattern.Mined, opt Options) (*generator, []relevantEntry, *Stats, error) {
+func prepare(q UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options) (*generator, []relevantEntry, *Stats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, nil, err
 	}

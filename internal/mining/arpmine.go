@@ -23,7 +23,7 @@ import (
 // pattern that could use it is considered. Results are identical to the
 // sequential run; Timers then aggregate CPU time across workers rather
 // than wall-clock time.
-func ARPMine(r *engine.Table, opt Options) (*Result, error) {
+func ARPMine(r engine.Relation, opt Options) (*Result, error) {
 	opt, err := opt.withDefaults(r)
 	if err != nil {
 		return nil, err

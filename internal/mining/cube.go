@@ -13,7 +13,7 @@ import (
 // the materialized result. The cube pays for every grouping up front —
 // the cost that makes this variant lose to ShareGrp/ARPMine as the
 // attribute count grows (Figure 3a).
-func CubeMine(r *engine.Table, opt Options) (*Result, error) {
+func CubeMine(r engine.Relation, opt Options) (*Result, error) {
 	opt, err := opt.withDefaults(r)
 	if err != nil {
 		return nil, err

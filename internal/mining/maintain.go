@@ -44,7 +44,7 @@ import (
 //
 // A Maintainer is not safe for concurrent use.
 type Maintainer struct {
-	tab    *engine.Table
+	tab    engine.MutableRelation
 	opt    Options
 	synced int    // rows folded so far
 	epoch  uint64 // table epoch at last CatchUp
@@ -116,10 +116,13 @@ type mCand struct {
 
 // NewMaintainer builds the retained mining state for tab under opt and
 // performs the initial full fit; Patterns then equals ARPMine(tab, opt).
-// FD pruning is not maintainable (an FD detected on a prefix of the data
-// can be violated by later rows, silently changing which candidates were
-// skipped), so opt.UseFDs is rejected.
-func NewMaintainer(tab *engine.Table, opt Options) (*Maintainer, error) {
+// tab is any mutable relation — the in-memory Table or a segment-backed
+// SegTable, whose appended rows stream in via ScanRows without ever
+// materializing the sealed segments. FD pruning is not maintainable (an
+// FD detected on a prefix of the data can be violated by later rows,
+// silently changing which candidates were skipped), so opt.UseFDs is
+// rejected.
+func NewMaintainer(tab engine.MutableRelation, opt Options) (*Maintainer, error) {
 	opt, err := opt.withDefaults(tab)
 	if err != nil {
 		return nil, err
@@ -209,8 +212,8 @@ func NewMaintainer(tab *engine.Table, opt Options) (*Maintainer, error) {
 	return m, nil
 }
 
-// Table returns the table the maintainer tracks.
-func (m *Maintainer) Table() *engine.Table { return m.tab }
+// Table returns the relation the maintainer tracks.
+func (m *Maintainer) Table() engine.MutableRelation { return m.tab }
 
 // Synced returns the number of table rows folded into the retained
 // state, and the table epoch observed at that point.
@@ -237,17 +240,28 @@ func (m *Maintainer) Apply(rows []value.Tuple) error {
 // Rows already folded must not have been reordered or rewritten; only
 // appends are maintainable.
 func (m *Maintainer) CatchUp() error {
-	rows := m.tab.Rows()
-	if len(rows) < m.synced {
-		return fmt.Errorf("mining: table shrank from %d to %d rows; maintainer state is stale", m.synced, len(rows))
+	n := m.tab.NumRows()
+	if n < m.synced {
+		return fmt.Errorf("mining: table shrank from %d to %d rows; maintainer state is stale", m.synced, n)
 	}
-	batch := rows[m.synced:]
-	if len(batch) == 0 {
+	if n == m.synced {
 		m.epoch = m.tab.Epoch()
 		return nil
 	}
+	// One streaming pass over the appended range folds every grouping
+	// set — segment-backed relations decode each new row once, not once
+	// per grouping set, and the scanner's reuse contract is honored
+	// because foldRow copies the value.V structs it retains.
+	err := m.tab.ScanRows(m.synced, n, func(row value.Tuple) error {
+		for _, gs := range m.gsets {
+			m.foldRow(gs, row)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	for _, gs := range m.gsets {
-		m.foldBatch(gs, batch)
 		for _, sp := range gs.splits {
 			m.routeTouched(gs, sp)
 			for _, fr := range sp.dirty {
@@ -262,45 +276,45 @@ func (m *Maintainer) CatchUp() error {
 		}
 		gs.touched = gs.touched[:0]
 	}
-	m.synced = len(rows)
+	m.synced = n
 	m.epoch = m.tab.Epoch()
 	return nil
 }
 
-// foldBatch routes each batch row to its group (creating new groups in
-// first-appearance order) and folds it into the aggregate accumulators.
-func (m *Maintainer) foldBatch(gs *gSet, batch []value.Tuple) {
-	for _, row := range batch {
-		m.keyBuf = m.keyBuf[:0]
-		for _, ci := range gs.colIdx {
-			m.keyBuf = row[ci].AppendKey(m.keyBuf)
+// foldRow routes one appended row to its group in gs (creating new
+// groups in first-appearance order) and folds it into the aggregate
+// accumulators. The row tuple may be a scanner's reused buffer; only
+// value.V structs are retained (copied into the group key).
+func (m *Maintainer) foldRow(gs *gSet, row value.Tuple) {
+	m.keyBuf = m.keyBuf[:0]
+	for _, ci := range gs.colIdx {
+		m.keyBuf = row[ci].AppendKey(m.keyBuf)
+	}
+	gi, ok := gs.lookup[string(m.keyBuf)]
+	if !ok {
+		gi = int32(len(gs.groups))
+		key := make(value.Tuple, len(gs.colIdx))
+		for i, ci := range gs.colIdx {
+			key[i] = row[ci]
 		}
-		gi, ok := gs.lookup[string(m.keyBuf)]
-		if !ok {
-			gi = int32(len(gs.groups))
-			key := make(value.Tuple, len(gs.colIdx))
-			for i, ci := range gs.colIdx {
-				key[i] = row[ci]
-			}
-			grp := &mGroup{key: key, accs: make([]engine.AggAccum, len(gs.aggs)), fresh: true}
-			for ai, a := range gs.aggs {
-				grp.accs[ai] = engine.NewAggAccum(a)
-			}
-			gs.groups = append(gs.groups, grp)
-			gs.lookup[string(m.keyBuf)] = gi
+		grp := &mGroup{key: key, accs: make([]engine.AggAccum, len(gs.aggs)), fresh: true}
+		for ai, a := range gs.aggs {
+			grp.accs[ai] = engine.NewAggAccum(a)
 		}
-		grp := gs.groups[gi]
-		if !grp.touched {
-			grp.touched = true
-			gs.touched = append(gs.touched, gi)
+		gs.groups = append(gs.groups, grp)
+		gs.lookup[string(m.keyBuf)] = gi
+	}
+	grp := gs.groups[gi]
+	if !grp.touched {
+		grp.touched = true
+		gs.touched = append(gs.touched, gi)
+	}
+	for ai := range gs.aggs {
+		var arg value.V
+		if ci := gs.aggIdx[ai]; ci >= 0 {
+			arg = row[ci]
 		}
-		for ai := range gs.aggs {
-			var arg value.V
-			if ci := gs.aggIdx[ai]; ci >= 0 {
-				arg = row[ci]
-			}
-			grp.accs[ai].Add(arg)
-		}
+		grp.accs[ai].Add(arg)
 	}
 }
 

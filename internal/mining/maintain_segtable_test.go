@@ -1,0 +1,134 @@
+package mining
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// segTableFrom rebuilds a table as a SegTable: the first rows split into
+// nSegs sealed compressed segments, the last tailRows appended to the
+// uncompressed tail — the layout a long-lived segment-backed dataset has
+// after a few compactions plus fresh appends.
+func segTableFrom(t *testing.T, tab *engine.Table, nSegs, tailRows int) *engine.SegTable {
+	t.Helper()
+	n := tab.NumRows() - tailRows
+	st := engine.NewSegTable(tab.Schema())
+	per := n / nSegs
+	for s := 0; s < nSegs; s++ {
+		lo, hi := s*per, (s+1)*per
+		if s == nSegs-1 {
+			hi = n
+		}
+		w := engine.NewSegmentWriter(tab.Schema())
+		for i := lo; i < hi; i++ {
+			if err := w.Append(tab.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.AddSegment(w.Segment()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.AppendRows(tab.Rows()[n:]); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumRows() != tab.NumRows() {
+		t.Fatalf("segtable has %d rows, want %d", st.NumRows(), tab.NumRows())
+	}
+	return st
+}
+
+// TestMaintainerOverSegTable pins the segment-backed maintenance path:
+// a Maintainer over a SegTable (compressed segments + uncompressed
+// tail) must stay byte-identical both to a cold re-mine of the SegTable
+// and to a dense-table Maintainer fed the same appends, across append
+// batches and a mid-stream Compact that seals the tail.
+func TestMaintainerOverSegTable(t *testing.T) {
+	tab := testTable(t, 300)
+	st := segTableFrom(t, tab, 2, 40)
+	opt := lenientOpts()
+
+	m, err := NewMaintainer(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := NewMaintainer(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameAsRemine(t, "initial", m, opt)
+	if len(m.Patterns()) == 0 {
+		t.Fatal("fixture mined no patterns; the identity checks are vacuous")
+	}
+
+	requireSameAsDense := func(label string) {
+		t.Helper()
+		got := patternsJSON(t, m.Patterns())
+		want := patternsJSON(t, dense.Patterns())
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: segment-backed maintainer diverges from dense maintainer\nsegment: %s\ndense: %s",
+				label, got, want)
+		}
+	}
+	requireSameAsDense("initial")
+
+	rng := rand.New(rand.NewSource(11))
+	authors := []string{"a1", "a2", "a3", "a4", "a5", "a6"}
+	venues := []string{"KDD", "ICDE", "VLDB", "WWW"}
+	nextBatch := func() []value.Tuple {
+		rows := make([]value.Tuple, 1+rng.Intn(20))
+		for i := range rows {
+			rows[i] = value.Tuple{
+				value.NewString(authors[rng.Intn(len(authors))]),
+				value.NewString(venues[rng.Intn(len(venues))]),
+				value.NewInt(int64(2000 + rng.Intn(8))),
+				value.NewInt(int64(rng.Intn(30))),
+			}
+		}
+		return rows
+	}
+	apply := func(label string, rows []value.Tuple) {
+		t.Helper()
+		if err := m.Apply(rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := dense.Apply(rows); err != nil {
+			t.Fatal(err)
+		}
+		requireSameAsRemine(t, label, m, opt)
+		requireSameAsDense(label)
+	}
+	for batch := 0; batch < 3; batch++ {
+		apply("batch "+string(rune('0'+batch)), nextBatch())
+	}
+
+	// Compact seals the tail into a new compressed segment. Row count
+	// and contents are unchanged, so CatchUp must fold nothing and the
+	// maintained set must not move; only the epoch advances.
+	before := patternsJSON(t, m.Patterns())
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st.TailRows() != 0 {
+		t.Fatalf("tail holds %d rows after Compact", st.TailRows())
+	}
+	if err := m.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if got := patternsJSON(t, m.Patterns()); !bytes.Equal(got, before) {
+		t.Errorf("Compact moved the maintained set\nafter: %s\nbefore: %s", got, before)
+	}
+	if _, epoch := m.Synced(); epoch != st.Epoch() {
+		t.Errorf("maintainer epoch %d, segtable epoch %d after Compact", epoch, st.Epoch())
+	}
+
+	// Appends after the compact land in a fresh tail; the maintained set
+	// must keep tracking both the re-mine and the dense maintainer.
+	for batch := 3; batch < 5; batch++ {
+		apply("post-compact batch "+string(rune('0'+batch)), nextBatch())
+	}
+}

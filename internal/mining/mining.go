@@ -53,7 +53,7 @@ type Options struct {
 }
 
 // withDefaults fills zero-valued options.
-func (o Options) withDefaults(r *engine.Table) (Options, error) {
+func (o Options) withDefaults(r engine.Relation) (Options, error) {
 	if o.MaxPatternSize == 0 {
 		o.MaxPatternSize = 4
 	}
@@ -111,7 +111,7 @@ func (res *Result) sortPatterns() {
 // outside g (per Definition 2, A ∉ F ∪ V). Only numeric or untyped
 // columns are used as arguments, since regression needs numeric
 // observations.
-func aggSpecsFor(r *engine.Table, funcs []engine.AggFunc, g []string) []engine.AggSpec {
+func aggSpecsFor(r engine.Relation, funcs []engine.AggFunc, g []string) []engine.AggSpec {
 	inG := make(map[string]bool, len(g))
 	for _, a := range g {
 		inG[a] = true

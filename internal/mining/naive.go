@@ -14,7 +14,7 @@ import (
 // retrieval query per fragment — a full scan of the relation per
 // fragment. It shares nothing and exists as the experimental baseline for
 // Figure 3a.
-func Naive(r *engine.Table, opt Options) (*Result, error) {
+func Naive(r engine.Relation, opt Options) (*Result, error) {
 	opt, err := opt.withDefaults(r)
 	if err != nil {
 		return nil, err
@@ -51,7 +51,7 @@ func Naive(r *engine.Table, opt Options) (*Result, error) {
 // naivePatternHolds mirrors Algorithm 4: enumerate the fragments of P,
 // run the retrieval query γ_{V,agg}(σ_{F=f}(R)) for each, fit a model,
 // and apply the global thresholds.
-func naivePatternHolds(p pattern.Pattern, r *engine.Table, th pattern.Thresholds, tm *pattern.Timers) (*pattern.Mined, error) {
+func naivePatternHolds(p pattern.Pattern, r engine.Relation, th pattern.Thresholds, tm *pattern.Timers) (*pattern.Mined, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -14,7 +14,7 @@ import (
 // (F, V) split. With Options.Parallelism > 1 the per-attribute-set work
 // fans out across goroutines; results are identical to the sequential
 // run.
-func ShareGrp(r *engine.Table, opt Options) (*Result, error) {
+func ShareGrp(r engine.Relation, opt Options) (*Result, error) {
 	opt, err := opt.withDefaults(r)
 	if err != nil {
 		return nil, err

@@ -19,7 +19,7 @@ import (
 // FD-pruned runs have no spec (an FD detected on a prefix of the data can
 // be violated by later rows, so the candidate set is not reconstructible
 // from parameters alone): callers should persist such stores stamp-only.
-func SpecFor(tab *engine.Table, opt Options) (*pattern.StoreSpec, error) {
+func SpecFor(tab engine.Relation, opt Options) (*pattern.StoreSpec, error) {
 	opt, err := opt.withDefaults(tab)
 	if err != nil {
 		return nil, err

@@ -34,12 +34,14 @@ type SharedFitter struct {
 	aggOK  [][]bool    // [agg][row]: observation numeric? (engine buffer)
 
 	// Scratch reused across fragments and Fit calls.
-	ys     []float64
-	xs     []float64
-	keyBuf []byte
-	stats  regress.ConstStats
-	lin    regress.LinScratch
-	cands  []candState
+	ys       []float64
+	xs       []float64
+	keyBuf   []byte
+	stats    regress.ConstStats
+	lin      regress.LinScratch
+	cands    []candState
+	fragEnds []int32
+	runCurs  []engine.RunCursor
 }
 
 // candState tracks one (aggregate, model) candidate across the fragment
@@ -157,42 +159,13 @@ func (sf *SharedFitter) Fit(f, v []string, perm []int32, codes *engine.SortCodes
 		}
 	}
 
-	rows := sf.grouped.Rows()
-	n := len(rows)
-	rowAt := func(r int) int32 {
-		if perm != nil {
-			return perm[r]
-		}
-		return int32(r)
-	}
-	boundary := func(r int) bool {
-		a, b := rowAt(r-1), rowAt(r)
-		if fCodes != nil {
-			for _, c := range fCodes {
-				if c[a] != c[b] {
-					return true
-				}
-			}
-			return false
-		}
-		ra, rb := rows[a], rows[b]
-		for _, ci := range fIdx {
-			if !value.Equal(ra[ci], rb[ci]) {
-				return true
-			}
-		}
-		return false
-	}
-
-	start := 0
-	for r := 1; r <= n; r++ {
-		if r != n && !boundary(r) {
-			continue
-		}
-		if err := sf.flushFragment(cands, fIdx, vVal, vOK, perm, start, r, tm); err != nil {
+	n := sf.grouped.NumRows()
+	start := int32(0)
+	for _, end := range sf.fragmentEnds(fIdx, fCodes, perm, n) {
+		if err := sf.flushFragment(cands, fIdx, vVal, vOK, perm, int(start), int(end), tm); err != nil {
 			return nil, err
 		}
-		start = r
+		start = end
 	}
 
 	// Decide global holding per candidate (Definition 4).
@@ -216,6 +189,95 @@ func (sf *SharedFitter) Fit(f, v []string, perm []int32, codes *engine.SortCodes
 		out = append(out, cs.mined)
 	}
 	return out, nil
+}
+
+// fragmentEnds computes the exclusive end row of every fragment of the
+// scan, in order, into a reusable buffer. Tiers, fastest first: when the
+// table is already in fragment order (perm == nil) and the partition
+// columns carry current compressed views, fragment boundaries come from
+// intersecting the columns' equal-code runs — O(runs), no per-row code
+// loads over RLE columns; otherwise a tight loop over the dense sort
+// codes; otherwise boxed value comparison (the reference).
+func (sf *SharedFitter) fragmentEnds(fIdx []int, fCodes [][]int32, perm []int32, n int) []int32 {
+	ends := sf.fragEnds[:0]
+	switch {
+	case n == 0:
+	case len(fIdx) == 0:
+		ends = append(ends, int32(n))
+	case perm == nil && sf.appendCompressedRuns(fIdx, n, &ends):
+	case fCodes != nil && perm != nil:
+		for r := 1; r < n; r++ {
+			pa, pb := perm[r-1], perm[r]
+			for _, c := range fCodes {
+				if c[pa] != c[pb] {
+					ends = append(ends, int32(r))
+					break
+				}
+			}
+		}
+		ends = append(ends, int32(n))
+	case fCodes != nil:
+		for r := 1; r < n; r++ {
+			for _, c := range fCodes {
+				if c[r-1] != c[r] {
+					ends = append(ends, int32(r))
+					break
+				}
+			}
+		}
+		ends = append(ends, int32(n))
+	default:
+		rows := sf.grouped.Rows()
+		prev := rows[0]
+		if perm != nil {
+			prev = rows[perm[0]]
+		}
+		for r := 1; r < n; r++ {
+			cur := rows[r]
+			if perm != nil {
+				cur = rows[perm[r]]
+			}
+			for _, ci := range fIdx {
+				if !value.Equal(prev[ci], cur[ci]) {
+					ends = append(ends, int32(r))
+					break
+				}
+			}
+			prev = cur
+		}
+		ends = append(ends, int32(n))
+	}
+	sf.fragEnds = ends
+	return ends
+}
+
+// appendCompressedRuns appends fragment ends by intersecting the
+// partition columns' compressed runs, reporting false when any column
+// lacks a current compressed view (built via Table.CompressColumns and
+// covering all n rows).
+func (sf *SharedFitter) appendCompressedRuns(fIdx []int, n int, ends *[]int32) bool {
+	if cap(sf.runCurs) < len(fIdx) {
+		sf.runCurs = make([]engine.RunCursor, len(fIdx))
+	}
+	curs := sf.runCurs[:len(fIdx)]
+	for i, ci := range fIdx {
+		cc := sf.cols.Compressed(ci)
+		if cc == nil || cc.NumRows() != n {
+			return false
+		}
+		curs[i].Init(cc)
+	}
+	for pos := int32(0); pos < int32(n); {
+		end := int32(n)
+		for i := range curs {
+			if _, e := curs[i].Seek(pos); e < end {
+				end = e
+			}
+		}
+		*ends = append(*ends, end)
+		pos = end
+	}
+	return true
 }
 
 // flushFragment evaluates all candidates on the fragment perm[lo:hi].
