@@ -139,6 +139,26 @@ func groupByCompressedParts(parts []*compPart, nK int, aCols []aggCol, sch Schem
 	ga := newGroupAssign(nK)
 	var states []aggState // laid out [gid*nA+ai]
 
+	// Whether each Sum/Avg must accumulate sumF for int runs. hasFloat is
+	// a per-part property, but anyFloat (which makes result() read sumF)
+	// is global to the group: one float row anywhere forces every part —
+	// including float-free ones — to fold its int contributions into sumF,
+	// so the flag is OR'd across parts before any run is folded.
+	sumNeedsF := make([]bool, nA)
+	for ai, ac := range aCols {
+		switch ac.spec.Func {
+		case Avg:
+			sumNeedsF[ai] = true
+		case Sum:
+			for _, p := range parts {
+				if cc := p.aggs[ai]; cc != nil && cc.hasFloat {
+					sumNeedsF[ai] = true
+					break
+				}
+			}
+		}
+	}
+
 	kcur := make([]runCur, nK)
 	acur := make([]runCur, nA)
 	codes := make([]int32, nK)
@@ -184,7 +204,7 @@ func groupByCompressedParts(parts []*compPart, nK int, aCols []aggCol, sch Schem
 						e = segEnd
 					}
 					foldCompressedRun(&states[base+ai], aCols[ai].spec.Func, cc,
-						cur.code, int(e-q), p, int(q), nK+ai)
+						cur.code, int(e-q), p, int(q), nK+ai, sumNeedsF[ai])
 					q = e
 				}
 			}
@@ -215,9 +235,12 @@ func groupByCompressedParts(parts []*compPart, nK int, aCols []aggCol, sch Schem
 // foldCompressedRun folds one equal-code run of an aggregate argument
 // into an aggState, reproducing the per-row reference fold exactly.
 // firstRow is the part-local row where the run starts; slot addresses
-// the argument column in part.val.
+// the argument column in part.val. needF (computed once per query by
+// OR-ing hasFloat across all parts) forces sumF accumulation for int
+// runs whenever the result can read sumF — Avg, or a Sum whose column
+// holds a float in any part.
 func foldCompressedRun(st *aggState, f AggFunc, cc *CompressedCol,
-	code int32, k int, p *compPart, firstRow, slot int) {
+	code int32, k int, p *compPart, firstRow, slot int, needF bool) {
 
 	kind := cc.dictKind[code]
 	switch f {
@@ -230,10 +253,10 @@ func foldCompressedRun(st *aggState, f AggFunc, cc *CompressedCol,
 		case value.Int:
 			st.sumI += int64(k) * cc.dictI64[code]
 			st.count += int64(k)
-			// sumF feeds the result only via Avg or a later anyFloat;
-			// the per-row adds keep its summation order identical to the
-			// reference when it does.
-			if f == Avg || cc.hasFloat {
+			// sumF feeds the result only via Avg or anyFloat; the per-row
+			// adds keep its summation order identical to the reference
+			// when it does.
+			if needF {
 				fv := cc.dictF64[code]
 				for j := 0; j < k; j++ {
 					st.sumF += fv

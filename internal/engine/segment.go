@@ -511,7 +511,11 @@ func openSegmentBytes(data []byte) (*Segment, error) {
 		return nil, fmt.Errorf("engine: unsupported segment version %d", version)
 	}
 	ncols := int(binary.LittleEndian.Uint32(h[4:]))
-	nrows := int(binary.LittleEndian.Uint64(h[8:]))
+	nrows64 := binary.LittleEndian.Uint64(h[8:])
+	if nrows64 > math.MaxInt32 {
+		return nil, fmt.Errorf("engine: segment row count %d out of range", nrows64)
+	}
+	nrows := int(nrows64)
 	schemaLen := int(binary.LittleEndian.Uint32(h[16:]))
 	if 20+schemaLen > len(h) {
 		return nil, fmt.Errorf("engine: segment schema out of range")
@@ -555,7 +559,9 @@ func openSegmentBytes(data []byte) (*Segment, error) {
 		off := binary.LittleEndian.Uint64(e[0:])
 		length := binary.LittleEndian.Uint64(e[8:])
 		crc := binary.LittleEndian.Uint32(e[16:])
-		if off+length > uint64(len(data)) {
+		// Bounds are checked without off+length, which wraps for crafted
+		// huge offsets and would pass despite pointing outside the file.
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
 			return nil, fmt.Errorf("engine: column %d block out of range", ci)
 		}
 		blk := data[off : off+length]
@@ -582,7 +588,8 @@ func decodeSegCol(blk []byte, nrows int) (*CompressedCol, error) {
 	runCount := int(binary.LittleEndian.Uint32(blk[12:]))
 	dictBytes := binary.LittleEndian.Uint64(blk[16:])
 	dataBytes := binary.LittleEndian.Uint64(blk[24:])
-	if 32+dictBytes+dataBytes > uint64(len(blk)) {
+	// Checked without summing, which wraps for crafted huge lengths.
+	if dictBytes > uint64(len(blk))-32 || dataBytes > uint64(len(blk))-32-dictBytes {
 		return nil, fmt.Errorf("column payload out of range")
 	}
 	dictBuf := blk[32 : 32+dictBytes]
@@ -621,6 +628,16 @@ func decodeSegCol(blk []byte, nrows int) (*CompressedCol, error) {
 		}
 		if runCount == 0 && nrows > 0 {
 			return nil, fmt.Errorf("empty run vector for %d rows", nrows)
+		}
+		// Run ends must be positive and strictly increasing, or the run
+		// cursor's seek and CodeAt's binary search index out of range (or
+		// serve wrong rows) on a CRC-consistent crafted file.
+		prev := int32(0)
+		for _, end := range cc.runEnds {
+			if end <= prev {
+				return nil, fmt.Errorf("run ends not strictly increasing (%d after %d)", end, prev)
+			}
+			prev = end
 		}
 		for _, c := range cc.runCodes {
 			if int(c) < 0 || int(c) >= dictCount {

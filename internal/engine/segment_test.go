@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"os"
@@ -25,7 +27,7 @@ func typedRandomTable(rng *rand.Rand, n, width int) *Table {
 	gens := make([]func() value.V, width)
 	for i := range sch {
 		sch[i] = Column{Name: fmt.Sprintf("c%d", i), Kind: value.Null}
-		switch rng.Intn(4) {
+		switch rng.Intn(5) {
 		case 0: // low-cardinality ints (long runs, RLE)
 			gens[i] = func() value.V { return value.NewInt(int64(rng.Intn(3))) }
 		case 1: // high-cardinality ints (bit-packed)
@@ -40,6 +42,15 @@ func typedRandomTable(rng *rand.Rand, n, width int) *Table {
 				default:
 					return value.NewFloat(float64(rng.Intn(6)) + 0.5)
 				}
+			}
+		case 3: // mixed int/float numeric (cross-part Sum kind rules);
+			// non-integral floats keep the kinds AppendKey-disjoint so
+			// canonicalization never rewrites a value.
+			gens[i] = func() value.V {
+				if rng.Intn(3) > 0 {
+					return value.NewInt(int64(rng.Intn(5)))
+				}
+				return value.NewFloat(float64(rng.Intn(5)) + 0.25)
 			}
 		default: // strings
 			gens[i] = func() value.V { return value.NewString(fmt.Sprintf("s%d", rng.Intn(5))) }
@@ -373,6 +384,119 @@ func TestSegmentDictCanonicalization(t *testing.T) {
 	}
 	if value.Compare(got, rows[1][0]) != 0 {
 		t.Fatalf("representative %s not Compare-equal to original %s", got, rows[1][0])
+	}
+}
+
+// TestSegTableCrossPartMixedSum pins the cross-part Sum kind rule: a
+// float row in ANY part makes the reference Sum return Float(sumF), so
+// int runs in float-free parts must still fold into sumF (hasFloat is a
+// per-part property, anyFloat a global one). Before the fix, the
+// all-int part's contribution was dropped: sum 1.5 instead of 31.5.
+func TestSegTableCrossPartMixedSum(t *testing.T) {
+	sch := Schema{{Name: "g", Kind: value.Null}, {Name: "v", Kind: value.Null}}
+	intRows := []value.Tuple{
+		{value.NewString("a"), value.NewInt(10)},
+		{value.NewString("a"), value.NewInt(20)},
+	}
+	floatRows := []value.Tuple{
+		{value.NewString("a"), value.NewFloat(1.5)},
+	}
+	layouts := []struct {
+		name      string
+		seg, tail []value.Tuple
+	}{
+		{"ints sealed, float in tail", intRows, floatRows},
+		{"float sealed, ints in tail", floatRows, intRows},
+	}
+	aggs := []AggSpec{{Func: Sum, Arg: "v"}, {Func: Avg, Arg: "v"}}
+	for _, l := range layouts {
+		st := NewSegTable(sch)
+		w := NewSegmentWriter(sch)
+		if err := w.AppendRows(l.seg); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AddSegment(w.Segment()); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AppendRows(l.tail); err != nil {
+			t.Fatal(err)
+		}
+		ref := NewTable(sch)
+		if err := ref.AppendRows(append(append([]value.Tuple{}, l.seg...), l.tail...)); err != nil {
+			t.Fatal(err)
+		}
+		ref.ForceRowPath(true)
+		got, err := st.GroupBy([]string{"g"}, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.GroupBy([]string{"g"}, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tablesIdentical(t, got, want, l.name)
+		sum := got.Row(0)[1]
+		if sum.Kind() != value.Float || sum.Float() != 31.5 {
+			t.Fatalf("%s: sum = %s, want Float(31.5)", l.name, sum)
+		}
+	}
+}
+
+// TestDecodeSegColRejectsBadRunEnds crafts an RLE block whose run ends
+// are non-monotonic — CRC-consistent corruption the checksums cannot
+// catch — and requires decodeSegCol to reject it rather than let the run
+// cursor or CodeAt index out of range later.
+func TestDecodeSegColRejectsBadRunEnds(t *testing.T) {
+	dict := make([]value.V, 16) // large dict ⇒ encodeBlock picks RLE
+	for i := range dict {
+		dict[i] = value.NewInt(int64(i))
+	}
+	for _, bad := range [][]int32{
+		{60, 50, 100}, // decreasing
+		{50, 50, 100}, // repeated
+		{0, 50, 100},  // zero-length first run
+		{-4, 50, 100}, // negative
+	} {
+		cb := segColBuilder{dict: dict, runEnds: bad, runCodes: []int32{0, 1, 2}}
+		blk := cb.encodeBlock(100)
+		if _, err := decodeSegCol(blk, 100); err == nil {
+			t.Fatalf("run ends %v accepted", bad)
+		}
+	}
+	good := segColBuilder{dict: dict, runEnds: []int32{50, 60, 100}, runCodes: []int32{0, 1, 2}}
+	if _, err := decodeSegCol(good.encodeBlock(100), 100); err != nil {
+		t.Fatalf("well-formed block rejected: %v", err)
+	}
+}
+
+// TestSegmentCraftedOffsetsRejected patches a footer entry to a huge
+// offset whose off+length wraps around uint64, recomputes the footer CRC
+// so every checksum still verifies, and requires open to fail cleanly
+// instead of panicking on an out-of-range slice.
+func TestSegmentCraftedOffsetsRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tab := typedRandomTable(rng, 40, 2)
+	w := NewSegmentWriter(tab.Schema())
+	if err := w.AppendRows(tab.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "o.seg")
+	if err := w.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tailLen = 24
+	footerOff := binary.LittleEndian.Uint64(data[len(data)-16:])
+	ents := data[footerOff : len(data)-tailLen]
+	binary.LittleEndian.PutUint64(ents[0:], ^uint64(0)) // off+length wraps to 1
+	binary.LittleEndian.PutUint64(ents[8:], 2)
+	binary.LittleEndian.PutUint32(data[len(data)-20:], crc32.Checksum(ents, segCRC))
+	if seg, err := openSegmentBytes(data); err == nil {
+		seg.Close()
+		t.Fatal("wrapping column offset accepted")
 	}
 }
 
