@@ -13,10 +13,13 @@ test:
 # The gate every PR must pass: vet, staticcheck (when installed — CI
 # always has it; locally it is skipped rather than failing on a missing
 # binary), build, the full suite under the race detector (the parallel
-# generator, sharded cache, batch worker pool, and concurrent columnar
-# builds are only meaningfully exercised with -race), and the fuzz seed
-# corpora as a smoke pass (fuzzing off — seeds only, so a corpus
-# regression fails fast and deterministically).
+# generator, sharded cache, batch worker pool, morsel executor, and
+# concurrent columnar builds are only meaningfully exercised with
+# -race), the fuzz seed corpora as a smoke pass (fuzzing off — seeds
+# only, so a corpus regression fails fast and deterministically), and
+# the benchscale identity pass under -race at 4 workers, which drives
+# the whole morsel-parallel mining stack and byte-compares it to the
+# sequential dense reference.
 check:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -27,7 +30,7 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^Fuzz' ./...
-	$(GO) run ./cmd/capebench benchscale -smoke
+	$(GO) run -race ./cmd/capebench benchscale -smoke -parallel 4
 
 # Performance trajectory: the explanation worker-count sweep, the
 # GroupBy hot path, and the offline-mining fast path, plus the capebench

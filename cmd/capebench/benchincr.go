@@ -21,9 +21,10 @@ type benchIncrReport struct {
 	Dataset   string `json:"dataset"`
 	Rows      int    `json:"rows"`
 	BatchRows int    `json:"batchRows"`
-	Steps     int    `json:"steps"`
-	Psi       int    `json:"psi"`
-	CPUs      int    `json:"cpus"`
+	Steps       int `json:"steps"`
+	Psi         int `json:"psi"`
+	CPUs        int `json:"cpus"`
+	Parallelism int `json:"parallelism"`
 	// MaintainerBuildNs is the one-time cost of the initial full fit
 	// that seeds the retained statistics (paid once per serving process,
 	// amortized over every subsequent append).
@@ -74,6 +75,10 @@ func runBenchIncr(full bool) error {
 
 	opt := miningOpts([]string{"author", "year", "venue"}, 3)
 	opt.Models = []regress.ModelType{regress.Const, regress.Lin}
+	// Both sides share the budget: the maintainer fans grouping sets, the
+	// re-mine comparator fans its group phase, and the identity assertion
+	// pins their outputs byte-equal at any width.
+	opt.Parallelism = parallelFlag
 
 	buildStart := time.Now()
 	m, err := mining.NewMaintainer(incTab, opt)
@@ -120,6 +125,7 @@ func runBenchIncr(full bool) error {
 	report := benchIncrReport{
 		Dataset: "dblp", Rows: rows, BatchRows: batch, Steps: steps, Psi: 3,
 		CPUs:                  runtime.NumCPU(),
+		Parallelism:           parallelFlag,
 		MaintainerBuildNs:     buildNs,
 		IncrementalNsPerBatch: incNs / int64(steps),
 		RemineNsPerBatch:      mineNs / int64(steps),

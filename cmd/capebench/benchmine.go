@@ -45,6 +45,7 @@ type benchMineReport struct {
 	Rows           int           `json:"rows"`
 	Psi            int           `json:"psi"`
 	CPUs           int           `json:"cpus"`
+	Parallelism    int           `json:"parallelism"`
 	BaselineCommit string        `json:"baselineCommit"`
 	Baseline       benchMineSide `json:"baseline"`
 	Current        benchMineSide `json:"current"`
@@ -80,12 +81,16 @@ func runBenchMine(full bool) error {
 	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: rows, Seed: 1})
 	opt := miningOpts([]string{"author", "year", "venue"}, psi)
 	opt.Models = []regress.ModelType{regress.Const, regress.Lin}
+	// -parallel widens the miner; the recorded baseline is sequential, so
+	// the speedup field compares like-for-like only at the default.
+	opt.Parallelism = parallelFlag
 
 	report := benchMineReport{
 		Dataset:        "dblp",
 		Rows:           rows,
 		Psi:            psi,
 		CPUs:           runtime.NumCPU(),
+		Parallelism:    parallelFlag,
 		BaselineCommit: "428a2f4",
 		Baseline:       benchMineBaseline,
 	}

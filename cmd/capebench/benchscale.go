@@ -18,14 +18,27 @@ import (
 	"cape/internal/value"
 )
 
-// benchScaleMiner is one miner variant timed at one dataset size, once
-// over the mmap'd segment files and once over the dense in-memory table.
+// benchScalePoint is one worker count of a miner's scaling curve over
+// the segment path. Identical reports byte-identity against the
+// one-worker dense reference.
+type benchScalePoint struct {
+	Workers   int   `json:"workers"`
+	SegmentNs int64 `json:"segmentNs"`
+	Identical bool  `json:"resultIdentical"`
+}
+
+// benchScaleMiner is one miner variant timed at one dataset size: once
+// over the dense in-memory table at one worker (the reference), and
+// over the mmap'd segment files at every worker count of the sweep.
+// SegmentNs/Identical mirror the one-worker scaling point so the
+// single-core compressed-vs-dense comparison reads directly.
 type benchScaleMiner struct {
-	Name      string `json:"name"`
-	SegmentNs int64  `json:"segmentNs"`
-	DenseNs   int64  `json:"denseNs"`
-	Patterns  int    `json:"patterns"`
-	Identical bool   `json:"resultIdentical"`
+	Name      string            `json:"name"`
+	SegmentNs int64             `json:"segmentNs"`
+	DenseNs   int64             `json:"denseNs"`
+	Patterns  int               `json:"patterns"`
+	Identical bool              `json:"resultIdentical"`
+	Scaling   []benchScalePoint `json:"scaling,omitempty"`
 }
 
 // benchScaleEntry is one dataset size of BENCH_scale.json.
@@ -42,10 +55,25 @@ type benchScaleEntry struct {
 
 // benchScaleReport is the schema of BENCH_scale.json.
 type benchScaleReport struct {
-	CPUs  int               `json:"cpus"`
-	Attrs []string          `json:"attrs"`
-	Psi   int               `json:"psi"`
-	Sizes []benchScaleEntry `json:"sizes"`
+	CPUs    int               `json:"cpus"`
+	Attrs   []string          `json:"attrs"`
+	Psi     int               `json:"psi"`
+	Workers []int             `json:"workers"`
+	Sizes   []benchScaleEntry `json:"sizes"`
+}
+
+// benchScaleWorkers is the worker-count sweep of the segment pass,
+// capped by -parallel: -parallel 1 (default) measures only the
+// sequential point, -parallel 8 the full 1/2/4/8 curve.
+func benchScaleWorkers() []int {
+	sweep := []int{1, 2, 4, 8}
+	out := sweep[:1]
+	for i, w := range sweep {
+		if w <= parallelFlag {
+			out = sweep[:i+1]
+		}
+	}
+	return out
 }
 
 // benchScaleSegRows is the target row count per segment file.
@@ -63,10 +91,11 @@ var benchScaleAttrs = []string{"type", "block", "year", "month"}
 
 // runBenchScale reproduces the paper's Figure-4 miner comparison at
 // paper scale: the four variants over the same Crime data at 250K–6.5M
-// rows (-full adds the 6.5M point), each run twice — over mmap'd
-// compressed segment files written by the streaming generator, and over
-// the dense in-memory table. Every pair must serialize byte-identical
-// pattern sets; the first (largest) size also records the process peak
+// rows (-full adds the 6.5M point) — over mmap'd compressed segment
+// files written by the streaming generator at every worker count of the
+// -parallel sweep, and over the dense in-memory table sequentially.
+// Every segment run must serialize byte-identical pattern sets to the
+// dense reference; the first (largest) size also records the process peak
 // RSS after the segment pass and after the dense pass, demonstrating
 // that segment-backed mining stays below the dense baseline. In smoke
 // mode only the identity assertions run, on a small size. Writes
@@ -99,7 +128,10 @@ func runBenchScale(full bool) error {
 		AggFuncs:       []engine.AggFunc{engine.Count},
 	}
 
-	report := benchScaleReport{CPUs: runtime.NumCPU(), Attrs: benchScaleAttrs, Psi: opt.MaxPatternSize}
+	report := benchScaleReport{
+		CPUs: runtime.NumCPU(), Attrs: benchScaleAttrs, Psi: opt.MaxPatternSize,
+		Workers: benchScaleWorkers(),
+	}
 	for i, rows := range sizes {
 		entry, err := benchScaleSize(rows, opt, i == 0 && !smokeMode)
 		if err != nil {
@@ -113,17 +145,26 @@ func runBenchScale(full bool) error {
 		runtime.GC()
 	}
 	if smokeMode {
-		fmt.Println("scale identity: segment-backed mining == dense mining for NAIVE, CUBE, SHARE-GRP, ARP-MINE")
+		fmt.Printf("scale identity: segment-backed mining == dense mining for NAIVE, CUBE, SHARE-GRP, ARP-MINE at workers %v\n",
+			report.Workers)
 		return nil
 	}
 
-	fmt.Printf("Crime, A=%v, ψ=%d, segment files vs dense table\n", benchScaleAttrs, opt.MaxPatternSize)
-	fmt.Printf("%9s  %-10s %12s %12s  %9s\n", "D", "variant", "segment", "dense", "patterns")
+	fmt.Printf("Crime, A=%v, ψ=%d, segment files vs dense table, workers %v\n",
+		benchScaleAttrs, opt.MaxPatternSize, report.Workers)
+	fmt.Printf("%9s  %-10s %12s %12s  %9s  %s\n", "D", "variant", "segment", "dense", "patterns", "scaling")
 	for _, e := range report.Sizes {
 		for _, m := range e.Miners {
-			fmt.Printf("%9d  %-10s %12s %12s  %9d\n", e.Rows, m.Name,
+			curve := ""
+			for _, p := range m.Scaling {
+				if curve != "" {
+					curve += " "
+				}
+				curve += fmt.Sprintf("%dw=%s", p.Workers, time.Duration(p.SegmentNs).Round(time.Millisecond))
+			}
+			fmt.Printf("%9d  %-10s %12s %12s  %9d  %s\n", e.Rows, m.Name,
 				time.Duration(m.SegmentNs).Round(time.Millisecond),
-				time.Duration(m.DenseNs).Round(time.Millisecond), m.Patterns)
+				time.Duration(m.DenseNs).Round(time.Millisecond), m.Patterns, curve)
 		}
 		fmt.Printf("%9s  figure-4 ordering (NAIVE ≥ CUBE ≥ SHARE-GRP ≥ ARP-MINE): %v\n", "", e.Figure4Ordering)
 		if e.SegmentPeakRSSKB > 0 {
@@ -185,27 +226,41 @@ func benchScaleSize(rows int, opt mining.Options, recordRSS bool) (*benchScaleEn
 	}
 
 	// Segment pass: mining over the mmap'd files, no dense table in the
-	// process yet.
-	segJSON := make([]*bytes.Buffer, len(miners))
+	// process yet. Each miner runs at every worker count of the sweep;
+	// the one-worker point doubles as the single-core compressed-vs-dense
+	// comparison.
+	workers := benchScaleWorkers()
+	segJSON := make([][]*bytes.Buffer, len(miners))
 	for i, m := range miners {
-		d, res, err := timeMiner(m.run, st, opt)
-		if err != nil {
-			return nil, fmt.Errorf("%s over segments: %w", m.name, err)
+		bm := benchScaleMiner{Name: m.name}
+		segJSON[i] = make([]*bytes.Buffer, len(workers))
+		for wi, w := range workers {
+			wopt := opt
+			wopt.Parallelism = w
+			d, res, err := timeMiner(m.run, st, wopt)
+			if err != nil {
+				return nil, fmt.Errorf("%s over segments (%d workers): %w", m.name, w, err)
+			}
+			var buf bytes.Buffer
+			if err := pattern.WriteJSON(&buf, res.Patterns); err != nil {
+				return nil, err
+			}
+			segJSON[i][wi] = &buf
+			bm.Scaling = append(bm.Scaling, benchScalePoint{Workers: w, SegmentNs: d.Nanoseconds()})
+			if w == 1 {
+				bm.SegmentNs = d.Nanoseconds()
+				bm.Patterns = len(res.Patterns)
+			}
 		}
-		var buf bytes.Buffer
-		if err := pattern.WriteJSON(&buf, res.Patterns); err != nil {
-			return nil, err
-		}
-		segJSON[i] = &buf
-		entry.Miners = append(entry.Miners, benchScaleMiner{
-			Name: m.name, SegmentNs: d.Nanoseconds(), Patterns: len(res.Patterns),
-		})
+		entry.Miners = append(entry.Miners, bm)
 	}
 	if recordRSS {
 		entry.SegmentPeakRSSKB = peakRSSKB()
 	}
 
-	// Dense pass: the baseline materializes every row as boxed tuples.
+	// Dense pass: the baseline materializes every row as boxed tuples and
+	// runs sequentially — its output is the byte-identity reference for
+	// every (miner, worker count) segment run.
 	dense := dataset.GenerateCrime(cfg)
 	for i, m := range miners {
 		d, res, err := timeMiner(m.run, dense, opt)
@@ -217,9 +272,16 @@ func benchScaleSize(rows int, opt mining.Options, recordRSS bool) (*benchScaleEn
 			return nil, err
 		}
 		entry.Miners[i].DenseNs = d.Nanoseconds()
-		entry.Miners[i].Identical = bytes.Equal(segJSON[i].Bytes(), buf.Bytes())
-		if !entry.Miners[i].Identical {
-			entry.ResultsIdentical = false
+		entry.Miners[i].Identical = true
+		for wi := range workers {
+			same := bytes.Equal(segJSON[i][wi].Bytes(), buf.Bytes())
+			entry.Miners[i].Scaling[wi].Identical = same
+			if !same {
+				entry.ResultsIdentical = false
+				if workers[wi] == 1 {
+					entry.Miners[i].Identical = false
+				}
+			}
 		}
 	}
 	if recordRSS {

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	capebench <experiment> [-full] [-smoke] [-cpuprofile f] [-memprofile f]
+//	capebench <experiment> [-full] [-smoke] [-parallel n] [-cpuprofile f] [-memprofile f]
 //
 // Experiments: fig3a fig3b fig3c fig4 fig5 fig6a fig6b fig6c fig7
 // table3 table4 table5 table6 table7 userstudy benchexplain benchmine
@@ -63,6 +63,13 @@ var experiments = map[string]struct {
 // with no timing and no JSON output, so CI can gate on them cheaply.
 var smokeMode bool
 
+// parallelFlag (-parallel) is the worker budget benchmarks hand to
+// mining.Options.Parallelism. benchmine and benchincr run at exactly
+// this width; benchscale sweeps the segment pass over {1, 2, 4, 8}
+// capped here, recording the scaling curve. 1 (the default) keeps
+// every benchmark sequential and the recorded baselines comparable.
+var parallelFlag int
+
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: capebench <experiment> [-full]")
 	fmt.Fprintln(os.Stderr, "\nexperiments:")
@@ -86,6 +93,7 @@ func main() {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	full := fs.Bool("full", false, "run larger (slower) input sizes")
 	fs.BoolVar(&smokeMode, "smoke", false, "identity assertions only, no timing (benchengine, benchincr, benchscale)")
+	fs.IntVar(&parallelFlag, "parallel", 1, "mining worker budget; benchscale sweeps worker counts up to this (benchmine, benchincr, benchscale)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"encoding/binary"
 
 	"cape/internal/value"
 )
@@ -43,6 +42,15 @@ type compPart struct {
 	keys []*CompressedCol
 	aggs []*CompressedCol // nil entry ⇔ count(*)
 	val  func(row, slot int) value.V
+
+	// xlat, when set, maps each key column's local dictionary codes to
+	// codes that are consistent across every part of the query (the
+	// SegTable caches this unification per column — see colUnify). solo
+	// marks a part that is the query's only part, whose local codes are
+	// trivially globally unique. Either way groupAssign skips per-query
+	// dictionary translation.
+	xlat [][]int32
+	solo bool
 }
 
 // partRef addresses one row of one part.
@@ -51,50 +59,162 @@ type partRef struct {
 	row  int32
 }
 
-// groupAssign tracks the global group table across parts. Group keys are
-// the AppendKey bytes of the key values; per part, combinations of local
-// dictionary codes memoize their global id so the byte encoding runs
-// once per (part, combination), not per run.
+// groupAssign tracks the global group table across parts. Group identity
+// is the tuple of per-column *global* dictionary codes: each part's local
+// dictionary is translated to column-global codes once per part (dict-
+// sized work, via the canonical AppendKey bytes of the values — the same
+// equality classes the reference paths group by), so resolving a key
+// combination never serializes bytes; it probes an open-addressed table
+// of int32 tuples. Per part, combinations of local codes additionally
+// memoize their global id so even that probe runs once per
+// (part, combination), not per run.
 type groupAssign struct {
 	nK     int
-	global map[string]int32
+	gdict  []map[string]int32 // per key column: canonical value key bytes → global code
+	gslots []int32            // open table over global code tuples: gid or -1
+	gkeys  []int32            // group g's global codes at [g*nK, (g+1)*nK)
+	gcBuf  []int32
+	xlat   [][]int32 // current part: per key column, local code → global code
 	firsts []partRef
 	keyBuf []byte
 
-	// Per-part memo, reset by beginPart: a direct remap array for a
-	// single key column, a code-tuple map otherwise.
+	// keepKeys retains each group's canonical key bytes in keys, in
+	// group-id order — morsel workers need them to merge their local
+	// group tables into the global one (see morsel.go).
+	keepKeys bool
+	keys     [][]byte
+
+	// Per-part memo, reset by beginPart. remap is a perfect hash over
+	// the (flattened) code space when one key column or a small cross
+	// product; otherwise slots/entryCodes/entryGid form an open-addressed
+	// table over code tuples — both probe without allocating, unlike a
+	// map keyed by serialized codes (which showed up as the hottest
+	// block of high-cardinality compressed group-bys).
 	part    *compPart
 	partIdx int32
 	remap   []int32
-	combos  map[string]int32
-	tupBuf  []byte
+	flat    bool    // remap is indexed by the dims-flattened multi-key code
+	dims    []int32 // per-key dict sizes when flat
+	zeroGid int32   // nK==0 memo: the part's single group, -1 until assigned
 }
 
 func newGroupAssign(nK int) *groupAssign {
-	return &groupAssign{nK: nK, global: make(map[string]int32)}
+	return &groupAssign{nK: nK, gdict: make([]map[string]int32, nK)}
+}
+
+// flatRemapCap bounds the code space a perfect-hash remap may span
+// (256 KB of int32s — comfortably cache-resident). Above it the O(space)
+// clear per part per query and the cache misses of sparse probes cost
+// more than the global-table probes the memo would save, so larger code
+// spaces take the direct path.
+const flatRemapCap = 1 << 16
+
+func (ga *groupAssign) resetRemap(n int) {
+	if cap(ga.remap) < n {
+		ga.remap = make([]int32, n)
+	}
+	ga.remap = ga.remap[:n]
+	for i := range ga.remap {
+		ga.remap[i] = -1
+	}
+}
+
+// translate maps one part's local dictionary codes for key column k to
+// column-global codes, assigning fresh global codes to values this run
+// has not seen in column k yet. Identity is the value's canonical
+// AppendKey bytes, so Int/Float representatives of the same class share
+// one code across parts.
+func (ga *groupAssign) translate(k int, dict []value.V) []int32 {
+	m := ga.gdict[k]
+	if m == nil {
+		m = make(map[string]int32, len(dict))
+		ga.gdict[k] = m
+	}
+	xl := make([]int32, len(dict))
+	for c, v := range dict {
+		ga.keyBuf = v.AppendKey(ga.keyBuf[:0])
+		g, ok := m[string(ga.keyBuf)]
+		if !ok {
+			g = int32(len(m))
+			m[string(ga.keyBuf)] = g
+		}
+		xl[c] = g
+	}
+	return xl
 }
 
 func (ga *groupAssign) beginPart(p *compPart, idx int32) {
 	ga.part = p
 	ga.partIdx = idx
-	if ga.nK == 1 {
-		d := len(p.keys[0].dict)
-		if cap(ga.remap) < d {
-			ga.remap = make([]int32, d)
+	if cap(ga.xlat) < ga.nK {
+		ga.xlat = make([][]int32, ga.nK)
+	}
+	ga.xlat = ga.xlat[:ga.nK]
+	for k := 0; k < ga.nK; k++ {
+		switch {
+		case p.xlat != nil:
+			ga.xlat[k] = p.xlat[k]
+		case p.solo:
+			ga.xlat[k] = nil // single-part query: local codes are the global codes
+		default:
+			ga.xlat[k] = ga.translate(k, p.keys[k].dict)
 		}
-		ga.remap = ga.remap[:d]
-		for i := range ga.remap {
-			ga.remap[i] = -1
+	}
+	if ga.nK == 0 {
+		ga.zeroGid = -1
+		return
+	}
+	if ga.nK == 1 && len(p.keys[0].dict) <= flatRemapCap {
+		ga.flat = false
+		ga.resetRemap(len(p.keys[0].dict))
+		return
+	}
+	if ga.nK == 1 {
+		ga.flat = false
+		ga.remap = ga.remap[:0] // direct: dictionary too large to memo
+		return
+	}
+	prod := int64(1)
+	for _, kc := range p.keys {
+		d := int64(len(kc.dict))
+		if d == 0 {
+			d = 1
+		}
+		prod *= d
+		if prod > flatRemapCap {
+			prod = -1
+			break
+		}
+	}
+	if prod > 0 && prod <= int64(4*p.n+64) {
+		ga.resetRemap(int(prod))
+		ga.flat = true
+		ga.dims = ga.dims[:0]
+		for _, kc := range p.keys {
+			ga.dims = append(ga.dims, int32(len(kc.dict)))
 		}
 		return
 	}
-	ga.combos = make(map[string]int32, 64)
+	// High-cardinality cross product: a per-part memo would approach the
+	// global table in size (an O(rows) clear per part per query) while
+	// saving only the xlat indexing — assign probes the global table
+	// directly instead (the no-memo fallthrough).
+	ga.flat = false
 }
 
 // assign resolves the global group id of a run starting at local row
 // with the given key codes.
 func (ga *groupAssign) assign(codes []int32, row int32) int32 {
+	if ga.nK == 0 {
+		if ga.zeroGid < 0 {
+			ga.zeroGid = ga.assignSlow(codes, row)
+		}
+		return ga.zeroGid
+	}
 	if ga.nK == 1 {
+		if len(ga.remap) == 0 { // direct: dictionary exceeded flatRemapCap
+			return ga.assignSlow(codes, row)
+		}
 		if g := ga.remap[codes[0]]; g >= 0 {
 			return g
 		}
@@ -102,49 +222,129 @@ func (ga *groupAssign) assign(codes []int32, row int32) int32 {
 		ga.remap[codes[0]] = g
 		return g
 	}
-	tup := ga.tupBuf[:0]
+	if ga.flat {
+		key := codes[0]
+		for k := 1; k < ga.nK; k++ {
+			key = key*ga.dims[k] + codes[k]
+		}
+		if g := ga.remap[key]; g >= 0 {
+			return g
+		}
+		g := ga.assignSlow(codes, row)
+		ga.remap[key] = g
+		return g
+	}
+	return ga.assignSlow(codes, row)
+}
+
+func hashCodes(codes []int32) uint64 {
+	const fnvOffset, fnvPrime = uint64(14695981039346656037), uint64(1099511628211)
+	h := fnvOffset
 	for _, c := range codes {
-		tup = binary.LittleEndian.AppendUint32(tup, uint32(c))
+		h = (h ^ uint64(uint32(c))) * fnvPrime
 	}
-	ga.tupBuf = tup
-	if g, ok := ga.combos[string(tup)]; ok {
-		return g
-	}
-	g := ga.assignSlow(codes, row)
-	ga.combos[string(tup)] = g
-	return g
+	return h
 }
 
+// assignSlow resolves a key combination against the run-global group
+// table: local codes are translated to global codes through the per-part
+// xlat built by beginPart, then the tuple is probed in an open-addressed
+// table. New groups record their first row and, when keepKeys is set,
+// their canonical key bytes (only the morsel merge reads those).
 func (ga *groupAssign) assignSlow(codes []int32, row int32) int32 {
-	key := ga.keyBuf[:0]
+	if ga.nK == 0 {
+		if len(ga.firsts) == 0 {
+			ga.firsts = append(ga.firsts, partRef{part: ga.partIdx, row: row})
+			if ga.keepKeys {
+				ga.keys = append(ga.keys, []byte{})
+			}
+		}
+		return 0
+	}
+	gc := ga.gcBuf[:0]
 	for k, c := range codes {
-		key = ga.part.keys[k].dict[c].AppendKey(key)
+		if xl := ga.xlat[k]; xl != nil {
+			c = xl[c]
+		}
+		gc = append(gc, c)
 	}
-	ga.keyBuf = key
-	if g, ok := ga.global[string(key)]; ok {
-		return g
-	}
-	g := int32(len(ga.firsts))
-	ga.global[string(key)] = g
-	ga.firsts = append(ga.firsts, partRef{part: ga.partIdx, row: row})
-	return g
+	ga.gcBuf = gc
+	return ga.assignGlobal(gc, row)
 }
 
-// groupByCompressedParts evaluates GroupBy over the concatenation of
-// parts. nK is the number of group columns; aCols carries the aggregate
-// specs (aggCol.idx is unused here — part.aggs already resolved the
-// argument columns). The output matches the reference GroupBy bitwise.
-func groupByCompressedParts(parts []*compPart, nK int, aCols []aggCol, sch Schema) *Table {
-	nA := len(aCols)
-	ga := newGroupAssign(nK)
-	var states []aggState // laid out [gid*nA+ai]
+// assignGlobal resolves (inserting if new) the group of already-global
+// codes gc, first seen at part-local row. New groups re-read their local
+// codes via CodeAt when canonical key bytes must be kept — once per
+// group, not per run.
+func (ga *groupAssign) assignGlobal(gc []int32, row int32) int32 {
+	if 2*(len(ga.firsts)+1) > len(ga.gslots) {
+		ga.growGlobal()
+	}
+	mask := len(ga.gslots) - 1
+	for i := int(hashCodes(gc)) & mask; ; i = (i + 1) & mask {
+		s := ga.gslots[i]
+		if s < 0 {
+			g := int32(len(ga.firsts))
+			ga.gslots[i] = g
+			ga.gkeys = append(ga.gkeys, gc...)
+			ga.firsts = append(ga.firsts, partRef{part: ga.partIdx, row: row})
+			if ga.keepKeys {
+				key := ga.keyBuf[:0]
+				for k := range gc {
+					kc := ga.part.keys[k]
+					key = kc.dict[kc.CodeAt(int(row))].AppendKey(key)
+				}
+				ga.keyBuf = key
+				ga.keys = append(ga.keys, append([]byte(nil), key...))
+			}
+			return g
+		}
+		eg := ga.gkeys[int(s)*ga.nK : int(s)*ga.nK+ga.nK]
+		match := true
+		for k := range gc {
+			if eg[k] != gc[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s
+		}
+	}
+}
 
-	// Whether each Sum/Avg must accumulate sumF for int runs. hasFloat is
-	// a per-part property, but anyFloat (which makes result() read sumF)
-	// is global to the group: one float row anywhere forces every part —
-	// including float-free ones — to fold its int contributions into sumF,
-	// so the flag is OR'd across parts before any run is folded.
-	sumNeedsF := make([]bool, nA)
+// growGlobal doubles the global tuple table and re-probes every existing
+// group from the gkeys arena.
+func (ga *groupAssign) growGlobal() {
+	size := 2 * len(ga.gslots)
+	if size < 64 {
+		size = 64
+	}
+	slots := make([]int32, size)
+	for i := range slots {
+		slots[i] = -1
+	}
+	mask := size - 1
+	for g := 0; g < len(ga.firsts); g++ {
+		h := hashCodes(ga.gkeys[g*ga.nK : (g+1)*ga.nK])
+		for i := int(h) & mask; ; i = (i + 1) & mask {
+			if slots[i] < 0 {
+				slots[i] = int32(g)
+				break
+			}
+		}
+	}
+	ga.gslots = slots
+}
+
+// sumNeedsFFor computes, per aggregate, whether Sum/Avg folds must
+// accumulate sumF for int runs. hasFloat is a per-part property, but
+// anyFloat (which makes result() read sumF) is global to the group: one
+// float row anywhere forces every part — including float-free ones — to
+// fold its int contributions into sumF, so the flag is OR'd across
+// parts before any run is folded.
+func sumNeedsFFor(parts []*compPart, aCols []aggCol) []bool {
+	sumNeedsF := make([]bool, len(aCols))
 	for ai, ac := range aCols {
 		switch ac.spec.Func {
 		case Avg:
@@ -158,68 +358,313 @@ func groupByCompressedParts(parts []*compPart, nK int, aCols []aggCol, sch Schem
 			}
 		}
 	}
+	return sumNeedsF
+}
 
-	kcur := make([]runCur, nK)
-	acur := make([]runCur, nA)
-	codes := make([]int32, nK)
-	for pi, p := range parts {
-		if p.n == 0 {
-			continue
-		}
-		ga.beginPart(p, int32(pi))
+// gbScan is the reusable state of one grouping walk: the group table,
+// aggregate states, and the per-column cursors. The sequential kernel
+// runs one gbScan over every part in order; morsel workers each run a
+// private gbScan over their row range and merge afterwards.
+type gbScan struct {
+	ga     *groupAssign
+	states []aggState // laid out [gid*nA+ai]
+	kcur   []runCur
+	acur   []runCur
+	codes  []int32
+
+	// Decode-pass state (see scanFlat): flatDims are the global
+	// dictionary sizes per key column, flatBudget the scan's total row
+	// count — both set by the caller to enable the pass. flatRemap maps
+	// the dims-flattened global key to its group id and is shared across
+	// every part of the scan (global codes make entries part-independent),
+	// so it is cleared once per query, never per part.
+	flatDims   []int32
+	flatBudget int
+	flatRemap  []int32
+	keyScratch [][]int32
+	aggScratch [][]int32
+
+	// countOnly marks a query whose every aggregate is count(*): both
+	// scan paths then accumulate into counts — an 8-byte-stride array —
+	// instead of the much wider aggState records, and the caller expands
+	// counts into states once at the end (countStates). High-cardinality
+	// groupings touch these arrays randomly, so the stride is the
+	// difference between one cache line per group and several.
+	countOnly bool
+	counts    []int64
+}
+
+func newGbScan(nK, nA int, keepKeys bool) *gbScan {
+	sc := &gbScan{
+		ga:    newGroupAssign(nK),
+		kcur:  make([]runCur, nK),
+		acur:  make([]runCur, nA),
+		codes: make([]int32, nK),
+	}
+	sc.ga.keepKeys = keepKeys
+	return sc
+}
+
+// globalKeyDims computes, per key column, the size of the global code
+// space across parts (the stride basis of the decode pass's flat keys).
+// Cost is one pass over each part's translation or dictionary.
+func globalKeyDims(parts []*compPart, nK int) []int32 {
+	dims := make([]int32, nK)
+	for _, p := range parts {
 		for k := 0; k < nK; k++ {
-			kcur[k].init(p.keys[k])
-		}
-		for ai := 0; ai < nA; ai++ {
-			if p.aggs[ai] != nil {
-				acur[ai].init(p.aggs[ai])
-			}
-		}
-		n := int32(p.n)
-		for pos := int32(0); pos < n; {
-			segEnd := n
-			for k := 0; k < nK; k++ {
-				kcur[k].seek(pos)
-				if kcur[k].end < segEnd {
-					segEnd = kcur[k].end
-				}
-				codes[k] = kcur[k].code
-			}
-			gid := ga.assign(codes, pos)
-			if int(gid)*nA >= len(states) {
-				states = append(states, make([]aggState, nA)...)
-			}
-			base := int(gid) * nA
-			for ai := 0; ai < nA; ai++ {
-				cc := p.aggs[ai]
-				if cc == nil { // count(*)
-					states[base+ai].count += int64(segEnd - pos)
-					continue
-				}
-				cur := &acur[ai]
-				for q := pos; q < segEnd; {
-					cur.seek(q)
-					e := cur.end
-					if e > segEnd {
-						e = segEnd
+			var d int32
+			if p.xlat != nil && p.xlat[k] != nil {
+				for _, g := range p.xlat[k] {
+					if g+1 > d {
+						d = g + 1
 					}
-					foldCompressedRun(&states[base+ai], aCols[ai].spec.Func, cc,
-						cur.code, int(e-q), p, int(q), nK+ai, sumNeedsF[ai])
-					q = e
 				}
+			} else { // solo part or identity translation: codes are global
+				d = int32(len(p.keys[k].dict))
 			}
-			pos = segEnd
+			if d > dims[k] {
+				dims[k] = d
+			}
+		}
+	}
+	return dims
+}
+
+// scanRange folds rows [lo, hi) of part pi into the scan's group table
+// and aggregate states, walking merged key runs exactly like the
+// whole-part kernel (runs straddling the range are clamped; clamping
+// only splits a fold the per-row reference performs row-wise anyway).
+// flatScanMinRows is the smallest range worth the decode pass's scratch
+// fill; flatScanCap bounds the flattened global code space (16 MB of
+// int32s for the shared remap).
+const (
+	flatScanMinRows = 4096
+	flatScanCap     = 1 << 22
+)
+
+// scanFlat is the decode-pass alternative to the run walk: materialize
+// the range's key codes into scratch (straight block unpack for PACK,
+// run expansion for RLE), translate them to global codes in place, and
+// resolve groups through one flat remap keyed by the combined global
+// code — the same single tight pass the dense columnar kernel runs, so
+// compressed group-bys over unsorted (run length ~1) payloads stop
+// paying per-run cursor arithmetic and hashing. Aggregates fold per row
+// with the exact reference semantics (foldCompressedRun with k=1).
+// Returns false — leaving the range to the run walk — when runs are
+// long enough that walking them is cheaper, or the flat key space is
+// too large to remap.
+func (sc *gbScan) scanFlat(p *compPart, pi, lo, hi int32, aCols []aggCol, sumNeedsF []bool) bool {
+	nK, nA := len(sc.kcur), len(aCols)
+	rows := int(hi - lo)
+	if nK == 0 || sc.flatDims == nil || rows < flatScanMinRows {
+		return false
+	}
+	prod := int64(1)
+	for _, d := range sc.flatDims {
+		dd := int64(d)
+		if dd == 0 {
+			dd = 1
+		}
+		prod *= dd
+		if prod > flatScanCap {
+			return false
+		}
+	}
+	if prod > int64(4*sc.flatBudget+64) {
+		return false
+	}
+	runs := 0
+	for k := 0; k < nK; k++ {
+		runs += p.keys[k].runsInRange(lo, hi)
+	}
+	if runs*2 < nK*rows {
+		return false // long runs: the run walk folds them wholesale
+	}
+
+	ga := sc.ga
+	ga.beginPart(p, pi)
+	if sc.keyScratch == nil {
+		sc.keyScratch = make([][]int32, nK)
+	}
+	for k := 0; k < nK; k++ {
+		s := growI32(sc.keyScratch[k], rows)
+		sc.keyScratch[k] = s
+		p.keys[k].decodeRange(lo, hi, s)
+		if xl := ga.xlat[k]; xl != nil {
+			for i, c := range s {
+				s[i] = xl[c]
+			}
+		}
+	}
+	if sc.aggScratch == nil {
+		sc.aggScratch = make([][]int32, nA)
+	}
+	for ai := 0; ai < nA; ai++ {
+		if cc := p.aggs[ai]; cc != nil {
+			s := growI32(sc.aggScratch[ai], rows)
+			sc.aggScratch[ai] = s
+			cc.decodeRange(lo, hi, s)
+		}
+	}
+	if sc.flatRemap == nil {
+		sc.flatRemap = make([]int32, prod)
+		for i := range sc.flatRemap {
+			sc.flatRemap[i] = -1
 		}
 	}
 
-	nG := len(ga.firsts)
+	gc := make([]int32, nK)
+	for r := 0; r < rows; r++ {
+		key := int(sc.keyScratch[0][r])
+		for k := 1; k < nK; k++ {
+			key = key*int(sc.flatDims[k]) + int(sc.keyScratch[k][r])
+		}
+		g := sc.flatRemap[key]
+		if g < 0 {
+			for k := 0; k < nK; k++ {
+				gc[k] = sc.keyScratch[k][r]
+			}
+			g = ga.assignGlobal(gc, lo+int32(r))
+			sc.flatRemap[key] = g
+		}
+		if sc.countOnly {
+			if need := int(g) + 1; need > len(sc.counts) {
+				sc.counts = growI64(sc.counts, need)
+			}
+			sc.counts[g]++
+			continue
+		}
+		if need := (int(g) + 1) * nA; need > len(sc.states) {
+			sc.states = growStates(sc.states, need)
+		}
+		base := int(g) * nA
+		for ai := 0; ai < nA; ai++ {
+			cc := p.aggs[ai]
+			if cc == nil { // count(*)
+				sc.states[base+ai].count++
+				continue
+			}
+			foldCompressedRun(&sc.states[base+ai], aCols[ai].spec.Func, cc,
+				sc.aggScratch[ai][r], 1, p, int(lo)+r, nK+ai, sumNeedsF[ai])
+		}
+	}
+	return true
+}
+
+// growI32 returns a length-n int32 slice reusing buf's capacity.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growI64 extends a zero-filled int64 slice to need elements, doubling
+// capacity (the spare region is zeroed at allocation, like growStates).
+func growI64(c []int64, need int) []int64 {
+	if need <= cap(c) {
+		return c[:need]
+	}
+	grown := make([]int64, need, 2*need)
+	copy(grown, c)
+	return grown
+}
+
+// countOnlyAggs reports whether every aggregate is count(*) — the case
+// the scans accumulate as bare int64 counts.
+func countOnlyAggs(aCols []aggCol) bool {
+	for _, ac := range aCols {
+		if ac.spec.Func != Count || ac.idx >= 0 {
+			return false
+		}
+	}
+	return len(aCols) > 0
+}
+
+// countStates expands per-group counts into aggState records for
+// materializeGroups (every count(*) column reports the group's row
+// count).
+func countStates(counts []int64, nG, nA int) []aggState {
+	states := make([]aggState, nG*nA)
+	for g := 0; g < nG && g < len(counts); g++ {
+		for ai := 0; ai < nA; ai++ {
+			states[g*nA+ai].count = counts[g]
+		}
+	}
+	return states
+}
+
+func (sc *gbScan) scanRange(p *compPart, pi, lo, hi int32, aCols []aggCol, sumNeedsF []bool) {
+	if sc.scanFlat(p, pi, lo, hi, aCols, sumNeedsF) {
+		return
+	}
+	nK, nA := len(sc.kcur), len(aCols)
+	sc.ga.beginPart(p, pi)
+	for k := 0; k < nK; k++ {
+		sc.kcur[k].initAt(p.keys[k], lo)
+	}
+	for ai := 0; ai < nA; ai++ {
+		if p.aggs[ai] != nil {
+			sc.acur[ai].initAt(p.aggs[ai], lo)
+		}
+	}
+	for pos := lo; pos < hi; {
+		segEnd := hi
+		for k := 0; k < nK; k++ {
+			sc.kcur[k].seek(pos)
+			if sc.kcur[k].end < segEnd {
+				segEnd = sc.kcur[k].end
+			}
+			sc.codes[k] = sc.kcur[k].code
+		}
+		gid := sc.ga.assign(sc.codes, pos)
+		if sc.countOnly {
+			if need := int(gid) + 1; need > len(sc.counts) {
+				sc.counts = growI64(sc.counts, need)
+			}
+			sc.counts[gid] += int64(segEnd - pos)
+			pos = segEnd
+			continue
+		}
+		if need := (int(gid) + 1) * nA; need > len(sc.states) {
+			sc.states = growStates(sc.states, need)
+		}
+		base := int(gid) * nA
+		for ai := 0; ai < nA; ai++ {
+			cc := p.aggs[ai]
+			if cc == nil { // count(*)
+				sc.states[base+ai].count += int64(segEnd - pos)
+				continue
+			}
+			cur := &sc.acur[ai]
+			for q := pos; q < segEnd; {
+				cur.seek(q)
+				e := cur.end
+				if e > segEnd {
+					e = segEnd
+				}
+				foldCompressedRun(&sc.states[base+ai], aCols[ai].spec.Func, cc,
+					cur.code, int(e-q), p, int(q), nK+ai, sumNeedsF[ai])
+				q = e
+			}
+		}
+		pos = segEnd
+	}
+}
+
+// materializeGroups builds the grouped output table from the final
+// group table (first-appearance refs) and aggregate states.
+func materializeGroups(parts []*compPart, firsts []partRef, states []aggState,
+	nK int, aCols []aggCol, sch Schema) *Table {
+
+	nG, nA := len(firsts), len(aCols)
 	out := NewTable(sch)
 	out.rows = make([]value.Tuple, nG)
 	width := len(sch)
 	slab := make([]value.V, nG*width)
 	for g := 0; g < nG; g++ {
 		row := slab[g*width : (g+1)*width : (g+1)*width]
-		fr := ga.firsts[g]
+		fr := firsts[g]
 		p := parts[fr.part]
 		for k := 0; k < nK; k++ {
 			row[k] = p.val(int(fr.row), k)
@@ -230,6 +675,33 @@ func groupByCompressedParts(parts []*compPart, nK int, aCols []aggCol, sch Schem
 		out.rows[g] = row
 	}
 	return out
+}
+
+// groupByCompressedParts evaluates GroupBy over the concatenation of
+// parts. nK is the number of group columns; aCols carries the aggregate
+// specs (aggCol.idx is unused here — part.aggs already resolved the
+// argument columns). The output matches the reference GroupBy bitwise.
+func groupByCompressedParts(parts []*compPart, nK int, aCols []aggCol, sch Schema) *Table {
+	sumNeedsF := sumNeedsFFor(parts, aCols)
+	sc := newGbScan(nK, len(aCols), false)
+	sc.countOnly = countOnlyAggs(aCols)
+	if nK > 0 {
+		sc.flatDims = globalKeyDims(parts, nK)
+		for _, p := range parts {
+			sc.flatBudget += p.n
+		}
+	}
+	for pi, p := range parts {
+		if p.n == 0 {
+			continue
+		}
+		sc.scanRange(p, int32(pi), 0, int32(p.n), aCols, sumNeedsF)
+	}
+	states := sc.states
+	if sc.countOnly {
+		states = countStates(sc.counts, len(sc.ga.firsts), len(aCols))
+	}
+	return materializeGroups(parts, sc.ga.firsts, states, nK, aCols, sch)
 }
 
 // foldCompressedRun folds one equal-code run of an aggregate argument
@@ -390,7 +862,7 @@ func (t *Table) compressedPart(gIdx []int, aCols []aggCol) (*compPart, bool) {
 		return nil, false
 	}
 	n := len(t.rows)
-	p := &compPart{n: n}
+	p := &compPart{n: n, solo: true}
 	p.keys = make([]*CompressedCol, len(gIdx))
 	for i, ci := range gIdx {
 		cc := c.Compressed(ci)
@@ -435,7 +907,7 @@ func (t *Table) groupByCompressed(gIdx []int, aCols []aggCol, sch Schema) *Table
 			return nil
 		}
 	}
-	return groupByCompressedParts([]*compPart{part}, len(gIdx), aCols, sch)
+	return groupByCompressedPartsPool(t.queryPool(), []*compPart{part}, len(gIdx), aCols, sch)
 }
 
 // aggDeclinesCompressed reports whether folding spec f over cc must be
@@ -475,9 +947,14 @@ func (t *Table) selectEqCompressed(out *Table, idx []int, vals value.Tuple) bool
 		return true // some probed value absent from a dictionary: no rows
 	}
 	rows := t.rows
-	selectEqRuns(part, want[0], func(lo, hi int32) {
+	emit := func(lo, hi int32) {
 		out.rows = append(out.rows, rows[lo:hi]...)
-	})
+	}
+	// Sealed (non-dense) views answer from the code-span index; the
+	// emitted ranges are identical to the merged-run scan's.
+	if !selectEqSpans(part, want[0], emit) {
+		selectEqRuns(part, want[0], emit)
+	}
 	return true
 }
 

@@ -58,7 +58,45 @@ type CompressedCol struct {
 
 	lookupOnce sync.Once
 	lookup     map[string]int32 // AppendKey bytes → code, built lazily
+
+	// Decoded-block cache for the PACK encoding: sequential cursors
+	// decode 1024-code blocks through here, so refinement scans that
+	// revisit the same rows (one group-by per attribute set, repeated
+	// selection probes) pay the bit-unpack once per block instead of
+	// once per row per scan. The cache is keyed by block index only —
+	// the column is immutable, so there is no epoch to track: a column
+	// rebuilt after an append (or a segment re-opened after Compact) is
+	// a fresh CompressedCol with a fresh cache, and closing a segment
+	// drops its columns and their caches together, before the mmap is
+	// unmapped. Cached slices are never mutated after insertion, and
+	// eviction only drops the cache's reference, so cursors holding an
+	// evicted block stay valid.
+	blockMu   sync.Mutex
+	blockTick uint64
+	blockMap  map[int32]*decodedBlock
+
+	// Per-code row-span index (CSR layout), built lazily by spanIndex
+	// for the immutable RLE/PACK encodings; see selectindex.go.
+	spanOnce sync.Once
+	spanOff  []int32
+	spans    []int32
 }
+
+// decodedBlock is one cached decoded PACK block with its LRU recency.
+type decodedBlock struct {
+	codes []int32
+	used  uint64
+}
+
+// Decode blocks are 1024 codes; the per-column cache keeps the 64 most
+// recently used (256 KiB of codes), enough to cover a morsel's working
+// set many times over while staying irrelevant next to the mmap'd
+// payload it fronts.
+const (
+	decodeBlockShift  = 10
+	decodeBlockLen    = 1 << decodeBlockShift
+	decodeCacheBlocks = 64
+)
 
 // Encoding names for introspection (cape convert reporting, tests).
 const (
@@ -205,6 +243,159 @@ func (cc *CompressedCol) unpack(i int) int32 {
 	return int32(lo & (1<<bw - 1))
 }
 
+// unpackBlock decodes the codes of decode block b — rows
+// [b·1024, min(n, (b+1)·1024)) — into dst, which must be exactly the
+// block's length. Unlike per-row unpack, the packed words stream
+// through one running register: about one 64-bit load per word plus
+// two shifts per code, instead of recomputing a byte offset and
+// reloading (possibly twice) for every row.
+func (cc *CompressedCol) unpackBlock(b int, dst []int32) {
+	bw := uint(cc.bitWidth)
+	mask := uint64(1)<<bw - 1
+	bitPos := uint64(b<<decodeBlockShift) * uint64(bw)
+	w := int(bitPos>>6) << 3
+	off := uint(bitPos & 63)
+	packed := cc.packed
+	cur := binary.LittleEndian.Uint64(packed[w:])
+	for i := range dst {
+		v := cur >> off
+		off += bw
+		if off >= 64 {
+			w += 8
+			off -= 64
+			if w+8 <= len(packed) {
+				cur = binary.LittleEndian.Uint64(packed[w:])
+			} else {
+				cur = 0
+			}
+			if off > 0 {
+				v |= cur << (bw - off)
+			}
+		}
+		dst[i] = int32(v & mask)
+	}
+}
+
+// runIdx returns the index of the run containing row i (RLE only).
+func runIdx(runEnds []int32, i int32) int {
+	lo, hi := 0, len(runEnds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if runEnds[mid] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// runsInRange reports how many maximal equal-code runs cover rows
+// [lo, hi): exact for RLE, hi-lo for PACK and dense (the worst case —
+// unsorted payloads decode to run length ~1, which is when the decode
+// pass beats the run walk). Group-by uses it to pick between the two.
+func (cc *CompressedCol) runsInRange(lo, hi int32) int {
+	if hi <= lo {
+		return 0
+	}
+	if cc.runEnds == nil {
+		return int(hi - lo)
+	}
+	return runIdx(cc.runEnds, hi-1) - runIdx(cc.runEnds, lo) + 1
+}
+
+// decodeRange materializes the codes of rows [lo, hi) into dst (length
+// hi-lo). PACK blocks fully inside the range unpack straight into dst
+// (no lock, no cache churn); edge blocks go through the decoded-block
+// cache.
+func (cc *CompressedCol) decodeRange(lo, hi int32, dst []int32) {
+	switch {
+	case cc.dense != nil:
+		copy(dst, cc.dense[lo:hi])
+	case cc.packed != nil:
+		for pos := lo; pos < hi; {
+			b := int(pos) >> decodeBlockShift
+			bStart := int32(b << decodeBlockShift)
+			bLen := int32(cc.blockLen(b))
+			if pos == bStart && bStart+bLen <= hi {
+				cc.unpackBlock(b, dst[pos-lo:pos-lo+bLen])
+				pos += bLen
+				continue
+			}
+			codes := cc.decodedBlockAt(b)
+			pos += int32(copy(dst[pos-lo:], codes[pos-bStart:]))
+		}
+	default: // RLE
+		i := runIdx(cc.runEnds, lo)
+		for pos := lo; pos < hi; i++ {
+			end := cc.runEnds[i]
+			if end > hi {
+				end = hi
+			}
+			c := cc.runCodes[i]
+			seg := dst[pos-lo : end-lo]
+			for j := range seg {
+				seg[j] = c
+			}
+			pos = end
+		}
+	}
+}
+
+// blockLen returns the row count of decode block b.
+func (cc *CompressedCol) blockLen(b int) int {
+	lo := b << decodeBlockShift
+	hi := lo + decodeBlockLen
+	if hi > cc.n {
+		hi = cc.n
+	}
+	return hi - lo
+}
+
+// decodedBlockAt returns the decoded codes of PACK block b, serving
+// repeat reads from the per-column LRU. The returned slice is shared
+// and must not be mutated.
+func (cc *CompressedCol) decodedBlockAt(b int) []int32 {
+	key := int32(b)
+	cc.blockMu.Lock()
+	if db, ok := cc.blockMap[key]; ok {
+		cc.blockTick++
+		db.used = cc.blockTick
+		codes := db.codes
+		cc.blockMu.Unlock()
+		return codes
+	}
+	cc.blockMu.Unlock()
+
+	codes := make([]int32, cc.blockLen(b))
+	cc.unpackBlock(b, codes)
+
+	cc.blockMu.Lock()
+	if db, ok := cc.blockMap[key]; ok {
+		// Decoded concurrently by another cursor; keep the cached copy.
+		cc.blockTick++
+		db.used = cc.blockTick
+		codes = db.codes
+	} else {
+		if cc.blockMap == nil {
+			cc.blockMap = make(map[int32]*decodedBlock, decodeCacheBlocks)
+		} else if len(cc.blockMap) >= decodeCacheBlocks {
+			var evict int32
+			oldest := uint64(1<<64 - 1)
+			for k, v := range cc.blockMap {
+				if v.used < oldest {
+					oldest, evict = v.used, k
+				}
+			}
+			delete(cc.blockMap, evict)
+		}
+		cc.blockTick++
+		cc.blockMap[key] = &decodedBlock{codes: codes, used: cc.blockTick}
+	}
+	cc.blockMu.Unlock()
+	return codes
+}
+
 // packCodes bit-packs codes into little-endian words of bw bits each.
 func packCodes(codes []int32, bw uint32) []byte {
 	words := (uint64(len(codes))*uint64(bw) + 63) / 64
@@ -317,12 +508,19 @@ func (rc *RunCursor) Seek(pos int32) (code, end int32) {
 // in row order. After seek(pos), code is the code of row pos and end is
 // the first row after pos with a different code (or n). PACK and DENSE
 // encodings synthesize runs by coalescing adjacent equal codes during
-// the sequential decode.
+// the sequential decode; PACK decodes 1024-code blocks once (through
+// the column's block cache) instead of re-unpacking bits per row, and a
+// run continues across block boundaries so runs stay maximal — which
+// RunCursor consumers (fragment-boundary intersection) rely on.
 type runCur struct {
 	cc   *CompressedCol
 	idx  int   // next RLE run to load
 	end  int32 // exclusive end of the current run
 	code int32
+
+	// Current decoded PACK block: rows [bufLo, bufLo+len(buf)).
+	buf   []int32
+	bufLo int32
 }
 
 func (c *runCur) init(cc *CompressedCol) {
@@ -330,6 +528,35 @@ func (c *runCur) init(cc *CompressedCol) {
 	c.idx = 0
 	c.end = 0
 	c.code = -1
+	c.buf = nil
+	c.bufLo = 0
+}
+
+// initAt binds the cursor and positions its internal state so the first
+// seek lands on row pos in O(log runs) — morsel workers enter a part
+// mid-way, where the RLE path's sequential run scan from 0 would cost
+// O(runs before pos).
+func (c *runCur) initAt(cc *CompressedCol, pos int32) {
+	c.init(cc)
+	if ends := cc.runEnds; ends != nil {
+		lo, hi := 0, len(ends)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ends[mid] <= pos {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		c.idx = lo
+	}
+}
+
+// loadBlock points buf at the decoded block containing row pos.
+func (c *runCur) loadBlock(pos int32) {
+	b := int(pos) >> decodeBlockShift
+	c.buf = c.cc.decodedBlockAt(b)
+	c.bufLo = int32(b << decodeBlockShift)
 }
 
 // seek advances the cursor so that its current run covers row pos.
@@ -358,10 +585,25 @@ func (c *runCur) seek(pos int32) {
 		c.code, c.end = code, e
 		return
 	}
-	code := cc.unpack(int(pos))
+	if pos < c.bufLo || pos >= c.bufLo+int32(len(c.buf)) {
+		c.loadBlock(pos)
+	}
+	code := c.buf[pos-c.bufLo]
 	e := pos + 1
-	for e < n && cc.unpack(int(e)) == code {
-		e++
+	for e < n {
+		if e >= c.bufLo+int32(len(c.buf)) {
+			c.loadBlock(e)
+		}
+		buf, lo := c.buf, c.bufLo
+		i := e - lo
+		m := int32(len(buf))
+		for i < m && buf[i] == code {
+			i++
+		}
+		e = lo + i
+		if i < m {
+			break // run ended inside this block
+		}
 	}
 	c.code, c.end = code, e
 }

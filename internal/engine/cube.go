@@ -50,12 +50,24 @@ func cubeOver(r Relation, rowOnly bool, cols []string, minSize, maxSize int, agg
 	out.rowOnly = rowOnly
 
 	total := uint64(1) << uint(len(cols))
+	var masks []uint64
 	for mask := uint64(0); mask < total; mask++ {
-		size := popcount(mask)
-		if size < minSize || size > maxSize {
-			continue
+		if size := popcount(mask); size >= minSize && size <= maxSize {
+			masks = append(masks, mask)
 		}
-		subset := make([]string, 0, size)
+	}
+
+	// One GroupBy per subset. The groupings are independent, so they fan
+	// across the source's pool (when it has one) and are assembled in
+	// mask order — the same output row order the sequential loop builds.
+	var pool *Pool
+	if pr, ok := r.(pooledRelation); ok {
+		pool = pr.queryPool()
+	}
+	grouped := make([]*Table, len(masks))
+	err := pool.ForEach("engine:cube", len(masks), func(mi int) error {
+		mask := masks[mi]
+		subset := make([]string, 0, popcount(mask))
 		for i, c := range cols {
 			if mask&(1<<uint(i)) != 0 {
 				subset = append(subset, c)
@@ -63,11 +75,19 @@ func cubeOver(r Relation, rowOnly bool, cols []string, minSize, maxSize int, agg
 		}
 		part, err := r.GroupBy(subset, aggs)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		grouped[mi] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for mi, mask := range masks {
 		// grouping bitmask: bit i set when cols[i] is rolled up.
 		grouping := int64(^mask) & int64(total-1)
-		for _, r := range part.Rows() {
+		for _, r := range grouped[mi].Rows() {
 			row := make(value.Tuple, 0, len(sch))
 			si := 0
 			for i := range cols {

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"cape/internal/value"
 )
@@ -28,6 +30,30 @@ type SegTable struct {
 	tail   *Table
 	sealed int // rows across segs
 	epoch  uint64
+	// pool, when set, lets the compressed kernels fan morsels and parts
+	// across a shared worker pool (SetPool); see morsel.go.
+	pool atomic.Pointer[Pool]
+
+	// unify caches, per column index, the cross-segment dictionary
+	// unification the compressed group-by keys on (see colUnify).
+	// Sealed segments are immutable, so entries stay valid until the
+	// segment list itself changes (AddSegment, Compact); tail-only
+	// appends never invalidate. Guarded by unifyMu because concurrent
+	// readers build entries lazily.
+	unifyMu sync.Mutex
+	unify   map[int]*colUnify
+}
+
+// colUnify is the cached dictionary unification of one column across
+// the sealed segments: segXl[j] maps segment j's local codes to
+// column-global codes (nil when the mapping is the identity — always
+// true for the first segment), and m (canonical AppendKey bytes →
+// global code) extends the same numbering over the append tail's
+// dictionary at query time. m is never mutated after the build — unseen
+// tail values get codes from a per-query overlay.
+type colUnify struct {
+	segXl [][]int32
+	m     map[string]int32
 }
 
 // NewSegTable creates an empty segment table with the given schema.
@@ -82,6 +108,13 @@ func (st *SegTable) TailRows() int { return st.tail.NumRows() }
 // Epoch returns the mutation counter (AppendRows, AddSegment, Compact).
 func (st *SegTable) Epoch() uint64 { return st.epoch }
 
+// SetPool attaches a worker pool for the query kernels to fan morsels
+// and parts across (nil restores sequential execution). Results are
+// byte-identical at any pool width; see morsel.go.
+func (st *SegTable) SetPool(p *Pool) { st.pool.Store(p) }
+
+func (st *SegTable) queryPool() *Pool { return st.pool.Load() }
+
 // AddSegment appends a sealed segment. To preserve row order it is only
 // legal while the tail is empty (segments always precede tail rows);
 // Compact first if appends have landed.
@@ -94,8 +127,86 @@ func (st *SegTable) AddSegment(seg *Segment) error {
 	}
 	st.segs = append(st.segs, seg)
 	st.sealed += seg.NumRows()
+	st.invalidateUnify()
 	st.epoch++
 	return nil
+}
+
+// invalidateUnify drops the cached per-column dictionary unifications;
+// called whenever the sealed segment list changes.
+func (st *SegTable) invalidateUnify() {
+	st.unifyMu.Lock()
+	st.unify = nil
+	st.unifyMu.Unlock()
+}
+
+// colUnify returns (building and caching on first use) the dictionary
+// unification of column ci across the sealed segments. Cost is one pass
+// over each segment's dictionary — paid once per column per segment-list
+// epoch, not once per query.
+func (st *SegTable) colUnify(ci int) *colUnify {
+	st.unifyMu.Lock()
+	defer st.unifyMu.Unlock()
+	if u, ok := st.unify[ci]; ok {
+		return u
+	}
+	u := &colUnify{m: make(map[string]int32)}
+	var buf []byte
+	for _, seg := range st.segs {
+		dict := seg.Col(ci).dict
+		xl := make([]int32, len(dict))
+		ident := true
+		for c, v := range dict {
+			buf = v.AppendKey(buf[:0])
+			g, ok := u.m[string(buf)]
+			if !ok {
+				g = int32(len(u.m))
+				u.m[string(buf)] = g
+			}
+			xl[c] = g
+			if g != int32(c) {
+				ident = false
+			}
+		}
+		if ident {
+			xl = nil // identity (always true for the first segment): skip translation
+		}
+		u.segXl = append(u.segXl, xl)
+	}
+	if st.unify == nil {
+		st.unify = make(map[int]*colUnify)
+	}
+	st.unify[ci] = u
+	return u
+}
+
+// tailXlat extends a column's cached unification over the live tail
+// dictionary for one query: values the sealed segments know resolve to
+// their cached code, unseen ones get fresh codes from a local overlay
+// (the shared map is never written, so concurrent queries stay safe).
+func tailXlat(u *colUnify, dict []value.V) []int32 {
+	xl := make([]int32, len(dict))
+	next := int32(len(u.m))
+	var buf []byte
+	var overlay map[string]int32
+	for c, v := range dict {
+		buf = v.AppendKey(buf[:0])
+		if g, ok := u.m[string(buf)]; ok {
+			xl[c] = g
+			continue
+		}
+		if g, ok := overlay[string(buf)]; ok {
+			xl[c] = g
+			continue
+		}
+		if overlay == nil {
+			overlay = make(map[string]int32)
+		}
+		overlay[string(buf)] = next
+		xl[c] = next
+		next++
+	}
+	return xl
 }
 
 // AppendRows appends a batch to the uncompressed tail — sealed segments
@@ -136,6 +247,7 @@ func (st *SegTable) Compact() error {
 	st.segs = append(st.segs, w.Segment())
 	st.sealed += n
 	st.tail = NewTable(st.schema)
+	st.invalidateUnify()
 	st.epoch++
 	return nil
 }
@@ -203,11 +315,17 @@ func (st *SegTable) ScanRows(lo, hi int, fn func(row value.Tuple) error) error {
 func (st *SegTable) parts(gIdx []int, aCols []aggCol) []*compPart {
 	nK := len(gIdx)
 	out := make([]*compPart, 0, len(st.segs)+1)
-	for _, seg := range st.segs {
+	unify := make([]*colUnify, nK)
+	for i, ci := range gIdx {
+		unify[i] = st.colUnify(ci)
+	}
+	for si, seg := range st.segs {
 		p := &compPart{n: seg.NumRows()}
 		p.keys = make([]*CompressedCol, nK)
+		p.xlat = make([][]int32, nK)
 		for i, ci := range gIdx {
 			p.keys[i] = seg.Col(ci)
+			p.xlat[i] = unify[i].segXl[si]
 		}
 		p.aggs = make([]*CompressedCol, len(aCols))
 		for i, ac := range aCols {
@@ -231,8 +349,10 @@ func (st *SegTable) parts(gIdx []int, aCols []aggCol) []*compPart {
 		c := st.tail.Columns()
 		p := &compPart{n: st.tail.NumRows()}
 		p.keys = make([]*CompressedCol, nK)
+		p.xlat = make([][]int32, nK)
 		for i, ci := range gIdx {
 			p.keys[i] = denseView(c.Col(ci))
+			p.xlat[i] = tailXlat(unify[i], p.keys[i].dict)
 		}
 		p.aggs = make([]*CompressedCol, len(aCols))
 		for i, ac := range aCols {
@@ -290,7 +410,7 @@ func (st *SegTable) GroupBy(groupCols []string, aggs []AggSpec) (*Table, error) 
 			}
 		}
 	}
-	return groupByCompressedParts(parts, len(gIdx), aCols, sch), nil
+	return groupByCompressedPartsPool(st.queryPool(), parts, len(gIdx), aCols, sch), nil
 }
 
 // groupPlan mirrors Table.groupPlan over the SegTable's schema.
@@ -341,27 +461,44 @@ func (st *SegTable) SelectEq(cols []string, vals value.Tuple) (*Table, error) {
 	if divergent {
 		return st.materialize().SelectEq(cols, vals)
 	}
+	// Each part's matches are independent: sealed segments answer from
+	// their code-span indexes (selectEqSpans) and materialize matching
+	// rows into private slabs; the mutable tail falls back to the merged
+	// run scan. Parts fan across the pool and concatenate in part order,
+	// so the output row order is the global row order either way.
 	out := NewTable(st.schema)
 	width := len(st.schema)
-	for pi, p := range parts {
+	partRows := make([][]value.Tuple, len(parts))
+	_ = st.queryPool().ForEach("engine:selecteq", len(parts), func(pi int) error {
 		if want[pi] == nil {
-			continue
+			return nil
 		}
+		p := parts[pi]
+		var matched []value.Tuple
+		var emit func(lo, hi int32)
 		if pi < len(st.segs) {
 			seg := st.segs[pi]
-			selectEqRuns(p, want[pi], func(lo, hi int32) {
+			emit = func(lo, hi int32) {
 				slab := make(value.Tuple, 0, int(hi-lo)*width)
 				for r := lo; r < hi; r++ {
 					slab = seg.AppendRowAt(int(r), slab)
-					out.rows = append(out.rows, slab[len(slab)-width:len(slab):len(slab)])
+					matched = append(matched, slab[len(slab)-width:len(slab):len(slab)])
 				}
-			})
+			}
 		} else {
 			rows := st.tail.Rows()
-			selectEqRuns(p, want[pi], func(lo, hi int32) {
-				out.rows = append(out.rows, rows[lo:hi]...)
-			})
+			emit = func(lo, hi int32) {
+				matched = append(matched, rows[lo:hi]...)
+			}
 		}
+		if !selectEqSpans(p, want[pi], emit) {
+			selectEqRuns(p, want[pi], emit)
+		}
+		partRows[pi] = matched
+		return nil
+	})
+	for _, rs := range partRows {
+		out.rows = append(out.rows, rs...)
 	}
 	return out, nil
 }

@@ -32,6 +32,10 @@ type Table struct {
 	colsMu sync.Mutex
 	// rowOnly forces the row-oriented reference paths (ForceRowPath).
 	rowOnly bool
+	// pool, when set, lets the compressed kernels fan morsels across a
+	// shared worker pool (SetPool). Stored atomically so queries running
+	// on pool workers can read it without racing a SetPool.
+	pool atomic.Pointer[Pool]
 }
 
 // NewTable creates an empty table with the given schema.
@@ -55,6 +59,13 @@ func (t *Table) Rows() []value.Tuple { return t.rows }
 // increments once per mutating call (Append, AppendRows, SortBy), so two
 // reads returning the same epoch bracket a window with no mutations.
 func (t *Table) Epoch() uint64 { return t.epoch }
+
+// SetPool attaches a worker pool for the compressed query kernels to
+// fan morsels across (nil restores sequential execution). Results are
+// byte-identical at any pool width; see morsel.go.
+func (t *Table) SetPool(p *Pool) { t.pool.Store(p) }
+
+func (t *Table) queryPool() *Pool { return t.pool.Load() }
 
 // validateRow checks one row against the schema: matching arity, and each
 // value matching the column kind unless the column is untyped or the

@@ -1,6 +1,8 @@
 package explain
 
 import (
+	"context"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -222,17 +224,20 @@ func runBatch(qs []UserQuestion, r engine.Relation, patterns []*pattern.Mined, o
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
+		labels := pprof.Labels("cape_pool", "explain:batch")
 		for w := 0; w < batchWorkers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
-					n := int(next.Add(1)) - 1
-					if n >= len(distinct) {
-						return
+				pprof.Do(context.Background(), labels, func(context.Context) {
+					for {
+						n := int(next.Add(1)) - 1
+						if n >= len(distinct) {
+							return
+						}
+						answer(distinct[n])
 					}
-					answer(distinct[n])
-				}
+				})
 			}()
 		}
 		wg.Wait()

@@ -1,7 +1,9 @@
 package explain
 
 import (
+	"context"
 	"math"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -77,27 +79,30 @@ func (g *generator) runParallel(items []workItem, stats *Stats, workers int) ([]
 	workerStats := make([]Stats, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
+	labels := pprof.Labels("cape_pool", "explain:refinements")
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			st := &workerStats[w]
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(items) || failed.Load() {
-					return
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				st := &workerStats[w]
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(items) || failed.Load() {
+						return
+					}
+					it := items[i]
+					if min, full := shared.minScore(); full && g.scoreBound(it.re, it.ref) < min {
+						st.PrunedRefinements++
+						continue
+					}
+					if err := g.enumerate(it.re, it.ref, shared, st); err != nil {
+						errs[w] = err
+						failed.Store(true)
+						return
+					}
 				}
-				it := items[i]
-				if min, full := shared.minScore(); full && g.scoreBound(it.re, it.ref) < min {
-					st.PrunedRefinements++
-					continue
-				}
-				if err := g.enumerate(it.re, it.ref, shared, st); err != nil {
-					errs[w] = err
-					failed.Store(true)
-					return
-				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()

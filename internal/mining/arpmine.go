@@ -29,6 +29,8 @@ func ARPMine(r engine.Relation, opt Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
+	pool, detach := runPool(r, opt.Parallelism)
+	defer detach()
 	fds := opt.InitialFDs
 	if fds == nil {
 		fds = fd.NewSet()
@@ -61,7 +63,7 @@ func ARPMine(r engine.Relation, opt Options) (*Result, error) {
 			out     Result
 		}
 		states := make([]gState, len(gs))
-		err := forEachParallel(len(gs), opt.Parallelism, func(i int) error {
+		err := pool.ForEach("mine:arpmine-group", len(gs), func(i int) error {
 			st := &states[i]
 			st.aggs = aggSpecsFor(r, opt.AggFuncs, gs[i])
 			t0 := time.Now()
@@ -91,7 +93,7 @@ func ARPMine(r engine.Relation, opt Options) (*Result, error) {
 		// Phase 3 (parallel): explore sort orders per G. The tested-pair
 		// set is per G because (F, V) pairs from different attribute sets
 		// never coincide.
-		err = forEachParallel(len(gs), opt.Parallelism, func(i int) error {
+		err = pool.ForEach("mine:arpmine-sort", len(gs), func(i int) error {
 			st := &states[i]
 			tested := make(map[string]bool)
 			return exploreSortOrders(gs[i], st.grouped, st.aggs, opt, fds, tested, &st.out)

@@ -42,6 +42,13 @@ import (
 // integers ≥ 2⁵³, where canonical-key equality diverges from
 // value.Compare equality. Aggregate observations are unrestricted.
 //
+// With Options.Parallelism > 1 the per-grouping-set work — folding
+// appended rows into the retained accumulators, routing touched groups,
+// re-fitting dirty fragments — fans across a shared pool. Grouping sets
+// are fully independent retained states, and each one still folds the
+// appended rows in row order, so the maintained set is identical to the
+// sequential maintainer's at any width.
+//
 // A Maintainer is not safe for concurrent use.
 type Maintainer struct {
 	tab    engine.MutableRelation
@@ -50,13 +57,6 @@ type Maintainer struct {
 	epoch  uint64 // table epoch at last CatchUp
 	cands  int    // ARPMine-parity candidate count
 	gsets  []*gSet
-
-	// Scratch reused across fragment re-fits.
-	ys     []float64
-	xs     []float64
-	keyBuf []byte
-	stats  regress.ConstStats
-	lin    regress.LinScratch
 }
 
 // gSet is the retained state of one grouping attribute set.
@@ -71,6 +71,15 @@ type gSet struct {
 	lookup  map[string]int32
 	splits  []*mSplit
 	touched []int32 // groups touched by the current batch
+
+	// Scratch reused across folds and fragment re-fits. Per grouping set
+	// (not per maintainer) so CatchUp can fan grouping sets across a
+	// pool.
+	ys     []float64
+	xs     []float64
+	keyBuf []byte
+	stats  regress.ConstStats
+	lin    regress.LinScratch
 }
 
 // mGroup is one group: its key values (from the group's first row, the
@@ -248,24 +257,55 @@ func (m *Maintainer) CatchUp() error {
 		m.epoch = m.tab.Epoch()
 		return nil
 	}
+	pool, detach := runPool(m.tab, m.opt.Parallelism)
+	defer detach()
+
 	// One streaming pass over the appended range folds every grouping
 	// set — segment-backed relations decode each new row once, not once
-	// per grouping set, and the scanner's reuse contract is honored
-	// because foldRow copies the value.V structs it retains.
+	// per grouping set. Rows arrive through the scanner's reused buffer,
+	// so they are slab-copied into bounded chunks; each flush fans the
+	// grouping sets across the pool, every set folding the chunk's rows
+	// in row order — the same per-set fold the sequential pass performs.
+	// Chunking keeps the initial full catch-up memory-bounded (the table
+	// is never buffered whole).
+	width := len(m.tab.Schema())
+	chunk := make([]value.Tuple, 0, maintainChunkRows)
+	slab := make([]value.V, 0, maintainChunkRows*width)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		err := pool.ForEach("mine:maintain-fold", len(m.gsets), func(i int) error {
+			gs := m.gsets[i]
+			for _, row := range chunk {
+				gs.foldRow(row)
+			}
+			return nil
+		})
+		chunk, slab = chunk[:0], slab[:0]
+		return err
+	}
 	err := m.tab.ScanRows(m.synced, n, func(row value.Tuple) error {
-		for _, gs := range m.gsets {
-			m.foldRow(gs, row)
+		slab = append(slab, row...)
+		chunk = append(chunk, slab[len(slab)-width:len(slab):len(slab)])
+		if len(chunk) == maintainChunkRows {
+			return flush()
 		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	for _, gs := range m.gsets {
+	if err := flush(); err != nil {
+		return err
+	}
+
+	err = pool.ForEach("mine:maintain-refit", len(m.gsets), func(i int) error {
+		gs := m.gsets[i]
 		for _, sp := range gs.splits {
-			m.routeTouched(gs, sp)
+			gs.routeTouched(sp)
 			for _, fr := range sp.dirty {
-				m.refit(gs, sp, fr)
+				gs.refit(m.opt, sp, fr)
 				fr.dirty = false
 			}
 			sp.dirty = sp.dirty[:0]
@@ -275,22 +315,30 @@ func (m *Maintainer) CatchUp() error {
 			gs.groups[gi].fresh = false
 		}
 		gs.touched = gs.touched[:0]
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	m.synced = n
 	m.epoch = m.tab.Epoch()
 	return nil
 }
 
+// maintainChunkRows bounds how many appended rows CatchUp buffers
+// between parallel folds.
+var maintainChunkRows = 4096
+
 // foldRow routes one appended row to its group in gs (creating new
 // groups in first-appearance order) and folds it into the aggregate
-// accumulators. The row tuple may be a scanner's reused buffer; only
-// value.V structs are retained (copied into the group key).
-func (m *Maintainer) foldRow(gs *gSet, row value.Tuple) {
-	m.keyBuf = m.keyBuf[:0]
+// accumulators. Only value.V structs are retained (copied into the
+// group key), so the row may live in a reused chunk slab.
+func (gs *gSet) foldRow(row value.Tuple) {
+	gs.keyBuf = gs.keyBuf[:0]
 	for _, ci := range gs.colIdx {
-		m.keyBuf = row[ci].AppendKey(m.keyBuf)
+		gs.keyBuf = row[ci].AppendKey(gs.keyBuf)
 	}
-	gi, ok := gs.lookup[string(m.keyBuf)]
+	gi, ok := gs.lookup[string(gs.keyBuf)]
 	if !ok {
 		gi = int32(len(gs.groups))
 		key := make(value.Tuple, len(gs.colIdx))
@@ -302,7 +350,7 @@ func (m *Maintainer) foldRow(gs *gSet, row value.Tuple) {
 			grp.accs[ai] = engine.NewAggAccum(a)
 		}
 		gs.groups = append(gs.groups, grp)
-		gs.lookup[string(m.keyBuf)] = gi
+		gs.lookup[string(gs.keyBuf)] = gi
 	}
 	grp := gs.groups[gi]
 	if !grp.touched {
@@ -321,16 +369,16 @@ func (m *Maintainer) foldRow(gs *gSet, row value.Tuple) {
 // routeTouched maps every touched group to its fragment in sp, inserting
 // fresh groups at their observation-order position, and collects the
 // dirty fragments.
-func (m *Maintainer) routeTouched(gs *gSet, sp *mSplit) {
+func (gs *gSet) routeTouched(sp *mSplit) {
 	for _, gi := range gs.touched {
 		grp := gs.groups[gi]
-		m.keyBuf = m.keyBuf[:0]
+		gs.keyBuf = gs.keyBuf[:0]
 		for _, p := range sp.fPos {
-			m.keyBuf = grp.key[p].AppendKey(m.keyBuf)
+			gs.keyBuf = grp.key[p].AppendKey(gs.keyBuf)
 		}
-		fr, ok := sp.frags[string(m.keyBuf)]
+		fr, ok := sp.frags[string(gs.keyBuf)]
 		if !ok {
-			fr = &mFrag{key: string(m.keyBuf), supported: make([]bool, len(gs.aggs))}
+			fr = &mFrag{key: string(gs.keyBuf), supported: make([]bool, len(gs.aggs))}
 			sp.frags[fr.key] = fr
 		}
 		if grp.fresh {
@@ -381,12 +429,12 @@ func numFloat(v value.V) (float64, bool) {
 // order: same gather order, same ConstStats / FitLinInto arithmetic,
 // same threshold gates — so the resulting local models are bitwise
 // those of a cold re-mine.
-func (m *Maintainer) refit(gs *gSet, sp *mSplit, fr *mFrag) {
+func (gs *gSet) refit(opt Options, sp *mSplit, fr *mFrag) {
 	n := len(fr.groups)
 	d := len(sp.v)
 
 	numericX := true
-	xs := m.xs[:0]
+	xs := gs.xs[:0]
 	if gs.hasLin {
 	gather:
 		for _, gi := range fr.groups {
@@ -400,26 +448,26 @@ func (m *Maintainer) refit(gs *gSet, sp *mSplit, fr *mFrag) {
 				xs = append(xs, f)
 			}
 		}
-		m.xs = xs
+		gs.xs = xs
 	}
 
 	var frag value.Tuple
-	nModels := len(m.opt.Models)
+	nModels := len(opt.Models)
 	for ai := range gs.aggs {
 		numericY := true
-		m.stats.Reset()
-		ys := m.ys[:0]
+		gs.stats.Reset()
+		ys := gs.ys[:0]
 		for _, gi := range fr.groups {
 			y, ok := numFloat(gs.groups[gi].accs[ai].Result())
 			if !ok {
 				numericY = false
 				break
 			}
-			m.stats.Add(y)
+			gs.stats.Add(y)
 			ys = append(ys, y)
 		}
-		m.ys = ys
-		fr.supported[ai] = numericY && n >= m.opt.Thresholds.LocalSupport
+		gs.ys = ys
+		fr.supported[ai] = numericY && n >= opt.Thresholds.LocalSupport
 
 		for mi := 0; mi < nModels; mi++ {
 			cs := sp.cands[ai*nModels+mi]
@@ -435,17 +483,17 @@ func (m *Maintainer) refit(gs *gSet, sp *mSplit, fr *mFrag) {
 			var gof, cmean float64
 			var ferr error
 			if isLin {
-				gof, ferr = regress.FitLinInto(xs[:n*d], d, ys, &m.lin)
+				gof, ferr = regress.FitLinInto(xs[:n*d], d, ys, &gs.lin)
 			} else {
-				cmean, gof, ferr = m.stats.FitParams()
+				cmean, gof, ferr = gs.stats.FitParams()
 			}
-			if ferr != nil || gof < m.opt.Thresholds.Theta {
+			if ferr != nil || gof < opt.Thresholds.Theta {
 				delete(cs.locals, fr.key)
 				continue
 			}
 			var model regress.Model
 			if isLin {
-				model = m.lin.Model(gof)
+				model = gs.lin.Model(gof)
 			} else {
 				model = regress.NewConst(cmean, gof)
 			}
@@ -469,10 +517,10 @@ func (m *Maintainer) refit(gs *gSet, sp *mSplit, fr *mFrag) {
 				}
 			} else {
 				mean := model.Predict(nil)
-				if dev := m.stats.Max - mean; dev > 0 {
+				if dev := gs.stats.Max - mean; dev > 0 {
 					lm.MaxPosDev = dev
 				}
-				if dev := m.stats.Min - mean; dev < 0 {
+				if dev := gs.stats.Min - mean; dev < 0 {
 					lm.MaxNegDev = dev
 				}
 			}

@@ -132,3 +132,87 @@ func TestMaintainerOverSegTable(t *testing.T) {
 		apply("post-compact batch "+string(rune('0'+batch)), nextBatch())
 	}
 }
+
+// TestMaintainerParallelDeterminism: a Maintainer with Parallelism > 1
+// must stay byte-identical to a sequential Maintainer over the same
+// SegTable — through the initial catch-up, append batches, and a
+// mid-stream Compact — because grouping sets fold independently and the
+// chunked scan preserves row order within each set.
+func TestMaintainerParallelDeterminism(t *testing.T) {
+	// Shrink the catch-up chunk so the 300-row catch-up and the larger
+	// batches cross several flush boundaries.
+	origChunk := maintainChunkRows
+	maintainChunkRows = 64
+	defer func() { maintainChunkRows = origChunk }()
+
+	tab := testTable(t, 300)
+	opt := lenientOpts()
+	popt := opt
+	popt.Parallelism = 4
+
+	seqSt := segTableFrom(t, tab, 2, 40)
+	parSt := segTableFrom(t, tab, 2, 40)
+	defer seqSt.Close()
+	defer parSt.Close()
+
+	seq, err := NewMaintainer(seqSt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewMaintainer(parSt, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		got := patternsJSON(t, par.Patterns())
+		want := patternsJSON(t, seq.Patterns())
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: parallel maintainer diverges\nparallel: %s\nsequential: %s", label, got, want)
+		}
+	}
+	check("initial")
+	if len(seq.Patterns()) == 0 {
+		t.Fatal("fixture mined no patterns; the identity checks are vacuous")
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	authors := []string{"a1", "a2", "a3", "a4", "a5", "a6"}
+	venues := []string{"KDD", "ICDE", "VLDB", "WWW"}
+	nextBatch := func() []value.Tuple {
+		// With the shrunken chunk size, batches up to 600 rows cross
+		// several flush boundaries while staying fast.
+		rows := make([]value.Tuple, 1+rng.Intn(600))
+		for i := range rows {
+			rows[i] = value.Tuple{
+				value.NewString(authors[rng.Intn(len(authors))]),
+				value.NewString(venues[rng.Intn(len(venues))]),
+				value.NewInt(int64(2000 + rng.Intn(8))),
+				value.NewInt(int64(rng.Intn(30))),
+			}
+		}
+		return rows
+	}
+	for batch := 0; batch < 3; batch++ {
+		rows := nextBatch()
+		if err := seq.Apply(rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Apply(rows); err != nil {
+			t.Fatal(err)
+		}
+		check("batch " + string(rune('0'+batch)))
+		if batch == 1 {
+			// Mid-stream Compact on the parallel side only: sealing the
+			// tail must not move the maintained set, so the two sides still
+			// agree even though their storage layouts now differ.
+			if err := parSt.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.CatchUp(); err != nil {
+				t.Fatal(err)
+			}
+			check("post-compact")
+		}
+	}
+}

@@ -45,10 +45,15 @@ type Options struct {
 	UseFDs bool
 	// InitialFDs seeds the FD set (e.g. from known keys); may be nil.
 	InitialFDs *fd.Set
-	// Parallelism is the number of goroutines the ShareGrp and ARPMine
-	// miners fan attribute sets across. 0 or 1 runs sequentially.
-	// Parallel runs produce identical pattern sets; Result.Timers then
-	// aggregate CPU time across workers instead of wall-clock time.
+	// Parallelism is the width of the bounded worker pool one run shares
+	// across every parallel stage: all four miners (and the Maintainer)
+	// fan per-attribute-set work across it, and the same pool is attached
+	// to the relation so the engine's compressed kernels fan morsels and
+	// parts across it too — nested fan-out never oversubscribes the
+	// width. 0 or 1 runs sequentially. Parallel runs produce identical
+	// pattern sets (the engine's merge-order contract keeps even float
+	// summation order fixed); Result.Timers then aggregate CPU time
+	// across workers instead of wall-clock time.
 	Parallelism int
 }
 

@@ -13,36 +13,52 @@ import (
 // candidate (F, V, agg, A, M) independently and, for each, evaluates one
 // retrieval query per fragment — a full scan of the relation per
 // fragment. It shares nothing and exists as the experimental baseline for
-// Figure 3a.
+// Figure 3a. With Options.Parallelism > 1 the per-attribute-set work
+// fans out across a shared pool; the pattern set is identical to the
+// sequential run.
 func Naive(r engine.Relation, opt Options) (*Result, error) {
 	opt, err := opt.withDefaults(r)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	var gs [][]string
 	for size := 2; size <= opt.MaxPatternSize && size <= len(opt.Attributes); size++ {
-		err := eachCombination(opt.Attributes, size, func(g []string) error {
-			aggs := aggSpecsFor(r, opt.AggFuncs, g)
-			for _, sp := range splits(g) {
-				for _, a := range aggs {
-					for _, m := range opt.Models {
-						p := pattern.Pattern{F: sp[0], V: sp[1], Agg: a, Model: m}
-						res.Candidates++
-						mined, err := naivePatternHolds(p, r, opt.Thresholds, &res.Timers)
-						if err != nil {
-							return err
-						}
-						if mined != nil {
-							res.Patterns = append(res.Patterns, mined)
-						}
+		gs = append(gs, combinations(opt.Attributes, size)...)
+	}
+
+	pool, detach := runPool(r, opt.Parallelism)
+	defer detach()
+	outs := make([]Result, len(gs))
+	err = pool.ForEach("mine:naive", len(gs), func(i int) error {
+		g := gs[i]
+		out := &outs[i]
+		aggs := aggSpecsFor(r, opt.AggFuncs, g)
+		for _, sp := range splits(g) {
+			for _, a := range aggs {
+				for _, m := range opt.Models {
+					p := pattern.Pattern{F: sp[0], V: sp[1], Agg: a, Model: m}
+					out.Candidates++
+					mined, err := naivePatternHolds(p, r, opt.Thresholds, &out.Timers)
+					if err != nil {
+						return err
+					}
+					if mined != nil {
+						out.Patterns = append(out.Patterns, mined)
 					}
 				}
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	for i := range outs {
+		res.Patterns = append(res.Patterns, outs[i].Patterns...)
+		res.Candidates += outs[i].Candidates
+		res.Timers.Add(outs[i].Timers)
 	}
 	res.sortPatterns()
 	return res, nil

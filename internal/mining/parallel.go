@@ -1,59 +1,21 @@
 package mining
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "cape/internal/engine"
 
-// forEachParallel runs fn(i) for i in [0, n) on up to `workers`
-// goroutines, returning the first error encountered. It fails fast: once
-// an error is recorded, no further items are dispatched and already
-// queued items are drained without running, so a large mining run does
-// not grind through the remaining attribute sets after one has failed.
-// workers ≤ 1 runs sequentially.
-func forEachParallel(n, workers int, fn func(i int) error) error {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
+// runPool creates the bounded worker pool one mining run shares across
+// every parallel stage — the per-attribute-set fan-out in the miners
+// here, and the per-morsel / per-part fan-out inside the engine's
+// compressed kernels — and attaches it to the relation when it supports
+// pools (engine.Table, engine.SegTable). engine.Pool's caller-runs,
+// non-blocking token acquisition makes the two levels compose without
+// oversubscription: a saturated nested ForEach simply runs inline on the
+// miner worker that issued the query. detach restores the relation's
+// sequential behaviour; callers must invoke it when the run finishes.
+func runPool(r engine.Relation, workers int) (pool *engine.Pool, detach func()) {
+	pool = engine.NewPool(workers)
+	if ps, ok := r.(engine.PoolSettable); ok && workers > 1 {
+		ps.SetPool(pool)
+		return pool, func() { ps.SetPool(nil) }
 	}
-	if workers > n {
-		workers = n
-	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	var failed atomic.Bool
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				if failed.Load() {
-					continue // drain without running
-				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		if failed.Load() {
-			break // stop feeding the pool
-		}
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	return firstErr
+	return pool, func() {}
 }

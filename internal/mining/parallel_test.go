@@ -5,12 +5,14 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"cape/internal/engine"
 )
 
-func TestForEachParallelRunsAll(t *testing.T) {
+func TestPoolForEachRunsAll(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 8, 100} {
 		var count int64
-		err := forEachParallel(20, workers, func(i int) error {
+		err := engine.NewPool(workers).ForEach("test", 20, func(i int) error {
 			atomic.AddInt64(&count, 1)
 			return nil
 		})
@@ -23,9 +25,9 @@ func TestForEachParallelRunsAll(t *testing.T) {
 	}
 }
 
-func TestForEachParallelPropagatesError(t *testing.T) {
+func TestPoolForEachPropagatesError(t *testing.T) {
 	sentinel := errors.New("boom")
-	err := forEachParallel(50, 4, func(i int) error {
+	err := engine.NewPool(4).ForEach("test", 50, func(i int) error {
 		if i == 17 {
 			return sentinel
 		}
@@ -36,19 +38,19 @@ func TestForEachParallelPropagatesError(t *testing.T) {
 	}
 }
 
-// TestForEachParallelFailsFast: after an error is recorded, the
-// dispatcher must stop feeding work — a large run should execute only a
-// handful of items past the failure, not all of them.
-func TestForEachParallelFailsFast(t *testing.T) {
+// TestPoolForEachFailsFast: after an error is recorded, no worker may
+// claim further items — a large run should execute only a handful of
+// items past the failure, not all of them.
+func TestPoolForEachFailsFast(t *testing.T) {
 	sentinel := errors.New("boom")
 	const n = 10000
 	var ran int64
-	err := forEachParallel(n, 4, func(i int) error {
+	err := engine.NewPool(4).ForEach("test", n, func(i int) error {
 		atomic.AddInt64(&ran, 1)
 		if i == 0 {
 			return sentinel
 		}
-		time.Sleep(time.Millisecond) // let the dispatcher observe the error
+		time.Sleep(time.Millisecond) // let other workers observe the error
 		return nil
 	})
 	if err != sentinel {
@@ -59,17 +61,82 @@ func TestForEachParallelFailsFast(t *testing.T) {
 	}
 }
 
-func TestForEachParallelZeroItems(t *testing.T) {
-	if err := forEachParallel(0, 4, func(int) error { return errors.New("never") }); err != nil {
+func TestPoolForEachZeroItems(t *testing.T) {
+	if err := engine.NewPool(4).ForEach("test", 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("zero items should not run fn: %v", err)
 	}
 }
 
-// TestParallelMiningEquivalence: parallel ShareGrp and ARPMine (with and
-// without FDs) must produce exactly the sequential pattern sets and
-// counters.
+// TestPoolNestedForEach: a ForEach issued from inside a pool worker must
+// complete (caller-runs keeps the composition deadlock-free) and run
+// every inner item.
+func TestPoolNestedForEach(t *testing.T) {
+	pool := engine.NewPool(4)
+	var count int64
+	err := pool.ForEach("outer", 8, func(i int) error {
+		return pool.ForEach("inner", 8, func(j int) error {
+			atomic.AddInt64(&count, 1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 64 {
+		t.Errorf("nested ForEach ran %d of 64", count)
+	}
+}
+
+// TestParallelMiningEquivalence: every miner run with Parallelism > 1
+// must produce exactly the sequential pattern set and counters, over
+// both a plain Table and a SegTable (where the engine's morsel kernels
+// add a second level of fan-out).
 func TestParallelMiningEquivalence(t *testing.T) {
 	tab := testTable(t, 400)
+	seg := segTableFrom(t, tab, 3, 40)
+	defer seg.Close()
+
+	miners := []struct {
+		name string
+		run  func(engine.Relation, Options) (*Result, error)
+	}{
+		{"Naive", Naive},
+		{"CubeMine", CubeMine},
+		{"ShareGrp", ShareGrp},
+		{"ARPMine", ARPMine},
+	}
+	rels := []struct {
+		name string
+		r    engine.Relation
+	}{
+		{"Table", tab},
+		{"SegTable", seg},
+	}
+	for _, m := range miners {
+		for _, rel := range rels {
+			opt := lenientOpts()
+			seq, err := m.run(rel.r, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Parallelism = 4
+			par, err := m.run(rel.r, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq.Patterns) != len(par.Patterns) || seq.Candidates != par.Candidates {
+				t.Fatalf("%s/%s: parallel differs: %d/%d vs %d/%d", m.name, rel.name,
+					len(seq.Patterns), seq.Candidates, len(par.Patterns), par.Candidates)
+			}
+			for i := range seq.Patterns {
+				if seq.Patterns[i].Pattern.Key() != par.Patterns[i].Pattern.Key() {
+					t.Fatalf("%s/%s: pattern order differs at %d", m.name, rel.name, i)
+				}
+			}
+		}
+	}
+
+	// FD pruning composes with parallelism: counters must agree too.
 	for _, useFDs := range []bool{false, true} {
 		opt := lenientOpts()
 		opt.UseFDs = useFDs
@@ -90,25 +157,5 @@ func TestParallelMiningEquivalence(t *testing.T) {
 				len(seqA.Patterns), seqA.Candidates, seqA.SkippedByFD,
 				len(parA.Patterns), parA.Candidates, parA.SkippedByFD)
 		}
-		for i := range seqA.Patterns {
-			if seqA.Patterns[i].Pattern.Key() != parA.Patterns[i].Pattern.Key() {
-				t.Fatalf("pattern order differs at %d", i)
-			}
-		}
-	}
-
-	opt := lenientOpts()
-	seqS, err := ShareGrp(tab, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opt.Parallelism = 4
-	parS, err := ShareGrp(tab, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(seqS.Patterns) != len(parS.Patterns) || seqS.Candidates != parS.Candidates {
-		t.Fatalf("parallel ShareGrp differs: %d/%d vs %d/%d",
-			len(seqS.Patterns), seqS.Candidates, len(parS.Patterns), parS.Candidates)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package mining
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// ratio tests skip under it since instrumentation skews both sides
+// unevenly.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package mining
+
+const raceEnabled = true

@@ -24,8 +24,10 @@ func ShareGrp(r engine.Relation, opt Options) (*Result, error) {
 		gs = append(gs, combinations(opt.Attributes, size)...)
 	}
 
+	pool, detach := runPool(r, opt.Parallelism)
+	defer detach()
 	outs := make([]Result, len(gs))
-	err = forEachParallel(len(gs), opt.Parallelism, func(i int) error {
+	err = pool.ForEach("mine:sharegrp", len(gs), func(i int) error {
 		g := gs[i]
 		out := &outs[i]
 		aggs := aggSpecsFor(r, opt.AggFuncs, g)
