@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check check-full bench clean
 
 all: build
 
@@ -30,7 +30,15 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^Fuzz' ./...
+	$(GO) test -run Recovery -race -short ./internal/store
 	$(GO) run -race ./cmd/capebench benchscale -smoke -parallel 4
+
+# check plus the exhaustive crash matrix: every syscall boundary of the
+# WAL store crashed under every fsync policy and crash-image variant,
+# against the larger workload (-crashfull). The sampled matrix already
+# runs inside check's -race suite; this is the nightly-strength pass.
+check-full: check
+	$(GO) test -race -timeout 20m -run Recovery ./internal/store -crashfull
 
 # Performance trajectory: the explanation worker-count sweep, the
 # GroupBy hot path, and the offline-mining fast path, plus the capebench

@@ -14,6 +14,8 @@
 //	cape explain-batch -data data.csv -questions questions.jsonl
 //	              [-patterns patterns.json | mining flags] [-k 10] [-json]
 //	cape baseline -data data.csv -groupby a,b,c -tuple v1,v2,v3 -dir low [-k 10]
+//	cape export   -store data-dir/table [-o backup.jsonl]
+//	cape import   -store data-dir/table [-i backup.jsonl] [-fsync always|never]
 //
 // The mine/explain split mirrors the paper's architecture: pattern mining
 // runs offline and its output (patterns.json) serves any number of online
@@ -52,6 +54,10 @@ func main() {
 		err = cmdIntervene(os.Args[2:])
 	case "baseline":
 		err = cmdBaseline(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "import":
+		err = cmdImport(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -80,6 +86,8 @@ commands:
   generalize  explanations by drill-up (same-direction coarser deviations)
   intervene squash a high outlier with provenance predicates (Scorpion-style)
   baseline  run the pattern-blind baseline explainer for comparison
+  export    stream a durable table store (capeserver -data-dir) as JSONL backup
+  import    rebuild a durable table store from a JSONL backup
 
 run "cape <command> -h" for the command's flags
 `)

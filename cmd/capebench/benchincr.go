@@ -18,13 +18,13 @@ import (
 
 // benchIncrReport is the schema of BENCH_incr.json.
 type benchIncrReport struct {
-	Dataset   string `json:"dataset"`
-	Rows      int    `json:"rows"`
-	BatchRows int    `json:"batchRows"`
-	Steps       int `json:"steps"`
-	Psi         int `json:"psi"`
-	CPUs        int `json:"cpus"`
-	Parallelism int `json:"parallelism"`
+	Dataset     string `json:"dataset"`
+	Rows        int    `json:"rows"`
+	BatchRows   int    `json:"batchRows"`
+	Steps       int    `json:"steps"`
+	Psi         int    `json:"psi"`
+	CPUs        int    `json:"cpus"`
+	Parallelism int    `json:"parallelism"`
 	// MaintainerBuildNs is the one-time cost of the initial full fit
 	// that seeds the retained statistics (paid once per serving process,
 	// amortized over every subsequent append).

@@ -5,25 +5,41 @@
 // Usage:
 //
 //	capeserver [-addr :8080] [-load name=path.csv ...] [-patterns-dir dir]
+//	           [-data-dir dir] [-fsync always|never] [-flush-rows n]
+//
+// With -data-dir, tables live in crash-safe WAL stores under that
+// directory: every store found there is recovered at startup (sealed
+// segments + WAL replay, restoring the exact epoch sequence so stamped
+// pattern stores line up without re-mining), -load bootstraps new
+// stores from CSV, and /v1/append acknowledges only after the batch is
+// WAL-durable per -fsync.
 //
 // Example session:
 //
-//	capeserver -load pub=pubs.csv &
+//	capeserver -data-dir ./cape-data -load pub=pubs.csv &
 //	curl -X POST localhost:8080/v1/mine -d '{"table":"pub","theta":0.3,"localSupport":3,"lambda":0.3,"globalSupport":2}'
 //	curl -X POST localhost:8080/v1/explain -d '{"patterns":"ps-1","groupBy":["author","venue","year"],"tuple":["AX","SIGKDD","2007"],"dir":"low","k":5}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"cape/internal/engine"
 	"cape/internal/pattern"
 	"cape/internal/server"
+	"cape/internal/store"
 )
 
 // loadFlags collects repeated -load name=path pairs.
@@ -43,22 +59,53 @@ func main() {
 	flag.Var(&loads, "load", "preload a table as name=path.csv (repeatable)")
 	patternsDir := flag.String("patterns-dir", "",
 		"load persisted pattern stores (written by 'cape mine -out') from this directory at startup")
+	dataDir := flag.String("data-dir", "",
+		"durable table storage: recover every store under this directory at startup and WAL all appends")
+	fsync := flag.String("fsync", "always",
+		"WAL fsync policy for -data-dir stores: 'always' (ack implies durable) or 'never' (OS decides)")
+	flushRows := flag.Int("flush-rows", 50000,
+		"seal the WAL tail into a column segment every n appended rows (0 = only at shutdown)")
 	flag.Parse()
 
 	srv := server.New()
 	srv.ExplainParallelism = *parallel
+
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("capeserver: %v", err)
+		}
+		srv.DataDir = *dataDir
+		srv.StoreOptions = store.Options{Sync: policy, FlushEvery: *flushRows}
+		if err := recoverStores(srv); err != nil {
+			log.Fatalf("capeserver: %v", err)
+		}
+	}
+
 	for _, spec := range loads {
 		eq := strings.IndexByte(spec, '=')
 		if eq <= 0 {
 			log.Fatalf("capeserver: bad -load %q (want name=path.csv)", spec)
 		}
 		name, path := spec[:eq], spec[eq+1:]
+		if _, ok := srv.Table(name); ok {
+			fmt.Printf("table %q already recovered from %s; ignoring -load %s\n", name, *dataDir, path)
+			continue
+		}
 		tab, err := engine.ReadCSVFile(path)
 		if err != nil {
 			log.Fatalf("capeserver: loading %s: %v", path, err)
 		}
-		srv.AddTable(name, tab)
-		fmt.Printf("loaded %s: %d rows, columns %v\n", name, tab.NumRows(), tab.Schema().Names())
+		if *dataDir != "" {
+			if err := srv.BootstrapStore(name, tab); err != nil {
+				log.Fatalf("capeserver: bootstrapping store for %q: %v", name, err)
+			}
+			fmt.Printf("loaded %s into durable store %s: %d rows, columns %v\n",
+				name, filepath.Join(*dataDir, name), tab.NumRows(), tab.Schema().Names())
+		} else {
+			srv.AddTable(name, tab)
+			fmt.Printf("loaded %s: %d rows, columns %v\n", name, tab.NumRows(), tab.Schema().Names())
+		}
 	}
 	if *patternsDir != "" {
 		entries, err := pattern.LoadStoreEntries(*patternsDir)
@@ -82,6 +129,59 @@ func main() {
 		}
 	}
 
+	// Serve until SIGINT/SIGTERM, then seal WAL tails so the next boot
+	// replays nothing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("capeserver listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shutCtx)
+	if err := srv.CloseStores(); err != nil {
+		log.Fatalf("capeserver: closing stores: %v", err)
+	}
+	fmt.Println("capeserver: stores sealed, bye")
+}
+
+// recoverStores opens every store directory under the data dir and
+// attaches the recovered tables.
+func recoverStores(srv *server.Server) error {
+	ents, err := os.ReadDir(srv.DataDir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil // fresh data dir; created on first bootstrap
+		}
+		return err
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(srv.DataDir, e.Name())
+		st, err := store.Open(dir, srv.StoreOptions)
+		if err != nil {
+			if errors.Is(err, store.ErrNoStore) {
+				fmt.Printf("skipping %s: no store manifest\n", dir)
+				continue
+			}
+			// Fail loudly: a store that cannot recover must never be
+			// silently dropped or half-loaded.
+			return fmt.Errorf("recovering %s: %w", dir, err)
+		}
+		if err := srv.AttachStore(st.TableName(), st); err != nil {
+			return err
+		}
+		info := st.Info()
+		fmt.Printf("recovered %s: table %q, %d rows (epoch %d), %d segments + %d replayed WAL batches, fsync=%s\n",
+			dir, info.Table, info.Rows, info.Epoch, info.Segments, info.Replayed, info.Sync)
+	}
+	return nil
 }

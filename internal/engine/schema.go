@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"cape/internal/value"
@@ -75,4 +76,39 @@ func (s Schema) Equal(o Schema) bool {
 		}
 	}
 	return true
+}
+
+// ValidateRow checks one row against the schema: matching arity, and
+// each value matching the column kind unless the column is untyped
+// (Kind value.Null) or the value is NULL. This is the exact check Table
+// and SegTable apply on append, exported so write-ahead logging can
+// reject a bad batch before a record is framed.
+func (s Schema) ValidateRow(row value.Tuple) error {
+	if len(row) != len(s) {
+		return fmt.Errorf("engine: arity mismatch: row has %d values, schema %d columns", len(row), len(s))
+	}
+	for i, v := range row {
+		want := s[i].Kind
+		if want != value.Null && !v.IsNull() && v.Kind() != want {
+			return fmt.Errorf("engine: column %q expects %s, got %s", s[i].Name, want, v.Kind())
+		}
+	}
+	return nil
+}
+
+// MarshalSchemaJSON encodes the schema in the same {name, kind} JSON
+// shape the segment header embeds, for use by other persisted envelopes
+// (the store manifest, JSONL backups).
+func MarshalSchemaJSON(s Schema) ([]byte, error) {
+	return json.Marshal(schemaDTO(s))
+}
+
+// ParseSchemaJSON decodes a schema encoded by MarshalSchemaJSON,
+// rejecting unknown column kinds.
+func ParseSchemaJSON(data []byte) (Schema, error) {
+	var dto []schemaColDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, fmt.Errorf("engine: decoding schema JSON: %w", err)
+	}
+	return schemaFromDTO(dto)
 }

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 
@@ -213,6 +215,19 @@ func (w *SegmentWriter) Segment() *Segment {
 	return seg
 }
 
+// Encode serializes the writer's contents into one in-memory segment
+// image — the exact bytes WriteFile would produce. Callers that need
+// control over how (and through what filesystem) the image reaches disk
+// — the crash-safe store writes segments via temp-file + rename through
+// an injectable FS — encode first and write themselves.
+func (w *SegmentWriter) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := w.writeTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // WriteFile serializes the writer's contents to path in segment format.
 // The writer remains usable (it is not consumed).
 func (w *SegmentWriter) WriteFile(path string) error {
@@ -221,7 +236,16 @@ func (w *SegmentWriter) WriteFile(path string) error {
 		return err
 	}
 	defer f.Close()
+	if err := w.writeTo(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
 
+// writeTo streams the segment image — header, column blocks, footer —
+// to out. Column blocks are encoded one at a time, so memory stays
+// proportional to the largest single column block.
+func (w *SegmentWriter) writeTo(out io.Writer) error {
 	// Header.
 	schemaJSON, err := json.Marshal(schemaDTO(w.schema))
 	if err != nil {
@@ -236,7 +260,7 @@ func (w *SegmentWriter) WriteFile(path string) error {
 	hdr = append(hdr, schemaJSON...)
 	hdr = pad8(hdr)
 	headerCRC := crc32.Checksum(hdr, segCRC)
-	if _, err := f.Write(hdr); err != nil {
+	if _, err := out.Write(hdr); err != nil {
 		return err
 	}
 	off := uint64(len(hdr))
@@ -250,7 +274,7 @@ func (w *SegmentWriter) WriteFile(path string) error {
 	for ci := range w.cols {
 		block := w.cols[ci].encodeBlock(w.nrows)
 		refs[ci] = blockRef{off: off, length: uint64(len(block)), crc: crc32.Checksum(block, segCRC)}
-		if _, err := f.Write(block); err != nil {
+		if _, err := out.Write(block); err != nil {
 			return err
 		}
 		off += uint64(len(block))
@@ -269,10 +293,10 @@ func (w *SegmentWriter) WriteFile(path string) error {
 	ftr = binary.LittleEndian.AppendUint32(ftr, footerCRC)
 	ftr = binary.LittleEndian.AppendUint64(ftr, off)
 	ftr = append(ftr, segTailMagic...)
-	if _, err := f.Write(ftr); err != nil {
+	if _, err := out.Write(ftr); err != nil {
 		return err
 	}
-	return f.Sync()
+	return nil
 }
 
 // encodeBlock serializes one column (header + dict + data payloads).
@@ -480,6 +504,16 @@ func OpenSegment(path string) (*Segment, error) {
 	}
 	seg.closer = closer
 	return seg, nil
+}
+
+// OpenSegmentBytes validates and opens a segment image held in memory —
+// the same checks OpenSegment runs on a mapped file. The returned
+// segment serves bit-packed column payloads directly from data, so the
+// caller must not mutate or recycle the slice while the segment is in
+// use. Recovery paths that read segment files through an injectable
+// filesystem (internal/store) open the bytes they read with this.
+func OpenSegmentBytes(data []byte) (*Segment, error) {
+	return openSegmentBytes(data)
 }
 
 func openSegmentBytes(data []byte) (*Segment, error) {

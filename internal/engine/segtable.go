@@ -108,6 +108,12 @@ func (st *SegTable) TailRows() int { return st.tail.NumRows() }
 // Epoch returns the mutation counter (AppendRows, AddSegment, Compact).
 func (st *SegTable) Epoch() uint64 { return st.epoch }
 
+// RestoreEpoch overwrites the mutation counter. Recovery paths
+// (internal/store) use it after reassembling a table from persisted
+// segments so the epoch sequence matches the one the original table went
+// through; see Table.RestoreEpoch.
+func (st *SegTable) RestoreEpoch(e uint64) { st.epoch = e }
+
 // SetPool attaches a worker pool for the query kernels to fan morsels
 // and parts across (nil restores sequential execution). Results are
 // byte-identical at any pool width; see morsel.go.

@@ -60,6 +60,13 @@ func (t *Table) Rows() []value.Tuple { return t.rows }
 // reads returning the same epoch bracket a window with no mutations.
 func (t *Table) Epoch() uint64 { return t.epoch }
 
+// RestoreEpoch overwrites the mutation counter. It exists for recovery
+// paths (internal/store) that rebuild a table from persisted state and
+// must reproduce the exact epoch sequence the original table went
+// through, so persisted pattern-store stamps keep comparing correctly
+// against the rebuilt table. It must not be used to mask mutations.
+func (t *Table) RestoreEpoch(e uint64) { t.epoch = e }
+
 // SetPool attaches a worker pool for the compressed query kernels to
 // fan morsels across (nil restores sequential execution). Results are
 // byte-identical at any pool width; see morsel.go.
@@ -71,16 +78,7 @@ func (t *Table) queryPool() *Pool { return t.pool.Load() }
 // value matching the column kind unless the column is untyped or the
 // value is NULL.
 func (t *Table) validateRow(row value.Tuple) error {
-	if len(row) != len(t.schema) {
-		return fmt.Errorf("engine: arity mismatch: row has %d values, schema %d columns", len(row), len(t.schema))
-	}
-	for i, v := range row {
-		want := t.schema[i].Kind
-		if want != value.Null && !v.IsNull() && v.Kind() != want {
-			return fmt.Errorf("engine: column %q expects %s, got %s", t.schema[i].Name, want, v.Kind())
-		}
-	}
-	return nil
+	return t.schema.ValidateRow(row)
 }
 
 // Append adds a row. The arity must match the schema, and each value must

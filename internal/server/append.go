@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"cape/internal/engine"
 	"cape/internal/mining"
 	"cape/internal/pattern"
+	"cape/internal/store"
 	"cape/internal/value"
 )
 
@@ -44,16 +46,15 @@ func (s *Server) AddPatternSetEntry(entry *pattern.StoreEntry) (id, warning stri
 	s.patterns[ps.ID] = ps
 
 	tab, ok := s.tables[entry.Table]
-	switch {
-	case !ok:
-		warning = fmt.Sprintf("pattern store for table %q: table is not loaded; staleness unknown", entry.Table)
-	case entry.Stamp == nil:
-		// Legacy un-stamped store: loads as before, divergence undetectable.
-	case entry.Stamp.Rows != tab.NumRows() || entry.Stamp.Epoch != tab.Epoch():
-		warning = fmt.Sprintf(
-			"pattern store for table %q is STALE: mined at rows=%d epoch=%d, table has rows=%d epoch=%d — explanations may not reflect current data (POST /v1/append or re-mine to refresh)",
-			entry.Table, entry.Stamp.Rows, entry.Stamp.Epoch, tab.NumRows(), tab.Epoch())
+	if !ok {
+		return ps.ID, fmt.Sprintf("pattern store for table %q: table is not loaded; staleness unknown", entry.Table)
 	}
+	// Two distinct stale shapes (classifyStamp): a stamp strictly behind
+	// the table is maintainable — catch-up heals it — while a stamp
+	// ahead of the table on either axis means the mined history is not a
+	// prefix of this table and only a re-mine reconciles them.
+	c := classifyStamp(entry.Stamp, tab.NumRows(), tab.Epoch())
+	warning = staleWarning(entry.Table, c, entry.Stamp, tab.NumRows(), tab.Epoch(), entry.Spec != nil)
 	return ps.ID, warning
 }
 
@@ -101,10 +102,28 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		rows[i] = t
 	}
-	// AppendRows validates the whole batch before appending anything, so
-	// a bad row leaves the table, its indexes, and its columnar view
-	// untouched.
-	if err := tab.AppendRows(rows); err != nil {
+	// Validation happens before anything is written, so a bad row leaves
+	// the table, its WAL, its indexes, and its columnar view untouched.
+	// Store-backed tables route through the WAL: the batch is framed and
+	// fsynced per the store's policy before this handler replies, so an
+	// acknowledged append survives a crash. In-memory tables append
+	// directly, as before.
+	var walSeq uint64
+	if st, ok := s.storeFor(req.Table); ok {
+		seq, err := st.Append(rows)
+		switch {
+		case err == nil:
+			walSeq = seq
+		case errors.Is(err, store.ErrInvalidBatch):
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		default:
+			// Durability is unknown (failed fsync / torn append): the
+			// store has write-disabled itself; nothing was acknowledged.
+			httpError(w, http.StatusServiceUnavailable, "durable append failed: %v", err)
+			return
+		}
+	} else if err := tab.AppendRows(rows); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -124,13 +143,18 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"table":       req.Table,
 		"appended":    len(rows),
 		"rows":        tab.NumRows(),
 		"epoch":       tab.Epoch(),
 		"patternSets": statuses,
-	})
+	}
+	if walSeq != 0 {
+		resp["walSeq"] = walSeq
+		resp["durable"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // maintainSet folds the table's current rows into one pattern set,
@@ -199,7 +223,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Stamped      bool   `json:"stamped"`
 		Maintainable bool   `json:"maintainable"`
 		Stale        bool   `json:"stale"`
-		Reason       string `json:"reason,omitempty"`
+		// Freshness distinguishes the two stale shapes: "behind" (the
+		// stamp is a prefix of the table's history; maintenance heals
+		// it) vs "diverged" (the stamp is ahead of the table; only a
+		// re-mine reconciles). "fresh" and "unknown" otherwise.
+		Freshness string `json:"freshness"`
+		Reason    string `json:"reason,omitempty"`
 	}
 	s.mu.RLock()
 	tables := make([]tableStatus, 0, len(s.tables))
@@ -213,15 +242,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			Stamped: ps.stamp != nil, Maintainable: ps.spec != nil,
 		}
 		tab, ok := s.tables[ps.Table]
-		switch {
-		case !ok:
+		if !ok {
 			st.Stale = true
+			st.Freshness = "unknown"
 			st.Reason = fmt.Sprintf("table %q is not loaded", ps.Table)
-		case ps.stamp == nil:
-			// Undetectable; Stamped=false carries the caveat.
-		case ps.stamp.Rows != tab.NumRows() || ps.stamp.Epoch != tab.Epoch():
+			sets = append(sets, st)
+			continue
+		}
+		c := classifyStamp(ps.stamp, tab.NumRows(), tab.Epoch())
+		st.Freshness = c.String()
+		switch c {
+		case stampBehind:
 			st.Stale = true
-			st.Reason = fmt.Sprintf("set reflects rows=%d epoch=%d, table has rows=%d epoch=%d",
+			st.Reason = fmt.Sprintf("set reflects rows=%d epoch=%d, table has rows=%d epoch=%d; maintainable by POST /v1/append",
+				ps.stamp.Rows, ps.stamp.Epoch, tab.NumRows(), tab.Epoch())
+		case stampDiverged:
+			st.Stale = true
+			st.Reason = fmt.Sprintf("set reflects rows=%d epoch=%d but table has rows=%d epoch=%d: epoch mismatch, must re-mine",
 				ps.stamp.Rows, ps.stamp.Epoch, tab.NumRows(), tab.Epoch())
 		}
 		sets = append(sets, st)

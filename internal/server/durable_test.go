@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"cape/internal/dataset"
+	"cape/internal/engine"
+	"cape/internal/pattern"
+	"cape/internal/store"
+	"cape/internal/value"
+)
+
+// These tests cover the WAL-backed serving path: /v1/append routed
+// through a durable store, the wire contract (walSeq/durable), fsync
+// failure surfacing as 503 without a retracted ack, freshness
+// classification on GET /v1, and — the headline — concurrent
+// append/explain traffic against a store whose filesystem is snapshotted
+// mid-stream as a crash image and reopened, with every acknowledged
+// batch surviving.
+
+// newDurableServer serves the running example from a WAL store on the
+// given filesystem (the store path inside fsi is "data/pub").
+func newDurableServer(t *testing.T, fsi store.FS) (*Server, *httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Bootstrap("data/pub", "pub", dataset.RunningExample(), store.Options{FS: fsi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	if err := s.AttachStore("pub", st); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, st
+}
+
+// TestDurableAppendEndpoint pins the wire contract of a store-backed
+// append: the ack carries the WAL sequence and durable=true, bad rows
+// still 400 without touching the WAL, and a table with a store attached
+// cannot be clobbered by a re-load.
+func TestDurableAppendEndpoint(t *testing.T) {
+	_, ts, st := newDurableServer(t, store.NewMemFS())
+
+	resp, out := doJSON(t, "POST", ts.URL+"/v1/append",
+		appendBody([]interface{}{"AX", "VLDB", 2010}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %d: %v", resp.StatusCode, out)
+	}
+	if out["durable"] != true {
+		t.Errorf("durable = %v, want true", out["durable"])
+	}
+	if seq, _ := out["walSeq"].(float64); seq != 1 {
+		t.Errorf("walSeq = %v, want 1", out["walSeq"])
+	}
+	resp, out = doJSON(t, "POST", ts.URL+"/v1/append",
+		appendBody([]interface{}{"AY", "VLDB", 2010}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second append status = %d: %v", resp.StatusCode, out)
+	}
+	if seq, _ := out["walSeq"].(float64); seq != 2 {
+		t.Errorf("walSeq = %v, want 2", out["walSeq"])
+	}
+
+	// A row that fails schema validation must 400 before anything is
+	// framed: the WAL sequence does not advance.
+	resp, out = doJSON(t, "POST", ts.URL+"/v1/append",
+		appendBody([]interface{}{"AX", "VLDB", true}))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-row append status = %d: %v", resp.StatusCode, out)
+	}
+	if info := st.Info(); info.NextSeq != 3 || info.Rows != 152 {
+		t.Errorf("after rejected batch: nextSeq=%d rows=%d, want 3/152", info.NextSeq, info.Rows)
+	}
+
+	// Reloading over an attached store would orphan the durable state.
+	resp, err := http.Post(ts.URL+"/v1/tables?name=pub", "text/csv",
+		bytes.NewBufferString("author,venue,year\nAX,VLDB,2010\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("load over store status = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestDurableAppendFsyncFailure: when the WAL fsync fails, durability is
+// unknown — the handler must answer 503, nothing is acknowledged, and
+// the store stays write-disabled (every later append also 503s) until
+// an operator intervenes.
+func TestDurableAppendFsyncFailure(t *testing.T) {
+	ffs := store.NewFaultFS(store.NewMemFS())
+	_, ts, st := newDurableServer(t, ffs)
+
+	ffs.SyncErrAfter(ffs.Syncs() + 1) // next fsync = the WAL append's
+	resp, out := doJSON(t, "POST", ts.URL+"/v1/append",
+		appendBody([]interface{}{"AX", "VLDB", 2010}))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("append with failing fsync = %d %v, want 503", resp.StatusCode, out)
+	}
+	if _, ok := out["walSeq"]; ok {
+		t.Error("failed append leaked a walSeq ack")
+	}
+	if st.Err() == nil {
+		t.Error("store did not write-disable itself after a failed fsync")
+	}
+	resp, out = doJSON(t, "POST", ts.URL+"/v1/append",
+		appendBody([]interface{}{"AY", "VLDB", 2010}))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("append on poisoned store = %d %v, want 503", resp.StatusCode, out)
+	}
+}
+
+// TestStatusFreshnessClasses: GET /v1 must tell apart the two stale
+// shapes — "behind" (stamp is a prefix of the table's history, the next
+// append heals it) and "diverged" (stamp is ahead on rows or epoch, the
+// mined history is not a prefix, only a re-mine helps).
+func TestStatusFreshnessClasses(t *testing.T) {
+	s, ts := newTestServer(t)
+	loadRunningExample(t, ts)
+	mineExample(t, ts)
+	// One append maintains ps-1 and stamps it at the live shape: fresh.
+	if resp, out := doJSON(t, "POST", ts.URL+"/v1/append",
+		appendBody([]interface{}{"AX", "VLDB", 2010})); resp.StatusCode != http.StatusOK {
+		t.Fatalf("append = %d: %v", resp.StatusCode, out)
+	}
+
+	_, behindWarn := s.AddPatternSetEntry(&pattern.StoreEntry{
+		Table: "pub", Stamp: &pattern.StoreStamp{Rows: 100, Epoch: 50},
+	})
+	if behindWarn == "" || !bytes.Contains([]byte(behindWarn), []byte("STALE")) {
+		t.Errorf("behind warning = %q, want a STALE warning", behindWarn)
+	}
+	_, divergedWarn := s.AddPatternSetEntry(&pattern.StoreEntry{
+		Table: "pub", Stamp: &pattern.StoreStamp{Rows: 500, Epoch: 1},
+	})
+	if divergedWarn == "" || !bytes.Contains([]byte(divergedWarn), []byte("EPOCH MISMATCH")) {
+		t.Errorf("diverged warning = %q, want an EPOCH MISMATCH warning", divergedWarn)
+	}
+
+	resp, out := doJSON(t, "GET", ts.URL+"/v1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	sets, _ := out["patternSets"].([]interface{})
+	if len(sets) != 3 {
+		t.Fatalf("patternSets = %v, want 3 entries", out["patternSets"])
+	}
+	wantFresh := map[string]string{"ps-1": "fresh", "ps-2": "behind", "ps-3": "diverged"}
+	for _, raw := range sets {
+		set := raw.(map[string]interface{})
+		id, _ := set["id"].(string)
+		if got := set["freshness"]; got != wantFresh[id] {
+			t.Errorf("%s freshness = %v, want %s", id, got, wantFresh[id])
+		}
+		if wantStale := wantFresh[id] != "fresh"; set["stale"] != wantStale {
+			t.Errorf("%s stale = %v, want %v", id, set["stale"], wantStale)
+		}
+	}
+}
+
+// TestDurableRecoveryUnderConcurrentTraffic is the satellite stress test:
+// writers hammer /v1/append while readers run /v1/explain/batch and
+// GET /v1 against the same WAL-backed server. Mid-stream — with traffic
+// still flowing — the store's filesystem is snapshotted as a strict
+// crash image (durable bytes only). Every batch acknowledged before the
+// snapshot must recover from that image, recovery must cut on a batch
+// boundary, and the reopened store must serve appends again. Run it
+// under -race: the point is the locking between the append path, the
+// explainers, and the store.
+func TestDurableRecoveryUnderConcurrentTraffic(t *testing.T) {
+	mfs := store.NewMemFS()
+	_, ts, st := newDurableServer(t, mfs)
+	id := mineExample(t, ts)
+
+	const writers, perWriter = 4, 8
+	const total = writers * perWriter
+	var (
+		mu        sync.Mutex
+		acked     = map[uint64]string{} // walSeq -> venue marker of its 1-row batch
+		snapView  map[string][]byte
+		snapAcked map[uint64]string
+	)
+	snapAt := total / 2
+	snapped := make(chan struct{})
+
+	stopRead := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				resp, out := doJSON(t, "POST", ts.URL+"/v1/explain/batch", ExplainBatchRequest{
+					Patterns:  id,
+					K:         3,
+					Questions: []QuestionSpec{sigkddSpec()},
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("explain/batch during appends = %d: %v", resp.StatusCode, out)
+					return
+				}
+				if resp, _ := doJSON(t, "GET", ts.URL+"/v1", nil); resp.StatusCode != http.StatusOK {
+					t.Errorf("status during appends = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				marker := fmt.Sprintf("W%d-%d", w, i)
+				resp, out := doJSON(t, "POST", ts.URL+"/v1/append",
+					appendBody([]interface{}{"AX", marker, 2010}))
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("append %s = %d: %v", marker, resp.StatusCode, out)
+					return
+				}
+				seq, _ := out["walSeq"].(float64)
+				if seq == 0 || out["durable"] != true {
+					t.Errorf("append %s ack not durable: %v", marker, out)
+					return
+				}
+				mu.Lock()
+				acked[uint64(seq)] = marker
+				if len(acked) == snapAt {
+					// The crash image: everything fsync-durable right now,
+					// taken while the other writers and readers keep going.
+					snapAcked = make(map[uint64]string, len(acked))
+					for k, v := range acked {
+						snapAcked[k] = v
+					}
+					snapView = mfs.CrashView(true)
+					close(snapped)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopRead)
+	readers.Wait()
+	<-snapped
+
+	// Final live state: all acked batches visible, in walSeq order.
+	info := st.Info()
+	if info.Rows != 150+total || info.NextSeq != total+1 {
+		t.Fatalf("final store rows=%d nextSeq=%d, want %d/%d", info.Rows, info.NextSeq, 150+total, total+1)
+	}
+	tab := st.Table().(*engine.Table)
+	for seq, marker := range acked {
+		if got := tab.Row(150 + int(seq) - 1)[1]; got != value.NewString(marker) {
+			t.Errorf("live row for walSeq %d = %s, want %s", seq, got, marker)
+		}
+	}
+
+	// The crash image must recover a batch-boundary prefix holding at
+	// least every batch acknowledged before the snapshot.
+	re, err := store.Open("data/pub", store.Options{FS: store.SeedMemFS(snapView)})
+	if err != nil {
+		t.Fatalf("crash image does not recover: %v", err)
+	}
+	reInfo := re.Info()
+	j := int(reInfo.NextSeq) - 1
+	if j < len(snapAcked) {
+		t.Fatalf("recovered %d batches, but %d were acknowledged before the snapshot", j, len(snapAcked))
+	}
+	if reInfo.Rows != 150+j {
+		t.Fatalf("recovered rows=%d with %d batches: not a batch-boundary cut", reInfo.Rows, j)
+	}
+	reTab := re.Table().(*engine.Table)
+	for seq, marker := range snapAcked {
+		if int(seq) > j {
+			t.Fatalf("acked walSeq %d beyond recovered prefix %d", seq, j)
+		}
+		if got := reTab.Row(150 + int(seq) - 1)[1]; got != value.NewString(marker) {
+			t.Errorf("recovered row for walSeq %d = %s, want %s", seq, got, marker)
+		}
+	}
+
+	// The reopened store serves: attach to a fresh server and append.
+	s2 := New()
+	if err := s2.AttachStore("pub", re); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	resp, out := doJSON(t, "POST", ts2.URL+"/v1/append",
+		appendBody([]interface{}{"AX", "post-crash", 2011}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append after recovery = %d: %v", resp.StatusCode, out)
+	}
+	if seq, _ := out["walSeq"].(float64); int(seq) != j+1 {
+		t.Errorf("post-recovery walSeq = %v, want %d", out["walSeq"], j+1)
+	}
+}

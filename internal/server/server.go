@@ -38,6 +38,7 @@ import (
 	"cape/internal/mining"
 	"cape/internal/pattern"
 	"cape/internal/sql"
+	"cape/internal/store"
 )
 
 // Server is the HTTP handler. Create with New.
@@ -55,6 +56,11 @@ type Server struct {
 	mu       sync.RWMutex
 	tables   map[string]*engine.Table
 	patterns map[string]*patternSet
+	// stores maps table name → the WAL store backing it (AttachStore).
+	// A store-backed table's appends are durable: /v1/append replies
+	// only after the batch is framed into the WAL (fsynced per the
+	// store's policy).
+	stores map[string]*store.Store
 	// explainers holds one warm Explainer per pattern set, so the
 	// group-by cache survives across /v1/explain requests instead of
 	// being rebuilt per call.
@@ -68,6 +74,14 @@ type Server struct {
 	// generation (runtime.NumCPU() from New); requests may override it
 	// with their own "parallelism" field.
 	ExplainParallelism int
+
+	// DataDir, when non-empty, makes POST /v1/tables bootstrap a
+	// durable store under DataDir/<name> for every newly loaded table,
+	// using StoreOptions. Recovery of existing stores at startup is the
+	// operator's (capeserver's) job.
+	DataDir string
+	// StoreOptions configures stores bootstrapped via DataDir.
+	StoreOptions store.Options
 }
 
 // explainerEntry pins the Explainer to the table snapshot it was built
@@ -103,6 +117,7 @@ func New() *Server {
 		tables:             make(map[string]*engine.Table),
 		patterns:           make(map[string]*patternSet),
 		explainers:         make(map[string]*explainerEntry),
+		stores:             make(map[string]*store.Store),
 		MaxBodyBytes:       64 << 20,
 		ExplainParallelism: runtime.NumCPU(),
 	}
@@ -200,17 +215,38 @@ func (s *Server) handleLoadTable(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "query parameter 'name' is required")
 		return
 	}
+	// A durable table cannot be silently replaced by a CSV upload: its
+	// store (WAL, segments, pattern stamps) describes the existing
+	// history.
+	if _, ok := s.storeFor(name); ok {
+		httpError(w, http.StatusConflict, "table %q is store-backed; append to it or remove its data directory", name)
+		return
+	}
 	tab, err := engine.ReadCSV(r.Body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "loading CSV: %v", err)
 		return
 	}
-	s.mu.Lock()
-	s.tables[name] = tab
-	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]interface{}{
+	resp := map[string]interface{}{
 		"name": name, "rows": tab.NumRows(), "columns": tab.Schema().Names(),
-	})
+	}
+	if s.DataDir != "" {
+		if err := s.BootstrapStore(name, tab); err != nil {
+			if errors.Is(err, store.ErrStoreExists) {
+				httpError(w, http.StatusConflict,
+					"a data directory for table %q already exists; restart the server to recover it", name)
+				return
+			}
+			httpError(w, http.StatusInternalServerError, "creating durable store: %v", err)
+			return
+		}
+		resp["durable"] = true
+	} else {
+		s.mu.Lock()
+		s.tables[name] = tab
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 // QueryRequest is the body of POST /v1/query.
@@ -515,6 +551,9 @@ func (s *Server) explainerFor(ps *patternSet, tab *engine.Table) *explain.Explai
 	s.explainers[ps.ID] = &explainerEntry{table: tab, ex: ex}
 	return ex
 }
+
+// Table looks up a loaded table by name.
+func (s *Server) Table(name string) (*engine.Table, bool) { return s.table(name) }
 
 // table looks up a loaded table.
 func (s *Server) table(name string) (*engine.Table, bool) {

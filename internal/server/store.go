@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"cape/internal/engine"
+	"cape/internal/pattern"
+	"cape/internal/store"
+)
+
+// Durable tables: a table attached via AttachStore is backed by a
+// crash-safe WAL store (internal/store). /v1/append routes through the
+// store — the response is sent only after the batch is WAL-durable per
+// the store's fsync policy — and a restart recovers the table, with its
+// exact epoch trajectory, from the data directory instead of requiring
+// a re-load and re-mine.
+
+// AttachStore registers a WAL-backed table: the store's backing
+// relation becomes the served table and appends route through the WAL.
+func (s *Server) AttachStore(name string, st *store.Store) error {
+	tab, ok := st.Table().(*engine.Table)
+	if !ok {
+		return fmt.Errorf("server: store for %q has backing %T; the server serves dense tables", name, st.Table())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.stores[name]; exists {
+		return fmt.Errorf("server: table %q already has a store attached", name)
+	}
+	s.tables[name] = tab
+	s.stores[name] = st
+	return nil
+}
+
+// storeFor looks up the WAL store backing a table, if any.
+func (s *Server) storeFor(name string) (*store.Store, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.stores[name]
+	return st, ok
+}
+
+// CloseStores flushes and closes every attached store — the graceful-
+// shutdown path that seals WAL tails into segments so the next boot
+// replays nothing. The first error is returned; all stores are still
+// closed.
+func (s *Server) CloseStores() error {
+	s.mu.Lock()
+	stores := make([]*store.Store, 0, len(s.stores))
+	for _, st := range s.stores {
+		stores = append(stores, st)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, st := range stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BootstrapStore creates a durable store for a freshly loaded table
+// under the server's data directory (DataDir must be set) and attaches
+// it: the table's rows are sealed into a first segment and its epoch
+// recorded, so later recoveries and pattern-store stamps line up.
+// handleLoadTable uses it for every new table when DataDir is
+// configured; capeserver uses it for -load bootstraps.
+func (s *Server) BootstrapStore(name string, tab *engine.Table) error {
+	if err := validateStoreName(name); err != nil {
+		return err
+	}
+	st, err := store.Bootstrap(filepath.Join(s.DataDir, name), name, tab, s.StoreOptions)
+	if err != nil {
+		return err
+	}
+	return s.AttachStore(name, st)
+}
+
+// validateStoreName keeps table names usable as directory names under
+// the data dir.
+func validateStoreName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, `/\`) || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("server: table name %q is not usable as a data directory name", name)
+	}
+	return nil
+}
+
+// ---- pattern-store staleness classification ----
+
+// stampClass says how a pattern store's stamp relates to the live shape
+// of its table. The distinction that matters operationally: a set
+// strictly *behind* the table describes a prefix of its history and
+// incremental maintenance heals it, while a set *ahead* of the table on
+// either axis was mined against a different history — catch-up cannot
+// reconcile it and only a re-mine can.
+type stampClass int
+
+const (
+	stampFresh    stampClass = iota // matches the table exactly
+	stampUnknown                    // no stamp (legacy store): undetectable
+	stampBehind                     // strictly behind: maintainable
+	stampDiverged                   // ahead on rows or epoch: must re-mine
+)
+
+func (c stampClass) String() string {
+	switch c {
+	case stampFresh:
+		return "fresh"
+	case stampUnknown:
+		return "unknown"
+	case stampBehind:
+		return "behind"
+	case stampDiverged:
+		return "diverged"
+	default:
+		return fmt.Sprintf("stampClass(%d)", int(c))
+	}
+}
+
+// classifyStamp compares a stamp against a table's live row count and
+// epoch.
+func classifyStamp(stamp *pattern.StoreStamp, rows int, epoch uint64) stampClass {
+	switch {
+	case stamp == nil:
+		return stampUnknown
+	case stamp.Rows == rows && stamp.Epoch == epoch:
+		return stampFresh
+	case stamp.Rows <= rows && stamp.Epoch <= epoch:
+		return stampBehind
+	default:
+		return stampDiverged
+	}
+}
+
+// staleWarning renders the operator-facing message for a non-fresh
+// stamp; empty for fresh/unknown.
+func staleWarning(table string, c stampClass, stamp *pattern.StoreStamp, rows int, epoch uint64, maintainable bool) string {
+	switch c {
+	case stampBehind:
+		heal := "POST /v1/append or re-mine to refresh"
+		if maintainable {
+			heal = "maintainable: the next POST /v1/append heals it"
+		}
+		return fmt.Sprintf(
+			"pattern store for table %q is STALE: mined at rows=%d epoch=%d, table has rows=%d epoch=%d — explanations may not reflect current data (%s)",
+			table, stamp.Rows, stamp.Epoch, rows, epoch, heal)
+	case stampDiverged:
+		return fmt.Sprintf(
+			"pattern store for table %q has an EPOCH MISMATCH: mined at rows=%d epoch=%d but the table has rows=%d epoch=%d — the mined history is not a prefix of this table, so maintenance cannot heal it; re-mine",
+			table, stamp.Rows, stamp.Epoch, rows, epoch)
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"cape/internal/engine"
+	"cape/internal/value"
+)
+
+// Portable JSONL backup: one header object line, then one JSON array
+// per row with kind-tagged values. The row lines are exactly the format
+// `cape append -rows` consumes (strip the header line and the stream is
+// a valid -rows file), so a backup doubles as an append payload.
+
+const backupVersion = 1
+
+// backupHeader is the first line of a backup stream.
+type backupHeader struct {
+	CapeBackup int             `json:"cape_backup"`
+	Table      string          `json:"table"`
+	Schema     json.RawMessage `json:"schema"`
+	Rows       int             `json:"rows"`
+	Epoch      uint64          `json:"epoch"`
+}
+
+// ExportJSONL streams the store's table as a portable backup. The
+// header pins the row count (verified on import) and the table epoch,
+// so pattern stores stamped against this deployment stay comparable
+// after a restore.
+func (s *Store) ExportJSONL(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	schemaJSON, err := engine.MarshalSchemaJSON(s.schema)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := backupHeader{
+		CapeBackup: backupVersion,
+		Table:      s.table,
+		Schema:     schemaJSON,
+		Rows:       s.tab.NumRows(),
+		Epoch:      s.tab.Epoch(),
+	}
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	bw.Write(hb)
+	bw.WriteByte('\n')
+	enc := json.NewEncoder(bw) // one compact array per row, '\n'-terminated
+	if err := s.tab.ScanRows(0, s.tab.NumRows(), func(row value.Tuple) error {
+		return enc.Encode(row)
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBackup parses a backup stream into its parts. Row values accept
+// both kind-tagged objects (what ExportJSONL writes) and raw scalars
+// (hand-written backups), like every other JSONL row input.
+func ReadBackup(r io.Reader) (table string, schema engine.Schema, rows []value.Tuple, epoch uint64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	if !sc.Scan() {
+		if err = sc.Err(); err == nil {
+			err = fmt.Errorf("store: empty backup stream")
+		}
+		return
+	}
+	var hdr backupHeader
+	dec := json.NewDecoder(strings.NewReader(sc.Text()))
+	dec.DisallowUnknownFields()
+	if err = dec.Decode(&hdr); err != nil {
+		err = fmt.Errorf("store: backup header: %v", err)
+		return
+	}
+	if hdr.CapeBackup != backupVersion {
+		err = fmt.Errorf("store: backup version %d not supported (want %d)", hdr.CapeBackup, backupVersion)
+		return
+	}
+	if schema, err = engine.ParseSchemaJSON(hdr.Schema); err != nil {
+		err = fmt.Errorf("store: backup schema: %v", err)
+		return
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var raws []json.RawMessage
+		if err = json.Unmarshal([]byte(line), &raws); err != nil {
+			err = fmt.Errorf("store: backup line %d: %v", lineNo, err)
+			return
+		}
+		var t value.Tuple
+		if t, err = value.ParseJSONTuple(raws); err != nil {
+			err = fmt.Errorf("store: backup line %d: %v", lineNo, err)
+			return
+		}
+		if err = schema.ValidateRow(t); err != nil {
+			err = fmt.Errorf("store: backup line %d: %v", lineNo, err)
+			return
+		}
+		rows = append(rows, t)
+	}
+	if err = sc.Err(); err != nil {
+		return
+	}
+	if len(rows) != hdr.Rows {
+		err = fmt.Errorf("store: backup has %d rows, header says %d (truncated stream?)", len(rows), hdr.Rows)
+		return
+	}
+	return hdr.Table, schema, rows, hdr.Epoch, nil
+}
+
+// ImportJSONL creates a new store at dir from a backup stream,
+// restoring the exported epoch so pattern-store stamps carried over
+// from the source deployment still line up.
+func ImportJSONL(dir string, r io.Reader, opt Options) (*Store, error) {
+	table, schema, rows, epoch, err := ReadBackup(r)
+	if err != nil {
+		return nil, err
+	}
+	tab := opt.backing(schema)
+	if len(rows) > 0 {
+		if err := tab.AppendRows(rows); err != nil {
+			return nil, err
+		}
+	}
+	er, ok := tab.(epochRestorer)
+	if !ok {
+		return nil, fmt.Errorf("store: backing %T cannot restore epochs", tab)
+	}
+	er.RestoreEpoch(epoch)
+	return Bootstrap(dir, table, tab, opt)
+}

@@ -1,0 +1,303 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+
+	"cape/internal/engine"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/value"
+)
+
+// -crashfull widens the matrix to the big workload (more batches, more
+// flush cycles) — the nightly run. The default workload still
+// enumerates every crash point; -short samples them.
+var crashFull = flag.Bool("crashfull", false, "run the full-size crash-recovery matrix")
+
+// miningOpts are lenient thresholds so the fixture data mines a
+// non-empty pattern set — the Maintainer/ARPMine differential must have
+// something to disagree on.
+func miningOpts() mining.Options {
+	return mining.Options{
+		MaxPatternSize: 2,
+		Thresholds:     pattern.Thresholds{Theta: 0.1, LocalSupport: 2, Lambda: 0.3, GlobalSupport: 1},
+	}
+}
+
+// crashOutcome is what one simulated machine lifetime produced: which
+// appends were acknowledged before the crash.
+type crashOutcome struct {
+	acked   int // batches whose Append returned nil
+	created bool
+}
+
+// runCrashWorkload drives a fresh store through the canonical workload
+// on fsi: create, append every batch (auto-flush per flushEvery), one
+// explicit flush, close. It stops at the first error — the machine is
+// down or the store is poisoned — and reports how many batches were
+// acknowledged first.
+func runCrashWorkload(fsi FS, batches [][]value.Tuple, flushEvery int, sync SyncPolicy) crashOutcome {
+	var out crashOutcome
+	st, err := Create("data", "sales", testSchema(), Options{FS: fsi, Sync: sync, FlushEvery: flushEvery})
+	if err != nil {
+		return out
+	}
+	out.created = true
+	for _, b := range batches {
+		if _, err := st.Append(b); err != nil {
+			return out
+		}
+		out.acked++
+	}
+	if err := st.Flush(); err != nil {
+		return out
+	}
+	st.Close()
+	return out
+}
+
+// cuts for the three admissible crash images at each crash point:
+// strictZero loses the crashing op entirely, strictHalf persists half
+// of the torn sync/write, generousHalf additionally keeps all unsynced
+// page-cache content (CrashView(false)).
+func cutZero(int) int   { return 0 }
+func cutHalf(n int) int { return n / 2 }
+
+// requireBatchPrefix asserts rows is exactly batches[0..j) for some j
+// and returns j. Anything else — a torn batch, a gap, a mutated field —
+// is a fatal matrix violation.
+func requireBatchPrefix(t *testing.T, label string, rows []value.Tuple, batches [][]value.Tuple) int {
+	t.Helper()
+	j, off := 0, 0
+	for j < len(batches) && off+len(batches[j]) <= len(rows) {
+		off += len(batches[j])
+		j++
+	}
+	if off != len(rows) {
+		t.Fatalf("%s: %d recovered rows do not land on a batch boundary", label, len(rows))
+	}
+	requireRowsEqual(t, label, rows, flatten(batches[:j]))
+	return j
+}
+
+// requireMaintainerMatchesCold pins the maintained pattern set over tab
+// byte-identical to a cold ARPMine of the same rows.
+func requireMaintainerMatchesCold(t *testing.T, label string, m *mining.Maintainer, tab engine.MutableRelation) {
+	t.Helper()
+	opt := miningOpts()
+	cold, err := mining.ARPMine(tab, opt)
+	if err != nil {
+		t.Fatalf("%s: cold mine: %v", label, err)
+	}
+	var got, want bytes.Buffer
+	if err := pattern.WriteJSON(&got, m.Patterns()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pattern.WriteJSON(&want, cold.Patterns); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("%s: maintained patterns diverge from cold re-mine\nmaintained: %s\ncold: %s",
+			label, got.Bytes(), want.Bytes())
+	}
+}
+
+// TestRecoveryCrashMatrix is the headline harness: the workload is
+// dry-run once to learn its mutating-syscall count T, then re-run with
+// a crash injected at every point k ∈ 1..T. Each crash point is
+// examined under three admissible post-crash disk images (strict with
+// nothing of the torn op, strict with half the torn sync/write,
+// generous with all page-cache content). For every image, reopening
+// must recover exactly a batch-boundary prefix of the submitted
+// batches, covering at least every acknowledged one (under
+// SyncAlways), with field-identical rows and the exact epoch
+// trajectory — and an incremental Maintainer run over the recovered
+// table, resumed through the remaining batches, must stay
+// byte-identical to a cold ARPMine.
+func TestRecoveryCrashMatrix(t *testing.T) {
+	nBatches, flushEvery := 6, 8
+	if *crashFull {
+		nBatches, flushEvery = 16, 12
+	}
+	batches := testBatches(nBatches)
+
+	for _, sync := range []SyncPolicy{SyncAlways, SyncNever} {
+		sync := sync
+		t.Run("sync="+sync.String(), func(t *testing.T) {
+			// Dry run: no crash armed; learn T and pin the reference.
+			dry := NewFaultFS(nil)
+			out := runCrashWorkload(dry, batches, flushEvery, sync)
+			if out.acked != len(batches) {
+				t.Fatalf("dry run acked %d of %d batches", out.acked, len(batches))
+			}
+			totalOps := dry.Ops()
+			if totalOps < 20 {
+				t.Fatalf("workload only issued %d mutating ops; matrix is vacuous", totalOps)
+			}
+			ref, err := Open("data", Options{FS: dry.Inner()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRows := tableRows(t, ref.Table())
+			refMine, err := mining.ARPMine(ref.Table(), miningOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(refMine.Patterns) == 0 {
+				t.Fatal("fixture mines no patterns; the mining differential is vacuous")
+			}
+
+			step := 1
+			if testing.Short() {
+				step = 5
+			}
+			variants := []struct {
+				name   string
+				strict bool
+				cut    func(int) int
+			}{
+				{"strict-none", true, cutZero},
+				{"strict-half", true, cutHalf},
+				{"generous-half", false, cutHalf},
+			}
+			for k := 1; k <= totalOps; k += step {
+				for _, v := range variants {
+					label := fmt.Sprintf("crash@%d/%d %s", k, totalOps, v.name)
+					ffs := NewFaultFS(nil)
+					ffs.CrashAfter(k, v.cut, v.cut)
+					out := runCrashWorkload(ffs, batches, flushEvery, sync)
+					if !ffs.Crashed() {
+						t.Fatalf("%s: crash never fired", label)
+					}
+					boot := SeedMemFS(ffs.Inner().CrashView(v.strict))
+					if !out.created {
+						// Died before the store existed; nothing to recover.
+						if _, err := Open("data", Options{FS: boot}); !errors.Is(err, ErrNoStore) && err == nil {
+							// A manifest may already be durable — then
+							// recovery of the empty store must work.
+							continue
+						}
+						continue
+					}
+					re, err := Open("data", Options{FS: boot})
+					if err != nil {
+						t.Fatalf("%s: recovery failed loudly where a valid state exists: %v", label, err)
+					}
+					rows := tableRows(t, re.Table())
+					j := requireBatchPrefix(t, label, rows, batches)
+					if sync == SyncAlways && j < out.acked {
+						t.Fatalf("%s: recovered %d batches but %d were acknowledged", label, j, out.acked)
+					}
+					if got := re.Table().Epoch(); got != uint64(j) {
+						t.Fatalf("%s: recovered epoch %d, want %d (one tick per batch)", label, got, j)
+					}
+
+					// Resume: mine the recovered table incrementally, feed
+					// the remaining batches through the reopened store, and
+					// demand byte-identity with a cold re-mine at the end.
+					m, err := mining.NewMaintainer(re.Table(), miningOpts())
+					if err != nil {
+						t.Fatalf("%s: maintainer: %v", label, err)
+					}
+					for _, b := range batches[j:] {
+						if _, err := re.Append(b); err != nil {
+							t.Fatalf("%s: resumed append: %v", label, err)
+						}
+					}
+					if err := m.CatchUp(); err != nil {
+						t.Fatalf("%s: catch-up: %v", label, err)
+					}
+					requireRowsEqual(t, label+" resumed", tableRows(t, re.Table()), refRows)
+					if got, want := re.Table().Epoch(), uint64(len(batches)); got != want {
+						t.Fatalf("%s: resumed epoch %d, want %d", label, got, want)
+					}
+					requireMaintainerMatchesCold(t, label, m, re.Table())
+
+					// And the resumed store itself persists: one more
+					// reopen sees everything.
+					if err := re.Close(); err != nil {
+						t.Fatalf("%s: close after resume: %v", label, err)
+					}
+					re2, err := Open("data", Options{FS: boot})
+					if err != nil {
+						t.Fatalf("%s: second reopen: %v", label, err)
+					}
+					requireRowsEqual(t, label+" second reopen", tableRows(t, re2.Table()), refRows)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryCrashDuringRecovery: recovery itself may crash (its only
+// mutating step is trimming a torn WAL tail). Enumerate a crash at
+// every recovery syscall after a first crash that left a torn tail, and
+// require the third boot to still recover the same prefix.
+func TestRecoveryCrashDuringRecovery(t *testing.T) {
+	batches := testBatches(6)
+
+	// First lifetime: find the latest crash point whose generous image
+	// leaves a torn WAL tail (a half-applied frame write), scanning back
+	// from the end of the op budget.
+	dry := NewFaultFS(nil)
+	runCrashWorkload(dry, batches, 0, SyncAlways)
+	var ffs *FaultFS
+	tornAt := -1
+	for k := dry.Ops(); k >= 1 && tornAt < 0; k-- {
+		f := NewFaultFS(nil)
+		f.CrashAfter(k, cutHalf, cutHalf)
+		runCrashWorkload(f, batches, 0, SyncAlways)
+		img := f.Inner().CrashView(false)
+		if wal, ok := img["data/"+walName]; ok {
+			if _, _, err := ScanWAL(wal); err != nil {
+				ffs = f
+				tornAt = k
+			}
+		}
+	}
+	if tornAt < 0 {
+		t.Fatal("no crash point produces a torn WAL tail; harness is broken")
+	}
+
+	img := ffs.Inner().CrashView(false)
+	base, err := Open("data", Options{FS: SeedMemFS(img)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRows := tableRows(t, base.Table())
+	wantJ := requireBatchPrefix(t, "baseline", baseRows, batches)
+
+	// Second lifetime: recovery with a crash at every op.
+	for k2 := 1; ; k2++ {
+		f2 := NewFaultFS(SeedMemFS(img))
+		f2.CrashAfter(k2, cutHalf, cutHalf)
+		_, err := Open("data", Options{FS: f2})
+		if !f2.Crashed() {
+			// Recovery used fewer than k2 ops — enumeration done.
+			if err != nil {
+				t.Fatalf("uncrashed recovery failed: %v", err)
+			}
+			break
+		}
+		if err == nil {
+			t.Fatalf("recovery crash@%d returned a store from a dead machine", k2)
+		}
+		// Third lifetime: boot from the second crash's image.
+		for _, strict := range []bool{true, false} {
+			img2 := f2.Inner().CrashView(strict)
+			re, err := Open("data", Options{FS: SeedMemFS(img2)})
+			if err != nil {
+				t.Fatalf("recovery crash@%d strict=%v: third boot failed: %v", k2, strict, err)
+			}
+			j := requireBatchPrefix(t, fmt.Sprintf("recovery crash@%d strict=%v", k2, strict),
+				tableRows(t, re.Table()), batches)
+			if j != wantJ {
+				t.Fatalf("recovery crash@%d strict=%v: recovered %d batches, baseline %d", k2, strict, j, wantJ)
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package store
+
+import (
+	"errors"
+	"sync"
+
+	"cape/internal/engine"
+)
+
+// ErrCrashed is returned by every FaultFS operation at and after the
+// injected crash point: the simulated machine is down.
+var ErrCrashed = errors.New("store: simulated crash")
+
+// ErrInjectedIO is the error FaultFS returns for injected non-fatal
+// faults (a failed fsync, a short write) — the process survives but the
+// operation did not complete.
+var ErrInjectedIO = errors.New("store: injected I/O fault")
+
+// FaultFS wraps a MemFS and injects faults at syscall granularity:
+//
+//   - CrashAfter(k): the k-th mutating operation (write, sync, create,
+//     rename, remove, truncate, dir-sync, mkdir) fails with ErrCrashed,
+//     as does everything after it. A crashing Write may first apply a
+//     configurable prefix of its payload (a torn write); a crashing Sync
+//     may persist a configurable prefix of the file (a torn sync — the
+//     kernel got partway through writeback).
+//   - SyncErrAfter(n): the n-th Sync returns ErrInjectedIO without
+//     syncing — the fsync-failure case, where durability is unknown.
+//   - ShortWriteAfter(n): the n-th Write persists only half its payload
+//     and returns a short count with ErrInjectedIO.
+//
+// Mutating operations are counted deterministically, so a workload can
+// be dry-run once to learn its operation count T and then re-run with a
+// crash injected at every point 1..T — the crash-at-every-syscall-
+// boundary enumeration the recovery matrix drives.
+type FaultFS struct {
+	mu    sync.Mutex
+	inner *MemFS
+
+	ops       int // mutating operations observed
+	crashAt   int // crash on the op with this ordinal (0 = disabled)
+	crashed   bool
+	syncCut   func(n int) int // bytes of the file persisted by the crashing Sync
+	writeCut  func(n int) int // bytes of the payload applied by the crashing Write
+	syncErrAt int             // ordinal (in Syncs) failing with ErrInjectedIO; 0 = disabled
+	syncs     int
+	shortAt   int // ordinal (in Writes) going short; 0 = disabled
+	writes    int
+}
+
+// NewFaultFS wraps inner (a fresh MemFS if nil) with no faults armed.
+func NewFaultFS(inner *MemFS) *FaultFS {
+	if inner == nil {
+		inner = NewMemFS()
+	}
+	return &FaultFS{inner: inner}
+}
+
+// Inner returns the wrapped MemFS, e.g. to take a CrashView.
+func (f *FaultFS) Inner() *MemFS { return f.inner }
+
+// Ops reports how many mutating operations have run.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Syncs reports how many Sync calls have run — the ordinal space
+// SyncErrAfter counts in.
+func (f *FaultFS) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// CrashAfter arms a crash on the k-th mutating operation (1-based).
+// cutSync / cutWrite control the torn prefix the crashing Sync or Write
+// leaves behind; nil means no partial effect.
+func (f *FaultFS) CrashAfter(k int, cutSync, cutWrite func(n int) int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = k
+	f.syncCut = cutSync
+	f.writeCut = cutWrite
+}
+
+// SyncErrAfter arms ErrInjectedIO on the n-th Sync (1-based).
+func (f *FaultFS) SyncErrAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErrAt = n
+}
+
+// ShortWriteAfter arms a short write on the n-th Write (1-based).
+func (f *FaultFS) ShortWriteAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortAt = n
+}
+
+// Crashed reports whether the armed crash has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step accounts one mutating operation. It returns true when this very
+// operation is the crash point (the caller applies its torn effect and
+// fails), and an error when the machine is already down.
+func (f *FaultFS) step() (crashNow bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	f.ops++
+	if f.crashAt > 0 && f.ops == f.crashAt {
+		f.crashed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if crash, err := f.step(); err != nil {
+		return err
+	} else if crash {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if crash, err := f.step(); err != nil {
+		return nil, err
+	} else if crash {
+		return nil, ErrCrashed
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file.(*memFile)}, nil
+}
+
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	if crash, err := f.step(); err != nil {
+		return nil, err
+	} else if crash {
+		return nil, ErrCrashed
+	}
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file.(*memFile)}, nil
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	down := f.crashed
+	f.mu.Unlock()
+	if down {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) OpenSegment(path string) (*engine.Segment, error) {
+	f.mu.Lock()
+	down := f.crashed
+	f.mu.Unlock()
+	if down {
+		return nil, ErrCrashed
+	}
+	return f.inner.OpenSegment(path)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if crash, err := f.step(); err != nil {
+		return err
+	} else if crash {
+		return ErrCrashed
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if crash, err := f.step(); err != nil {
+		return err
+	} else if crash {
+		return ErrCrashed
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) Truncate(path string, size int64) error {
+	if crash, err := f.step(); err != nil {
+		return err
+	} else if crash {
+		return ErrCrashed
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if crash, err := f.step(); err != nil {
+		return err
+	} else if crash {
+		return ErrCrashed
+	}
+	return f.inner.SyncDir(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	down := f.crashed
+	f.mu.Unlock()
+	if down {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// faultFile threads Write/Sync through the fault machinery.
+type faultFile struct {
+	fs    *FaultFS
+	inner *memFile
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	if ff.fs.crashed {
+		ff.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	ff.fs.ops++
+	ff.fs.writes++
+	crashNow := ff.fs.crashAt > 0 && ff.fs.ops == ff.fs.crashAt
+	shortNow := ff.fs.shortAt > 0 && ff.fs.writes == ff.fs.shortAt
+	cut := ff.fs.writeCut
+	if crashNow {
+		ff.fs.crashed = true
+	}
+	ff.fs.mu.Unlock()
+
+	switch {
+	case crashNow:
+		// Torn write: a prefix of the payload may have reached the page
+		// cache before the machine died.
+		n := 0
+		if cut != nil {
+			n = cut(len(p))
+		}
+		if n > 0 {
+			ff.inner.Write(p[:n])
+		}
+		return 0, ErrCrashed
+	case shortNow:
+		n := len(p) / 2
+		ff.inner.Write(p[:n])
+		return n, ErrInjectedIO
+	default:
+		return ff.inner.Write(p)
+	}
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	if ff.fs.crashed {
+		ff.fs.mu.Unlock()
+		return ErrCrashed
+	}
+	ff.fs.ops++
+	ff.fs.syncs++
+	crashNow := ff.fs.crashAt > 0 && ff.fs.ops == ff.fs.crashAt
+	errNow := ff.fs.syncErrAt > 0 && ff.fs.syncs == ff.fs.syncErrAt
+	cut := ff.fs.syncCut
+	if crashNow {
+		ff.fs.crashed = true
+	}
+	ff.fs.mu.Unlock()
+
+	switch {
+	case crashNow:
+		// Torn sync: writeback got partway through the file before the
+		// machine died — persist an arbitrary prefix. It can only extend
+		// what earlier fsyncs made durable: a dying fsync never
+		// un-persists bytes (unless the live file shrank — a truncate
+		// being written back).
+		ino := ff.inner.ino
+		m := ff.inner.fs
+		m.mu.Lock()
+		n := 0
+		if cut != nil {
+			n = cut(len(ino.data))
+		}
+		if n < len(ino.synced) {
+			n = len(ino.synced)
+		}
+		if n > len(ino.data) {
+			n = len(ino.data)
+		}
+		ino.synced = append(ino.synced[:0], ino.data[:n]...)
+		m.mu.Unlock()
+		return ErrCrashed
+	case errNow:
+		return ErrInjectedIO
+	default:
+		return ff.inner.Sync()
+	}
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

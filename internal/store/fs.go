@@ -1,0 +1,134 @@
+// Package store is the crash-safe durable write path for CAPE tables:
+// an append-only write-ahead log of length-prefixed, CRC-32C-framed
+// JSONL batch records, periodic flushes of the logged tail into
+// immutable CAPESEG1 column segments, and an atomically swapped manifest
+// naming the live segments, the WAL watermark, and the table epoch.
+// Opening a store replays the WAL over the sealed segments and restores
+// the exact epoch sequence the original table went through, so
+// mining.Maintainer catch-up and stamped pattern stores line up with the
+// recovered table without re-mining.
+//
+// Every byte the store persists flows through the FS interface, so the
+// recovery tests can substitute a strict in-memory filesystem with fault
+// injection — torn writes, short writes, failed fsyncs, and a crash at
+// every syscall boundary — and check the recovery invariant at each
+// crash point: reopen recovers exactly a prefix of acknowledged batches
+// or fails loudly, and never loads corrupt state. See DESIGN.md §14.
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cape/internal/engine"
+)
+
+// File is a writable file handle. Writes append (the store never seeks:
+// the WAL only grows, and segment/manifest images are written once into
+// fresh temp files).
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage. An error means the
+	// data may or may not be durable — the store treats it as fatal.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the store runs on. DiskFS is the real
+// implementation; the test harness substitutes MemFS/FaultFS. Paths are
+// plain slash-joined strings relative to whatever root the
+// implementation defines (DiskFS uses them as OS paths).
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens a new file for writing, truncating any existing one.
+	Create(path string) (File, error)
+	// OpenAppend opens a file for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// ReadFile reads a whole file. A missing file returns an error
+	// satisfying errors.Is(err, fs.ErrNotExist).
+	ReadFile(path string) ([]byte, error)
+	// OpenSegment opens and validates a CAPESEG1 segment file.
+	OpenSegment(path string) (*engine.Segment, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// Truncate cuts a file to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir flushes directory metadata (created/renamed/removed
+	// entries) to stable storage.
+	SyncDir(dir string) error
+	// ReadDir lists the file names in a directory, sorted. A missing
+	// directory returns an error satisfying errors.Is(err, fs.ErrNotExist).
+	ReadDir(dir string) ([]string, error)
+}
+
+// DiskFS is the production filesystem: real files, real fsync, and
+// segments served via mmap.
+type DiskFS struct{}
+
+func (DiskFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (DiskFS) Create(path string) (File, error) {
+	return os.Create(path)
+}
+
+func (DiskFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (DiskFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (DiskFS) OpenSegment(path string) (*engine.Segment, error) {
+	return engine.OpenSegment(path)
+}
+
+func (DiskFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (DiskFS) Remove(path string) error { return os.Remove(path) }
+
+func (DiskFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir fsyncs the directory so renames and creates within it are
+// durable. Platforms where directories cannot be fsynced (the open
+// fails) degrade to a no-op, matching what most databases do there.
+func (DiskFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems reject fsync on directories (EINVAL); treat
+		// as best-effort like everyone else does.
+		return nil
+	}
+	return nil
+}
+
+func (DiskFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// join builds store-relative paths; kept tiny so MemFS can use the same
+// separator convention as DiskFS.
+func join(dir, name string) string { return filepath.ToSlash(filepath.Join(dir, name)) }

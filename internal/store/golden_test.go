@@ -1,0 +1,212 @@
+package store
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cape/internal/mining"
+	"cape/internal/pattern"
+)
+
+// -regen-golden rewrites testdata/golden from the generator below. The
+// committed bytes pin the on-disk format: if a change regresses WAL
+// framing, the manifest encoding, or the segment format, this test
+// fails against the old files instead of silently reading the new
+// dialect.
+var regenGolden = flag.Bool("regen-golden", false, "rewrite testdata/golden")
+
+const goldenDir = "testdata/golden"
+
+// The frozen history behind testdata/golden: batches 1-2 sealed into
+// one segment (flush at 8 rows), batch 3 alive only in the WAL — the
+// store was cut off without a clean close, as after a crash.
+func generateGolden(t *testing.T) {
+	t.Helper()
+	if err := os.RemoveAll(goldenDir); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(goldenDir, "data")
+	st, err := Create(dataDir, "sales", testSchema(), Options{FlushEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := testBatches(3)
+	for _, b := range batches {
+		if _, err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the tail batch must stay WAL-only, like a hard stop.
+	// (Close would seal it into a second segment.)
+	st.wal.Close()
+
+	// A pattern store mined at the sealed watermark (rows=8, epoch=2):
+	// recovery must read it as stale-but-maintainable. Rebuild that
+	// state by opening a WAL-less snapshot of the fresh image.
+	part, err := Open(dataDir, Options{FS: snapshotWithoutWAL(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mining.ARPMine(part.Table(), miningOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := mining.SpecFor(part.Table(), miningOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp := &pattern.StoreStamp{Epoch: part.Table().Epoch(), Rows: part.Table().NumRows()}
+	if _, err := pattern.SaveStoreStamped(filepath.Join(goldenDir, "patterns"), "sales", res.Patterns, stamp, spec); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %s", goldenDir)
+}
+
+// snapshotWithoutWAL rebuilds the golden store's on-disk state as of
+// the flush watermark: manifest + segment only, no WAL.
+func snapshotWithoutWAL(t *testing.T) FS {
+	t.Helper()
+	seed := map[string][]byte{}
+	names, err := DiskFS{}.ReadDir(filepath.Join(goldenDir, "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == walName {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(goldenDir, "data", n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed[join(filepath.Join(goldenDir, "data"), n)] = data
+	}
+	return SeedMemFS(seed)
+}
+
+// copyGolden clones the committed data dir into a temp dir so the test
+// never mutates testdata (Open repairs torn tails and appends in place).
+func copyGolden(t *testing.T) string {
+	t.Helper()
+	src := filepath.Join(goldenDir, "data")
+	dst := filepath.Join(t.TempDir(), "data")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names, err := DiskFS{}.ReadDir(src)
+	if err != nil {
+		t.Fatalf("read golden dir (regenerate with -regen-golden): %v", err)
+	}
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(src, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, n), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestGoldenRecovery opens the committed store image and pins every
+// recovery-visible fact: the replayed batch count, the row total, the
+// epoch trajectory, the segment list, and the staleness arithmetic of
+// the committed pattern store against the recovered table.
+func TestGoldenRecovery(t *testing.T) {
+	if *regenGolden {
+		generateGolden(t)
+	}
+	dir := copyGolden(t)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("golden image no longer recovers: %v", err)
+	}
+	defer st.Close()
+
+	info := st.Info()
+	if info.Table != "sales" {
+		t.Errorf("table %q, want sales", info.Table)
+	}
+	if info.Rows != 12 {
+		t.Errorf("rows %d, want 12", info.Rows)
+	}
+	if info.SealedRows != 8 {
+		t.Errorf("sealed rows %d, want 8 (one flushed segment)", info.SealedRows)
+	}
+	if info.Segments != 1 {
+		t.Errorf("segments %d, want 1", info.Segments)
+	}
+	if info.Replayed != 1 {
+		t.Errorf("replayed %d WAL batches, want 1", info.Replayed)
+	}
+	if info.Epoch != 3 {
+		t.Errorf("epoch %d, want 3 (flush at 2, one replayed batch)", info.Epoch)
+	}
+	if info.FlushedSeq != 2 || info.NextSeq != 4 {
+		t.Errorf("watermarks flushed=%d next=%d, want 2/4", info.FlushedSeq, info.NextSeq)
+	}
+	requireRowsEqual(t, "golden rows", tableRows(t, st.Table()), flatten(testBatches(3)))
+
+	// The committed pattern store was stamped at the flush watermark
+	// (rows=8, epoch=2): behind the recovered table on both axes but
+	// with rows a clean prefix — the stale-but-maintainable shape. A
+	// maintainer resumed from its spec must heal it to a cold re-mine.
+	entries, err := pattern.LoadStoreEntries(filepath.Join(goldenDir, "patterns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Table != "sales" {
+		t.Fatalf("golden pattern store holds %d entries", len(entries))
+	}
+	entry := entries[0]
+	if entry.Stamp == nil || entry.Stamp.Rows != 8 || entry.Stamp.Epoch != 2 {
+		t.Fatalf("golden stamp = %+v, want rows=8 epoch=2", entry.Stamp)
+	}
+	if entry.Stamp.Rows > info.Rows || entry.Stamp.Epoch > info.Epoch {
+		t.Fatal("golden stamp reads as from-the-future against the recovered table")
+	}
+	opt, err := mining.OptionsFromSpec(entry.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mining.NewMaintainer(st.Table(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := mining.ARPMine(st.Table(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := pattern.WriteJSON(&got, m.Patterns()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pattern.WriteJSON(&want, cold.Patterns); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("healed pattern set diverges from cold re-mine over the golden table")
+	}
+	if len(cold.Patterns) == 0 {
+		t.Error("golden table mines no patterns; the staleness pinning is vacuous")
+	}
+
+	// The recovered store stays writable: one more batch, one more
+	// reopen.
+	if _, err := st.Append(testBatches(4)[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	requireRowsEqual(t, "golden resumed", tableRows(t, re.Table()), flatten(testBatches(4)))
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// File names inside a store directory.
+const (
+	manifestName = "MANIFEST"
+	walName      = "wal.log"
+)
+
+const manifestVersion = 1
+
+// segRef names one live segment file and pins its row count, so a
+// swapped or truncated segment is caught at open even if its internal
+// checksums happen to pass.
+type segRef struct {
+	File string `json:"file"`
+	Rows int    `json:"rows"`
+}
+
+// manifest is the store's root metadata: which segment files are live,
+// how far the WAL has been folded into them (flushedSeq), and the exact
+// table state (rows, epoch) at that watermark. It is always replaced
+// atomically (temp write + fsync + rename + dir fsync), so recovery
+// sees either the old or the new manifest, never a blend. The CRC field
+// covers the rest of the document, making a half-persisted manifest
+// fail loudly instead of loading quietly.
+type manifest struct {
+	Version int    `json:"version"`
+	Table   string `json:"table"`
+	// Schema is the engine schema JSON (engine.MarshalSchemaJSON).
+	Schema json.RawMessage `json:"schema"`
+	// Epoch is the table's mutation counter at flush time. Recovery
+	// restores it, then ticks once per replayed WAL batch — reproducing
+	// the exact epoch trajectory, so persisted pattern-store stamps
+	// remain comparable.
+	Epoch uint64 `json:"epoch"`
+	// Rows is the total row count at flush time (all of it sealed in
+	// Segments; the WAL tail holds everything after).
+	Rows int `json:"rows"`
+	// FlushedSeq is the last WAL sequence number folded into the
+	// segments. Replay skips frames at or below it.
+	FlushedSeq uint64   `json:"flushedSeq"`
+	Segments   []segRef `json:"segments"`
+	// CRC is the hex CRC-32C of the document serialized with CRC unset.
+	CRC string `json:"crc,omitempty"`
+}
+
+// encode serializes the manifest with its self-CRC filled in, newline
+// terminated.
+func (m *manifest) encode() ([]byte, error) {
+	m.CRC = ""
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	m.CRC = fmt.Sprintf("%08x", crc32.Checksum(body, walCRC))
+	out, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// parseManifest decodes and validates a manifest image. Unknown fields,
+// a version from the future, or a CRC mismatch all fail loudly — a
+// corrupt manifest must never be acted on.
+func parseManifest(data []byte) (*manifest, error) {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest: %v", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d not supported (want %d)", m.Version, manifestVersion)
+	}
+	want := m.CRC
+	if want == "" {
+		return nil, fmt.Errorf("store: manifest missing checksum")
+	}
+	m.CRC = ""
+	body, err := json.Marshal(&m)
+	if err != nil {
+		return nil, err
+	}
+	if got := fmt.Sprintf("%08x", crc32.Checksum(body, walCRC)); got != want {
+		return nil, fmt.Errorf("store: manifest checksum mismatch (stored %s, computed %s)", want, got)
+	}
+	m.CRC = want
+	return &m, nil
+}

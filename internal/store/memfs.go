@@ -1,0 +1,254 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+
+	"cape/internal/engine"
+)
+
+// MemFS is a strict in-memory filesystem with POSIX-flavoured crash
+// semantics, modelled after the "strict mem" filesystems databases use
+// for recovery testing:
+//
+//   - File data written but not Sync'd lives only in the "page cache":
+//     readers see it, a crash may lose it.
+//   - Directory entries (creates, renames, removes) are durable only
+//     after SyncDir; until then a crash may revert the namespace to its
+//     last synced snapshot. Content and namespace durability are
+//     independent, exactly as with real fsync vs directory fsync.
+//   - Rename is atomic: a crash observes the old or the new binding,
+//     never a mix.
+//
+// CrashView materializes the two admissible post-crash images: the
+// strict one (everything unsynced lost) and the generous one (the OS
+// happened to write everything back before the crash). A correct
+// recovery protocol must handle both — POSIX allows either.
+type MemFS struct {
+	mu sync.Mutex
+	// files is the live namespace: name → inode.
+	files map[string]*memInode
+	// durable is the namespace as of the last SyncDir of each directory:
+	// name → inode. Inodes are shared with files, so content durability
+	// (inode.synced) remains per-file.
+	durable map[string]*memInode
+	dirs    map[string]bool
+}
+
+type memInode struct {
+	data   []byte // live content (page cache included)
+	synced []byte // content as of the last successful Sync
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:   make(map[string]*memInode),
+		durable: make(map[string]*memInode),
+		dirs:    make(map[string]bool),
+	}
+}
+
+// SeedMemFS builds a filesystem whose contents are fully durable — the
+// state a machine boots with after a crash. Directories for every file
+// are implied.
+func SeedMemFS(contents map[string][]byte) *MemFS {
+	m := NewMemFS()
+	for name, data := range contents {
+		ino := &memInode{data: append([]byte(nil), data...), synced: append([]byte(nil), data...)}
+		m.files[name] = ino
+		m.durable[name] = ino
+		for d := dirOf(name); d != "" && d != "."; d = dirOf(d) {
+			m.dirs[d] = true
+		}
+	}
+	return m
+}
+
+func dirOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i < 0 {
+		return "."
+	}
+	return path[:i]
+}
+
+// CrashView returns the admissible post-crash contents. strict=true
+// loses everything unsynced (content beyond each inode's last Sync, and
+// namespace changes since each directory's last SyncDir); strict=false
+// is the generous image where the OS wrote everything back: the live
+// namespace with live contents.
+func (m *MemFS) CrashView(strict bool) map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src := m.files
+	if strict {
+		src = m.durable
+	}
+	out := make(map[string][]byte, len(src))
+	for name, ino := range src {
+		var data []byte
+		if strict {
+			data = ino.synced
+		} else {
+			data = ino.data
+		}
+		out[name] = append([]byte(nil), data...)
+	}
+	return out
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := dir; d != "" && d != "."; d = dirOf(d) {
+		m.dirs[d] = true
+	}
+	return nil
+}
+
+func (m *MemFS) lookup(path string) (*memInode, bool) {
+	ino, ok := m.files[path]
+	return ino, ok
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dirOf(path)] && dirOf(path) != "." {
+		return nil, fmt.Errorf("memfs: create %s: %w", path, fs.ErrNotExist)
+	}
+	ino := &memInode{}
+	m.files[path] = ino
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		if !m.dirs[dirOf(path)] && dirOf(path) != "." {
+			return nil, fmt.Errorf("memfs: open %s: %w", path, fs.ErrNotExist)
+		}
+		ino = &memInode{}
+		m.files[path] = ino
+	}
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.lookup(path)
+	if !ok {
+		return nil, fmt.Errorf("memfs: read %s: %w", path, fs.ErrNotExist)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+func (m *MemFS) OpenSegment(path string) (*engine.Segment, error) {
+	data, err := m.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return engine.OpenSegmentBytes(data)
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: %w", oldpath, fs.ErrNotExist)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = ino
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("memfs: remove %s: %w", path, fs.ErrNotExist)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+func (m *MemFS) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		return fmt.Errorf("memfs: truncate %s: %w", path, fs.ErrNotExist)
+	}
+	if size < 0 || size > int64(len(ino.data)) {
+		return fmt.Errorf("memfs: truncate %s to %d: out of range", path, size)
+	}
+	ino.data = ino.data[:size]
+	return nil
+}
+
+// SyncDir snapshots the directory's current entries as the durable
+// namespace for that directory (entries elsewhere keep their snapshot).
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name := range m.durable {
+		if dirOf(name) == dir {
+			if _, live := m.files[name]; !live {
+				delete(m.durable, name)
+			}
+		}
+	}
+	for name, ino := range m.files {
+		if dirOf(name) == dir {
+			m.durable[name] = ino
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dir] && dir != "." {
+		return nil, fmt.Errorf("memfs: readdir %s: %w", dir, fs.ErrNotExist)
+	}
+	var names []string
+	for name := range m.files {
+		if dirOf(name) == dir {
+			names = append(names, name[strings.LastIndexByte(name, '/')+1:])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// memFile is a handle on a MemFS inode. All writes append, matching the
+// store's write discipline.
+type memFile struct {
+	fs  *MemFS
+	ino *memInode
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.ino.data = append(f.ino.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.ino.synced = append(f.ino.synced[:0], f.ino.data...)
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
