@@ -19,7 +19,9 @@ test:
 # only, so a corpus regression fails fast and deterministically), and
 # the benchscale identity pass under -race at 4 workers, which drives
 # the whole morsel-parallel mining stack and byte-compares it to the
-# sequential dense reference.
+# sequential dense reference, and the benchload identity pass, which
+# answers the same questions against 1-shard and 2-shard deployments of
+# the scatter-gather coordinator and byte-compares the explanations.
 check:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -32,6 +34,7 @@ check:
 	$(GO) test -run '^Fuzz' ./...
 	$(GO) test -run Recovery -race -short ./internal/store
 	$(GO) run -race ./cmd/capebench benchscale -smoke -parallel 4
+	$(GO) run -race ./cmd/capebench benchload -smoke
 
 # check plus the exhaustive crash matrix: every syscall boundary of the
 # WAL store crashed under every fsync policy and crash-image variant,
@@ -43,7 +46,8 @@ check-full: check
 # Performance trajectory: the explanation worker-count sweep, the
 # GroupBy hot path, and the offline-mining fast path, plus the capebench
 # runs that write BENCH_explain.json, BENCH_mine.json, BENCH_batch.json,
-# BENCH_engine.json, BENCH_incr.json and BENCH_scale.json.
+# BENCH_engine.json, BENCH_incr.json, BENCH_scale.json and
+# BENCH_load.json.
 bench:
 	$(GO) test -bench 'BenchmarkGenOptParallel|BenchmarkGroupBy$$|BenchmarkARPMine|BenchmarkFitShared' -benchmem -run XXX ./...
 	$(GO) run ./cmd/capebench benchexplain
@@ -52,6 +56,7 @@ bench:
 	$(GO) run ./cmd/capebench benchengine
 	$(GO) run ./cmd/capebench benchincr
 	$(GO) run ./cmd/capebench benchscale
+	$(GO) run ./cmd/capebench benchload
 
 clean:
 	$(GO) clean ./...

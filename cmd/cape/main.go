@@ -58,6 +58,18 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "import":
 		err = cmdImport(os.Args[2:])
+	case "remote-status":
+		err = cmdRemoteStatus(os.Args[2:])
+	case "remote-load":
+		err = cmdRemoteLoad(os.Args[2:])
+	case "remote-mine":
+		err = cmdRemoteMine(os.Args[2:])
+	case "remote-explain":
+		err = cmdRemoteExplain(os.Args[2:])
+	case "remote-explain-batch":
+		err = cmdRemoteExplainBatch(os.Args[2:])
+	case "remote-append":
+		err = cmdRemoteAppend(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -88,6 +100,16 @@ commands:
   baseline  run the pattern-blind baseline explainer for comparison
   export    stream a durable table store (capeserver -data-dir) as JSONL backup
   import    rebuild a durable table store from a JSONL backup
+
+remote mode (against a running capeserver or capeshard coordinator,
+over one shared keep-alive transport):
+  remote-status         print GET /v1 (per-shard health on a coordinator)
+  remote-load           upload a CSV as a server-side table
+  remote-mine           mine a pattern set server-side, print its id
+  remote-explain        ask one question against a server-side pattern set
+  remote-explain-batch  send a JSONL question file as one batch
+  remote-append         stream JSONL rows into the table (keyed routing
+                        and aggregate durability on a coordinator)
 
 run "cape <command> -h" for the command's flags
 `)

@@ -1,0 +1,393 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"cape/internal/httpc"
+	"cape/internal/server"
+)
+
+// Remote mode: the same CLI verbs, executed against a running capeserver
+// or capeshard coordinator instead of a local CSV. All commands go
+// through httpc.Default, the keep-alive transport shared with the
+// coordinator's own shard fan-out, so a scripted loop of thousands of
+// questions reuses a small set of warm connections instead of opening
+// one per request.
+
+// remoteClient is swappable in tests; everything else uses the tuned
+// shared transport.
+var remoteClient = httpc.Default
+
+// remoteJSON POSTs (or GETs) JSON and decodes the response body into
+// out. Non-2xx responses become errors carrying the server's message.
+func remoteJSON(method, url string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := remoteClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg := strings.TrimSpace(string(raw))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("server shed the request (429, Retry-After %s): %s",
+				resp.Header.Get("Retry-After"), msg)
+		}
+		return fmt.Errorf("server returned %d: %s", resp.StatusCode, msg)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// serverFlag registers -server and returns a getter that validates it.
+func serverFlag(fs *flag.FlagSet) func() (string, error) {
+	url := fs.String("server", "", "base URL of a capeserver or capeshard coordinator (required)")
+	return func() (string, error) {
+		if *url == "" {
+			return "", fmt.Errorf("-server is required")
+		}
+		return strings.TrimSuffix(*url, "/"), nil
+	}
+}
+
+// cmdRemoteStatus prints GET /v1 — on a coordinator this includes the
+// per-shard health and the diverged list.
+func cmdRemoteStatus(args []string) error {
+	fs := flag.NewFlagSet("remote-status", flag.ExitOnError)
+	srv := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url, err := srv()
+	if err != nil {
+		return err
+	}
+	var status json.RawMessage
+	if err := remoteJSON(http.MethodGet, url+"/v1", nil, &status); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, status, "", " "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err = os.Stdout.Write(buf.Bytes())
+	return err
+}
+
+// cmdRemoteLoad streams a CSV into the server; a coordinator partitions
+// it across its shards by the deployment key.
+func cmdRemoteLoad(args []string) error {
+	fs := flag.NewFlagSet("remote-load", flag.ExitOnError)
+	srv := serverFlag(fs)
+	data := fs.String("data", "", "CSV file to upload (required)")
+	table := fs.String("table", "", "table name on the server (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url, err := srv()
+	if err != nil {
+		return err
+	}
+	if *data == "" || *table == "" {
+		return fmt.Errorf("-data and -table are required")
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/tables?name="+*table, f)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := remoteClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	fmt.Printf("%s", raw)
+	return nil
+}
+
+// cmdRemoteMine mines a pattern set on the server and prints its id.
+func cmdRemoteMine(args []string) error {
+	fs := flag.NewFlagSet("remote-mine", flag.ExitOnError)
+	srv := serverFlag(fs)
+	table := fs.String("table", "", "server-side table to mine (required)")
+	opts, _ := miningFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url, err := srv()
+	if err != nil {
+		return err
+	}
+	if *table == "" {
+		return fmt.Errorf("-table is required")
+	}
+	opt := opts()
+	mreq := server.MineRequest{
+		Table:          *table,
+		Attributes:     opt.Attributes,
+		MaxPatternSize: opt.MaxPatternSize,
+		Theta:          opt.Thresholds.Theta,
+		LocalSupport:   opt.Thresholds.LocalSupport,
+		Lambda:         opt.Thresholds.Lambda,
+		GlobalSupport:  opt.Thresholds.GlobalSupport,
+		UseFDs:         opt.UseFDs,
+		Parallelism:    opt.Parallelism,
+	}
+	for _, f := range opt.AggFuncs {
+		mreq.Aggregates = append(mreq.Aggregates, f.String())
+	}
+	var out struct {
+		ID       string `json:"id"`
+		Table    string `json:"table"`
+		Patterns int    `json:"patterns"`
+	}
+	if err := remoteJSON(http.MethodPost, url+"/v1/mine", mreq, &out); err != nil {
+		return err
+	}
+	fmt.Printf("mined pattern set %s on table %q: %d patterns\n", out.ID, out.Table, out.Patterns)
+	return nil
+}
+
+// cmdRemoteExplain asks one question against a server-side pattern set.
+func cmdRemoteExplain(args []string) error {
+	fs := flag.NewFlagSet("remote-explain", flag.ExitOnError)
+	srv := serverFlag(fs)
+	patterns := fs.String("patterns", "", "server-side pattern set id from remote-mine (required)")
+	aggregate := fs.String("aggregate", "", `aggregate, e.g. "count(*)" (default count(*))`)
+	jsonOut := fs.Bool("json", false, "emit the raw JSON response")
+	groupBy, tuple, dir, k := questionFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url, err := srv()
+	if err != nil {
+		return err
+	}
+	if *patterns == "" || *groupBy == "" || *tuple == "" {
+		return fmt.Errorf("-patterns, -groupby, and -tuple are required")
+	}
+	ereq := server.ExplainRequest{
+		Patterns:  *patterns,
+		GroupBy:   splitList(*groupBy),
+		Aggregate: *aggregate,
+		Tuple:     splitList(*tuple),
+		Dir:       *dir,
+		K:         *k,
+	}
+	var out struct {
+		Question     string `json:"question"`
+		Explanations []struct {
+			Score     float64 `json:"score"`
+			Narration string  `json:"narration"`
+		} `json:"explanations"`
+		Raw json.RawMessage `json:"-"`
+	}
+	var raw json.RawMessage
+	if err := remoteJSON(http.MethodPost, url+"/v1/explain", ereq, &raw); err != nil {
+		return err
+	}
+	if *jsonOut {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, raw, "", " "); err != nil {
+			return err
+		}
+		buf.WriteByte('\n')
+		_, err = os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return err
+	}
+	fmt.Printf("question: %s\n%d explanations\n\n", out.Question, len(out.Explanations))
+	for i, e := range out.Explanations {
+		fmt.Printf("%3d. [%.3f] %s\n", i+1, e.Score, e.Narration)
+	}
+	return nil
+}
+
+// cmdRemoteExplainBatch sends a JSONL question file as one batch.
+func cmdRemoteExplainBatch(args []string) error {
+	fs := flag.NewFlagSet("remote-explain-batch", flag.ExitOnError)
+	srv := serverFlag(fs)
+	patterns := fs.String("patterns", "", "server-side pattern set id from remote-mine (required)")
+	questions := fs.String("questions", "", "JSONL question file, one {groupBy,aggregate,tuple,dir} object per line (required)")
+	k := fs.Int("k", 10, "number of explanations per question")
+	jsonOut := fs.Bool("json", false, "emit the raw JSON response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url, err := srv()
+	if err != nil {
+		return err
+	}
+	if *patterns == "" || *questions == "" {
+		return fmt.Errorf("-patterns and -questions are required")
+	}
+	specs, specErrs, err := readQuestionJSONL(*questions)
+	if err != nil {
+		return err
+	}
+	for i, e := range specErrs {
+		if e != nil {
+			return fmt.Errorf("bad question %d: %v", i, e)
+		}
+	}
+	breq := server.ExplainBatchRequest{Patterns: *patterns, K: *k}
+	for _, s := range specs {
+		breq.Questions = append(breq.Questions, server.QuestionSpec{
+			GroupBy: s.GroupBy, Aggregate: s.Aggregate, Tuple: s.Tuple, Dir: s.Dir,
+		})
+	}
+	var raw json.RawMessage
+	if err := remoteJSON(http.MethodPost, url+"/v1/explain/batch", breq, &raw); err != nil {
+		return err
+	}
+	if *jsonOut {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, raw, "", " "); err != nil {
+			return err
+		}
+		buf.WriteByte('\n')
+		_, err = os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	var out struct {
+		OK     int `json:"ok"`
+		Failed int `json:"failed"`
+		Items  []struct {
+			Index        int               `json:"index"`
+			Question     string            `json:"question"`
+			Error        string            `json:"error"`
+			Explanations []json.RawMessage `json:"explanations"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return err
+	}
+	fmt.Printf("%d/%d questions answered\n", out.OK, out.OK+out.Failed)
+	for _, it := range out.Items {
+		if it.Error != "" {
+			fmt.Printf("[%d] error: %s\n", it.Index, it.Error)
+			continue
+		}
+		fmt.Printf("[%d] %s: %d explanations\n", it.Index, it.Question, len(it.Explanations))
+	}
+	return nil
+}
+
+// cmdRemoteAppend streams a JSONL row file into POST /v1/append; on a
+// coordinator the batch is routed by key to the owning shards and the
+// response reports aggregate durability.
+func cmdRemoteAppend(args []string) error {
+	fs := flag.NewFlagSet("remote-append", flag.ExitOnError)
+	srv := serverFlag(fs)
+	table := fs.String("table", "", "server-side table to append to (required)")
+	rowsPath := fs.String("rows", "", "JSONL file of rows, one JSON array per line ('-' = stdin; required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url, err := srv()
+	if err != nil {
+		return err
+	}
+	if *table == "" || *rowsPath == "" {
+		return fmt.Errorf("-table and -rows are required")
+	}
+	rows, err := readRawJSONLRows(*rowsPath)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no rows to append in %s", *rowsPath)
+	}
+	var raw json.RawMessage
+	if err := remoteJSON(http.MethodPost, url+"/v1/append",
+		server.AppendRequest{Table: *table, Rows: rows}, &raw); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", " "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err = os.Stdout.Write(buf.Bytes())
+	return err
+}
+
+// readRawJSONLRows reads rows as raw JSON arrays — the server does the
+// value parsing, so the CLI only validates the line shape.
+func readRawJSONLRows(path string) ([][]json.RawMessage, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var rows [][]json.RawMessage
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var raws []json.RawMessage
+		if err := json.Unmarshal([]byte(line), &raws); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		rows = append(rows, raws)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

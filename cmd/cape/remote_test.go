@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cape/internal/server"
+)
+
+// startSharded brings up a 2-shard deployment behind a coordinator; the
+// remote commands must work identically against it and a single node.
+func startSharded(t *testing.T) string {
+	t.Helper()
+	s0 := httptest.NewServer(server.New())
+	t.Cleanup(s0.Close)
+	s1 := httptest.NewServer(server.New())
+	t.Cleanup(s1.Close)
+	coord, err := server.NewCoordinator(server.CoordConfig{
+		Shards: []string{s0.URL, s1.URL}, Key: []string{"author"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord)
+	t.Cleanup(cts.Close)
+	return cts.URL
+}
+
+func TestRemoteCommandsAgainstCoordinator(t *testing.T) {
+	url := startSharded(t)
+	csv := writeExampleCSV(t)
+
+	msg, err := captureStdout(t, func() error {
+		return cmdRemoteLoad([]string{"-server", url, "-table", "pub", "-data", csv})
+	})
+	if err != nil {
+		t.Fatalf("remote-load: %v", err)
+	}
+	if !strings.Contains(msg, `"pub"`) {
+		t.Errorf("load output = %q", msg)
+	}
+
+	msg, err = captureStdout(t, func() error {
+		return cmdRemoteMine([]string{"-server", url, "-table", "pub",
+			"-psi", "3", "-theta", "0.5", "-localsupp", "3", "-lambda", "0.3", "-globalsupp", "2"})
+	})
+	if err != nil {
+		t.Fatalf("remote-mine: %v", err)
+	}
+	if !strings.Contains(msg, "mined pattern set ps-1") {
+		t.Errorf("mine output = %q", msg)
+	}
+
+	msg, err = captureStdout(t, func() error {
+		return cmdRemoteExplain([]string{"-server", url, "-patterns", "ps-1",
+			"-groupby", "author,venue", "-tuple", "AX,ICDE", "-dir", "low"})
+	})
+	if err != nil {
+		t.Fatalf("remote-explain: %v", err)
+	}
+	if !strings.Contains(msg, "question:") {
+		t.Errorf("explain output = %q", msg)
+	}
+
+	// Batch: one good question, one with an unknown tuple (per-item error).
+	qfile := filepath.Join(t.TempDir(), "q.jsonl")
+	lines := `{"groupBy":["author","venue"],"tuple":["AX","ICDE"],"dir":"low"}
+{"groupBy":["author","venue"],"tuple":["NOBODY","ICDE"],"dir":"low"}
+`
+	if err := os.WriteFile(qfile, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = captureStdout(t, func() error {
+		return cmdRemoteExplainBatch([]string{"-server", url, "-patterns", "ps-1", "-questions", qfile})
+	})
+	if err != nil {
+		t.Fatalf("remote-explain-batch: %v", err)
+	}
+	if !strings.Contains(msg, "1/2 questions answered") {
+		t.Errorf("batch output = %q", msg)
+	}
+
+	// Append routes by key and reports aggregate durability.
+	rfile := filepath.Join(t.TempDir(), "rows.jsonl")
+	rows := `["AX","ICDE",2005]
+["BY","VLDB",2006]
+`
+	if err := os.WriteFile(rfile, []byte(rows), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = captureStdout(t, func() error {
+		return cmdRemoteAppend([]string{"-server", url, "-table", "pub", "-rows", rfile})
+	})
+	if err != nil {
+		t.Fatalf("remote-append: %v", err)
+	}
+	var aresp struct {
+		Appended int  `json:"appended"`
+		Durable  bool `json:"durable"`
+	}
+	if err := json.Unmarshal([]byte(msg), &aresp); err != nil {
+		t.Fatalf("append output not JSON: %q", msg)
+	}
+	if aresp.Appended != 2 {
+		t.Errorf("appended = %d, want 2", aresp.Appended)
+	}
+
+	msg, err = captureStdout(t, func() error {
+		return cmdRemoteStatus([]string{"-server", url})
+	})
+	if err != nil {
+		t.Fatalf("remote-status: %v", err)
+	}
+	if !strings.Contains(msg, `"coordinator"`) {
+		t.Errorf("status output = %q", msg)
+	}
+}
+
+func TestRemoteFlagValidation(t *testing.T) {
+	if err := cmdRemoteStatus(nil); err == nil {
+		t.Error("remote-status without -server should error")
+	}
+	if err := cmdRemoteExplain([]string{"-server", "http://x"}); err == nil {
+		t.Error("remote-explain without question flags should error")
+	}
+	if err := cmdRemoteAppend([]string{"-server", "http://x"}); err == nil {
+		t.Error("remote-append without -table/-rows should error")
+	}
+}

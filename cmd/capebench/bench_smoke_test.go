@@ -78,13 +78,25 @@ func TestBenchScaleSmoke(t *testing.T) {
 	}
 }
 
+// TestBenchLoadSmoke runs benchload's identity pass (the CI smoke
+// configuration): the same data, mine, and questions against 1-shard
+// and 2-shard coordinator deployments must produce byte-identical
+// explanations (work counters excluded), with no load generated.
+func TestBenchLoadSmoke(t *testing.T) {
+	smokeMode = true
+	defer func() { smokeMode = false }()
+	if err := experiments["benchload"].run(false); err != nil {
+		t.Fatalf("benchload -smoke: %v", err)
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig3a", "fig3b", "fig3c", "fig4", "fig5",
 		"fig6a", "fig6b", "fig6c", "fig7",
 		"table3", "table4", "table5", "table6", "table7", "userstudy",
 		"benchexplain", "benchmine", "benchbatch", "benchengine",
-		"benchincr", "benchscale",
+		"benchincr", "benchscale", "benchload",
 	}
 	for _, name := range want {
 		e, ok := experiments[name]

@@ -1,0 +1,416 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cape/internal/dataset"
+	"cape/internal/engine"
+	"cape/internal/exp"
+	"cape/internal/httpc"
+	"cape/internal/server"
+)
+
+// benchLoadResult is one shard count's open-loop measurement in
+// BENCH_load.json.
+type benchLoadResult struct {
+	Shards     int     `json:"shards"`
+	Arrivals   int     `json:"arrivals"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+	ShedRate   float64 `json:"shedRate"`
+	GoodputRPS float64 `json:"goodputRPS"`
+	P50Ms      float64 `json:"p50Ms"`
+	P95Ms      float64 `json:"p95Ms"`
+	P99Ms      float64 `json:"p99Ms"`
+}
+
+// benchLoadReport is the schema of BENCH_load.json.
+type benchLoadReport struct {
+	Dataset        string            `json:"dataset"`
+	Rows           int               `json:"rows"`
+	CPUs           int               `json:"cpus"`
+	Patterns       int               `json:"patterns"`
+	QuestionPool   int               `json:"questionPool"`
+	ArrivalRate    float64           `json:"arrivalRateRPS"`
+	MaxQueue       int               `json:"maxQueue"`
+	Results        []benchLoadResult `json:"results"`
+	Goodput1To4X   float64           `json:"goodput1to4x"`
+	SuperUnity1To4 bool              `json:"superUnity1to4"`
+}
+
+// loadMine is the mining request every benchload deployment uses.
+func loadMine() server.MineRequest {
+	th := lenientThresholds()
+	return server.MineRequest{
+		Table:          "pub",
+		MaxPatternSize: 3,
+		Attributes:     []string{"author", "venue", "year"},
+		Theta:          th.Theta,
+		LocalSupport:   th.LocalSupport,
+		Lambda:         th.Lambda,
+		GlobalSupport:  th.GlobalSupport,
+		Aggregates:     []string{"count"},
+	}
+}
+
+// loadDeployment is one running sharded deployment under test.
+type loadDeployment struct {
+	coordURL string
+	psID     string
+	patterns int
+	close    func()
+}
+
+// newLoadDeployment brings up n in-process shard servers behind a
+// coordinator, loads the CSV (partitioned by author), and mines. The
+// small MaxQueue is the point: under open-loop overload the coordinator
+// must shed rather than queue without bound.
+func newLoadDeployment(n int, csv []byte, maxQueue int) (*loadDeployment, error) {
+	shards := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range shards {
+		shards[i] = httptest.NewServer(server.New())
+		urls[i] = shards[i].URL
+	}
+	closeAll := func() {
+		for _, s := range shards {
+			s.Close()
+		}
+	}
+	coord, err := server.NewCoordinator(server.CoordConfig{
+		Shards:   urls,
+		Key:      []string{"author"},
+		MaxQueue: maxQueue,
+		Client:   httpc.NewClient(n),
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	cts := httptest.NewServer(coord)
+	d := &loadDeployment{coordURL: cts.URL, close: func() { cts.Close(); closeAll() }}
+
+	resp, err := http.Post(cts.URL+"/v1/tables?name=pub", "text/csv", bytes.NewReader(csv))
+	if err != nil {
+		d.close()
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		d.close()
+		return nil, fmt.Errorf("load table: status %d", resp.StatusCode)
+	}
+	body, _ := json.Marshal(loadMine())
+	resp, err = http.Post(cts.URL+"/v1/mine", "application/json", bytes.NewReader(body))
+	if err != nil {
+		d.close()
+		return nil, err
+	}
+	var mout struct {
+		ID       string `json:"id"`
+		Patterns int    `json:"patterns"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&mout)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		d.close()
+		return nil, fmt.Errorf("mine: status %d err %v", resp.StatusCode, err)
+	}
+	d.psID = mout.ID
+	d.patterns = mout.Patterns
+	return d, nil
+}
+
+// loadQuestionBodies builds the explain request pool: every question
+// groups by a superset of the shard key, so each is owner-routable.
+func loadQuestionBodies(tab *engine.Table, psID string, n int) ([][]byte, error) {
+	qs, err := exp.RandomQuestions(tab, []string{"author", "venue", "year"},
+		engine.AggSpec{Func: engine.Count}, n, 7)
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, 0, len(qs))
+	for _, q := range qs {
+		tuple := make([]string, len(q.Values))
+		for i, v := range q.Values {
+			tuple[i] = v.String()
+		}
+		b, err := json.Marshal(server.ExplainRequest{
+			Patterns: psID, GroupBy: q.GroupBy, Tuple: tuple, Dir: q.Dir.String(), K: 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, b)
+	}
+	return bodies, nil
+}
+
+// openLoop fires `arrivals` explain requests at a fixed arrival rate —
+// arrivals do NOT wait for completions, so each in-flight request is
+// its own simulated client and a slow server faces unbounded offered
+// concurrency, exactly the regime load shedding exists for.
+func openLoop(client *http.Client, url string, bodies [][]byte, rate float64, arrivals int) benchLoadResult {
+	interval := time.Duration(float64(time.Second) / rate)
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		shed      int
+		errs      int
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < arrivals; i++ {
+		// Open-loop pacing: arrival i is due at start + i*interval
+		// regardless of how the previous requests are doing.
+		if sleep := time.Until(start.Add(time.Duration(i) * interval)); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Post(url+"/v1/explain", "application/json", bytes.NewReader(body))
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs++
+				return
+			}
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				latencies = append(latencies, float64(lat)/float64(time.Millisecond))
+			case resp.StatusCode == http.StatusTooManyRequests:
+				shed++
+			default:
+				errs++
+			}
+		}(bodies[i%len(bodies)])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	return benchLoadResult{
+		Arrivals:   arrivals,
+		OK:         len(latencies),
+		Shed:       shed,
+		Errors:     errs,
+		ShedRate:   float64(shed) / float64(arrivals),
+		GoodputRPS: float64(len(latencies)) / wall.Seconds(),
+		P50Ms:      pct(0.50),
+		P95Ms:      pct(0.95),
+		P99Ms:      pct(0.99),
+	}
+}
+
+// runBenchLoad drives the open-loop harness over 1/2/4/8-shard
+// deployments of the same data and pattern set, recording goodput,
+// latency percentiles, and shed rate into BENCH_load.json. Explains are
+// owner-routed, so each shard serves them from 1/N of the rows — that
+// per-request work reduction, not just added parallelism, is what makes
+// goodput scale with the shard count even on one machine. -smoke
+// instead runs the 2-shard differential identity pass only.
+func runBenchLoad(full bool) error {
+	if smokeMode {
+		return loadSmoke()
+	}
+	rows := 30000
+	arrivals := 1500
+	rate := 400.0
+	if full {
+		rows = 120000
+		arrivals = 6000
+		rate = 600.0
+	}
+	const maxQueue = 64
+	shardCounts := []int{1, 2, 4, 8}
+
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: rows, Seed: 3})
+	var csv bytes.Buffer
+	if err := tab.WriteCSV(&csv); err != nil {
+		return err
+	}
+	report := benchLoadReport{
+		Dataset:     "dblp",
+		Rows:        rows,
+		CPUs:        runtime.NumCPU(),
+		ArrivalRate: rate,
+		MaxQueue:    maxQueue,
+	}
+	fmt.Printf("DBLP, D=%d, open loop: %d arrivals at %.0f/s per shard count, admission queue %d, GOMAXPROCS=%d\n\n",
+		rows, arrivals, rate, maxQueue, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-7s %9s %7s %6s %9s %9s %9s %9s\n",
+		"shards", "goodput", "shed%", "errs", "p50", "p95", "p99", "ok")
+
+	client := httpc.NewClient(8)
+	for _, n := range shardCounts {
+		d, err := newLoadDeployment(n, csv.Bytes(), maxQueue)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", n, err)
+		}
+		report.Patterns = d.patterns
+		bodies, err := loadQuestionBodies(tab, d.psID, 64)
+		if err != nil {
+			d.close()
+			return err
+		}
+		report.QuestionPool = len(bodies)
+		// Warm each shard's group-by cache and the HTTP connections so
+		// the measured window sees steady state, not cold start.
+		for _, b := range bodies[:8] {
+			resp, err := client.Post(d.coordURL+"/v1/explain", "application/json", bytes.NewReader(b))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+		res := openLoop(client, d.coordURL, bodies, rate, arrivals)
+		d.close()
+		res.Shards = n
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-7d %7.1f/s %6.1f%% %6d %7.1fms %7.1fms %7.1fms %9d\n",
+			n, res.GoodputRPS, 100*res.ShedRate, res.Errors, res.P50Ms, res.P95Ms, res.P99Ms, res.OK)
+	}
+
+	var g1, g4 float64
+	for _, r := range report.Results {
+		if r.Shards == 1 {
+			g1 = r.GoodputRPS
+		}
+		if r.Shards == 4 {
+			g4 = r.GoodputRPS
+		}
+	}
+	if g1 > 0 {
+		report.Goodput1To4X = g4 / g1
+	}
+	report.SuperUnity1To4 = report.Goodput1To4X > 1
+	fmt.Printf("\ngoodput scaling 1->4 shards: %.2fx\n", report.Goodput1To4X)
+
+	f, err := os.Create("BENCH_load.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_load.json")
+	return nil
+}
+
+// loadSmoke is the -smoke differential identity pass: the same data,
+// mine, questions, and appends against 1-shard and 2-shard deployments
+// must produce byte-identical explain answers (modulo per-request work
+// counters). No timing, no JSON output — CI gates on it cheaply.
+func loadSmoke() error {
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: 2000, Seed: 3})
+	var csv bytes.Buffer
+	if err := tab.WriteCSV(&csv); err != nil {
+		return err
+	}
+	d1, err := newLoadDeployment(1, csv.Bytes(), 256)
+	if err != nil {
+		return err
+	}
+	defer d1.close()
+	d2, err := newLoadDeployment(2, csv.Bytes(), 256)
+	if err != nil {
+		return err
+	}
+	defer d2.close()
+	if d1.patterns != d2.patterns {
+		return fmt.Errorf("admitted pattern counts differ: 1 shard has %d, 2 shards have %d", d1.patterns, d2.patterns)
+	}
+
+	bodies, err := loadQuestionBodies(tab, d1.psID, 12)
+	if err != nil {
+		return err
+	}
+	bodies2, err := loadQuestionBodies(tab, d2.psID, 12)
+	if err != nil {
+		return err
+	}
+	client := httpc.NewClient(2)
+	answered := 0
+	for i := range bodies {
+		v1, s1, err := loadExplainView(client, d1.coordURL, bodies[i])
+		if err != nil {
+			return err
+		}
+		v2, s2, err := loadExplainView(client, d2.coordURL, bodies2[i])
+		if err != nil {
+			return err
+		}
+		if s1 != s2 || v1 != v2 {
+			return fmt.Errorf("question %d diverges between 1 and 2 shards:\n 1 shard (%d): %s\n 2 shards (%d): %s",
+				i, s1, v1, s2, v2)
+		}
+		if s1 == http.StatusOK {
+			answered++
+		}
+	}
+	if answered == 0 {
+		return fmt.Errorf("smoke pass is vacuous: no question produced explanations")
+	}
+	fmt.Printf("benchload smoke: %d/%d questions byte-identical across 1 and 2 shards (%d patterns)\n",
+		answered, len(bodies), d1.patterns)
+	return nil
+}
+
+// loadExplainView fetches one explain answer and renders it with the
+// deployment-specific "stats" work counters stripped at every level —
+// the comparison contract of the differential suite.
+func loadExplainView(client *http.Client, url string, body []byte) (string, int, error) {
+	resp, err := client.Post(url+"/v1/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var v interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return "", 0, err
+	}
+	stripStats(v)
+	out, err := json.Marshal(v)
+	return string(out), resp.StatusCode, err
+}
+
+// stripStats removes "stats" keys recursively.
+func stripStats(v interface{}) {
+	switch t := v.(type) {
+	case map[string]interface{}:
+		delete(t, "stats")
+		for _, c := range t {
+			stripStats(c)
+		}
+	case []interface{}:
+		for _, c := range t {
+			stripStats(c)
+		}
+	}
+}

@@ -54,6 +54,7 @@ var experiments = map[string]struct {
 	"benchengine":  {runBenchEngine, "columnar engine kernels + end-to-end vs recorded baseline; writes BENCH_engine.json"},
 	"benchincr":    {runBenchIncr, "incremental pattern maintenance vs full re-mine on append; writes BENCH_incr.json"},
 	"benchscale":   {runBenchScale, "Figure-4 miner comparison at 250K-6.5M rows, mmap'd segments vs dense table; writes BENCH_scale.json"},
+	"benchload":    {runBenchLoad, "open-loop load on 1/2/4/8-shard deployments: goodput, latency percentiles, shed rate; writes BENCH_load.json"},
 }
 
 // smokeMode (-smoke) restricts an experiment to its correctness

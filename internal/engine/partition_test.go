@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+
+	"cape/internal/value"
+)
+
+func TestPartitionerValidate(t *testing.T) {
+	cases := []struct {
+		p  Partitioner
+		ok bool
+	}{
+		{Partitioner{Key: []string{"a"}, N: 1}, true},
+		{Partitioner{Key: []string{"a", "b"}, N: 8}, true},
+		{Partitioner{Key: nil, N: 2}, false},
+		{Partitioner{Key: []string{"a", "a"}, N: 2}, false},
+		{Partitioner{Key: []string{"a"}, N: 0}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}
+
+// TestPartitionerStable pins the hash mapping: routing decisions must
+// not drift across releases, or a coordinator restart would send
+// appends to shards that do not own the existing rows.
+func TestPartitionerStable(t *testing.T) {
+	p := Partitioner{Key: []string{"k"}, N: 4}
+	want := map[string]int{"alice": 3, "bob": 2, "carol": 2, "dave": 0, "erin": 2}
+	for k, shard := range want {
+		if got := p.ShardOf(value.Tuple{value.NewString(k)}); got != shard {
+			t.Errorf("ShardOf(%q) = %d, want %d", k, got, shard)
+		}
+	}
+}
+
+// TestPartitionerNumericEquivalence: Int and integral Float values of
+// equal magnitude must route identically, because the engine groups
+// them together.
+func TestPartitionerNumericEquivalence(t *testing.T) {
+	p := Partitioner{Key: []string{"k"}, N: 7}
+	for i := int64(-5); i < 40; i++ {
+		a := p.ShardOf(value.Tuple{value.NewInt(i)})
+		b := p.ShardOf(value.Tuple{value.NewFloat(float64(i))})
+		if a != b {
+			t.Fatalf("Int(%d) routes to %d but Float(%d) routes to %d", i, a, i, b)
+		}
+	}
+}
+
+func TestPartitionTable(t *testing.T) {
+	sch := Schema{{Name: "k", Kind: value.String}, {Name: "x", Kind: value.Int}}
+	tab := NewTable(sch)
+	const rows = 500
+	for i := 0; i < rows; i++ {
+		key := value.NewString(string(rune('a' + i%17)))
+		if err := tab.Append(value.Tuple{key, value.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		p := Partitioner{Key: []string{"k"}, N: n}
+		parts, err := p.PartitionTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != n {
+			t.Fatalf("N=%d: got %d parts", n, len(parts))
+		}
+		total := 0
+		lastX := make([]int64, n) // per-shard input order must be preserved
+		for si, part := range parts {
+			total += part.NumRows()
+			lastX[si] = -1
+			for _, row := range part.Rows() {
+				if got := p.ShardOf(row[:1]); got != si {
+					t.Fatalf("N=%d: row %v landed on shard %d, ShardOf says %d", n, row, si, got)
+				}
+				x, _ := row[1].AsFloat()
+				if int64(x) <= lastX[si] {
+					t.Fatalf("N=%d shard %d: row order not preserved (%d after %d)", n, si, int64(x), lastX[si])
+				}
+				lastX[si] = int64(x)
+			}
+		}
+		if total != rows {
+			t.Fatalf("N=%d: partitions hold %d rows, want %d", n, total, rows)
+		}
+	}
+}
+
+// TestPartitionRowsMatchesTable: the row-level router used by append
+// fan-out must agree with the bootstrap table partitioner.
+func TestPartitionRowsMatchesTable(t *testing.T) {
+	sch := Schema{{Name: "a", Kind: value.Int}, {Name: "k", Kind: value.String}}
+	tab := NewTable(sch)
+	var rows []value.Tuple
+	for i := 0; i < 100; i++ {
+		row := value.Tuple{value.NewInt(int64(i)), value.NewString(string(rune('A' + i%9)))}
+		rows = append(rows, row)
+		if err := tab.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Partitioner{Key: []string{"k"}, N: 3}
+	keyIdx, err := p.KeyIndices(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRows := p.PartitionRows(rows, keyIdx)
+	byTable, err := p.PartitionTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < p.N; s++ {
+		if len(byRows[s]) != byTable[s].NumRows() {
+			t.Fatalf("shard %d: PartitionRows has %d rows, PartitionTable %d", s, len(byRows[s]), byTable[s].NumRows())
+		}
+		for i, row := range byRows[s] {
+			if !row.Equal(byTable[s].Rows()[i]) {
+				t.Fatalf("shard %d row %d differs", s, i)
+			}
+		}
+	}
+}

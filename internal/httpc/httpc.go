@@ -1,0 +1,54 @@
+// Package httpc provides the tuned HTTP client shared by every CAPE
+// process that talks to a capeserver — the coordinator's scatter-gather
+// fan-out and the cape CLI's -server mode. A default http.Client per
+// request would open a fresh TCP connection each call; under the
+// open-loop load harness that exhausts ephemeral ports long before the
+// shards saturate. One shared Transport with generous per-host idle
+// pools keeps connections alive across requests.
+package httpc
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewTransport returns a keep-alive-tuned transport sized for fanning
+// requests out to shardCount backends. MaxIdleConnsPerHost is raised to
+// at least max(shardCount, 32) so a coordinator holding N shard
+// connections plus a burst of concurrent fan-outs never churns the idle
+// pool (the net/http default of 2 would close and reopen connections on
+// every scatter).
+func NewTransport(shardCount int) *http.Transport {
+	perHost := shardCount
+	if perHost < 32 {
+		perHost = 32
+	}
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          4 * perHost,
+		MaxIdleConnsPerHost:   perHost,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
+// NewClient wraps NewTransport in a client with no global timeout:
+// callers bound each request with a context deadline instead (the
+// coordinator's per-shard deadline, the CLI's -timeout flag), which
+// composes with retries and keeps slow-but-progressing streams alive.
+func NewClient(shardCount int) *http.Client {
+	return &http.Client{Transport: NewTransport(shardCount)}
+}
+
+// Default is the process-wide shared client for CAPE HTTP callers that
+// do not manage their own (the cape CLI). Sized for a typical small
+// deployment; the coordinator builds its own via NewClient with the
+// real shard count.
+var Default = NewClient(8)

@@ -584,3 +584,54 @@ func (m *Maintainer) Patterns() []*pattern.Mined {
 	})
 	return out
 }
+
+// CandStat is the raw per-candidate evidence behind the Definition-4
+// global gates, before any threshold is applied: how many fragments the
+// candidate's split produced, how many were supported (≥ LocalSupport
+// rows, numeric aggregate), and how many of those yielded a good local
+// fit (GoF ≥ Theta). A sharded deployment mines each shard with
+// loosened global thresholds (λ=0, Δ=1), sums these counters across
+// shards — fragments are disjoint between shards when the shard key is
+// part of every F — and applies the real λ/Δ gates to the totals,
+// reproducing single-node admission exactly.
+type CandStat struct {
+	// Key is the candidate pattern's canonical identity (pattern.Key()).
+	Key string
+	// Good counts fragments with a passing local fit. Zero is
+	// meaningful: a shard holding supported-but-unfit fragments still
+	// contributes to the global confidence denominator.
+	Good int
+	// Supported counts fragments meeting the local support gate.
+	Supported int
+	// Fragments counts all fragments of the candidate's (F, V) split.
+	Fragments int
+}
+
+// CandStats reports the raw evidence for every candidate the miner
+// enumerated — including candidates Patterns() would gate out — sorted
+// by pattern key.
+func (m *Maintainer) CandStats() []CandStat {
+	var out []CandStat
+	for _, gs := range m.gsets {
+		for _, sp := range gs.splits {
+			numSupp := make([]int, len(gs.aggs))
+			for _, fr := range sp.frags {
+				for ai, s := range fr.supported {
+					if s {
+						numSupp[ai]++
+					}
+				}
+			}
+			for _, cs := range sp.cands {
+				out = append(out, CandStat{
+					Key:       cs.p.Key(),
+					Good:      len(cs.locals),
+					Supported: numSupp[cs.agg],
+					Fragments: len(sp.frags),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -75,6 +75,10 @@ type appendSetStatus struct {
 	Status   string `json:"status"`
 	Patterns int    `json:"patterns"`
 	Reason   string `json:"reason,omitempty"`
+	// CandStats carries the refreshed raw candidate evidence for sets
+	// mined withStats, so a shard coordinator can recompute global
+	// admission after routing an append batch.
+	CandStats []mining.CandStat `json:"candStats,omitempty"`
 }
 
 // handleAppend applies a batch of rows and catches up every pattern set
@@ -187,7 +191,11 @@ func (s *Server) maintainSet(ps *patternSet, tab *engine.Table) appendSetStatus 
 		return st
 	}
 
-	maintained := ps.maintainer.Patterns()
+	// A coordinator-admitted shard set keeps serving only admitted keys
+	// across maintenance; the coordinator re-admits from the refreshed
+	// CandStats before any explanation can observe the new rows (its
+	// write lock spans append + admit).
+	maintained := filterAdmitted(ps.maintainer.Patterns(), ps.admitted)
 	locals := 0
 	for _, m := range maintained {
 		locals += len(m.Locals)
@@ -203,6 +211,9 @@ func (s *Server) maintainSet(ps *patternSet, tab *engine.Table) appendSetStatus 
 	}
 	st.Status = "maintained"
 	st.Patterns = ps.Count
+	if ps.withStats {
+		st.CandStats = ps.maintainer.CandStats()
+	}
 	return st
 }
 
@@ -215,6 +226,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Name  string `json:"name"`
 		Rows  int    `json:"rows"`
 		Epoch uint64 `json:"epoch"`
+		// Durable is true for store-backed tables; WriteDisabled reports
+		// a poisoned store (a write-path fault disabled further appends).
+		Durable       bool   `json:"durable,omitempty"`
+		WriteDisabled bool   `json:"writeDisabled,omitempty"`
+		WriteError    string `json:"writeError,omitempty"`
 	}
 	type setStatus struct {
 		ID           string `json:"id"`
@@ -233,7 +249,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	tables := make([]tableStatus, 0, len(s.tables))
 	for name, t := range s.tables {
-		tables = append(tables, tableStatus{Name: name, Rows: t.NumRows(), Epoch: t.Epoch()})
+		ts := tableStatus{Name: name, Rows: t.NumRows(), Epoch: t.Epoch()}
+		if st, ok := s.stores[name]; ok {
+			ts.Durable = true
+			if err := st.Err(); err != nil {
+				ts.WriteDisabled = true
+				ts.WriteError = err.Error()
+			}
+		}
+		tables = append(tables, ts)
 	}
 	sets := make([]setStatus, 0, len(s.patterns))
 	for _, ps := range s.patterns {

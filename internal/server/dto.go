@@ -151,9 +151,12 @@ func tableDTO(t *engine.Table) map[string]interface{} {
 	return map[string]interface{}{"columns": cols, "rows": rows}
 }
 
-// patternDTO is the wire form of a mined pattern summary.
+// patternDTO is the wire form of a mined pattern summary. Key is the
+// pattern's canonical identity (pattern.Key()); the shard coordinator
+// matches per-shard candidate stats and admission decisions on it.
 type patternDTO struct {
 	Pattern    string  `json:"pattern"`
+	Key        string  `json:"key"`
 	Confidence float64 `json:"confidence"`
 	Locals     int     `json:"localModels"`
 	Supported  int     `json:"supportedFragments"`
@@ -163,6 +166,7 @@ type patternDTO struct {
 func newPatternDTO(m *pattern.Mined) patternDTO {
 	return patternDTO{
 		Pattern:    m.Pattern.String(),
+		Key:        m.Pattern.Key(),
 		Confidence: m.Confidence,
 		Locals:     m.GlobalSupport(),
 		Supported:  m.NumSupported,
@@ -170,7 +174,12 @@ func newPatternDTO(m *pattern.Mined) patternDTO {
 	}
 }
 
-// explanationDTO is the wire form of one ranked counterbalance.
+// explanationDTO is the wire form of one ranked counterbalance. SortKey
+// carries the engine's deterministic tie-break identity (refined
+// pattern key + candidate tuple key), so a shard coordinator can merge
+// per-shard top-k lists into exactly the ordering a single node would
+// have produced: scores are compared first, ties broken by SortKey
+// ascending — the same total order explain's own heap uses.
 type explanationDTO struct {
 	Attrs     []string `json:"attrs"`
 	Tuple     []string `json:"tuple"`
@@ -181,6 +190,7 @@ type explanationDTO struct {
 	Score     float64  `json:"score"`
 	Relevant  string   `json:"relevantPattern"`
 	Refined   string   `json:"refinedPattern"`
+	SortKey   string   `json:"sortKey"`
 	Narration string   `json:"narration"`
 }
 
@@ -199,6 +209,7 @@ func newExplanationDTO(e explain.Explanation, q explain.UserQuestion) explanatio
 		Score:     e.Score,
 		Relevant:  e.Relevant.String(),
 		Refined:   e.Refined.String(),
+		SortKey:   e.Refined.Key() + "\x1e" + e.Tuple.Key(),
 		Narration: e.Narrate(q),
 	}
 }

@@ -1,0 +1,51 @@
+package server
+
+import "sort"
+
+// Scatter-gather merge for the sharded deployment: each shard answers a
+// question from its own partition with the engine's top-k generator, and
+// the coordinator folds the per-shard lists back into the single-node
+// ranking. The engine's total order over explanations is score
+// descending, ties broken by the deterministic identity key ascending
+// (explain.Explanation.key, carried on the wire as explanationDTO.
+// SortKey). Reproducing exactly that order here — and nothing cleverer —
+// is what makes the merged response byte-identical to the answer one
+// process holding all the rows would have produced.
+
+// mergeTopK merges per-shard explanation lists into the global top k.
+// k ≤ 0 applies the engine default (explain.Options.withDefaults).
+// Duplicate sort keys across lists keep their best-scoring instance;
+// under the fragment-colocation contract each candidate exists on
+// exactly one shard, so this is defensive, not load-bearing.
+func mergeTopK(lists [][]explanationDTO, k int) []explanationDTO {
+	if k <= 0 {
+		k = 10
+	}
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	all := make([]explanationDTO, 0, n)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].SortKey < all[j].SortKey
+	})
+	out := make([]explanationDTO, 0, k)
+	seen := make(map[string]bool, k)
+	for _, e := range all {
+		if seen[e.SortKey] {
+			continue
+		}
+		seen[e.SortKey] = true
+		out = append(out, e)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// refTopK is the independently-written reference for the engine's
+// explanation order (explain.Explanation.better): score descending,
+// ties by sort key ascending, one entry per key, truncated to k.
+func refTopK(all []explanationDTO, k int) []explanationDTO {
+	byKey := make(map[string]explanationDTO)
+	for _, e := range all {
+		if old, ok := byKey[e.SortKey]; !ok || e.Score > old.Score {
+			byKey[e.SortKey] = e
+		}
+	}
+	out := make([]explanationDTO, 0, len(byKey))
+	for _, e := range byKey {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].SortKey < out[j].SortKey
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// genExplanations produces a pool with heavy score collisions: few
+// distinct scores over many keys, the adversarial case for merge
+// determinism.
+func genExplanations(rng *rand.Rand, n int) []explanationDTO {
+	scores := []float64{3.5, 3.5, 2.0, 2.0, 2.0, 1.25, 0.5}
+	out := make([]explanationDTO, n)
+	for i := range out {
+		out[i] = explanationDTO{
+			SortKey: fmt.Sprintf("p%02d\x1et%03d", rng.Intn(12), i),
+			Score:   scores[rng.Intn(len(scores))],
+			Tuple:   []string{fmt.Sprintf("t%03d", i)},
+		}
+	}
+	return out
+}
+
+// TestMergeTopKDeterministic: however a result set is partitioned
+// across shards — any shard count, any assignment, any per-shard order
+// — the merged top-k must be the single reference ordering, including
+// across adversarial score ties. Merges run concurrently so the race
+// detector watches the merge path itself.
+func TestMergeTopKDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var wg sync.WaitGroup
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		k := 1 + rng.Intn(20)
+		shards := 1 + rng.Intn(9)
+		all := genExplanations(rng, n)
+		want := refTopK(all, k)
+
+		// Partition randomly; each shard reports its items sorted the
+		// way a real shard would (its own local top-k order), but also
+		// try raw arrival order to prove merge doesn't rely on it.
+		lists := make([][]explanationDTO, shards)
+		for _, e := range all {
+			s := rng.Intn(shards)
+			lists[s] = append(lists[s], e)
+		}
+		if trial%2 == 0 {
+			for _, l := range lists {
+				sort.Slice(l, func(i, j int) bool {
+					if l[i].Score != l[j].Score {
+						return l[i].Score > l[j].Score
+					}
+					return l[i].SortKey < l[j].SortKey
+				})
+			}
+		}
+		wg.Add(1)
+		go func(trial int, lists [][]explanationDTO, k int, want []explanationDTO) {
+			defer wg.Done()
+			got := mergeTopK(lists, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("trial %d: merged top-%d diverges from reference\n got:  %v\n want: %v", trial, k, got, want)
+			}
+		}(trial, lists, k, want)
+	}
+	wg.Wait()
+}
+
+func TestMergeTopKEdgeCases(t *testing.T) {
+	if got := mergeTopK(nil, 5); len(got) != 0 {
+		t.Fatalf("merge of nothing = %v", got)
+	}
+	a := explanationDTO{SortKey: "a", Score: 1}
+	b := explanationDTO{SortKey: "b", Score: 1}
+	// Equal scores: order must follow the sort key, whichever shard
+	// reported which.
+	got := mergeTopK([][]explanationDTO{{b}, {a}}, 10)
+	if len(got) != 2 || got[0].SortKey != "a" || got[1].SortKey != "b" {
+		t.Fatalf("tie order = %v", got)
+	}
+	// Duplicate key across shards keeps the better-scoring instance.
+	a2 := explanationDTO{SortKey: "a", Score: 2}
+	got = mergeTopK([][]explanationDTO{{a}, {a2}}, 10)
+	if len(got) != 1 || got[0].Score != 2 {
+		t.Fatalf("dedup = %v", got)
+	}
+	// k=0 applies the engine default of 10.
+	var many []explanationDTO
+	for i := 0; i < 30; i++ {
+		many = append(many, explanationDTO{SortKey: fmt.Sprintf("k%02d", i), Score: float64(i)})
+	}
+	if got := mergeTopK([][]explanationDTO{many}, 0); len(got) != 10 {
+		t.Fatalf("default k kept %d", len(got))
+	}
+}

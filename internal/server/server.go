@@ -107,8 +107,17 @@ type patternSet struct {
 	// (non-FD runs); a set with a spec is append-maintainable.
 	spec *pattern.StoreSpec
 	// maintainer folds appended rows into the set; built lazily on the
-	// first append that touches the set's table.
+	// first append that touches the set's table (or eagerly by a
+	// withStats mine).
 	maintainer *mining.Maintainer
+	// withStats marks a set mined with MineRequest.WithStats: its
+	// append statuses carry refreshed candidate stats for the
+	// coordinator's global admission.
+	withStats bool
+	// admitted, when non-nil, restricts the served patterns to the keys
+	// a coordinator admitted (POST /v1/patterns/{id}/admit); patterns
+	// holds the filtered list, the maintainer retains the full state.
+	admitted map[string]bool
 }
 
 // New returns a ready-to-serve Server.
@@ -133,6 +142,7 @@ func New() *Server {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
 	mux.HandleFunc("GET /v1/patterns/{id}", s.handleGetPatterns)
+	mux.HandleFunc("POST /v1/patterns/{id}/admit", s.handleAdmit)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/explain/batch", s.handleExplainBatch)
 	mux.HandleFunc("POST /v1/generalize", s.handleGeneralize)
@@ -142,11 +152,16 @@ func New() *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler. Append requests run exclusively;
-// everything else shares the read side of appendMu (see the field doc).
+// ServeHTTP implements http.Handler. Append and admit requests run
+// exclusively; everything else shares the read side of appendMu (see
+// the field doc). Admission swaps served pattern lists in place, so it
+// needs the same exclusion from in-flight explains that appends get.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
-	if r.Method == http.MethodPost && strings.TrimSuffix(r.URL.Path, "/") == "/v1/append" {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	writer := r.Method == http.MethodPost &&
+		(path == "/v1/append" || (strings.HasPrefix(path, "/v1/patterns/") && strings.HasSuffix(path, "/admit")))
+	if writer {
 		s.appendMu.Lock()
 		defer s.appendMu.Unlock()
 	} else {
@@ -286,6 +301,15 @@ type MineRequest struct {
 	Aggregates     []string `json:"aggregates,omitempty"`
 	UseFDs         bool     `json:"useFDs,omitempty"`
 	Parallelism    int      `json:"parallelism,omitempty"`
+	// WithStats mines via the maintainer (byte-identical patterns) and
+	// additionally returns the raw per-candidate evidence counters
+	// (mining.CandStat) in the response, keeping them fresh across
+	// appends. This is the shard role of a sharded deployment: shards
+	// mine with loosened global thresholds, the coordinator sums the
+	// counters and applies the real λ/Δ gates via
+	// POST /v1/patterns/{id}/admit. Incompatible with useFDs and with
+	// miners other than arpmine (the maintainer is the arpmine fit).
+	WithStats bool `json:"withStats,omitempty"`
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -301,6 +325,10 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	opt, err := req.options()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.WithStats {
+		s.handleMineWithStats(w, req, tab, opt)
 		return
 	}
 	run := mining.ARPMine

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"cape/internal/dataset"
+	"cape/internal/engine"
+	"cape/internal/exp"
+)
+
+// The sharded differential suite: a coordinator over n shards must
+// answer explain, batch-explain, and append-then-explain request
+// sequences byte-identically to one capeserver holding all the rows and
+// the same admitted pattern set, across multiple shard counts. This is
+// the correctness pin for the whole deployment mode — routing, global
+// admission, fragment colocation, and the merge contract all have to
+// hold simultaneously for the bodies to match.
+
+// shardedFixture is one coordinator + n shard servers + the single-node
+// baseline, all loaded with the same partitioned table and logically
+// identical pattern sets.
+type shardedFixture struct {
+	coordURL string
+	baseURL  string
+	baseSrv  *Server
+	coordID  string // coordinator pattern set id
+	baseID   string // baseline pattern set id
+}
+
+const diffShardKey = "author"
+
+var diffMine = MineRequest{
+	Table:          "pub",
+	MaxPatternSize: 3,
+	Attributes:     []string{"author", "venue", "year"},
+	Theta:          0.15, LocalSupport: 3, Lambda: 0.25, GlobalSupport: 2,
+	Aggregates: []string{"count"},
+}
+
+// newShardedFixture spins up n shards + coordinator + baseline, loads
+// csv into both deployments, mines, and aligns the baseline's served
+// patterns with the coordinator's admitted set.
+func newShardedFixture(t *testing.T, n int, csv []byte) *shardedFixture {
+	t.Helper()
+	shardURLs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(New())
+		t.Cleanup(ts.Close)
+		shardURLs[i] = ts.URL
+	}
+	coord, err := NewCoordinator(CoordConfig{Shards: shardURLs, Key: []string{diffShardKey}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord)
+	t.Cleanup(cts.Close)
+
+	baseSrv := New()
+	bts := httptest.NewServer(baseSrv)
+	t.Cleanup(bts.Close)
+
+	f := &shardedFixture{coordURL: cts.URL, baseURL: bts.URL, baseSrv: baseSrv}
+	for _, url := range []string{cts.URL, bts.URL} {
+		resp, err := http.Post(url+"/v1/tables?name=pub", "text/csv", bytes.NewReader(csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("load table on %s: status %d", url, resp.StatusCode)
+		}
+	}
+
+	// Coordinator mines with the real thresholds; it loosens the global
+	// gates shard-side and re-applies them to the summed evidence.
+	resp, out := doJSON(t, "POST", cts.URL+"/v1/mine", diffMine)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("coordinator mine: %d %v", resp.StatusCode, out)
+	}
+	f.coordID = out["id"].(string)
+
+	// The baseline serves exactly the deployment's pattern algebra: a
+	// loosened withStats mine filtered to the coordinator's admitted
+	// keys via the same admission endpoint the shards use.
+	loose := diffMine
+	loose.WithStats = true
+	loose.Lambda = 0
+	loose.GlobalSupport = 1
+	resp, out = doJSON(t, "POST", bts.URL+"/v1/mine", loose)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("baseline mine: %d %v", resp.StatusCode, out)
+	}
+	f.baseID = out["id"].(string)
+	f.alignAdmission(t)
+	return f
+}
+
+// alignAdmission pushes the coordinator's current admitted key set to
+// the baseline server.
+func (f *shardedFixture) alignAdmission(t *testing.T) {
+	t.Helper()
+	keys := f.coordAdmittedKeys(t)
+	resp, out := doJSON(t, "POST", f.baseURL+"/v1/patterns/"+f.baseID+"/admit", AdmitRequest{Keys: keys})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline admit: %d %v", resp.StatusCode, out)
+	}
+	if got := int(out["patterns"].(float64)); got != len(keys) {
+		// Every globally-admitted pattern must exist on the node that
+		// holds all the rows.
+		t.Fatalf("baseline serves %d of %d admitted patterns", got, len(keys))
+	}
+}
+
+func (f *shardedFixture) coordAdmittedKeys(t *testing.T) []string {
+	t.Helper()
+	resp, out := doJSON(t, "GET", f.coordURL+"/v1/patterns/"+f.coordID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator patterns: %d %v", resp.StatusCode, out)
+	}
+	var keys []string
+	for _, p := range out["patterns"].([]interface{}) {
+		keys = append(keys, p.(map[string]interface{})["key"].(string))
+	}
+	return keys
+}
+
+func diffTable(rows int) *engine.Table {
+	return dataset.GenerateDBLP(dataset.DBLPConfig{
+		Rows: rows, Seed: 11, NumVenues: 6, StartYear: 2004, EndYear: 2010,
+	})
+}
+
+// diffQuestions derives wire question specs from randomized questions
+// biased toward large groups (the same generator the benchmarks use).
+func diffQuestions(t *testing.T, tab *engine.Table, n int, seed int64) []QuestionSpec {
+	t.Helper()
+	groupBy := []string{"author", "venue", "year"}
+	qs, err := exp.RandomQuestions(tab, groupBy, engine.AggSpec{Func: engine.Count}, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]QuestionSpec, len(qs))
+	for i, q := range qs {
+		tuple := make([]string, len(q.Values))
+		for j, v := range q.Values {
+			tuple[j] = v.String()
+		}
+		specs[i] = QuestionSpec{GroupBy: groupBy, Aggregate: "count(*)", Tuple: tuple, Dir: q.Dir.String()}
+	}
+	return specs
+}
+
+// explainView extracts the comparable part of an explain response:
+// status, question, and the explanations JSON. Stats are deliberately
+// excluded — they are work counters and deployment-specific (an owner
+// shard enumerates only its partition's candidates).
+func explainView(t *testing.T, resp *http.Response, body map[string]interface{}) string {
+	t.Helper()
+	view := map[string]interface{}{
+		"status":       resp.StatusCode,
+		"question":     body["question"],
+		"explanations": body["explanations"],
+		"error":        body["error"],
+	}
+	b, err := json.Marshal(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// diffExplain compares one question across deployments and reports
+// whether it produced any explanations (for vacuousness guards).
+func (f *shardedFixture) diffExplain(t *testing.T, spec QuestionSpec, k int) bool {
+	t.Helper()
+	mk := func(ps string) ExplainRequest {
+		return ExplainRequest{
+			Patterns: ps, GroupBy: spec.GroupBy, Aggregate: spec.Aggregate,
+			Tuple: spec.Tuple, Dir: spec.Dir, K: k,
+		}
+	}
+	cResp, cBody := doJSON(t, "POST", f.coordURL+"/v1/explain", mk(f.coordID))
+	bResp, bBody := doJSON(t, "POST", f.baseURL+"/v1/explain", mk(f.baseID))
+	got, want := explainView(t, cResp, cBody), explainView(t, bResp, bBody)
+	if got != want {
+		t.Fatalf("sharded explain diverges for %v:\n sharded: %s\n single:  %s", spec.Tuple, got, want)
+	}
+	expls, _ := cBody["explanations"].([]interface{})
+	return len(expls) > 0
+}
+
+func (f *shardedFixture) diffBatch(t *testing.T, specs []QuestionSpec, k int) {
+	t.Helper()
+	mk := func(ps string) ExplainBatchRequest {
+		return ExplainBatchRequest{Patterns: ps, Questions: specs, K: k}
+	}
+	cResp, cBody := doJSON(t, "POST", f.coordURL+"/v1/explain/batch", mk(f.coordID))
+	bResp, bBody := doJSON(t, "POST", f.baseURL+"/v1/explain/batch", mk(f.baseID))
+	if cResp.StatusCode != http.StatusOK || bResp.StatusCode != http.StatusOK {
+		t.Fatalf("batch statuses: sharded %d, single %d", cResp.StatusCode, bResp.StatusCode)
+	}
+	cItems := cBody["items"].([]interface{})
+	bItems := bBody["items"].([]interface{})
+	if len(cItems) != len(bItems) {
+		t.Fatalf("batch item counts: sharded %d, single %d", len(cItems), len(bItems))
+	}
+	for i := range cItems {
+		ci := cItems[i].(map[string]interface{})
+		bi := bItems[i].(map[string]interface{})
+		delete(ci, "stats")
+		delete(bi, "stats")
+		if !reflect.DeepEqual(ci, bi) {
+			cj, _ := json.Marshal(ci)
+			bj, _ := json.Marshal(bi)
+			t.Fatalf("batch item %d diverges:\n sharded: %s\n single:  %s", i, cj, bj)
+		}
+	}
+	if cBody["ok"] != bBody["ok"] || cBody["failed"] != bBody["failed"] {
+		t.Fatalf("batch summary diverges: sharded ok=%v failed=%v, single ok=%v failed=%v",
+			cBody["ok"], cBody["failed"], bBody["ok"], bBody["failed"])
+	}
+}
+
+func rowsToJSON(t *testing.T, tab *engine.Table, from, to int) [][]json.RawMessage {
+	t.Helper()
+	all := tab.Rows()
+	out := make([][]json.RawMessage, 0, to-from)
+	for _, row := range all[from:to] {
+		cells := make([]json.RawMessage, len(row))
+		for j, v := range row {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells[j] = b
+		}
+		out = append(out, cells)
+	}
+	return out
+}
+
+func TestShardedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded differential is not short")
+	}
+	const initialRows = 2600
+	grown := diffTable(3000) // deterministic superset: rows [initialRows:] get appended later
+	initial := engine.NewTable(grown.Schema())
+	for _, row := range grown.Rows()[:initialRows] {
+		initial.MustAppend(row)
+	}
+	var csv bytes.Buffer
+	if err := initial.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{1, 2, 3, 5} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			f := newShardedFixture(t, n, csv.Bytes())
+
+			// Admission sanity: the coordinator's globally-admitted keys
+			// must be exactly the single-node real-threshold mine
+			// restricted to key-local patterns.
+			resp, out := doJSON(t, "POST", f.baseURL+"/v1/mine", diffMine)
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("reference mine: %d %v", resp.StatusCode, out)
+			}
+			refID := out["id"].(string)
+			_, pout := doJSON(t, "GET", f.baseURL+"/v1/patterns/"+refID, nil)
+			var wantKeys []string
+			for _, p := range pout["patterns"].([]interface{}) {
+				k := p.(map[string]interface{})["key"].(string)
+				if keyInPatternF(k, []string{diffShardKey}) {
+					wantKeys = append(wantKeys, k)
+				}
+			}
+			gotKeys := f.coordAdmittedKeys(t)
+			if len(wantKeys) == 0 {
+				t.Fatal("reference mine admitted no key-local patterns; the differential would be vacuous")
+			}
+			if !reflect.DeepEqual(gotKeys, wantKeys) {
+				t.Fatalf("admitted keys diverge:\n sharded: %v\n single:  %v", gotKeys, wantKeys)
+			}
+
+			questions := diffQuestions(t, initial, 12, 1000+int64(n))
+			answered := 0
+			for _, spec := range questions[:6] {
+				if f.diffExplain(t, spec, 5) {
+					answered++
+				}
+			}
+			if answered == 0 {
+				t.Fatal("no question produced any explanation; the differential would be vacuous")
+			}
+			f.diffBatch(t, questions, 5)
+
+			// Append the deterministic continuation in two batches and
+			// re-compare: maintenance, admission refresh, and routing
+			// all have to agree with the single node again.
+			for _, cut := range []int{2800, 3000} {
+				prev := initialRows
+				if cut == 3000 {
+					prev = 2800
+				}
+				rows := rowsToJSON(t, grown, prev, cut)
+				req := AppendRequest{Table: "pub", Rows: rows}
+				bResp, bOut := doJSON(t, "POST", f.baseURL+"/v1/append", req)
+				if bResp.StatusCode != http.StatusOK {
+					t.Fatalf("baseline append: %d %v", bResp.StatusCode, bOut)
+				}
+				cResp, cOut := doJSON(t, "POST", f.coordURL+"/v1/append", req)
+				if cResp.StatusCode != http.StatusOK {
+					t.Fatalf("sharded append: %d %v", cResp.StatusCode, cOut)
+				}
+				if got := int(cOut["appended"].(float64)); got != len(rows) {
+					t.Fatalf("sharded append acked %d of %d rows", got, len(rows))
+				}
+				if got := int(cOut["rows"].(float64)); got != cut {
+					t.Fatalf("sharded deployment reports %d rows, want %d", got, cut)
+				}
+				f.alignAdmission(t)
+
+				grownSoFar := engine.NewTable(grown.Schema())
+				for _, row := range grown.Rows()[:cut] {
+					grownSoFar.MustAppend(row)
+				}
+				postQs := diffQuestions(t, grownSoFar, 8, 2000+int64(n)+int64(cut))
+				for _, spec := range postQs[:4] {
+					f.diffExplain(t, spec, 5)
+				}
+				f.diffBatch(t, postQs, 5)
+			}
+		})
+	}
+}
+
+// TestShardedQuestionRouting pins routing-level behaviors that the
+// differential cannot see: questions not grouped by the shard key are
+// rejected, and unknown groups return the single-node error.
+func TestShardedQuestionRouting(t *testing.T) {
+	tab := diffTable(1200)
+	var csv bytes.Buffer
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	f := newShardedFixture(t, 2, csv.Bytes())
+
+	resp, out := doJSON(t, "POST", f.coordURL+"/v1/explain", ExplainRequest{
+		Patterns: f.coordID, GroupBy: []string{"venue", "year"},
+		Tuple: []string{"SIGKDD", "2005"}, Dir: "low",
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("non-key question status = %d %v, want 422", resp.StatusCode, out)
+	}
+
+	resp, out = doJSON(t, "POST", f.coordURL+"/v1/explain", ExplainRequest{
+		Patterns: f.coordID, GroupBy: []string{"author", "venue", "year"},
+		Tuple: []string{"no-such-author", "SIGKDD", "2005"}, Dir: "low",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown group status = %d %v, want 400", resp.StatusCode, out)
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cape/internal/engine"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+)
+
+// Shard role of the sharded deployment (DESIGN.md §15). A capeshard
+// coordinator runs each shard as a plain capeserver holding one hash
+// partition of every table, and drives it through two extensions:
+//
+//   - POST /v1/mine with "withStats": the shard mines through the
+//     maintainer (byte-identical to ARPMine) and reports the raw
+//     per-candidate evidence — good / supported / total fragments —
+//     including candidates with zero good locals. Shards are mined
+//     with loosened global thresholds (λ=0, Δ=1); the real gates are
+//     per-fragment (θ, local support) and fragments are wholly owned
+//     by one shard, so summing the counters across shards reproduces
+//     the single-node evidence exactly.
+//   - POST /v1/patterns/{id}/admit: the coordinator applies the real
+//     λ/Δ gates to the summed counters and pushes the surviving key
+//     set down; the shard serves only admitted patterns from then on,
+//     re-applying the filter after every maintenance pass.
+
+// handleMineWithStats is the WithStats branch of handleMine: mine via
+// mining.NewMaintainer so the retained state can report candidate
+// evidence now and after every future append.
+func (s *Server) handleMineWithStats(w http.ResponseWriter, req MineRequest, tab *engine.Table, opt mining.Options) {
+	if m := strings.ToLower(req.Miner); m != "" && m != "arpmine" {
+		httpError(w, http.StatusBadRequest, "withStats mining supports only the arpmine miner, not %q", req.Miner)
+		return
+	}
+	if req.UseFDs {
+		httpError(w, http.StatusBadRequest, "withStats mining is incompatible with useFDs")
+		return
+	}
+	m, err := mining.NewMaintainer(tab, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mined := m.Patterns()
+	locals := 0
+	for _, p := range mined {
+		locals += len(p.Locals)
+	}
+	stamp := &pattern.StoreStamp{Epoch: tab.Epoch(), Rows: tab.NumRows()}
+	spec, _ := mining.SpecFor(tab, opt)
+	s.mu.Lock()
+	s.nextID++
+	ps := &patternSet{
+		ID:         "ps-" + strconv.Itoa(s.nextID),
+		Table:      req.Table,
+		Count:      len(mined),
+		Locals:     locals,
+		Options:    req,
+		patterns:   mined,
+		stamp:      stamp,
+		spec:       spec,
+		maintainer: m,
+		withStats:  true,
+	}
+	s.patterns[ps.ID] = ps
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]interface{}{
+		"id": ps.ID, "table": ps.Table, "patterns": ps.Count,
+		"localModels": ps.Locals, "options": req,
+		"candStats": m.CandStats(),
+	})
+}
+
+// AdmitRequest is the body of POST /v1/patterns/{id}/admit: the set of
+// pattern keys (pattern.Key()) this shard may serve. Keys the shard
+// never mined are ignored — a shard holding no good local for an
+// admitted pattern has nothing to serve for it, which is exactly the
+// single-node behavior for fragments it does not own.
+type AdmitRequest struct {
+	Keys []string `json:"keys"`
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var req AdmitRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ps, ok := s.patterns[id]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown pattern set %q", id)
+		return
+	}
+	if ps.maintainer == nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "pattern set %q was not mined withStats; admission needs the retained mining state", id)
+		return
+	}
+	admitted := make(map[string]bool, len(req.Keys))
+	for _, k := range req.Keys {
+		admitted[k] = true
+	}
+	ps.admitted = admitted
+	served := filterAdmitted(ps.maintainer.Patterns(), admitted)
+	locals := 0
+	for _, p := range served {
+		locals += len(p.Locals)
+	}
+	ps.patterns = served
+	ps.Count = len(served)
+	ps.Locals = locals
+	if e, ok := s.explainers[ps.ID]; ok {
+		if tab, tok := s.tables[ps.Table]; tok && e.table == tab {
+			e.ex.SetPatterns(served)
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id": id, "admitted": len(req.Keys), "patterns": len(served), "localModels": locals,
+	})
+}
+
+// filterAdmitted keeps the patterns whose key the coordinator admitted.
+// The input is Patterns() output (sorted by key), so the filtered list
+// stays sorted — explain iterates it in this order.
+func filterAdmitted(mined []*pattern.Mined, admitted map[string]bool) []*pattern.Mined {
+	if admitted == nil {
+		return mined
+	}
+	out := make([]*pattern.Mined, 0, len(mined))
+	for _, m := range mined {
+		if admitted[m.Pattern.Key()] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
