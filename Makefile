@@ -19,9 +19,12 @@ test:
 # only, so a corpus regression fails fast and deterministically), and
 # the benchscale identity pass under -race at 4 workers, which drives
 # the whole morsel-parallel mining stack and byte-compares it to the
-# sequential dense reference, and the benchload identity pass, which
+# sequential dense reference, the benchload identity pass, which
 # answers the same questions against 1-shard and 2-shard deployments of
-# the scatter-gather coordinator and byte-compares the explanations.
+# the scatter-gather coordinator and byte-compares the explanations,
+# and the benchserve identity pass, which byte-compares indexed against
+# linear-scan generation and cache-on against cache-off serving,
+# including cached replays across appends.
 check:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -35,6 +38,7 @@ check:
 	$(GO) test -run Recovery -race -short ./internal/store
 	$(GO) run -race ./cmd/capebench benchscale -smoke -parallel 4
 	$(GO) run -race ./cmd/capebench benchload -smoke
+	$(GO) run -race ./cmd/capebench benchserve -smoke
 
 # check plus the exhaustive crash matrix: every syscall boundary of the
 # WAL store crashed under every fsync policy and crash-image variant,
@@ -46,8 +50,8 @@ check-full: check
 # Performance trajectory: the explanation worker-count sweep, the
 # GroupBy hot path, and the offline-mining fast path, plus the capebench
 # runs that write BENCH_explain.json, BENCH_mine.json, BENCH_batch.json,
-# BENCH_engine.json, BENCH_incr.json, BENCH_scale.json and
-# BENCH_load.json.
+# BENCH_engine.json, BENCH_incr.json, BENCH_scale.json,
+# BENCH_load.json and BENCH_serve.json.
 bench:
 	$(GO) test -bench 'BenchmarkGenOptParallel|BenchmarkGroupBy$$|BenchmarkARPMine|BenchmarkFitShared' -benchmem -run XXX ./...
 	$(GO) run ./cmd/capebench benchexplain
@@ -57,6 +61,7 @@ bench:
 	$(GO) run ./cmd/capebench benchincr
 	$(GO) run ./cmd/capebench benchscale
 	$(GO) run ./cmd/capebench benchload
+	$(GO) run ./cmd/capebench benchserve
 
 clean:
 	$(GO) clean ./...

@@ -7,9 +7,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"cape/internal/httpc"
 	"cape/internal/server"
@@ -26,51 +29,93 @@ import (
 // shared transport.
 var remoteClient = httpc.Default
 
+// A shed request (429) is retried with bounded, jittered backoff: up to
+// remoteMaxRetries extra attempts, each waiting roughly the server's
+// Retry-After hint doubled per attempt and capped — a scripted loop of
+// cape calls rides out a load spike instead of failing, without
+// hammering a coordinator that just told everyone to back off.
+const (
+	remoteMaxRetries = 4
+	remoteRetryCap   = 5 * time.Second
+)
+
+// remoteSleep is swappable in tests so retry behavior is assertable
+// without real waiting.
+var remoteSleep = time.Sleep
+
+// retryDelay computes the wait before retry `attempt` (0-based): the
+// Retry-After hint (default 1s when absent or unparseable) doubled per
+// attempt, capped, then jittered into [delay/2, delay] so a fleet of
+// shed clients does not return in one synchronized wave.
+func retryDelay(retryAfter string, attempt int) time.Duration {
+	base := time.Second
+	if s, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && s > 0 {
+		base = time.Duration(s) * time.Second
+	}
+	delay := base << attempt
+	if delay > remoteRetryCap {
+		delay = remoteRetryCap
+	}
+	half := delay / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
 // remoteJSON POSTs (or GETs) JSON and decodes the response body into
-// out. Non-2xx responses become errors carrying the server's message.
+// out. Non-2xx responses become errors carrying the server's message;
+// 429 is retried per retryDelay before giving up.
 func remoteJSON(method, url string, in, out interface{}) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequest(method, url, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := remoteClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		msg := strings.TrimSpace(string(raw))
-		var e struct {
-			Error string `json:"error"`
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
 		}
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			msg = e.Error
+		req, err := http.NewRequest(method, url, body)
+		if err != nil {
+			return err
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			return fmt.Errorf("server shed the request (429, Retry-After %s): %s",
-				resp.Header.Get("Retry-After"), msg)
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
-		return fmt.Errorf("server returned %d: %s", resp.StatusCode, msg)
+		resp, err := remoteClient.Do(req)
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < remoteMaxRetries {
+			remoteSleep(retryDelay(resp.Header.Get("Retry-After"), attempt))
+			continue
+		}
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			msg := strings.TrimSpace(string(raw))
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+				msg = e.Error
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				return fmt.Errorf("server shed the request (429, Retry-After %s) %d times: %s",
+					resp.Header.Get("Retry-After"), attempt+1, msg)
+			}
+			return fmt.Errorf("server returned %d: %s", resp.StatusCode, msg)
+		}
+		if out != nil {
+			return json.Unmarshal(raw, out)
+		}
+		return nil
 	}
-	if out != nil {
-		return json.Unmarshal(raw, out)
-	}
-	return nil
 }
 
 // serverFlag registers -server and returns a getter that validates it.

@@ -2,11 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"cape/internal/server"
 )
@@ -129,5 +132,75 @@ func TestRemoteFlagValidation(t *testing.T) {
 	}
 	if err := cmdRemoteAppend([]string{"-server", "http://x"}); err == nil {
 		t.Error("remote-append without -table/-rows should error")
+	}
+}
+
+// TestRemoteRetryOn429 pins the shed-retry contract: remoteJSON honors
+// Retry-After with bounded jittered backoff, succeeding once the server
+// stops shedding and giving up with a descriptive error when it never
+// does.
+func TestRemoteRetryOn429(t *testing.T) {
+	var slept []time.Duration
+	origSleep := remoteSleep
+	remoteSleep = func(d time.Duration) { slept = append(slept, d) }
+	t.Cleanup(func() { remoteSleep = origSleep })
+
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	t.Cleanup(ts.Close)
+
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := remoteJSON(http.MethodGet, ts.URL, nil, &out); err != nil {
+		t.Fatalf("remoteJSON after two sheds: %v", err)
+	}
+	if !out.OK || calls != 3 {
+		t.Fatalf("ok=%v calls=%d, want success on the third attempt", out.OK, calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Attempt 0 honors Retry-After 2s: jittered into [1s, 2s]. Attempt 1
+	// doubles to 4s: jittered into [2s, 4s].
+	if slept[0] < time.Second || slept[0] > 2*time.Second {
+		t.Errorf("first backoff %v outside [1s, 2s]", slept[0])
+	}
+	if slept[1] < 2*time.Second || slept[1] > 4*time.Second {
+		t.Errorf("second backoff %v outside [2s, 4s]", slept[1])
+	}
+
+	// A server that never stops shedding: bounded retries, then a 429
+	// error that says how often it tried.
+	calls = 0
+	slept = nil
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"queue full"}`)
+	}))
+	t.Cleanup(always.Close)
+	err := remoteJSON(http.MethodGet, always.URL, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("exhausted retries should surface a 429 error, got %v", err)
+	}
+	if calls != remoteMaxRetries+1 {
+		t.Errorf("server saw %d calls, want %d", calls, remoteMaxRetries+1)
+	}
+	for i, d := range slept {
+		if d > remoteRetryCap {
+			t.Errorf("backoff %d = %v exceeds cap %v", i, d, remoteRetryCap)
+		}
 	}
 }

@@ -90,13 +90,25 @@ func TestBenchLoadSmoke(t *testing.T) {
 	}
 }
 
+// TestBenchServeSmoke runs benchserve's identity pass (the CI smoke
+// configuration): indexed generation must match the linear scan
+// explanation-for-explanation, and cache-on HTTP serving must match
+// cache-off byte for byte, including cached replays across appends.
+func TestBenchServeSmoke(t *testing.T) {
+	smokeMode = true
+	defer func() { smokeMode = false }()
+	if err := experiments["benchserve"].run(false); err != nil {
+		t.Fatalf("benchserve -smoke: %v", err)
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig3a", "fig3b", "fig3c", "fig4", "fig5",
 		"fig6a", "fig6b", "fig6c", "fig7",
 		"table3", "table4", "table5", "table6", "table7", "userstudy",
 		"benchexplain", "benchmine", "benchbatch", "benchengine",
-		"benchincr", "benchscale", "benchload",
+		"benchincr", "benchscale", "benchload", "benchserve",
 	}
 	for _, name := range want {
 		e, ok := experiments[name]

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -32,6 +33,11 @@ type benchLoadResult struct {
 	P50Ms      float64 `json:"p50Ms"`
 	P95Ms      float64 `json:"p95Ms"`
 	P99Ms      float64 `json:"p99Ms"`
+	// Coordinator answer-cache counters for the run (hits never fan
+	// out to a shard); the hit rate is what a skewed stream buys.
+	CacheHits    uint64  `json:"cacheHits"`
+	CacheMisses  uint64  `json:"cacheMisses"`
+	CacheHitRate float64 `json:"cacheHitRate"`
 }
 
 // benchLoadReport is the schema of BENCH_load.json.
@@ -43,6 +49,8 @@ type benchLoadReport struct {
 	QuestionPool   int               `json:"questionPool"`
 	ArrivalRate    float64           `json:"arrivalRateRPS"`
 	MaxQueue       int               `json:"maxQueue"`
+	Zipf           bool              `json:"zipf"`
+	ZipfS          float64           `json:"zipfS,omitempty"`
 	Results        []benchLoadResult `json:"results"`
 	Goodput1To4X   float64           `json:"goodput1to4x"`
 	SuperUnity1To4 bool              `json:"superUnity1to4"`
@@ -156,11 +164,31 @@ func loadQuestionBodies(tab *engine.Table, psID string, n int) ([][]byte, error)
 	return bodies, nil
 }
 
+// loadPicks pre-draws the question index for every arrival: round-robin
+// over the pool by default, or Zipf-skewed (-zipf) so a handful of hot
+// questions dominate the stream. Drawing up front keeps the arrival
+// goroutines free of shared RNG state and the stream deterministic.
+func loadPicks(arrivals, pool int, s float64) []int {
+	picks := make([]int, arrivals)
+	if !zipfFlag {
+		for i := range picks {
+			picks[i] = i % pool
+		}
+		return picks
+	}
+	z := rand.NewZipf(rand.New(rand.NewSource(42)), s, 1, uint64(pool-1))
+	for i := range picks {
+		picks[i] = int(z.Uint64())
+	}
+	return picks
+}
+
 // openLoop fires `arrivals` explain requests at a fixed arrival rate —
 // arrivals do NOT wait for completions, so each in-flight request is
 // its own simulated client and a slow server faces unbounded offered
-// concurrency, exactly the regime load shedding exists for.
-func openLoop(client *http.Client, url string, bodies [][]byte, rate float64, arrivals int) benchLoadResult {
+// concurrency, exactly the regime load shedding exists for. picks[i]
+// selects arrival i's question from the pool.
+func openLoop(client *http.Client, url string, bodies [][]byte, picks []int, rate float64, arrivals int) benchLoadResult {
 	interval := time.Duration(float64(time.Second) / rate)
 	var (
 		mu        sync.Mutex
@@ -197,7 +225,7 @@ func openLoop(client *http.Client, url string, bodies [][]byte, rate float64, ar
 			default:
 				errs++
 			}
-		}(bodies[i%len(bodies)])
+		}(bodies[picks[i]])
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -250,17 +278,26 @@ func runBenchLoad(full bool) error {
 	if err := tab.WriteCSV(&csv); err != nil {
 		return err
 	}
+	const zipfS = 1.2
 	report := benchLoadReport{
 		Dataset:     "dblp",
 		Rows:        rows,
 		CPUs:        runtime.NumCPU(),
 		ArrivalRate: rate,
 		MaxQueue:    maxQueue,
+		Zipf:        zipfFlag,
 	}
-	fmt.Printf("DBLP, D=%d, open loop: %d arrivals at %.0f/s per shard count, admission queue %d, GOMAXPROCS=%d\n\n",
-		rows, arrivals, rate, maxQueue, runtime.GOMAXPROCS(0))
-	fmt.Printf("%-7s %9s %7s %6s %9s %9s %9s %9s\n",
-		"shards", "goodput", "shed%", "errs", "p50", "p95", "p99", "ok")
+	if zipfFlag {
+		report.ZipfS = zipfS
+	}
+	stream := "round-robin"
+	if zipfFlag {
+		stream = fmt.Sprintf("zipf(s=%.1f)", zipfS)
+	}
+	fmt.Printf("DBLP, D=%d, open loop: %d arrivals at %.0f/s per shard count, %s stream, admission queue %d, GOMAXPROCS=%d\n\n",
+		rows, arrivals, rate, stream, maxQueue, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-7s %9s %7s %6s %9s %9s %9s %9s %7s\n",
+		"shards", "goodput", "shed%", "errs", "p50", "p95", "p99", "ok", "hit%")
 
 	client := httpc.NewClient(8)
 	for _, n := range shardCounts {
@@ -283,12 +320,18 @@ func runBenchLoad(full bool) error {
 				resp.Body.Close()
 			}
 		}
-		res := openLoop(client, d.coordURL, bodies, rate, arrivals)
+		res := openLoop(client, d.coordURL, bodies, loadPicks(arrivals, len(bodies), zipfS), rate, arrivals)
+		if hits, misses, err := serveCacheCounters(client, d.coordURL, d.psID); err == nil {
+			res.CacheHits, res.CacheMisses = hits, misses
+			if hits+misses > 0 {
+				res.CacheHitRate = float64(hits) / float64(hits+misses)
+			}
+		}
 		d.close()
 		res.Shards = n
 		report.Results = append(report.Results, res)
-		fmt.Printf("%-7d %7.1f/s %6.1f%% %6d %7.1fms %7.1fms %7.1fms %9d\n",
-			n, res.GoodputRPS, 100*res.ShedRate, res.Errors, res.P50Ms, res.P95Ms, res.P99Ms, res.OK)
+		fmt.Printf("%-7d %7.1f/s %6.1f%% %6d %7.1fms %7.1fms %7.1fms %9d %6.1f%%\n",
+			n, res.GoodputRPS, 100*res.ShedRate, res.Errors, res.P50Ms, res.P95Ms, res.P99Ms, res.OK, 100*res.CacheHitRate)
 	}
 
 	var g1, g4 float64

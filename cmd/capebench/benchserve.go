@@ -1,0 +1,522 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"cape/internal/dataset"
+	"cape/internal/engine"
+	"cape/internal/exp"
+	"cape/internal/explain"
+	"cape/internal/httpc"
+	"cape/internal/mining"
+	"cape/internal/pattern"
+	"cape/internal/regress"
+	"cape/internal/server"
+)
+
+// benchPrepareResult is one pattern-pool size of the question-prepare
+// scaling sweep: the per-question cost of selecting relevant patterns
+// through the prebuilt relevance index vs the linear structural scan,
+// measured end to end through ExplainOpts on a warm explainer (the
+// serve path), where at large pools the relevance scan dominates.
+type benchPrepareResult struct {
+	Patterns     int     `json:"patterns"`
+	Buckets      int     `json:"buckets"`
+	IndexBuildMs float64 `json:"indexBuildMs"`
+	IndexedUsPQ  float64 `json:"indexedUsPerQuestion"`
+	LinearUsPQ   float64 `json:"linearUsPerQuestion"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// benchServePcts is one latency distribution of the HTTP pass.
+type benchServePcts struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50Ms"`
+	P95Ms    float64 `json:"p95Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+}
+
+// benchServeReport is the schema of BENCH_serve.json.
+type benchServeReport struct {
+	Dataset            string               `json:"dataset"`
+	Rows               int                  `json:"rows"`
+	CPUs               int                  `json:"cpus"`
+	MinedPatterns      int                  `json:"minedPatterns"`
+	Prepare            []benchPrepareResult `json:"prepare"`
+	PrepareSpeedup100K float64              `json:"prepareSpeedup100k"`
+	QuestionPool       int                  `json:"questionPool"`
+	Cold               benchServePcts       `json:"cold"`
+	Warm               benchServePcts       `json:"warm"`
+	ColdToWarmP99X     float64              `json:"coldToWarmP99x"`
+	CacheHits          uint64               `json:"cacheHits"`
+	CacheMisses        uint64               `json:"cacheMisses"`
+	CacheHitRate       float64              `json:"cacheHitRate"`
+}
+
+// padPatterns grows a mined pattern pool to `total` entries with
+// synthetic patterns over a disjoint attribute vocabulary. The pads are
+// structurally irrelevant to every DBLP question — which is the point:
+// a linear prepare pays a structural check per pad per question, while
+// the index never visits their buckets. Deterministic under the seed.
+func padPatterns(mined []*pattern.Mined, total int) []*pattern.Mined {
+	out := append([]*pattern.Mined(nil), mined...)
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("s%02d", i)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for len(out) < total {
+		k := 1 + rng.Intn(2)
+		idx := rng.Perm(len(vocab))[:k+1]
+		f := make([]string, k)
+		for i := 0; i < k; i++ {
+			f[i] = vocab[idx[i]]
+		}
+		out = append(out, &pattern.Mined{
+			Pattern: pattern.Pattern{
+				F: f, V: []string{vocab[idx[k]]},
+				Agg: engine.AggSpec{Func: engine.Count}, Model: regress.Const,
+			},
+			Confidence: 1,
+		})
+	}
+	return out
+}
+
+// measurePrepare times the warm serve path over one padded pool,
+// indexed vs linear-scan, verifying the two produce identical answers.
+func measurePrepare(tab *engine.Table, pool []*pattern.Mined, questions []explain.UserQuestion, reps int) (benchPrepareResult, error) {
+	res := benchPrepareResult{Patterns: len(pool)}
+
+	t0 := time.Now()
+	idx := explain.NewIndex(pool)
+	res.IndexBuildMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	res.Buckets = idx.Stats().Buckets
+
+	opt := explain.Options{K: 10, Parallelism: 1}
+	ex := explain.NewExplainer(tab, pool, opt)
+	// Warm the group-by cache so the measured window isolates the
+	// relevance scan + generation, as on a serving explainer.
+	for _, q := range questions {
+		if _, _, err := ex.ExplainOpts(q, opt); err != nil {
+			return res, err
+		}
+	}
+	linOpt := opt
+	linOpt.LinearScan = true
+
+	best := func(o explain.Options, check bool) (time.Duration, error) {
+		var bestD time.Duration
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for qi, q := range questions {
+				expls, _, err := ex.ExplainOpts(q, o)
+				if err != nil {
+					return 0, err
+				}
+				if check && r == 0 {
+					ref, _, err := ex.ExplainOpts(q, linOpt)
+					if err != nil {
+						return 0, err
+					}
+					if !sameExplanations(expls, ref) {
+						return 0, fmt.Errorf("indexed and linear-scan answers diverge on question %d at %d patterns", qi, len(pool))
+					}
+				}
+			}
+			if d := time.Since(start); r == 0 || d < bestD {
+				bestD = d
+			}
+		}
+		return bestD, nil
+	}
+	dIdx, err := best(opt, true)
+	if err != nil {
+		return res, err
+	}
+	dLin, err := best(linOpt, false)
+	if err != nil {
+		return res, err
+	}
+	nq := len(questions)
+	res.IndexedUsPQ = float64(dIdx) / float64(time.Microsecond) / float64(nq)
+	// The identity check inside the first indexed rep also ran linear
+	// calls, but timing uses best-of-reps so warm later reps win.
+	res.LinearUsPQ = float64(dLin) / float64(time.Microsecond) / float64(nq)
+	res.Speedup = res.LinearUsPQ / res.IndexedUsPQ
+	return res, nil
+}
+
+// newServeServer brings up one in-process capeserver, loads the CSV and
+// mines, returning the base URL and pattern-set id.
+func newServeServer(csv []byte, cacheSize int) (url, psID string, shutdown func(), err error) {
+	s := server.New()
+	s.AnswerCacheSize = cacheSize
+	ts := httptest.NewServer(s)
+	fail := func(e error) (string, string, func(), error) {
+		ts.Close()
+		return "", "", nil, e
+	}
+	resp, err := http.Post(ts.URL+"/v1/tables?name=pub", "text/csv", bytes.NewReader(csv))
+	if err != nil {
+		return fail(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fail(fmt.Errorf("load table: status %d", resp.StatusCode))
+	}
+	body, _ := json.Marshal(loadMine())
+	resp, err = http.Post(ts.URL+"/v1/mine", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	var mout struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&mout)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		return fail(fmt.Errorf("mine: status %d err %v", resp.StatusCode, err))
+	}
+	return ts.URL, mout.ID, ts.Close, nil
+}
+
+// uniqueQuestionBodies renders distinct explain bodies (RandomQuestions
+// draws with replacement; duplicates would pollute the cold pass with
+// accidental cache hits).
+func uniqueQuestionBodies(tab *engine.Table, psID string, want int) ([][]byte, error) {
+	qs, err := exp.RandomQuestions(tab, []string{"author", "venue", "year"},
+		engine.AggSpec{Func: engine.Count}, 4*want, 7)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var bodies [][]byte
+	for _, q := range qs {
+		tuple := make([]string, len(q.Values))
+		for i, v := range q.Values {
+			tuple[i] = v.String()
+		}
+		b, err := json.Marshal(server.ExplainRequest{
+			Patterns: psID, GroupBy: q.GroupBy, Tuple: tuple, Dir: q.Dir.String(), K: 10, Parallelism: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if seen[string(b)] {
+			continue
+		}
+		seen[string(b)] = true
+		bodies = append(bodies, b)
+		if len(bodies) == want {
+			break
+		}
+	}
+	return bodies, nil
+}
+
+// timedPass fires every body once, sequentially, returning latencies.
+func timedPass(client *http.Client, url string, bodies [][]byte) ([]float64, error) {
+	lats := make([]float64, 0, len(bodies))
+	for _, b := range bodies {
+		t0 := time.Now()
+		resp, err := client.Post(url+"/v1/explain", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("explain: status %d", resp.StatusCode)
+		}
+		lats = append(lats, float64(time.Since(t0))/float64(time.Millisecond))
+	}
+	return lats, nil
+}
+
+func servePcts(lats []float64) benchServePcts {
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		return sorted[int(p*float64(len(sorted)-1))]
+	}
+	return benchServePcts{Requests: len(lats), P50Ms: pct(0.50), P95Ms: pct(0.95), P99Ms: pct(0.99)}
+}
+
+// serveCacheCounters reads the pattern set's answer-cache counters from
+// GET /v1.
+func serveCacheCounters(client *http.Client, url, psID string) (hits, misses uint64, err error) {
+	resp, err := client.Get(url + "/v1")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var status struct {
+		PatternSets []struct {
+			ID    string `json:"id"`
+			Cache *struct {
+				Hits   uint64 `json:"hits"`
+				Misses uint64 `json:"misses"`
+			} `json:"answerCache"`
+		} `json:"patternSets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return 0, 0, err
+	}
+	for _, ps := range status.PatternSets {
+		if ps.ID == psID && ps.Cache != nil {
+			return ps.Cache.Hits, ps.Cache.Misses, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("pattern set %s reports no answer cache", psID)
+}
+
+// runBenchServe measures the two serve-path accelerations end to end:
+// the relevance index (question prepare at 1K/10K/100K-pattern pools,
+// indexed vs linear scan, answers verified identical) and the epoch-
+// keyed answer cache (cold vs warm HTTP latency percentiles against one
+// capeserver, hit counters from GET /v1). -smoke runs only the identity
+// gates: indexed-vs-linear and cache-on-vs-off byte equality.
+func runBenchServe(full bool) error {
+	if smokeMode {
+		return serveSmoke()
+	}
+	rows := 20000
+	prepQ := 24
+	reps := 3
+	poolSizes := []int{1000, 10000, 100000}
+	if full {
+		rows = 100000
+		prepQ = 48
+		reps = 5
+	}
+
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: rows, Seed: 3})
+	mined, err := mining.ARPMine(tab, mining.Options{
+		MaxPatternSize: 3,
+		Attributes:     []string{"author", "venue", "year"},
+		Thresholds:     lenientThresholds(),
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	})
+	if err != nil {
+		return err
+	}
+	questions, err := exp.RandomQuestions(tab, []string{"author", "venue", "year"},
+		engine.AggSpec{Func: engine.Count}, prepQ, 99)
+	if err != nil {
+		return err
+	}
+	report := benchServeReport{
+		Dataset:       "dblp",
+		Rows:          rows,
+		CPUs:          runtime.NumCPU(),
+		MinedPatterns: len(mined.Patterns),
+	}
+	fmt.Printf("DBLP, D=%d, %d mined patterns, %d prepare questions, GOMAXPROCS=%d\n\n",
+		rows, len(mined.Patterns), prepQ, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-9s %8s %11s %12s %12s %8s\n",
+		"patterns", "buckets", "index-build", "indexed", "linear", "speedup")
+	for _, size := range poolSizes {
+		pool := padPatterns(mined.Patterns, size)
+		res, err := measurePrepare(tab, pool, questions, reps)
+		if err != nil {
+			return err
+		}
+		report.Prepare = append(report.Prepare, res)
+		fmt.Printf("%-9d %8d %9.1fms %10.1fµs %10.1fµs %7.1fx\n",
+			res.Patterns, res.Buckets, res.IndexBuildMs, res.IndexedUsPQ, res.LinearUsPQ, res.Speedup)
+		if size == 100000 {
+			report.PrepareSpeedup100K = res.Speedup
+		}
+	}
+
+	// HTTP pass: one capeserver, caching on. The cold pass misses on
+	// every distinct question; the warm passes replay the same pool and
+	// hit the answer cache.
+	var csv bytes.Buffer
+	if err := tab.WriteCSV(&csv); err != nil {
+		return err
+	}
+	url, psID, shutdown, err := newServeServer(csv.Bytes(), 0)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	bodies, err := uniqueQuestionBodies(tab, psID, 256)
+	if err != nil {
+		return err
+	}
+	report.QuestionPool = len(bodies)
+	client := httpc.NewClient(1)
+	cold, err := timedPass(client, url, bodies)
+	if err != nil {
+		return err
+	}
+	var warm []float64
+	for pass := 0; pass < 3; pass++ {
+		lats, err := timedPass(client, url, bodies)
+		if err != nil {
+			return err
+		}
+		warm = append(warm, lats...)
+	}
+	report.Cold = servePcts(cold)
+	report.Warm = servePcts(warm)
+	if report.Warm.P99Ms > 0 {
+		report.ColdToWarmP99X = report.Cold.P99Ms / report.Warm.P99Ms
+	}
+	hits, misses, err := serveCacheCounters(client, url, psID)
+	if err != nil {
+		return err
+	}
+	report.CacheHits, report.CacheMisses = hits, misses
+	if hits+misses > 0 {
+		report.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("\nHTTP, %d-question pool: cold p50/p95/p99 = %.1f/%.1f/%.1fms, warm = %.2f/%.2f/%.2fms (%.0fx at p99)\n",
+		len(bodies), report.Cold.P50Ms, report.Cold.P95Ms, report.Cold.P99Ms,
+		report.Warm.P50Ms, report.Warm.P95Ms, report.Warm.P99Ms, report.ColdToWarmP99X)
+	fmt.Printf("answer cache: %d hits / %d misses (%.1f%% hit rate)\n",
+		hits, misses, 100*report.CacheHitRate)
+
+	f, err := os.Create("BENCH_serve.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_serve.json")
+	return nil
+}
+
+// serveSmoke is the -smoke identity gate: (1) indexed and linear-scan
+// explanation generation agree on every question over a padded pool;
+// (2) a caching capeserver and a cache-disabled one return byte-
+// identical /v1/explain bodies, including on repeat requests served
+// from the cache. No timing, no JSON output.
+func serveSmoke() error {
+	tab := dataset.GenerateDBLP(dataset.DBLPConfig{Rows: 2000, Seed: 3})
+	mined, err := mining.ARPMine(tab, mining.Options{
+		MaxPatternSize: 3,
+		Attributes:     []string{"author", "venue", "year"},
+		Thresholds:     lenientThresholds(),
+		AggFuncs:       []engine.AggFunc{engine.Count},
+	})
+	if err != nil {
+		return err
+	}
+	questions, err := exp.RandomQuestions(tab, []string{"author", "venue", "year"},
+		engine.AggSpec{Func: engine.Count}, 12, 99)
+	if err != nil {
+		return err
+	}
+	pool := padPatterns(mined.Patterns, 2000)
+	opt := explain.Options{K: 10, Parallelism: 1}
+	linOpt := opt
+	linOpt.LinearScan = true
+	answered := 0
+	for i, q := range questions {
+		got, _, err := explain.GenOpt(q, tab, pool, opt)
+		if err != nil {
+			return err
+		}
+		ref, _, err := explain.GenOpt(q, tab, pool, linOpt)
+		if err != nil {
+			return err
+		}
+		if !sameExplanations(got, ref) {
+			return fmt.Errorf("question %d: indexed and linear-scan answers diverge", i)
+		}
+		if len(got) > 0 {
+			answered++
+		}
+	}
+	if answered == 0 {
+		return fmt.Errorf("smoke pass is vacuous: no question produced explanations")
+	}
+
+	var csv bytes.Buffer
+	if err := tab.WriteCSV(&csv); err != nil {
+		return err
+	}
+	urlOn, psOn, closeOn, err := newServeServer(csv.Bytes(), 0)
+	if err != nil {
+		return err
+	}
+	defer closeOn()
+	urlOff, psOff, closeOff, err := newServeServer(csv.Bytes(), -1)
+	if err != nil {
+		return err
+	}
+	defer closeOff()
+	bodiesOn, err := uniqueQuestionBodies(tab, psOn, 12)
+	if err != nil {
+		return err
+	}
+	bodiesOff, err := uniqueQuestionBodies(tab, psOff, 12)
+	if err != nil {
+		return err
+	}
+	client := httpc.NewClient(1)
+	fetch := func(url string, body []byte) (string, error) {
+		resp, err := client.Post(url+"/v1/explain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d:%s", resp.StatusCode, buf.String()), nil
+	}
+	for i := range bodiesOn {
+		onCold, err := fetch(urlOn, bodiesOn[i])
+		if err != nil {
+			return err
+		}
+		onWarm, err := fetch(urlOn, bodiesOn[i]) // answer-cache hit
+		if err != nil {
+			return err
+		}
+		off, err := fetch(urlOff, bodiesOff[i])
+		if err != nil {
+			return err
+		}
+		if onCold != onWarm {
+			return fmt.Errorf("question %d: cached replay differs from its own first answer", i)
+		}
+		if onCold != off {
+			return fmt.Errorf("question %d: cache-on and cache-off answers differ:\n on:  %s\n off: %s", i, onCold, off)
+		}
+	}
+	hits, _, err := serveCacheCounters(client, urlOn, psOn)
+	if err != nil {
+		return err
+	}
+	if hits == 0 {
+		return fmt.Errorf("smoke pass is vacuous: repeat requests produced no cache hits")
+	}
+	_ = psOff
+	fmt.Printf("benchserve smoke: %d/%d questions answered; indexed==linear and cache-on==cache-off byte-identical (%d cache hits)\n",
+		answered, len(questions), hits)
+	return nil
+}

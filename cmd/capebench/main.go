@@ -12,7 +12,7 @@
 //
 // Experiments: fig3a fig3b fig3c fig4 fig5 fig6a fig6b fig6c fig7
 // table3 table4 table5 table6 table7 userstudy benchexplain benchmine
-// benchbatch benchengine benchincr benchscale all
+// benchbatch benchengine benchincr benchscale benchload benchserve all
 //
 // -full runs the larger input sizes (slower; closer to the paper's
 // ranges).
@@ -55,6 +55,7 @@ var experiments = map[string]struct {
 	"benchincr":    {runBenchIncr, "incremental pattern maintenance vs full re-mine on append; writes BENCH_incr.json"},
 	"benchscale":   {runBenchScale, "Figure-4 miner comparison at 250K-6.5M rows, mmap'd segments vs dense table; writes BENCH_scale.json"},
 	"benchload":    {runBenchLoad, "open-loop load on 1/2/4/8-shard deployments: goodput, latency percentiles, shed rate; writes BENCH_load.json"},
+	"benchserve":   {runBenchServe, "serve-path acceleration: relevance-index prepare scaling + answer-cache cold/warm latency; writes BENCH_serve.json"},
 }
 
 // smokeMode (-smoke) restricts an experiment to its correctness
@@ -63,6 +64,13 @@ var experiments = map[string]struct {
 // benchscale only its segment-vs-dense identity pass at a small size,
 // with no timing and no JSON output, so CI can gate on them cheaply.
 var smokeMode bool
+
+// zipfFlag (-zipf) switches benchload's open-loop question stream from
+// round-robin over the pool to a Zipf-skewed draw (s=1.2), the shape a
+// production question mix actually has: a few hot questions dominate,
+// which is the regime the coordinator answer cache serves. The run
+// reports per-shard-count cache hit rates from the coordinator.
+var zipfFlag bool
 
 // parallelFlag (-parallel) is the worker budget benchmarks hand to
 // mining.Options.Parallelism. benchmine and benchincr run at exactly
@@ -93,7 +101,8 @@ func main() {
 	name := os.Args[1]
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	full := fs.Bool("full", false, "run larger (slower) input sizes")
-	fs.BoolVar(&smokeMode, "smoke", false, "identity assertions only, no timing (benchengine, benchincr, benchscale)")
+	fs.BoolVar(&smokeMode, "smoke", false, "identity assertions only, no timing (benchengine, benchincr, benchscale, benchload, benchserve)")
+	fs.BoolVar(&zipfFlag, "zipf", false, "benchload: draw questions Zipf-skewed instead of round-robin and report cache hit rates")
 	fs.IntVar(&parallelFlag, "parallel", 1, "mining worker budget; benchscale sweeps worker counts up to this (benchmine, benchincr, benchscale)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")

@@ -65,10 +65,13 @@ func main() {
 		"WAL fsync policy for -data-dir stores: 'always' (ack implies durable) or 'never' (OS decides)")
 	flushRows := flag.Int("flush-rows", 50000,
 		"seal the WAL tail into a column segment every n appended rows (0 = only at shutdown)")
+	ansCache := flag.Int("anscache", 0,
+		"answer-cache entries per pattern set (0 = default 4096, negative disables)")
 	flag.Parse()
 
 	srv := server.New()
 	srv.ExplainParallelism = *parallel
+	srv.AnswerCacheSize = *ansCache
 
 	if *dataDir != "" {
 		policy, err := store.ParseSyncPolicy(*fsync)

@@ -52,6 +52,8 @@ func main() {
 	shardTimeout := flag.Duration("shard-timeout", 60*time.Second, "per-shard request deadline")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent outgoing shard requests (0 = 4x shard count)")
 	maxQueue := flag.Int("max-queue", 0, "explain admission limit before shedding 429 (0 = 256)")
+	ansCache := flag.Int("anscache", 0,
+		"coordinator answer-cache entries per pattern set (0 = default 4096, negative disables)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "load and partition a table as name=path.csv (repeatable)")
 	flag.Parse()
@@ -62,12 +64,13 @@ func main() {
 		log.Fatal("capeshard: -shards and -key are required")
 	}
 	coord, err := server.NewCoordinator(server.CoordConfig{
-		Shards:       shardURLs,
-		Key:          keyAttrs,
-		ShardTimeout: *shardTimeout,
-		MaxInflight:  *maxInflight,
-		MaxQueue:     *maxQueue,
-		Client:       httpc.NewClient(len(shardURLs)),
+		Shards:          shardURLs,
+		Key:             keyAttrs,
+		ShardTimeout:    *shardTimeout,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		AnswerCacheSize: *ansCache,
+		Client:          httpc.NewClient(len(shardURLs)),
 	})
 	if err != nil {
 		log.Fatalf("capeshard: %v", err)

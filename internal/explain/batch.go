@@ -46,7 +46,12 @@ func GenerateBatch(qs []UserQuestion, r engine.Relation, patterns []*pattern.Min
 			return r.GroupBy(p.GroupAttrs(), []engine.AggSpec{p.Agg})
 		})
 	}
-	return runBatch(qs, r, patterns, opt.withDefaults(), lookup)
+	opt = opt.withDefaults()
+	var idx *Index
+	if !opt.LinearScan {
+		idx = NewIndex(patterns)
+	}
+	return runBatch(qs, r, patterns, opt, lookup, idx)
 }
 
 // ExplainBatch answers a batch of questions under the explainer's
@@ -60,7 +65,12 @@ func (e *Explainer) ExplainBatch(qs []UserQuestion) []BatchItem {
 // fields fall back to the explainer's defaults (the same overlay rule
 // as ExplainOpts).
 func (e *Explainer) ExplainBatchOpts(qs []UserQuestion, opt Options) []BatchItem {
-	return runBatch(qs, e.r, e.patterns, e.merged(opt), e.cachedGrouped)
+	merged := e.merged(opt)
+	idx := e.idx
+	if merged.LinearScan {
+		idx = nil
+	}
+	return runBatch(qs, e.r, e.patterns, merged, e.cachedGrouped, idx)
 }
 
 // batchPlan is the state one batch shares across its questions: the
@@ -76,20 +86,31 @@ type batchPlan struct {
 	// run per question.
 	structRel map[string][]int
 	// refs memoizes refinementsOf for every structurally relevant
-	// pattern: refinement is a property of the pattern set alone, so one
-	// O(|patterns|) scan per pattern serves the whole batch.
+	// pattern on the linear reference path; when the plan is built over
+	// an index, the index's precomputed adjacency serves instead.
 	refs map[*pattern.Mined][]*pattern.Mined
+	idx  *Index
 }
 
-func newBatchPlan(qs []UserQuestion, patterns []*pattern.Mined) *batchPlan {
+func newBatchPlan(qs []UserQuestion, patterns []*pattern.Mined, idx *Index) *batchPlan {
 	bp := &batchPlan{
 		patterns:  patterns,
 		structRel: make(map[string][]int),
 		refs:      make(map[*pattern.Mined][]*pattern.Mined),
+		idx:       idx,
 	}
 	for _, q := range qs {
 		key := signatureKey(q)
 		if _, done := bp.structRel[key]; done {
+			continue
+		}
+		if idx != nil {
+			rel := idx.Relevant(q.GroupBy, q.Agg)
+			idxs := make([]int, len(rel))
+			for i, pi := range rel {
+				idxs[i] = int(pi)
+			}
+			bp.structRel[key] = idxs
 			continue
 		}
 		gset := make(map[string]bool, len(q.GroupBy))
@@ -111,10 +132,13 @@ func newBatchPlan(qs []UserQuestion, patterns []*pattern.Mined) *batchPlan {
 	return bp
 }
 
-// refine serves the generator's refinement hook from the memoized
-// lists. The map is read-only after newBatchPlan, so concurrent reads
-// from the question workers are safe.
+// refine serves the generator's refinement hook from the index's
+// adjacency or the memoized lists. Both are read-only after
+// newBatchPlan, so concurrent reads from the question workers are safe.
 func (bp *batchPlan) refine(m *pattern.Mined) []*pattern.Mined {
+	if bp.idx != nil {
+		return bp.idx.Refinements(m)
+	}
 	if refs, ok := bp.refs[m]; ok {
 		return refs
 	}
@@ -175,13 +199,13 @@ func questionKey(q UserQuestion) string {
 // runBatch executes the planner + worker pool over validated options.
 // opt must already have defaults applied.
 func runBatch(qs []UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options,
-	lookup func(pattern.Pattern) (*engine.Table, error)) []BatchItem {
+	lookup func(pattern.Pattern) (*engine.Table, error), idx *Index) []BatchItem {
 
 	items := make([]BatchItem, len(qs))
 	if len(qs) == 0 {
 		return items
 	}
-	plan := newBatchPlan(qs, patterns)
+	plan := newBatchPlan(qs, patterns, idx)
 
 	// Duplicate questions are answered once: canon[i] is the index of
 	// the first occurrence of qs[i]'s key, and only those first

@@ -19,6 +19,10 @@ type Explainer struct {
 	patterns []*pattern.Mined
 	opt      Options
 	cache    *groupCache
+	// idx is the structural relevance index over patterns, built at
+	// construction and rebuilt by SetPatterns — the serve path's
+	// load/admission-time index (questions never pay the build cost).
+	idx *Index
 }
 
 // NewExplainer builds an explainer over the relation and mined patterns.
@@ -30,6 +34,7 @@ func NewExplainer(r engine.Relation, patterns []*pattern.Mined, opt Options) *Ex
 		patterns: patterns,
 		opt:      opt.withDefaults(),
 		cache:    newGroupCache(),
+		idx:      NewIndex(patterns),
 	}
 }
 
@@ -45,7 +50,12 @@ func (e *Explainer) Explain(q UserQuestion) ([]Explanation, *Stats, error) {
 // server needs — per-request K, metric, or parallelism while still
 // sharing one warm group-by cache across every request for the table.
 func (e *Explainer) ExplainOpts(q UserQuestion, opt Options) ([]Explanation, *Stats, error) {
-	g, rel, stats, err := prepare(q, e.r, e.patterns, e.merged(opt))
+	merged := e.merged(opt)
+	idx := e.idx
+	if merged.LinearScan {
+		idx = nil
+	}
+	g, rel, stats, err := prepareIndexed(q, e.r, e.patterns, merged, idx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -76,6 +86,9 @@ func (e *Explainer) merged(opt Options) Options {
 	if opt.DescendingNorm {
 		out.DescendingNorm = true
 	}
+	if opt.LinearScan {
+		out.LinearScan = true
+	}
 	return out
 }
 
@@ -91,6 +104,12 @@ func (e *Explainer) CachedGroupings() int {
 // Explain calls while swapping, as the server's append path does.
 func (e *Explainer) SetPatterns(patterns []*pattern.Mined) {
 	e.patterns = patterns
+	e.idx = NewIndex(patterns)
+}
+
+// IndexStats reports the shape of the explainer's relevance index.
+func (e *Explainer) IndexStats() IndexStats {
+	return e.idx.Stats()
 }
 
 // cachedGrouped is the shared, sharded variant of generator.grouped.

@@ -28,6 +28,12 @@ type Options struct {
 	// and lets the upper bound prune more; this flag exists for the
 	// ablation benchmark.
 	DescendingNorm bool
+	// LinearScan disables the structural relevance index: relevant
+	// patterns are found by the original linear scan over the whole
+	// pattern set and refinement lists by per-pattern rescans. Output is
+	// byte-identical either way; the flag exists for the ablation
+	// benchmark and the differential suite that pins that equivalence.
+	LinearScan bool
 	// Parallelism is the number of worker goroutines GenOpt (and the
 	// Explainer) fan the (relevant pattern, refinement) pairs across.
 	// 0 or 1 runs sequentially. Parallel runs return exactly the
@@ -201,16 +207,46 @@ func (g *generator) run(rel []relevantEntry, stats *Stats) ([]Explanation, error
 }
 
 // prepare validates inputs and finds the relevant patterns with their
-// NORM factors.
+// NORM factors. Unless opt.LinearScan asks for the reference path, a
+// per-call relevance index replaces both the full-set relevance scan
+// and the per-pattern refinement rescans (an Explainer passes its
+// prebuilt index through prepareIndexed instead).
 func prepare(q UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options) (*generator, []relevantEntry, *Stats, error) {
+	var idx *Index
+	if !opt.LinearScan {
+		idx = NewIndex(patterns)
+	}
+	return prepareIndexed(q, r, patterns, opt, idx)
+}
+
+// prepareIndexed is prepare with the relevance index supplied by the
+// caller; idx == nil selects the linear reference path. The index only
+// prefilters: every surviving pattern still runs the full per-question
+// relevance check, so both paths produce identical entries in identical
+// order.
+func prepareIndexed(q UserQuestion, r engine.Relation, patterns []*pattern.Mined, opt Options, idx *Index) (*generator, []relevantEntry, *Stats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
 	g := &generator{q: q, r: r, opt: opt.withDefaults(), cache: newGroupCache()}
 	g.lookup = g.grouped
-	g.refine = func(m *pattern.Mined) []*pattern.Mined { return refinementsOf(m, patterns) }
 	stats := &Stats{}
 	var rel []relevantEntry
+	if idx != nil {
+		g.refine = idx.Refinements
+		for _, pi := range idx.Relevant(q.GroupBy, q.Agg) {
+			re, ok, err := g.relevant(patterns[pi])
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if ok {
+				rel = append(rel, re)
+				stats.RelevantPatterns++
+			}
+		}
+		return g, rel, stats, nil
+	}
+	g.refine = func(m *pattern.Mined) []*pattern.Mined { return refinementsOf(m, patterns) }
 	for _, m := range patterns {
 		re, ok, err := g.relevant(m)
 		if err != nil {

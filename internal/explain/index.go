@@ -1,0 +1,245 @@
+package explain
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+
+	"cape/internal/engine"
+	"cape/internal/pattern"
+)
+
+// maxEnumAttrs bounds the subset enumerations below: past this many
+// attributes 2^n explodes, so lookup and adjacency construction fall
+// back to scanning group summaries, which is never worse than the
+// linear pattern scan the index replaces.
+const maxEnumAttrs = 12
+
+// Index is an immutable structural-relevance index over one pattern
+// set, built once per set (at load, mine, or maintenance) and shared by
+// every question answered from it. It accelerates the two per-question
+// scans of the serve path:
+//
+//   - Relevant pattern discovery (Definition 5's question-independent
+//     half): patterns are bucketed by (aggregate, F ∪ V attribute set),
+//     and a question grouped by G probes the buckets for subsets of G
+//     instead of testing all P patterns. The per-question parts of
+//     relevance — fragment projection, local hold, NORM — still run on
+//     the survivors, so answers are byte-identical to the linear scan.
+//   - Refinement lists (Definition 6): refs[i] precomputes
+//     refinementsOf(patterns[i], patterns) — same patterns, same order —
+//     replacing the O(P) rescan per relevant pattern.
+//
+// The index assumes its patterns pass Pattern.Validate (in particular,
+// no duplicate attributes inside F or V), which everything the miner or
+// a pattern store produces does.
+type Index struct {
+	patterns []*pattern.Mined
+	pos      map[*pattern.Mined]int32
+
+	buckets map[string]*idxBucket
+	order   []*idxBucket // insertion order, for the fallback bucket scan
+
+	refs [][]*pattern.Mined
+
+	minAttrs, maxAttrs int
+	maxBucket          int
+	refEdges           int
+}
+
+// idxBucket is one (aggregate, F ∪ V set) equivalence class.
+type idxBucket struct {
+	agg   string
+	attrs []string // sorted distinct F ∪ V
+	idxs  []int32  // ascending pattern positions
+}
+
+// IndexStats summarizes an index for observability endpoints.
+type IndexStats struct {
+	Patterns  int `json:"patterns"`
+	Buckets   int `json:"buckets"`
+	MaxBucket int `json:"maxBucket"`
+	RefEdges  int `json:"refEdges"`
+}
+
+// NewIndex builds the relevance index for a pattern set. Cost is
+// O(P · 2^|F|) with the small |F| the miner produces; the result is
+// read-only and safe for concurrent use.
+func NewIndex(patterns []*pattern.Mined) *Index {
+	ix := &Index{
+		patterns: patterns,
+		pos:      make(map[*pattern.Mined]int32, len(patterns)),
+		buckets:  make(map[string]*idxBucket),
+		refs:     make([][]*pattern.Mined, len(patterns)),
+		minAttrs: -1,
+	}
+	for i, m := range patterns {
+		ix.pos[m] = int32(i)
+		attrs := pattern.SortedSet(m.Pattern.F, m.Pattern.V)
+		key := m.Pattern.Agg.String() + "\x1e" + strings.Join(attrs, "\x1f")
+		b := ix.buckets[key]
+		if b == nil {
+			b = &idxBucket{agg: m.Pattern.Agg.String(), attrs: attrs}
+			ix.buckets[key] = b
+			ix.order = append(ix.order, b)
+		}
+		b.idxs = append(b.idxs, int32(i))
+		if len(b.idxs) > ix.maxBucket {
+			ix.maxBucket = len(b.idxs)
+		}
+		if n := len(attrs); ix.minAttrs < 0 || n < ix.minAttrs {
+			ix.minAttrs = n
+		}
+		if n := len(attrs); n > ix.maxAttrs {
+			ix.maxAttrs = n
+		}
+	}
+	ix.buildRefs()
+	return ix
+}
+
+// buildRefs precomputes the refinement adjacency. Patterns are grouped
+// by (aggregate, V set) — Refines requires both equal — and each
+// candidate refinement c contributes itself to every group member whose
+// F set is a subset of c's F, found by enumerating the subsets of c's F
+// against an exact F-set table. Candidates are visited in pattern-slice
+// order, so every refs list matches refinementsOf's output order.
+func (ix *Index) buildRefs() {
+	type vGroup struct {
+		idxs  []int32            // ascending member positions
+		exact map[string][]int32 // F-set signature → ascending positions
+	}
+	groups := make(map[string]*vGroup)
+	fSets := make([][]string, len(ix.patterns))
+	vKeys := make([]string, len(ix.patterns))
+	for i, m := range ix.patterns {
+		fSets[i] = pattern.SortedSet(m.Pattern.F)
+		vKeys[i] = m.Pattern.Agg.String() + "\x1e" + strings.Join(pattern.SortedSet(m.Pattern.V), "\x1f")
+		g := groups[vKeys[i]]
+		if g == nil {
+			g = &vGroup{exact: make(map[string][]int32)}
+			groups[vKeys[i]] = g
+		}
+		g.idxs = append(g.idxs, int32(i))
+		sig := strings.Join(fSets[i], "\x1f")
+		g.exact[sig] = append(g.exact[sig], int32(i))
+	}
+	var sb strings.Builder
+	for j, m := range ix.patterns {
+		g := groups[vKeys[j]]
+		f := fSets[j]
+		if len(f) <= maxEnumAttrs {
+			for mask := 1; mask < 1<<uint(len(f)); mask++ {
+				sb.Reset()
+				for k := 0; k < len(f); k++ {
+					if mask&(1<<uint(k)) == 0 {
+						continue
+					}
+					if sb.Len() > 0 {
+						sb.WriteByte('\x1f')
+					}
+					sb.WriteString(f[k])
+				}
+				for _, pi := range g.exact[sb.String()] {
+					ix.refs[pi] = append(ix.refs[pi], m)
+					ix.refEdges++
+				}
+			}
+		} else {
+			for _, pi := range g.idxs {
+				if subsetSorted(fSets[pi], f) {
+					ix.refs[pi] = append(ix.refs[pi], m)
+					ix.refEdges++
+				}
+			}
+		}
+	}
+}
+
+// Relevant returns the positions (ascending, i.e. pattern-slice order)
+// of every pattern passing the structural half of Definition 5 for a
+// question grouped by groupBy with aggregate agg: same aggregate and
+// F ∪ V ⊆ groupBy. When the subset space of the group-by is small
+// relative to the bucket count it enumerates subsets of groupBy;
+// otherwise it scans the bucket summaries — either way O(buckets) at
+// worst instead of O(patterns).
+func (ix *Index) Relevant(groupBy []string, agg engine.AggSpec) []int32 {
+	if len(ix.order) == 0 {
+		return nil
+	}
+	g := pattern.SortedSet(groupBy)
+	aggKey := agg.String()
+	var out []int32
+	if len(g) <= maxEnumAttrs && (1<<uint(len(g))) <= 2*len(ix.order) {
+		var sb strings.Builder
+		for mask := 1; mask < 1<<uint(len(g)); mask++ {
+			n := bits.OnesCount(uint(mask))
+			if n < ix.minAttrs || n > ix.maxAttrs {
+				continue
+			}
+			sb.Reset()
+			sb.WriteString(aggKey)
+			sb.WriteByte('\x1e')
+			first := true
+			for k := 0; k < len(g); k++ {
+				if mask&(1<<uint(k)) == 0 {
+					continue
+				}
+				if !first {
+					sb.WriteByte('\x1f')
+				}
+				first = false
+				sb.WriteString(g[k])
+			}
+			if b := ix.buckets[sb.String()]; b != nil {
+				out = append(out, b.idxs...)
+			}
+		}
+	} else {
+		for _, b := range ix.order {
+			if b.agg == aggKey && subsetSorted(b.attrs, g) {
+				out = append(out, b.idxs...)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Refinements returns refinementsOf(m, patterns) from the precomputed
+// adjacency — same patterns, same order. Patterns outside the indexed
+// set (which the generator never passes) fall back to the linear scan.
+func (ix *Index) Refinements(m *pattern.Mined) []*pattern.Mined {
+	if i, ok := ix.pos[m]; ok {
+		return ix.refs[i]
+	}
+	return refinementsOf(m, ix.patterns)
+}
+
+// Stats reports the index shape.
+func (ix *Index) Stats() IndexStats {
+	return IndexStats{
+		Patterns:  len(ix.patterns),
+		Buckets:   len(ix.order),
+		MaxBucket: ix.maxBucket,
+		RefEdges:  ix.refEdges,
+	}
+}
+
+// subsetSorted reports a ⊆ b for sorted, duplicate-free slices.
+func subsetSorted(a, b []string) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}

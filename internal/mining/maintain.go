@@ -117,7 +117,13 @@ type mFrag struct {
 
 // mCand is one (aggregate, model) candidate of a split.
 type mCand struct {
-	p      pattern.Pattern
+	p pattern.Pattern
+	// key caches p.Key() — the canonical identity every CandStats call
+	// and admission push matches on. Candidates are fixed for the
+	// maintainer's lifetime, so deriving the key (two sorts plus string
+	// joins per candidate) once at construction keeps the per-append
+	// candidate path allocation-free here.
+	key    string
 	agg    int
 	model  regress.ModelType
 	locals map[string]*pattern.LocalModel
@@ -204,7 +210,7 @@ func NewMaintainer(tab engine.MutableRelation, opt Options) (*Maintainer, error)
 								gs.hasLin = true
 							}
 							sp.cands = append(sp.cands, &mCand{
-								p: p, agg: ai, model: mt,
+								p: p, key: p.Key(), agg: ai, model: mt,
 								locals: make(map[string]*pattern.LocalModel),
 							})
 						}
@@ -624,7 +630,7 @@ func (m *Maintainer) CandStats() []CandStat {
 			}
 			for _, cs := range sp.cands {
 				out = append(out, CandStat{
-					Key:       cs.p.Key(),
+					Key:       cs.key,
 					Good:      len(cs.locals),
 					Supported: numSupp[cs.agg],
 					Fragments: len(sp.frags),

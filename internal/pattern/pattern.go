@@ -170,6 +170,29 @@ func (m *Mined) HoldsLocally(frag value.Tuple) bool {
 // GlobalSupport is |frag_good|.
 func (m *Mined) GlobalSupport() int { return len(m.Locals) }
 
+// SortedSet returns the distinct attributes of the given slices as one
+// sorted slice — the canonical set form shared by the explain relevance
+// index and refinement adjacency. The inputs are not modified.
+func SortedSet(sets ...[]string) []string {
+	n := 0
+	for _, s := range sets {
+		n += len(s)
+	}
+	out := make([]string, 0, n)
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	sortStrings(out)
+	w := 0
+	for i, a := range out {
+		if i == 0 || a != out[i-1] {
+			out[w] = a
+			w++
+		}
+	}
+	return out[:w]
+}
+
 func sortStrings(s []string) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {

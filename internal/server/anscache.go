@@ -1,0 +1,177 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"strconv"
+	"sync"
+)
+
+// defaultAnswerCacheEntries bounds each pattern set's answer cache when
+// the operator does not configure a size.
+const defaultAnswerCacheEntries = 4096
+
+// answerCache is an LRU + singleflight cache of rendered answers for
+// one pattern set. Keys embed the pattern-set version and the table
+// epoch (see ansKey), so an append or admission swap invalidates every
+// cached answer for free — stale entries simply stop being addressable
+// and age out of the LRU. Values are immutable once inserted: a fully
+// rendered response value (DTO maps on the server, raw shard bytes on
+// the coordinator) that concurrent hits share by reference.
+//
+// Negative answers are cached too: a question that fails validation
+// deterministically (bad direction, tuple not in the result, pattern
+// mismatch) keeps failing until the table or pattern set changes, which
+// the key already encodes — so repeated bad requests cost one lookup
+// instead of one aggregate query each.
+type answerCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are *ansEntry
+	entries  map[string]*list.Element
+	inflight map[string]*ansCall
+
+	hits, misses, evictions uint64
+}
+
+// ansEntry is one cached answer.
+type ansEntry struct {
+	key    string
+	status int
+	v      interface{}
+}
+
+// ansCall is an in-flight computation other callers of the same key
+// wait on instead of recomputing (singleflight).
+type ansCall struct {
+	done   chan struct{}
+	status int
+	v      interface{}
+	cache  bool
+}
+
+// answerCacheStats is the observability snapshot for GET /v1.
+type answerCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Entries   int    `json:"entries"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func newAnswerCache(capacity int) *answerCache {
+	if capacity <= 0 {
+		capacity = defaultAnswerCacheEntries
+	}
+	return &answerCache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*ansCall),
+	}
+}
+
+// do returns the cached answer for key, or runs compute exactly once
+// across concurrent callers and caches its result when compute reports
+// it deterministic (cacheable). hit reports whether the answer came
+// from the cache or another caller's in-flight computation.
+func (c *answerCache) do(key string, compute func() (status int, v interface{}, cacheable bool)) (int, interface{}, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*ansEntry)
+		c.hits++
+		c.mu.Unlock()
+		return e.status, e.v, true
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-call.done
+		return call.status, call.v, true
+	}
+	call := &ansCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	call.status, call.v, call.cache = compute()
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.cache {
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+		} else {
+			c.entries[key] = c.lru.PushFront(&ansEntry{key: key, status: call.status, v: call.v})
+			for c.lru.Len() > c.capacity {
+				last := c.lru.Back()
+				c.lru.Remove(last)
+				delete(c.entries, last.Value.(*ansEntry).key)
+				c.evictions++
+			}
+		}
+	}
+	c.mu.Unlock()
+	return call.status, call.v, false
+}
+
+// lookup is the non-blocking read half of do, for batch items: a hit
+// refreshes the LRU position, a miss only counts. Batch handlers use
+// lookup + insert instead of do so one slow batch never blocks another
+// behind an in-flight singleflight call.
+func (c *answerCache) lookup(key string) (int, interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*ansEntry)
+		c.hits++
+		return e.status, e.v, true
+	}
+	c.misses++
+	return 0, nil, false
+}
+
+// insert stores a computed answer, evicting from the LRU tail.
+func (c *answerCache) insert(key string, status int, v interface{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&ansEntry{key: key, status: status, v: v})
+	for c.lru.Len() > c.capacity {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*ansEntry).key)
+		c.evictions++
+	}
+}
+
+// ansKey renders the canonical cache key for one question against a
+// pattern set at a given table state. kind separates the /v1/explain
+// and batch-item namespaces (their cached values have different
+// shapes). The JSON body is deterministic — fixed struct field order,
+// map keys sorted by encoding/json — so equal requests produce equal
+// keys, and the version/generation/epoch prefix makes every pattern
+// swap, table reload, and append open a fresh keyspace.
+func ansKey(kind byte, version, gen, epoch uint64, spec QuestionSpec, k, parallelism int, numeric, weights map[string]float64) string {
+	body, _ := json.Marshal(struct {
+		Q QuestionSpec       `json:"q"`
+		K int                `json:"k"`
+		P int                `json:"p"`
+		N map[string]float64 `json:"n,omitempty"`
+		W map[string]float64 `json:"w,omitempty"`
+	}{spec, k, parallelism, numeric, weights})
+	return string(kind) + "|" + strconv.FormatUint(version, 10) + "|" +
+		strconv.FormatUint(gen, 10) + "|" + strconv.FormatUint(epoch, 10) + "|" + string(body)
+}
+
+// stats snapshots the counters.
+func (c *answerCache) stats() answerCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return answerCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), Evictions: c.evictions}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAnswerCacheLRUEviction(t *testing.T) {
+	c := newAnswerCache(3)
+	put := func(k string) {
+		c.do(k, func() (int, interface{}, bool) { return 200, k, true })
+	}
+	put("a")
+	put("b")
+	put("c")
+	// Touch "a" so it becomes most recent; inserting "d" must evict "b".
+	if _, v, hit := c.do("a", nil); !hit || v != "a" {
+		t.Fatalf("expected hit on a, got %v/%v", v, hit)
+	}
+	put("d")
+	if _, _, hit := c.lookup("b"); hit {
+		t.Error("b should have been evicted as the LRU entry")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, v, hit := c.lookup(k); !hit || v != k {
+			t.Errorf("%s should have survived, got %v/%v", k, v, hit)
+		}
+	}
+	st := c.stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 3 entries / 1 eviction", st)
+	}
+}
+
+func TestAnswerCacheUncacheableNotStored(t *testing.T) {
+	c := newAnswerCache(8)
+	calls := 0
+	compute := func() (int, interface{}, bool) {
+		calls++
+		return 503, "transient", false
+	}
+	if _, _, hit := c.do("k", compute); hit {
+		t.Error("first call cannot be a hit")
+	}
+	if _, _, hit := c.do("k", compute); hit {
+		t.Error("uncacheable result must not satisfy later calls")
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2", calls)
+	}
+	if st := c.stats(); st.Entries != 0 {
+		t.Errorf("uncacheable result was stored: %+v", st)
+	}
+}
+
+func TestAnswerCacheNegativeCaching(t *testing.T) {
+	c := newAnswerCache(8)
+	calls := 0
+	status, v, hit := c.do("bad", func() (int, interface{}, bool) {
+		calls++
+		return 400, "no such tuple", true
+	})
+	if status != 400 || v != "no such tuple" || hit {
+		t.Fatalf("first = %d/%v/%v", status, v, hit)
+	}
+	status, v, hit = c.do("bad", func() (int, interface{}, bool) {
+		calls++
+		return 400, "recomputed", true
+	})
+	if status != 400 || v != "no such tuple" || !hit {
+		t.Errorf("negative answer not replayed: %d/%v/%v", status, v, hit)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+}
+
+// TestAnswerCacheSingleflight: concurrent callers of one cold key run
+// compute exactly once; everyone gets the same value.
+func TestAnswerCacheSingleflight(t *testing.T) {
+	c := newAnswerCache(8)
+	var computes atomic.Int64
+	start := make(chan struct{})
+	const callers = 16
+	results := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, v, _ := c.do("hot", func() (int, interface{}, bool) {
+				computes.Add(1)
+				return 200, "answer", true
+			})
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times under contention, want 1", n)
+	}
+	for i, v := range results {
+		if v != "answer" {
+			t.Errorf("caller %d saw %v", i, v)
+		}
+	}
+	st := c.stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Errorf("stats = %+v, want 1 miss / %d hits", st, callers-1)
+	}
+}
+
+func TestAnswerCacheLookupInsert(t *testing.T) {
+	c := newAnswerCache(2)
+	if _, _, hit := c.lookup("x"); hit {
+		t.Fatal("lookup on empty cache hit")
+	}
+	c.insert("x", 200, "vx")
+	c.insert("x", 200, "dup") // duplicate insert keeps the original
+	if status, v, hit := c.lookup("x"); !hit || status != 200 || v != "vx" {
+		t.Errorf("lookup(x) = %d/%v/%v", status, v, hit)
+	}
+	c.insert("y", 200, "vy")
+	if _, _, hit := c.lookup("x"); !hit {
+		t.Fatal("x disappeared before capacity was reached")
+	}
+	c.insert("z", 200, "vz") // capacity 2: x was just read, y is LRU
+	if _, _, hit := c.lookup("y"); hit {
+		t.Error("y should have been evicted")
+	}
+	if _, v, hit := c.lookup("x"); !hit || v != "vx" {
+		t.Errorf("x (recently read) should have survived, got %v/%v", v, hit)
+	}
+	if st := c.stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestAnsKeyDisambiguation: every keyed dimension — kind, pattern-set
+// version, table generation, epoch, question, K, parallelism, metric
+// config — must produce a distinct key, while identical inputs collide.
+func TestAnsKeyDisambiguation(t *testing.T) {
+	spec := QuestionSpec{GroupBy: []string{"a", "b"}, Tuple: []string{"x", "1"}, Dir: "low"}
+	base := ansKey('e', 1, 1, 5, spec, 10, 1, nil, nil)
+	if base != ansKey('e', 1, 1, 5, spec, 10, 1, nil, nil) {
+		t.Fatal("identical inputs must produce identical keys")
+	}
+	variants := map[string]string{
+		"kind":        ansKey('b', 1, 1, 5, spec, 10, 1, nil, nil),
+		"version":     ansKey('e', 2, 1, 5, spec, 10, 1, nil, nil),
+		"generation":  ansKey('e', 1, 2, 5, spec, 10, 1, nil, nil),
+		"epoch":       ansKey('e', 1, 1, 6, spec, 10, 1, nil, nil),
+		"k":           ansKey('e', 1, 1, 5, spec, 11, 1, nil, nil),
+		"parallelism": ansKey('e', 1, 1, 5, spec, 10, 2, nil, nil),
+		"numeric":     ansKey('e', 1, 1, 5, spec, 10, 1, map[string]float64{"b": 4}, nil),
+		"weights":     ansKey('e', 1, 1, 5, spec, 10, 1, nil, map[string]float64{"a": 2}),
+		"question": ansKey('e', 1, 1, 5,
+			QuestionSpec{GroupBy: []string{"a", "b"}, Tuple: []string{"x", "2"}, Dir: "low"}, 10, 1, nil, nil),
+	}
+	seen := map[string]string{base: "base"}
+	for dim, k := range variants {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("dimension %q collides with %q", dim, prev)
+		}
+		seen[k] = dim
+	}
+}
+
+func TestAnswerCacheDefaultCapacity(t *testing.T) {
+	c := newAnswerCache(0)
+	if c.capacity != defaultAnswerCacheEntries {
+		t.Errorf("capacity = %d, want default %d", c.capacity, defaultAnswerCacheEntries)
+	}
+	for i := 0; i < 10; i++ {
+		c.insert(fmt.Sprintf("k%d", i), 200, i)
+	}
+	if st := c.stats(); st.Entries != 10 || st.Evictions != 0 {
+		t.Errorf("default-capacity cache evicted early: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"cape/internal/engine"
+	"cape/internal/explain"
 	"cape/internal/mining"
 	"cape/internal/pattern"
 	"cape/internal/store"
@@ -203,10 +204,17 @@ func (s *Server) maintainSet(ps *patternSet, tab *engine.Table) appendSetStatus 
 	ps.patterns = maintained
 	ps.Count = len(maintained)
 	ps.Locals = locals
+	// The version bump reopens the answer-cache keyspace: cached answers
+	// computed over the pre-maintenance pattern list stop matching even
+	// if this maintenance pass left the table epoch unchanged.
+	ps.version++
 	ps.stamp = &pattern.StoreStamp{Epoch: tab.Epoch(), Rows: tab.NumRows()}
 	if e, ok := s.explainers[ps.ID]; ok && e.table == tab {
 		// The warm explainer keeps its sharded group-by cache; entries
 		// recompute lazily when a request reads them at the new epoch.
+		// SetPatterns also rebuilds the structural relevance index — the
+		// admission/maintenance-time build that keeps questions from
+		// ever paying index construction.
 		e.ex.SetPatterns(maintained)
 	}
 	st.Status = "maintained"
@@ -245,6 +253,17 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		// re-mine reconciles). "fresh" and "unknown" otherwise.
 		Freshness string `json:"freshness"`
 		Reason    string `json:"reason,omitempty"`
+		// Version counts served-pattern swaps (maintenance, admission);
+		// with the table epoch it keys the answer cache, so operators
+		// can correlate hit-rate drops with invalidation events.
+		Version uint64 `json:"version"`
+		// Cache reports this set's answer-cache counters; absent until
+		// the first explanation touches the set (lazy creation) or when
+		// caching is disabled.
+		Cache *answerCacheStats `json:"answerCache,omitempty"`
+		// Index reports the relevance-index shape backing this set's
+		// warm explainer; absent until the explainer is built.
+		Index *explain.IndexStats `json:"index,omitempty"`
 	}
 	s.mu.RLock()
 	tables := make([]tableStatus, 0, len(s.tables))
@@ -264,6 +283,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		st := setStatus{
 			ID: ps.ID, Table: ps.Table, Patterns: ps.Count,
 			Stamped: ps.stamp != nil, Maintainable: ps.spec != nil,
+			Version: ps.version,
+		}
+		if ps.anscache != nil {
+			cs := ps.anscache.stats()
+			st.Cache = &cs
+		}
+		if e, ok := s.explainers[ps.ID]; ok {
+			is := e.ex.IndexStats()
+			st.Index = &is
 		}
 		tab, ok := s.tables[ps.Table]
 		if !ok {

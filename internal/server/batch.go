@@ -40,6 +40,16 @@ type batchItemDTO struct {
 	Error        string           `json:"error,omitempty"`
 }
 
+// reindexed copies a batch item with a different position. Cached items
+// are stored at index 0 (the index is request-local, everything else is
+// question-local); hits copy the value back out with the caller's
+// index. The Explanations slice and Stats pointer are shared — both are
+// immutable once rendered.
+func reindexed(it batchItemDTO, index int) batchItemDTO {
+	it.Index = index
+	return it
+}
+
 func (s *Server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
 	var req ExplainBatchRequest
 	if !readJSON(w, r, &req) {
@@ -60,7 +70,7 @@ func (s *Server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown pattern set %q", req.Patterns)
 		return
 	}
-	tab, ok := s.table(ps.Table)
+	tab, gen, ok := s.tableState(ps.Table)
 	if !ok {
 		httpError(w, http.StatusNotFound, "table %q for pattern set is gone", ps.Table)
 		return
@@ -73,17 +83,34 @@ func (s *Server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Resolve every spec to a question; specs that fail validation get
 	// their 400 item now and are excluded from the engine batch, so the
-	// engine only sees questions the table can actually answer.
+	// engine only sees questions the table can actually answer. Items
+	// with a cached answer skip the engine batch the same way — the
+	// cached value is the fully rendered item, reindexed per request.
+	cache := s.answerCacheFor(ps)
+	epoch := tab.Epoch()
 	items := make([]batchItemDTO, len(req.Questions))
+	keys := make([]string, len(req.Questions))
 	builder := newQuestionBuilder(tab)
 	var qs []explain.UserQuestion
 	var qIdx []int // qs[j] answers items[qIdx[j]]
 	for i, spec := range req.Questions {
 		items[i].Index = i
+		if cache != nil {
+			keys[i] = ansKey('b', ps.version, gen, epoch, spec, req.K, req.Parallelism, req.Numeric, req.Weights)
+			if _, v, ok := cache.lookup(keys[i]); ok {
+				it := v.(batchItemDTO)
+				it.Index = i
+				items[i] = it
+				continue
+			}
+		}
 		q, err := builder.build(spec)
 		if err != nil {
 			items[i].Status = http.StatusBadRequest
 			items[i].Error = err.Error()
+			if cache != nil {
+				cache.insert(keys[i], items[i].Status, reindexed(items[i], 0))
+			}
 			continue
 		}
 		items[i].Question = q.String()
@@ -97,13 +124,16 @@ func (s *Server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
 		if it.Err != nil {
 			items[i].Status = http.StatusBadRequest
 			items[i].Error = it.Err.Error()
-			continue
+		} else {
+			items[i].Status = http.StatusOK
+			items[i].Stats = it.Stats
+			items[i].Explanations = make([]explanationDTO, 0, len(it.Explanations))
+			for _, e := range it.Explanations {
+				items[i].Explanations = append(items[i].Explanations, newExplanationDTO(e, qs[j]))
+			}
 		}
-		items[i].Status = http.StatusOK
-		items[i].Stats = it.Stats
-		items[i].Explanations = make([]explanationDTO, 0, len(it.Explanations))
-		for _, e := range it.Explanations {
-			items[i].Explanations = append(items[i].Explanations, newExplanationDTO(e, qs[j]))
+		if cache != nil {
+			cache.insert(keys[i], items[i].Status, reindexed(items[i], 0))
 		}
 	}
 

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"cape/internal/engine"
+)
+
+// The answer-cache differential suite: a deployment with caching enabled
+// must answer every request sequence byte-identically to the same
+// deployment with caching disabled — cold, warm (replayed from cache),
+// and across appends that invalidate epoch-keyed entries. Parallelism is
+// pinned to 1 throughout so response bodies, stats included, are fully
+// deterministic and comparable as raw bytes.
+
+// doRaw posts a JSON body and returns the response status and raw bytes.
+func doRaw(t *testing.T, method, url string, body interface{}) (int, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// cacheStatsFor reads one pattern set's answer-cache counters from
+// GET /v1; ok reports whether the set exposes a cache at all.
+func cacheStatsFor(t *testing.T, url, psID string) (hits, misses float64, ok bool) {
+	t.Helper()
+	resp, out := doJSON(t, "GET", url+"/v1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint: %d", resp.StatusCode)
+	}
+	for _, raw := range out["patternSets"].([]interface{}) {
+		ps := raw.(map[string]interface{})
+		if ps["id"] != psID {
+			continue
+		}
+		cache, has := ps["answerCache"].(map[string]interface{})
+		if !has {
+			return 0, 0, false
+		}
+		return cache["hits"].(float64), cache["misses"].(float64), true
+	}
+	t.Fatalf("pattern set %s not in status output", psID)
+	return 0, 0, false
+}
+
+func loadCSV(t *testing.T, url string, csv []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/tables?name=pub", "text/csv", bytes.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load table on %s: status %d", url, resp.StatusCode)
+	}
+}
+
+func mineDiffSet(t *testing.T, url string) string {
+	t.Helper()
+	resp, out := doJSON(t, "POST", url+"/v1/mine", diffMine)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("mine on %s: %d %v", url, resp.StatusCode, out)
+	}
+	return out["id"].(string)
+}
+
+// TestServerCacheDifferential: one capeserver with the answer cache
+// against one with it disabled, over the same table, pattern set, and
+// request sequence. Every response — cold, warm, negative, batch, and
+// post-append — must match byte for byte, and the warm passes must
+// actually come from the cache (hit counters move, not just equality).
+func TestServerCacheDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache differential is not short")
+	}
+	const initialRows = 1100
+	grown := diffTable(1400)
+	initial := engine.NewTable(grown.Schema())
+	for _, row := range grown.Rows()[:initialRows] {
+		initial.MustAppend(row)
+	}
+	var csv bytes.Buffer
+	if err := initial.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+
+	cached, cachedTS := newTestServer(t)
+	if cached.AnswerCacheSize != 0 {
+		t.Fatalf("caching should be on by default, got size %d", cached.AnswerCacheSize)
+	}
+	plain, plainTS := newTestServer(t)
+	plain.AnswerCacheSize = -1
+
+	for _, url := range []string{cachedTS.URL, plainTS.URL} {
+		loadCSV(t, url, csv.Bytes())
+	}
+	psCached := mineDiffSet(t, cachedTS.URL)
+	psPlain := mineDiffSet(t, plainTS.URL)
+
+	specs := diffQuestions(t, initial, 8, 4242)
+	// A deterministic validation failure: negative answers must cache and
+	// replay byte-identically too.
+	specs = append(specs, QuestionSpec{
+		GroupBy: []string{"author", "venue", "year"}, Aggregate: "count(*)",
+		Tuple: []string{"__nobody__", "V0", "2005"}, Dir: "low",
+	})
+
+	explainBoth := func(spec QuestionSpec) (int, []byte) {
+		t.Helper()
+		mk := func(ps string) ExplainRequest {
+			return ExplainRequest{
+				Patterns: ps, GroupBy: spec.GroupBy, Aggregate: spec.Aggregate,
+				Tuple: spec.Tuple, Dir: spec.Dir, K: 5, Parallelism: 1,
+			}
+		}
+		cStatus, cBody := doRaw(t, "POST", cachedTS.URL+"/v1/explain", mk(psCached))
+		pStatus, pBody := doRaw(t, "POST", plainTS.URL+"/v1/explain", mk(psPlain))
+		if cStatus != pStatus || !bytes.Equal(cBody, pBody) {
+			t.Fatalf("explain diverges for %v:\n cached (%d): %s\n plain  (%d): %s",
+				spec.Tuple, cStatus, cBody, pStatus, pBody)
+		}
+		return cStatus, cBody
+	}
+	batchBoth := func(specs []QuestionSpec) []byte {
+		t.Helper()
+		mk := func(ps string) ExplainBatchRequest {
+			return ExplainBatchRequest{Patterns: ps, Questions: specs, K: 5, Parallelism: 1}
+		}
+		cStatus, cBody := doRaw(t, "POST", cachedTS.URL+"/v1/explain/batch", mk(psCached))
+		pStatus, pBody := doRaw(t, "POST", plainTS.URL+"/v1/explain/batch", mk(psPlain))
+		if cStatus != pStatus || !bytes.Equal(cBody, pBody) {
+			t.Fatalf("batch diverges:\n cached (%d): %s\n plain  (%d): %s", cStatus, cBody, pStatus, pBody)
+		}
+		return cBody
+	}
+
+	// Cold pass, then two warm passes: all byte-identical, including the
+	// cached 400 for the bogus tuple.
+	cold := make([][]byte, len(specs))
+	sawError := false
+	for i, spec := range specs {
+		status, body := explainBoth(spec)
+		cold[i] = body
+		sawError = sawError || status == http.StatusBadRequest
+	}
+	if !sawError {
+		t.Fatal("no negative answer in the sequence; the 400-caching differential is vacuous")
+	}
+	coldBatch := batchBoth(specs[:len(specs)-1])
+	_, missesAfterCold, ok := cacheStatsFor(t, cachedTS.URL, psCached)
+	if !ok || missesAfterCold == 0 {
+		t.Fatal("cached server reports no cache activity after the cold pass")
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, spec := range specs {
+			if _, body := explainBoth(spec); !bytes.Equal(body, cold[i]) {
+				t.Fatalf("warm pass %d question %d: body drifted from cold pass", pass, i)
+			}
+		}
+		if !bytes.Equal(batchBoth(specs[:len(specs)-1]), coldBatch) {
+			t.Fatalf("warm pass %d: batch body drifted from cold pass", pass)
+		}
+	}
+	hits, misses, _ := cacheStatsFor(t, cachedTS.URL, psCached)
+	if hits < float64(2*len(specs)) {
+		t.Errorf("warm passes produced only %v hits, want at least %d", hits, 2*len(specs))
+	}
+	if misses != missesAfterCold {
+		t.Errorf("warm passes missed (%v -> %v): keyspace not stable", missesAfterCold, misses)
+	}
+	if _, _, exposed := cacheStatsFor(t, plainTS.URL, psPlain); exposed {
+		t.Error("cache-disabled server exposes answer-cache stats")
+	}
+
+	// Append the deterministic continuation to both servers: epoch-keyed
+	// entries become unreachable and every answer must re-derive from the
+	// grown table — byte-identically.
+	rows := rowsToJSON(t, grown, initialRows, 1400)
+	for _, tc := range []struct{ url string }{{cachedTS.URL}, {plainTS.URL}} {
+		resp, out := doJSON(t, "POST", tc.url+"/v1/append", AppendRequest{Table: "pub", Rows: rows})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append on %s: %d %v", tc.url, resp.StatusCode, out)
+		}
+	}
+	changed := false
+	for i, spec := range specs {
+		_, body := explainBoth(spec)
+		changed = changed || !bytes.Equal(body, cold[i])
+	}
+	if !changed {
+		t.Fatal("append changed no answer; the invalidation differential is vacuous")
+	}
+	batchBoth(specs[:len(specs)-1])
+}
+
+// countingShard wraps a shard server and counts requests per path, so
+// tests can assert which requests a coordinator cache absorbed.
+type countingShard struct {
+	mu     sync.Mutex
+	counts map[string]int
+	inner  http.Handler
+}
+
+func (c *countingShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.counts[r.URL.Path]++
+	c.mu.Unlock()
+	c.inner.ServeHTTP(w, r)
+}
+
+func (c *countingShard) get(path string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[path]
+}
+
+// TestCoordinatorCacheDifferential: a coordinator with the answer cache
+// against an identical deployment with it disabled. Beyond byte
+// equality, the counting shards pin the tentpole's serving claim: a warm
+// question is answered entirely at the coordinator (zero shard fan-out),
+// and an append invalidates precisely — entries keyed to the epochs of
+// untouched shards keep hitting.
+func TestCoordinatorCacheDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coordinator cache differential is not short")
+	}
+	const initialRows = 1300
+	grown := diffTable(1600)
+	initial := engine.NewTable(grown.Schema())
+	for _, row := range grown.Rows()[:initialRows] {
+		initial.MustAppend(row)
+	}
+	var csv bytes.Buffer
+	if err := initial.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+
+	const nShards = 2
+	newDeployment := func(cacheSize int) (string, []*countingShard) {
+		shards := make([]*countingShard, nShards)
+		urls := make([]string, nShards)
+		for i := range shards {
+			shards[i] = &countingShard{counts: make(map[string]int), inner: New()}
+			ts := httptest.NewServer(shards[i])
+			t.Cleanup(ts.Close)
+			urls[i] = ts.URL
+		}
+		coord, err := NewCoordinator(CoordConfig{
+			Shards: urls, Key: []string{diffShardKey}, AnswerCacheSize: cacheSize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts := httptest.NewServer(coord)
+		t.Cleanup(cts.Close)
+		loadCSV(t, cts.URL, csv.Bytes())
+		return cts.URL, shards
+	}
+	cachedURL, cachedShards := newDeployment(0)
+	plainURL, _ := newDeployment(-1)
+	psCached := mineDiffSet(t, cachedURL)
+	psPlain := mineDiffSet(t, plainURL)
+
+	fanout := func(path string) int {
+		n := 0
+		for _, sh := range cachedShards {
+			n += sh.get(path)
+		}
+		return n
+	}
+	explainBoth := func(spec QuestionSpec) []byte {
+		t.Helper()
+		mk := func(ps string) ExplainRequest {
+			return ExplainRequest{
+				Patterns: ps, GroupBy: spec.GroupBy, Aggregate: spec.Aggregate,
+				Tuple: spec.Tuple, Dir: spec.Dir, K: 5, Parallelism: 1,
+			}
+		}
+		cStatus, cBody := doRaw(t, "POST", cachedURL+"/v1/explain", mk(psCached))
+		pStatus, pBody := doRaw(t, "POST", plainURL+"/v1/explain", mk(psPlain))
+		if cStatus != pStatus || !bytes.Equal(cBody, pBody) {
+			t.Fatalf("coordinator explain diverges for %v:\n cached (%d): %s\n plain  (%d): %s",
+				spec.Tuple, cStatus, cBody, pStatus, pBody)
+		}
+		return cBody
+	}
+	batchBoth := func(specs []QuestionSpec) []byte {
+		t.Helper()
+		mk := func(ps string) ExplainBatchRequest {
+			return ExplainBatchRequest{Patterns: ps, Questions: specs, K: 5, Parallelism: 1}
+		}
+		cStatus, cBody := doRaw(t, "POST", cachedURL+"/v1/explain/batch", mk(psCached))
+		pStatus, pBody := doRaw(t, "POST", plainURL+"/v1/explain/batch", mk(psPlain))
+		if cStatus != pStatus || !bytes.Equal(cBody, pBody) {
+			t.Fatalf("coordinator batch diverges:\n cached (%d): %s\n plain  (%d): %s",
+				cStatus, cBody, pStatus, pBody)
+		}
+		return cBody
+	}
+	appendBoth := func(rows [][]json.RawMessage) {
+		t.Helper()
+		for _, url := range []string{cachedURL, plainURL} {
+			resp, out := doJSON(t, "POST", url+"/v1/append", AppendRequest{Table: "pub", Rows: rows})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("append on %s: %d %v", url, resp.StatusCode, out)
+			}
+		}
+	}
+
+	specs := diffQuestions(t, initial, 8, 77)
+
+	// Cold pass computes through the shards; the warm pass must be served
+	// entirely from the coordinator: zero explain/batch fan-out.
+	cold := make([][]byte, len(specs))
+	answered := false
+	for i, spec := range specs {
+		cold[i] = explainBoth(spec)
+		var view map[string]interface{}
+		if err := json.Unmarshal(cold[i], &view); err == nil {
+			if expls, _ := view["explanations"].([]interface{}); len(expls) > 0 {
+				answered = true
+			}
+		}
+	}
+	coldBatch := batchBoth(specs)
+	if !answered {
+		t.Fatal("no question produced explanations; the differential is vacuous")
+	}
+	preExplain, preBatch := fanout("/v1/explain"), fanout("/v1/explain/batch")
+	if preExplain == 0 || preBatch == 0 {
+		t.Fatal("cold pass did not reach the shards; the fan-out counter is broken")
+	}
+	for i, spec := range specs {
+		if !bytes.Equal(explainBoth(spec), cold[i]) {
+			t.Fatalf("warm question %d drifted from cold pass", i)
+		}
+	}
+	if !bytes.Equal(batchBoth(specs), coldBatch) {
+		t.Fatal("warm batch drifted from cold pass")
+	}
+	if d := fanout("/v1/explain") - preExplain; d != 0 {
+		t.Errorf("warm explains fanned out %d times; hot questions must be coordinator-local", d)
+	}
+	if d := fanout("/v1/explain/batch") - preBatch; d != 0 {
+		t.Errorf("warm batch fanned out %d times; hot batches must be coordinator-local", d)
+	}
+
+	// Locate two question authors living on different shards by probing
+	// with single-row appends (mirrored to both deployments to keep them
+	// identical). A row routes to exactly one shard: the append counter
+	// names it.
+	authorCol := grown.Schema().Index(diffShardKey)
+	shardOf := func(author string) int {
+		t.Helper()
+		var probe []json.RawMessage
+		for i, row := range grown.Rows() {
+			if row[authorCol].String() == author {
+				probe = rowsToJSON(t, grown, i, i+1)[0]
+				break
+			}
+		}
+		if probe == nil {
+			t.Fatalf("author %s not in table", author)
+		}
+		before := make([]int, nShards)
+		for i, sh := range cachedShards {
+			before[i] = sh.get("/v1/append")
+		}
+		appendBoth([][]json.RawMessage{probe})
+		for i, sh := range cachedShards {
+			if sh.get("/v1/append") > before[i] {
+				return i
+			}
+		}
+		t.Fatal("probe append reached no shard")
+		return -1
+	}
+	qA := specs[0]
+	shardA := shardOf(qA.Tuple[0])
+	qB := QuestionSpec{}
+	for _, spec := range specs[1:] {
+		if spec.Tuple[0] != qA.Tuple[0] && shardOf(spec.Tuple[0]) != shardA {
+			qB = spec
+			break
+		}
+	}
+	if qB.Tuple == nil {
+		t.Skip("all sampled question authors hash to one shard; cannot exercise cross-shard precision")
+	}
+
+	// A row matching qA's exact group: appending it is guaranteed to
+	// change qA's answer (the question embeds the group's aggregate
+	// value) while routing only to qA's shard.
+	sch := grown.Schema()
+	colOf := map[string]int{}
+	for _, a := range qA.GroupBy {
+		colOf[a] = sch.Index(a)
+	}
+	var qARow []json.RawMessage
+	for i, row := range grown.Rows() {
+		match := true
+		for j, a := range qA.GroupBy {
+			match = match && row[colOf[a]].String() == qA.Tuple[j]
+		}
+		if match {
+			qARow = rowsToJSON(t, grown, i, i+1)[0]
+			break
+		}
+	}
+	if qARow == nil {
+		t.Fatalf("no row matches question group %v", qA.Tuple)
+	}
+
+	// Re-warm after the probe appends, then append the matching row: only
+	// qA's shard's epoch moves, so qB must stay hot while qA re-derives —
+	// and both still match the uncached mirror.
+	warmA, warmB := explainBoth(qA), explainBoth(qB)
+	explainBoth(qA)
+	explainBoth(qB)
+	pre := fanout("/v1/explain")
+	appendBoth([][]json.RawMessage{qARow})
+	if !bytes.Equal(explainBoth(qB), warmB) {
+		t.Error("append to the other shard changed qB's answer bytes")
+	}
+	if d := fanout("/v1/explain") - pre; d != 0 {
+		t.Errorf("append to shard %d invalidated a question on the other shard (%d fan-outs)", shardA, d)
+	}
+	if bytes.Equal(explainBoth(qA), warmA) {
+		t.Error("append touching qA's group left its answer bytes unchanged; staleness undetectable")
+	}
+	if fanout("/v1/explain")-pre == 0 {
+		t.Error("qA was served from cache after its shard's epoch advanced")
+	}
+
+	// Bulk append the rest of the deterministic continuation and
+	// re-compare everything once more.
+	appendBoth(rowsToJSON(t, grown, initialRows, 1600))
+	for _, spec := range specs {
+		explainBoth(spec)
+	}
+	batchBoth(specs)
+}

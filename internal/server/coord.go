@@ -61,10 +61,11 @@ type Coordinator struct {
 	// invisible to readers because both happen under the write lock.
 	appendMu sync.RWMutex
 
-	mu     sync.Mutex
-	tables map[string]*coordTable
-	sets   map[string]*coordSet
-	nextID int
+	mu       sync.Mutex
+	tables   map[string]*coordTable
+	sets     map[string]*coordSet
+	tableGen map[string]uint64 // load counter per table name, survives reloads
+	nextID   int
 }
 
 // CoordConfig configures NewCoordinator.
@@ -90,6 +91,10 @@ type CoordConfig struct {
 	Client *http.Client
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// AnswerCacheSize bounds each pattern set's coordinator-tier answer
+	// cache (entries). 0 uses the default; negative disables caching, so
+	// every explain fans out to its owning shard.
+	AnswerCacheSize int
 }
 
 // coordTable is the coordinator's view of one partitioned table.
@@ -104,6 +109,15 @@ type coordTable struct {
 	// is the deployment-wide table total — matching the single-node
 	// append response, which reports the full table's rows.
 	shardRows []int
+	// epochs is the last acknowledged table epoch per shard, refreshed
+	// from append acks. Answer-cache keys embed the owning shard's
+	// epoch, so an append invalidates only the questions routed to the
+	// shards it touched — hot questions on untouched shards keep
+	// hitting. Mutated only under the deployment write lock.
+	epochs []uint64
+	// gen disambiguates reloads: shard epochs restart when a table is
+	// re-pushed, so (gen, epoch) is what never repeats.
+	gen uint64
 }
 
 // coordSet tracks one logical pattern set across shards.
@@ -119,6 +133,15 @@ type coordSet struct {
 	stats [][]mining.CandStat
 	// admitted is the current globally-admitted key set, sorted.
 	admitted []string
+	// version counts changes to the admitted set. It is bumped only
+	// when an append's re-admission actually changes the served keys —
+	// an append that leaves admission unchanged invalidates only the
+	// shards it touched (via their epochs), not the whole keyspace.
+	version uint64
+	// anscache holds rendered shard answers keyed by question × version
+	// × table generation × owning-shard epoch, so repeated hot
+	// questions never fan out. Nil when caching is disabled.
+	anscache *answerCache
 }
 
 // NewCoordinator validates the configuration and returns a ready
@@ -157,12 +180,13 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		cfg.Client = httpc.NewClient(len(cfg.Shards))
 	}
 	c := &Coordinator{
-		cfg:    cfg,
-		client: cfg.Client,
-		sem:    make(chan struct{}, cfg.MaxInflight),
-		queue:  make(chan struct{}, cfg.MaxQueue),
-		tables: make(map[string]*coordTable),
-		sets:   make(map[string]*coordSet),
+		cfg:      cfg,
+		client:   cfg.Client,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		queue:    make(chan struct{}, cfg.MaxQueue),
+		tables:   make(map[string]*coordTable),
+		sets:     make(map[string]*coordSet),
+		tableGen: make(map[string]uint64),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -347,7 +371,12 @@ func (c *Coordinator) handleLoadTable(w http.ResponseWriter, r *http.Request) {
 		shardRows[i] = pt.NumRows()
 	}
 	c.mu.Lock()
-	c.tables[name] = &coordTable{part: part, cols: tab.Schema().Names(), keyIdx: keyIdx, shardRows: shardRows}
+	c.tableGen[name]++
+	c.tables[name] = &coordTable{
+		part: part, cols: tab.Schema().Names(), keyIdx: keyIdx,
+		shardRows: shardRows, epochs: make([]uint64, len(parts)),
+		gen: c.tableGen[name],
+	}
 	c.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]interface{}{
 		"name": name, "rows": tab.NumRows(), "columns": tab.Schema().Names(),
@@ -453,6 +482,9 @@ func (c *Coordinator) handleMine(w http.ResponseWriter, r *http.Request) {
 		options: req,
 		stats:   make([][]mining.CandStat, len(c.cfg.Shards)),
 	}
+	if c.cfg.AnswerCacheSize >= 0 {
+		cs.anscache = newAnswerCache(c.cfg.AnswerCacheSize)
+	}
 	for i, re := range results {
 		if re.err != nil || re.status != http.StatusCreated {
 			shardErrf(w, i, c.cfg.Shards[i], re.status, re.body, re.err)
@@ -512,6 +544,19 @@ func admittedKeys(stats [][]mining.CandStat, th pattern.Thresholds, key []string
 	}
 	sort.Strings(out)
 	return out
+}
+
+// equalSortedKeys reports whether two sorted key lists are identical.
+func equalSortedKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // keyInPatternF reports whether every shard-key attribute appears in
@@ -728,7 +773,14 @@ func (c *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-		cs.admitted = admittedKeys(cs.stats, cs.th, c.cfg.Key)
+		admitted := admittedKeys(cs.stats, cs.th, c.cfg.Key)
+		// The version bump is what invalidates cached answers on shards
+		// this append did not touch, so it happens only when admission
+		// actually changed; epoch-keyed invalidation covers the rest.
+		if !equalSortedKeys(admitted, cs.admitted) {
+			cs.version++
+		}
+		cs.admitted = admitted
 		if !c.pushAdmission(w, r.Context(), cs) {
 			return
 		}
@@ -747,6 +799,7 @@ func (c *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		appended += re.resp.Appended
 		ct.shardRows[i] = re.resp.Rows
+		ct.epochs[i] = re.resp.Epoch
 		ack := map[string]interface{}{
 			"shard": i, "appended": re.resp.Appended, "rows": re.resp.Rows, "epoch": re.resp.Epoch,
 		}
@@ -836,17 +889,48 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// The owner holds the whole group, every candidate, and the NORM
 	// selection (locality contract), so its answer — produced by the
 	// same engine over the same rows in the same order — is forwarded
-	// verbatim: byte-identical to single-node output.
-	shardReq := req
-	shardReq.Patterns = cs.shardPS[owner]
-	status, body, err := c.shardJSON(r.Context(), owner, http.MethodPost, "/v1/explain", shardReq, nil)
-	if err != nil {
-		shardErrf(w, owner, c.cfg.Shards[owner], status, body, err)
+	// verbatim: byte-identical to single-node output. The coordinator
+	// caches the raw reply bytes keyed by the set version, table
+	// generation, and the owner's epoch: a hit replays the exact bytes
+	// the shard produced without any fan-out, and answers from shards
+	// an append did not touch survive the append.
+	compute := func() (int, interface{}, bool) {
+		shardReq := req
+		shardReq.Patterns = cs.shardPS[owner]
+		status, body, err := c.shardJSON(r.Context(), owner, http.MethodPost, "/v1/explain", shardReq, nil)
+		ans := &coordAnswer{status: status, body: body, err: err}
+		// Only 200 and 400 are deterministic functions of the keyed
+		// state; transport failures and transient shard statuses (e.g.
+		// 404 during re-mining) must be retried, not replayed.
+		cacheable := err == nil && (status == http.StatusOK || status == http.StatusBadRequest)
+		return status, ans, cacheable
+	}
+	var ans *coordAnswer
+	if cs.anscache == nil {
+		_, v, _ := compute()
+		ans = v.(*coordAnswer)
+	} else {
+		key := ansKey('e', cs.version, ct.gen, ct.epochs[owner],
+			QuestionSpec{GroupBy: req.GroupBy, Aggregate: req.Aggregate, Tuple: req.Tuple, Dir: req.Dir},
+			req.K, req.Parallelism, req.Numeric, req.Weights)
+		_, v, _ := cs.anscache.do(key, compute)
+		ans = v.(*coordAnswer)
+	}
+	if ans.err != nil {
+		shardErrf(w, owner, c.cfg.Shards[owner], ans.status, ans.body, ans.err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_, _ = w.Write(body)
+	w.WriteHeader(ans.status)
+	_, _ = w.Write(ans.body)
+}
+
+// coordAnswer is a cached (or just-computed) shard explain reply: the
+// verbatim status and body bytes, immutable once stored.
+type coordAnswer struct {
+	status int
+	body   []byte
+	err    error
 }
 
 func (c *Coordinator) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
@@ -881,7 +965,10 @@ func (c *Coordinator) handleExplainBatch(w http.ResponseWriter, r *http.Request)
 	// Scatter: each question goes to its owning shard's sub-batch; the
 	// per-shard batches keep their relative question order so the
 	// shard-side builder memo and batch cache behave as on one node.
+	// Items with a cached answer never enter a sub-batch — a fully
+	// cached batch performs zero shard calls.
 	items := make([]batchItemDTO, len(req.Questions))
+	keys := make([]string, len(req.Questions))
 	subIdx := make([][]int, len(c.cfg.Shards)) // original index per shard sub-batch
 	subQs := make([][]QuestionSpec, len(c.cfg.Shards))
 	for i, spec := range req.Questions {
@@ -891,6 +978,14 @@ func (c *Coordinator) handleExplainBatch(w http.ResponseWriter, r *http.Request)
 			items[i].Status = http.StatusUnprocessableEntity
 			items[i].Error = err.Error()
 			continue
+		}
+		if cs.anscache != nil {
+			keys[i] = ansKey('b', cs.version, ct.gen, ct.epochs[owner], spec,
+				req.K, req.Parallelism, req.Numeric, req.Weights)
+			if _, v, ok := cs.anscache.lookup(keys[i]); ok {
+				items[i] = reindexed(v.(batchItemDTO), i)
+				continue
+			}
 		}
 		subIdx[owner] = append(subIdx[owner], i)
 		subQs[owner] = append(subQs[owner], spec)
@@ -938,11 +1033,15 @@ func (c *Coordinator) handleExplainBatch(w http.ResponseWriter, r *http.Request)
 			return
 		}
 		// Gather: items come back in sub-batch order; restore the
-		// caller's indices.
+		// caller's indices. Deterministic items (200/400) are cached at
+		// index 0 for future batches.
 		for j, it := range re.resp.Items {
 			orig := subIdx[s][j]
 			it.Index = orig
 			items[orig] = it
+			if cs.anscache != nil && (it.Status == http.StatusOK || it.Status == http.StatusBadRequest) {
+				cs.anscache.insert(keys[orig], it.Status, reindexed(it, 0))
+			}
 		}
 	}
 	okCount := 0
@@ -1061,11 +1160,21 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Table     string `json:"table"`
 		Patterns  int    `json:"patterns"`
 		Freshness string `json:"freshness"`
+		// Version counts admission changes; with the per-shard epochs
+		// it keys the coordinator-tier answer cache, whose counters
+		// follow. A high hit rate here means questions are answered
+		// without any shard fan-out.
+		Version uint64            `json:"version"`
+		Cache   *answerCacheStats `json:"answerCache,omitempty"`
 	}
 	sets := make([]setAgg, 0, len(setIDs))
 	for _, id := range setIDs {
 		cs := c.sets[id]
-		agg := setAgg{ID: id, Table: cs.table, Patterns: len(cs.admitted), Freshness: "fresh"}
+		agg := setAgg{ID: id, Table: cs.table, Patterns: len(cs.admitted), Freshness: "fresh", Version: cs.version}
+		if cs.anscache != nil {
+			acs := cs.anscache.stats()
+			agg.Cache = &acs
+		}
 		for i, sh := range shards {
 			if !sh.OK {
 				agg.Freshness = "unknown"

@@ -56,6 +56,11 @@ type Server struct {
 	mu       sync.RWMutex
 	tables   map[string]*engine.Table
 	patterns map[string]*patternSet
+	// tableGen counts replacements of each table name (load, attach,
+	// reload). Answer-cache keys include it alongside the table epoch:
+	// epochs restart when a table is reloaded from scratch, so the epoch
+	// alone cannot distinguish "same name, different history".
+	tableGen map[string]uint64
 	// stores maps table name → the WAL store backing it (AttachStore).
 	// A store-backed table's appends are durable: /v1/append replies
 	// only after the batch is framed into the WAL (fsynced per the
@@ -74,6 +79,14 @@ type Server struct {
 	// generation (runtime.NumCPU() from New); requests may override it
 	// with their own "parallelism" field.
 	ExplainParallelism int
+
+	// AnswerCacheSize bounds each pattern set's answer cache (entries,
+	// not bytes): rendered /v1/explain responses and per-item batch
+	// answers keyed by canonical question bytes × pattern-set version ×
+	// table generation/epoch, so appends and admission swaps invalidate
+	// for free. 0 uses the default (4096); negative disables answer
+	// caching entirely.
+	AnswerCacheSize int
 
 	// DataDir, when non-empty, makes POST /v1/tables bootstrap a
 	// durable store under DataDir/<name> for every newly loaded table,
@@ -118,6 +131,16 @@ type patternSet struct {
 	// a coordinator admitted (POST /v1/patterns/{id}/admit); patterns
 	// holds the filtered list, the maintainer retains the full state.
 	admitted map[string]bool
+	// version counts swaps of the served pattern list (maintenance and
+	// admission). Answer-cache keys include it, so any swap — even one
+	// that does not move the table epoch — invalidates cached answers.
+	// Written only under the appendMu write lock; read under its read
+	// side, like the patterns slice itself.
+	version uint64
+	// anscache is the set's answer cache, built lazily on first use
+	// (nil until then, and permanently nil when caching is disabled).
+	// Guarded by Server.mu.
+	anscache *answerCache
 }
 
 // New returns a ready-to-serve Server.
@@ -125,6 +148,7 @@ func New() *Server {
 	s := &Server{
 		tables:             make(map[string]*engine.Table),
 		patterns:           make(map[string]*patternSet),
+		tableGen:           make(map[string]uint64),
 		explainers:         make(map[string]*explainerEntry),
 		stores:             make(map[string]*store.Store),
 		MaxBodyBytes:       64 << 20,
@@ -176,6 +200,7 @@ func (s *Server) AddTable(name string, t *engine.Table) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tables[name] = t
+	s.tableGen[name]++
 }
 
 // AddPatternSet registers a pattern set programmatically — e.g. one
@@ -259,6 +284,7 @@ func (s *Server) handleLoadTable(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.mu.Lock()
 		s.tables[name] = tab
+		s.tableGen[name]++
 		s.mu.Unlock()
 	}
 	writeJSON(w, http.StatusCreated, resp)
@@ -437,30 +463,75 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown pattern set %q", req.Patterns)
 		return
 	}
-	tab, ok := s.table(ps.Table)
+	tab, gen, ok := s.tableState(ps.Table)
 	if !ok {
 		httpError(w, http.StatusNotFound, "table %q for pattern set is gone", ps.Table)
 		return
 	}
-	q, opt, err := req.build(tab)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+	// Both outcomes below are deterministic functions of the request and
+	// the (pattern set version, table generation/epoch) state in the
+	// cache key: a question that fails validation keeps failing until
+	// the data changes, so negative answers cache like positive ones.
+	compute := func() (int, interface{}, bool) {
+		q, opt, err := req.build(tab)
+		if err != nil {
+			return http.StatusBadRequest, errorBody(err), true
+		}
+		expls, stats, err := s.explainerFor(ps, tab).ExplainOpts(q, opt)
+		if err != nil {
+			return http.StatusBadRequest, errorBody(err), true
+		}
+		out := make([]explanationDTO, 0, len(expls))
+		for _, e := range expls {
+			out = append(out, newExplanationDTO(e, q))
+		}
+		return http.StatusOK, map[string]interface{}{
+			"question":     q.String(),
+			"explanations": out,
+			"stats":        stats,
+		}, true
+	}
+	cache := s.answerCacheFor(ps)
+	if cache == nil {
+		status, v, _ := compute()
+		writeJSON(w, status, v)
 		return
 	}
-	expls, stats, err := s.explainerFor(ps, tab).ExplainOpts(q, opt)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+	key := ansKey('e', ps.version, gen, tab.Epoch(),
+		QuestionSpec{GroupBy: req.GroupBy, Aggregate: req.Aggregate, Tuple: req.Tuple, Dir: req.Dir},
+		req.K, req.Parallelism, req.Numeric, req.Weights)
+	status, v, _ := cache.do(key, compute)
+	writeJSON(w, status, v)
+}
+
+// errorBody matches httpError's JSON payload for cached negative
+// answers.
+func errorBody(err error) map[string]string {
+	return map[string]string{"error": err.Error()}
+}
+
+// answerCacheFor returns the set's answer cache, building it on first
+// use; nil when the server has answer caching disabled.
+func (s *Server) answerCacheFor(ps *patternSet) *answerCache {
+	if s.AnswerCacheSize < 0 {
+		return nil
 	}
-	out := make([]explanationDTO, 0, len(expls))
-	for _, e := range expls {
-		out = append(out, newExplanationDTO(e, q))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ps.anscache == nil {
+		ps.anscache = newAnswerCache(s.AnswerCacheSize)
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"question":     q.String(),
-		"explanations": out,
-		"stats":        stats,
-	})
+	return ps.anscache
+}
+
+// tableState returns a table with its replacement generation, read
+// atomically so cache keys never pair a new table with an old
+// generation.
+func (s *Server) tableState(name string) (*engine.Table, uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	return t, s.tableGen[name], ok
 }
 
 func (s *Server) handleGeneralize(w http.ResponseWriter, r *http.Request) {

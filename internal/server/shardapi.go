@@ -114,6 +114,9 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	ps.patterns = served
 	ps.Count = len(served)
 	ps.Locals = locals
+	// Admission swaps the served list without touching the table, so the
+	// version bump is what invalidates this set's cached answers.
+	ps.version++
 	if e, ok := s.explainers[ps.ID]; ok {
 		if tab, tok := s.tables[ps.Table]; tok && e.table == tab {
 			e.ex.SetPatterns(served)

@@ -30,6 +30,7 @@ func (s *Server) AttachStore(name string, st *store.Store) error {
 		return fmt.Errorf("server: table %q already has a store attached", name)
 	}
 	s.tables[name] = tab
+	s.tableGen[name]++
 	s.stores[name] = st
 	return nil
 }
